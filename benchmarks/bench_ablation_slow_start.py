@@ -1,0 +1,55 @@
+"""Ablation: slow-start prefetch depth vs direct-pollution detectability.
+
+The slow start is the only thing standing between PDNs and *direct*
+content pollution (§IV-C). This sweep removes and deepens it: with no
+CDN-verified window the direct attack succeeds; any window >= 1 segment
+exposes the attacker's inconsistent announcements.
+"""
+
+import dataclasses
+
+from conftest import run_once
+
+from repro.attacks.pollution import DirectContentPollutionTest
+from repro.core.analyzer import PdnAnalyzer
+from repro.core.testbed import build_test_bed
+from repro.environment import Environment
+from repro.pdn.provider import PEER5
+from repro.util.tables import render_table
+
+
+def sweep(depths=(0, 1, 2, 3)):
+    rows = []
+    for depth in depths:
+        profile = dataclasses.replace(PEER5, slow_start_segments=depth)
+        env = Environment(seed=1000 + depth)
+        bed = build_test_bed(env, profile)
+        analyzer = PdnAnalyzer(env)
+        report = analyzer.run_test(DirectContentPollutionTest(bed, watch=80.0))
+        verdict = report.verdicts[0]
+        rows.append(
+            [
+                depth,
+                "SUCCEEDED" if verdict.triggered else "blocked",
+                verdict.details["polluted_played"],
+                verdict.details["attacker_detected_and_banned"],
+            ]
+        )
+        analyzer.teardown()
+    return rows
+
+
+def test_ablation_slow_start(benchmark, save_result):
+    rows = run_once(benchmark, sweep)
+    save_result(
+        "ablation_slow_start",
+        render_table(
+            ["slow-start segments", "direct pollution", "polluted played", "attacker banned"],
+            rows,
+            title="Ablation: slow-start depth vs direct content pollution",
+        ),
+    )
+    by_depth = {row[0]: row for row in rows}
+    assert by_depth[0][1] == "SUCCEEDED"  # no verified window -> attack lands
+    for depth in (1, 2, 3):
+        assert by_depth[depth][1] == "blocked"

@@ -1,0 +1,51 @@
+"""Ablation: seeder uplink capacity vs P2P offload.
+
+§IV-D footnote: "Due to the limit of our network bandwidth, adding more
+peers (over 5 peers) will significantly lower the download traffic of
+peers". With an unconstrained uplink the seeder's upload keeps scaling
+with the leecher count; with a finite residential uplink it saturates
+and leechers silently fall back to the CDN — the hybrid design degrades
+instead of stalling.
+"""
+
+from conftest import run_once
+
+from repro.experiments import bandwidth_fig5
+from repro.util.tables import render_table
+
+
+def sweep():
+    unconstrained = bandwidth_fig5.run(seed=57, max_neighbors=5)
+    capped = bandwidth_fig5.run_saturation(seed=57, max_neighbors=5)
+    return unconstrained, capped
+
+
+def test_ablation_uplink_saturation(benchmark, save_result):
+    unconstrained, capped = run_once(benchmark, sweep)
+    rows = []
+    for open_point, capped_point in zip(unconstrained.points, capped.points):
+        rows.append(
+            [
+                open_point.neighbor_peers,
+                f"{open_point.upload_bytes / 1e6:.0f}MB",
+                f"{capped_point.upload_bytes / 1e6:.0f}MB",
+            ]
+        )
+    save_result(
+        "ablation_uplink",
+        render_table(
+            ["# peers served", "upload (unlimited uplink)", "upload (0.6 MB/s uplink)"],
+            rows,
+            title="Ablation: seeder uplink capacity vs P2P offload",
+        ),
+    )
+    # Unconstrained upload keeps scaling; the capped seeder falls behind.
+    assert unconstrained.points[-1].upload_bytes > capped.points[-1].upload_bytes
+    # Saturation bites harder as the leecher count grows.
+    gap_small = unconstrained.points[0].upload_bytes - capped.points[0].upload_bytes
+    gap_large = unconstrained.points[-1].upload_bytes - capped.points[-1].upload_bytes
+    assert gap_large > gap_small
+    # Per-leecher P2P service degrades under the cap.
+    per_leecher_capped = capped.points[-1].upload_bytes / 5
+    per_leecher_open = unconstrained.points[-1].upload_bytes / 5
+    assert per_leecher_capped < per_leecher_open

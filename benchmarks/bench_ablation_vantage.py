@@ -1,0 +1,54 @@
+"""Ablation: dynamic-analysis vantage point vs confirmations.
+
+§III-C/§III-D: "the PDN traffic of Douyu TV is only observable through
+IP addresses located in China" — geolocation-gated customers confirm
+only when the probe viewers sit in the right country. This sweep re-runs
+dynamic confirmation on the geo-gated potential customers from a US and
+a CN vantage.
+"""
+
+from conftest import run_once
+
+from repro.detection.dynamic import DynamicConfirmer
+from repro.environment import Environment
+from repro.util.tables import render_table
+from repro.web.corpus import CorpusConfig, build_corpus
+from repro.web.page import LoadCondition
+
+
+def sweep():
+    env = Environment(seed=5005)
+    corpus = build_corpus(
+        env, CorpusConfig(noise_video_sites=5, noise_nonvideo_sites=2, noise_apps=2)
+    )
+    geo_gated = [
+        site
+        for site in corpus.websites
+        for page in [site.landing]
+        if page is not None
+        and page.embed is not None
+        and page.embed.load_condition is LoadCondition.GEO
+        and page.embed.geo_country == "CN"
+    ][:8]
+    rows = []
+    confirmed_by = {}
+    for vantage in ("US", "CN"):
+        confirmer = DynamicConfirmer(env, watch_seconds=25.0, probe_country=vantage)
+        confirmed = sum(1 for site in geo_gated if confirmer.confirm_site(site).confirmed)
+        confirmed_by[vantage] = confirmed
+        rows.append([vantage, len(geo_gated), confirmed])
+    return rows, confirmed_by, len(geo_gated)
+
+
+def test_ablation_vantage_point(benchmark, save_result):
+    rows, confirmed_by, total = run_once(benchmark, sweep)
+    save_result(
+        "ablation_vantage",
+        render_table(
+            ["probe vantage", "geo-gated (CN) targets", "confirmed"],
+            rows,
+            title="Ablation: dynamic-analysis vantage vs confirmations (Douyu effect)",
+        ),
+    )
+    assert confirmed_by["US"] == 0  # invisible from outside China
+    assert confirmed_by["CN"] == total  # fully visible from inside

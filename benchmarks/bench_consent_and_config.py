@@ -1,0 +1,24 @@
+"""§IV-D: the corpus-wide consent audit and cellular-config study."""
+
+from conftest import run_once
+
+from repro.experiments import consent_and_config
+
+
+def test_consent_and_config(benchmark, save_result):
+    result = run_once(benchmark, consent_and_config.run, seed=909)
+    save_result("consent_and_config", result.render())
+
+    # Paper: 134 websites + 38 apps + 10 private services, none informs.
+    assert result.customers_checked == 182
+    assert result.informing_viewers == 0
+    assert result.allowing_disable == 0
+    # Paper: exactly three apps allow cellular upload+download, >15M installs.
+    assert result.cellular_full == [
+        "com.arenacloudtv.android",
+        "com.bongo.bioscope",
+        "com.portonics.mygp",
+    ]
+    assert result.flagged_total_downloads > 15_000_000
+    # Everyone else leeches on cellular at most.
+    assert result.cellular_leech == result.configs_read - 3

@@ -1,0 +1,21 @@
+"""Detector precision/recall against the corpus ground truth."""
+
+from conftest import run_once
+
+from repro.experiments import detection_quality
+
+
+def test_detection_quality(benchmark, save_result):
+    result = run_once(benchmark, detection_quality.run, seed=1101)
+    save_result("detection_quality", result.render())
+
+    for stage in (
+        "signature scan (websites)",
+        "signature scan (apps)",
+        "dynamic confirmation (websites)",
+        "dynamic confirmation (apps)",
+        "private services",
+    ):
+        row = result.row(stage)
+        assert row.precision == 1.0, f"{stage}: false positives {row.false_positives}"
+        assert row.recall == 1.0, f"{stage}: false negatives {row.false_negatives}"

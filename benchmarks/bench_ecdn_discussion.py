@@ -1,0 +1,22 @@
+"""§VI Discussion: Microsoft eCDN — which risks survived the acquisition."""
+
+from conftest import run_once
+
+from repro.experiments import ecdn_discussion
+
+
+def test_ecdn_discussion(benchmark, save_result):
+    result = run_once(benchmark, ecdn_discussion.run, seed=606)
+    save_result("ecdn_discussion", result.render())
+
+    # Paper: the tenant id is "no longer publicly visible. Thus it
+    # prevents the free riding attack."
+    assert result.free_riding_prevented
+    assert not result.tenant_id_in_page
+    assert result.keys_scraped == 0
+    # Paper: "in the direct content pollution test, no peer connection is
+    # observed" (blocked); "we observed the polluted video segments being
+    # transmitted" in the segment pollution test.
+    assert not result.direct_pollution_triggered
+    assert result.segment_pollution_triggered
+    assert result.segment_pollution_polluted_played > 0

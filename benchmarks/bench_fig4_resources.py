@@ -1,0 +1,27 @@
+"""Fig. 4: resource consumption of serving as a PDN peer."""
+
+from conftest import run_once
+
+from repro.experiments import resource_fig4
+
+
+def test_fig4_resource_consumption(benchmark, save_result, results_dir):
+    result = run_once(benchmark, resource_fig4.run, seed=44)
+    save_result("fig4_resources", result.render())
+
+    # Per-second series for replotting the figure.
+    lines = ["viewer,t,cpu_percent,memory_mb"]
+    for viewer in result.viewers.values():
+        for (t, cpu), (_, mem) in zip(viewer.cpu_series, viewer.memory_series):
+            lines.append(f"{viewer.name},{t:.0f},{cpu:.2f},{mem:.1f}")
+    (results_dir / "fig4_resources.csv").write_text("\n".join(lines) + "\n")
+
+    # Paper: ~ +15% CPU and ~ +10% memory for PDN peers vs no-peer.
+    assert 0.10 <= result.cpu_overhead <= 0.22
+    assert 0.06 <= result.memory_overhead <= 0.15
+    # The no-peer viewer never uploads; the seeding peer does.
+    assert result.viewers["no-peer"].uploaded_bytes == 0
+    assert result.viewers["peer-a"].uploaded_bytes > 0
+    # All three watched the same stream.
+    downloads = [v.downloaded_bytes for v in result.viewers.values()]
+    assert max(downloads) < min(downloads) * 1.6

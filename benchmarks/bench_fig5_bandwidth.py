@@ -1,0 +1,28 @@
+"""Fig. 5: upload bandwidth growth with the number of served peers."""
+
+from conftest import run_once
+
+from repro.experiments import bandwidth_fig5
+
+
+def test_fig5_bandwidth_consumption(benchmark, save_result, results_dir):
+    result = run_once(benchmark, bandwidth_fig5.run, seed=55)
+    save_result("fig5_bandwidth", result.render())
+
+    lines = ["peers_served,download_bytes,upload_bytes,cpu_percent"]
+    for point in result.points:
+        lines.append(
+            f"{point.neighbor_peers},{point.download_bytes},{point.upload_bytes},{point.cpu_mean:.2f}"
+        )
+    (results_dir / "fig5_bandwidth.csv").write_text("\n".join(lines) + "\n")
+
+    # Upload grows monotonically with the neighbor count...
+    assert result.upload_monotone()
+    # ...reaching ~200% of the download at 3 peers (the paper's headline).
+    assert 1.7 <= result.points[-1].upload_over_download <= 2.3
+    # Download stays roughly flat (WebRTC scalability).
+    downloads = [p.download_bytes for p in result.points]
+    assert max(downloads) <= min(downloads) * 1.5
+    # CPU grows with upload (DTLS encryption is the cost driver).
+    cpus = [p.cpu_mean for p in result.points]
+    assert cpus[0] < cpus[-1]

@@ -1,0 +1,18 @@
+"""§IV-B in-the-wild key study: 44 extracted / 40 valid / 11 vulnerable."""
+
+from conftest import run_once
+
+from repro.experiments import free_riding_wild
+
+
+def test_free_riding_in_the_wild(benchmark, save_result):
+    result = run_once(benchmark, free_riding_wild.run, seed=77)
+    save_result("free_riding_keys", result.render())
+
+    assert result.extracted == 44
+    assert result.valid == 40
+    assert result.expired == 4
+    assert result.cross_domain_vulnerable("peer5") == (11, 36)
+    assert result.cross_domain_vulnerable("streamroot") == (0, 1)
+    assert result.cross_domain_vulnerable("viblast") == (0, 3)
+    assert result.spoofing_vulnerable() == (40, 40)

@@ -1,0 +1,38 @@
+"""§IV-D in-the-wild IP leak: the week-long harvest."""
+
+from conftest import run_once
+
+from repro.experiments import ip_leak_wild
+
+
+def test_ip_leak_in_the_wild(benchmark, save_result):
+    result = run_once(benchmark, ip_leak_wild.run, seed=99, days=7.0)
+    save_result("ip_leak_wild", result.render())
+
+    huya = result.platforms["huya.com"]
+    rt = result.platforms["rt-news-app"]
+    okru = result.platforms["ok.ru"]
+
+    # Scale: thousands of addresses, dominated by Huya (paper: 7,055/685).
+    assert 5_000 <= huya.total <= 9_000
+    assert 450 <= rt.total <= 950
+    assert okru.total <= 30  # paper: 8 Russian IPs
+    # Public/bogon split: ~92.5% public, private >> shared-NAT >> reserved.
+    total_public = sum(len(p.public_ips()) for p in result.platforms.values())
+    assert 0.88 <= total_public / result.total_unique <= 0.97
+    split = {"private": 0, "shared_nat": 0, "reserved": 0}
+    for platform in result.platforms.values():
+        for key, value in platform.bogon_breakdown().items():
+            split[key] += value
+    assert split["private"] > split["shared_nat"] > split["reserved"]
+    # Geography.
+    huya_dist = huya.country_distribution(result.geo)
+    assert huya_dist["CN"] >= 0.95  # paper: 98%
+    rt_dist = rt.country_distribution(result.geo)
+    assert list(rt_dist)[0] == "US" and rt_dist["US"] > 0.25  # paper: 35%
+    assert rt_dist.get("GB", 0) > 0.10 and rt_dist.get("CA", 0) > 0.08
+    assert len(rt_dist) >= 40  # paper: 56 countries
+    assert rt.cities(result.geo) >= 150  # paper: 259 cities
+    # §V-C: the same-country filter would cut RT leaks to ~1/3, Huya to ~0.
+    assert 0.25 <= rt.same_country_share(result.geo) <= 0.45
+    assert huya.same_country_share(result.geo) <= 0.03

@@ -1,0 +1,21 @@
+"""Table I: detected PDN customers per provider (potential vs confirmed)."""
+
+from conftest import run_once
+
+from repro.experiments import detection_tables
+
+
+def test_table1_detected_pdn_customers(benchmark, save_result):
+    result = run_once(benchmark, detection_tables.run, seed=2024, watch_seconds=30.0)
+    save_result("table1_detection", result.render_table1())
+
+    report = result.report
+    for provider, sites, apps, apks in [
+        ("peer5", (16, 60), (15, 31), (199, 548)),
+        ("streamroot", (1, 53), (3, 6), (53, 68)),
+        ("viblast", (0, 21), (0, 1), (0, 11)),
+    ]:
+        counts = report.provider_counts(provider)
+        assert (counts.confirmed_sites, counts.potential_sites) == sites
+        assert (counts.confirmed_apps, counts.potential_apps) == apps
+        assert (counts.confirmed_apks, counts.potential_apks) == apks

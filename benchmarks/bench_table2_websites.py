@@ -1,0 +1,19 @@
+"""Table II: the 17 confirmed PDN websites."""
+
+from conftest import run_once
+
+from repro.experiments import detection_tables
+from repro.web.corpus import CONFIRMED_WEBSITES
+
+
+def test_table2_confirmed_websites(benchmark, save_result):
+    result = run_once(benchmark, detection_tables.run, seed=2025, watch_seconds=30.0)
+    save_result("table2_websites", result.render_table2())
+
+    rows = result.table2_rows()
+    assert len([r for r in rows if r[3] == "confirmed"]) == len(CONFIRMED_WEBSITES) == 17
+    assert not [r for r in rows if r[3] == "FALSE POSITIVE"]
+    # the paper's most popular confirmed customers are found
+    statuses = {row[0]: row[3] for row in rows}
+    assert statuses["rt.com"] == "confirmed"
+    assert statuses["clarin.com"] == "confirmed"

@@ -1,0 +1,17 @@
+"""Table III: the 18 confirmed PDN apps."""
+
+from conftest import run_once
+
+from repro.experiments import detection_tables
+from repro.web.corpus import CONFIRMED_APPS
+
+
+def test_table3_confirmed_apps(benchmark, save_result):
+    result = run_once(benchmark, detection_tables.run, seed=2026, watch_seconds=30.0)
+    save_result("table3_apps", result.render_table3())
+
+    rows = result.table3_rows()
+    assert len([r for r in rows if r[3] == "confirmed"]) == len(CONFIRMED_APPS) == 18
+    statuses = {row[0]: row[3] for row in rows}
+    assert statuses["iflix.play"] == "confirmed"  # the 50M-download headliner
+    assert statuses["fr.francetv.pluzz"] == "confirmed"

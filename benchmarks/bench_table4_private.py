@@ -1,0 +1,19 @@
+"""Table IV: the 10 confirmed private PDN services (plus relay platforms)."""
+
+from conftest import run_once
+
+from repro.experiments import detection_tables
+from repro.web.corpus import PRIVATE_SERVICES
+
+
+def test_table4_private_services(benchmark, save_result):
+    result = run_once(benchmark, detection_tables.run, seed=2027, watch_seconds=30.0)
+    save_result("table4_private", result.render_table4())
+
+    rows = result.table4_rows()
+    assert len([r for r in rows if r[3] == "confirmed"]) == len(PRIVATE_SERVICES) == 10
+    statuses = {row[0]: row[3] for row in rows}
+    for domain in ("bilibili.com", "v.qq.com", "huya.com", "mgtv.com"):
+        assert statuses[domain] == "confirmed"
+    # the two adult platforms are detected as WebRTC-relaying, not PDN
+    assert set(result.report.relay_sites) == {"xhamsterlive.com", "stripchat.com"}

@@ -1,0 +1,29 @@
+"""Table V: the full security & privacy risk matrix."""
+
+from conftest import run_once
+
+from repro.experiments import risk_matrix
+
+
+def test_table5_risk_matrix(benchmark, save_result):
+    result = run_once(benchmark, risk_matrix.run, seed=5150, quick=True)
+    save_result("table5_risk_matrix", result.render())
+
+    cells = result.cells
+    # Peer authentication
+    assert cells["cross_domain"]["peer5"] == "11/36"
+    assert cells["cross_domain"]["streamroot"] == "0/1"
+    assert cells["cross_domain"]["viblast"] == "0/3"
+    assert cells["cross_domain"]["private"] == "vuln"  # Mango-TV hooked SDK
+    for provider in ("peer5", "streamroot", "viblast", "private"):
+        assert cells["domain_spoofing"][provider] == "vuln"
+    # Content integrity
+    for provider in ("peer5", "streamroot", "viblast", "private"):
+        assert cells["direct_pollution"][provider] == "safe"
+    for provider in ("peer5", "streamroot", "viblast"):
+        assert cells["segment_pollution"][provider] == "vuln"
+    assert cells["segment_pollution"]["private"] == "blocked (DRM)"
+    # Peer privacy
+    for provider in ("peer5", "streamroot", "viblast", "private"):
+        assert cells["ip_leak"][provider] == "vuln"
+        assert cells["resource_squatting"][provider] == "vuln"

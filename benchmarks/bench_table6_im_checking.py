@@ -1,0 +1,32 @@
+"""Table VI: overhead of peer-assisted IM checking.
+
+Full-paper parameters are 3 MB / 10 s segments for 600 s; the benchmark
+runs 300 s (half the duration, same rates) to stay fast. The relative
+CPU/memory columns and the latency delta are duration-invariant.
+"""
+
+from conftest import run_once
+
+from repro.experiments import im_checking
+
+
+def test_table6_im_checking(benchmark, save_result):
+    result = run_once(
+        benchmark, im_checking.run,
+        seed=66, segment_bytes=3_000_000, segment_seconds=10.0, duration=300.0,
+    )
+    save_result("table6_im_checking", result.render())
+
+    base, pdn, pdn_im = result.groups
+    # Ordering: each layer costs more than the previous.
+    assert base.cpu < pdn.cpu < pdn_im.cpu
+    assert base.memory < pdn.memory < pdn_im.memory
+    # IM adds a small increment on top of PDN (paper: +0.03 on both).
+    assert (pdn_im.cpu - pdn.cpu) / base.cpu < 0.10
+    assert (pdn_im.memory - pdn.memory) / base.memory < 0.10
+    # Latency: PDN delivery tens of ms; IM adds < 80 ms per 3 MB segment.
+    assert pdn.latency_ms is not None and 20.0 < pdn.latency_ms < 120.0
+    assert result.latency_delta_ms() is not None
+    assert 30.0 < result.latency_delta_ms() < 80.0
+    # No playback harm from the defense.
+    assert pdn_im.stalls == 0

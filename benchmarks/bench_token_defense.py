@@ -1,0 +1,17 @@
+"""§V-A: the disposable video-binding token defense (283-byte JWT)."""
+
+from conftest import run_once
+
+from repro.experiments import token_defense
+
+
+def test_token_defense(benchmark, save_result):
+    result = run_once(benchmark, token_defense.run, seed=33)
+    save_result("token_defense", result.render())
+
+    assert result.listing1_bytes == 283  # the paper's exact figure
+    assert result.legit_join_ok
+    assert result.stolen_token_own_video_rejected
+    assert result.replay_rejected
+    assert result.expired_rejected
+    assert result.defense_effective

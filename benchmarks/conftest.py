@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures (or an
+ablation), times the run via pytest-benchmark, asserts the headline
+shape, and archives the rendered rows under ``benchmarks/results/`` so
+the output can be compared with EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Write one rendered artifact to benchmarks/results/<name>.txt."""
+
+    def save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return save
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

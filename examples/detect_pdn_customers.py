@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Run the §III detection pipeline over the synthetic internet.
+
+Builds the seeded corpus (Tranco-style ranking, category engines,
+obfuscated keys, geo-gated loaders, private platforms), then runs the
+two-stage detector — signature scan + dynamic STUN/DTLS confirmation —
+and prints Tables I–IV exactly as the paper reports them.
+
+Run:  python examples/detect_pdn_customers.py
+"""
+
+from repro.experiments import detection_tables
+
+
+def main() -> None:
+    print("building corpus and running the detection pipeline "
+          "(signature scan + dynamic confirmation)...\n")
+    result = detection_tables.run(watch_seconds=30.0)
+    print(result.render_all())
+
+    report = result.report
+    print("\nunconfirmed potential customers, and why dynamic analysis failed:")
+    shown = 0
+    for domain in report.potential_sites():
+        confirmation = report.site_confirmations.get(domain)
+        if confirmation is not None and not confirmation.confirmed and confirmation.failure_hints:
+            print(f"  {domain}: {confirmation.failure_hints[0]}")
+            shown += 1
+            if shown >= 5:
+                break
+    print("  ... (geolocation gates and subscription walls, as in the paper)")
+
+
+if __name__ == "__main__":
+    main()

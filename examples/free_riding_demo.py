@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Service free riding (§IV-B) and the disposable-token defense (§V-A).
+
+1. Steal a victim's static API key straight out of their page HTML.
+2. Cross-domain attack: use it on the attacker's own streaming site —
+   works when no allowlist is configured (the Peer5/Streamroot default).
+3. Domain-spoofing attack: rewrite Origin/Referer through a proxy —
+   works against every provider, allowlist or not.
+4. Deploy the video-binding disposable token defense and watch the same
+   attacks die.
+
+Run:  python examples/free_riding_demo.py
+"""
+
+from repro.attacks.free_riding import ApiKeyProbe, CrossDomainAttackTest
+from repro.core.analyzer import PdnAnalyzer
+from repro.core.testbed import build_test_bed
+from repro.defenses.tokens import TokenIssuer, TokenValidator
+from repro.detection.signatures import extract_api_keys
+from repro.environment import Environment
+from repro.pdn.provider import PEER5, VIBLAST
+from repro.streaming.http import HttpClient
+
+
+def main() -> None:
+    env = Environment(seed=20)
+    bed = build_test_bed(env, PEER5)
+
+    # Step 1: the key sits in the victim's HTML, one regex away.
+    html = HttpClient(env.urlspace).get(f"https://{bed.site.domain}/").body.decode()
+    stolen = extract_api_keys(html)
+    print(f"scraped {bed.site.domain} and extracted API key(s): {stolen}")
+    assert bed.api_key in stolen
+
+    # Step 2: cross-domain free riding on the attacker's own site.
+    analyzer = PdnAnalyzer(env)
+    report = analyzer.run_test(CrossDomainAttackTest(bed, watch=60.0))
+    verdict = report.verdicts[0]
+    print(f"\ncross-domain attack succeeded: {verdict.triggered}")
+    print(f"  P2P bytes generated on the victim's subscription: "
+          f"{verdict.details['p2p_bytes_generated']}")
+    print(f"  extra bytes billed to the victim: "
+          f"{verdict.details['victim_billed_extra_bytes']}")
+    analyzer.teardown()
+
+    # Step 3: Viblast forces an allowlist; spoofing sails through anyway.
+    env2 = Environment(seed=21)
+    bed2 = build_test_bed(env2, VIBLAST)
+    probe = ApiKeyProbe(env2, bed2.provider)
+    plain_ok, plain_reason = probe.probe(bed2.api_key)
+    spoof_ok, _ = probe.probe(bed2.api_key, spoof_domain=bed2.site.domain)
+    print(f"\nViblast (allowlist required): cross-domain join -> {plain_ok} ({plain_reason})")
+    print(f"Viblast with spoofed Origin header      -> {spoof_ok}")
+
+    # Step 4: the §V-A defense.
+    env3 = Environment(seed=22)
+    bed3 = build_test_bed(env3, PEER5)
+    secret = env3.rand.fork("secret").bytes(32)
+    validator = TokenValidator(clock=lambda: env3.loop.now)
+    validator.register_customer(bed3.customer_id, secret)
+    bed3.provider.token_defense = validator
+    issuer = TokenIssuer(bed3.customer_id, secret, clock=lambda: env3.loop.now)
+    bed3.site.landing.embed.token_issuer = issuer
+
+    from repro.web.browser import Browser
+
+    legit = Browser(env3, "legit").open(f"https://{bed3.site.domain}/")
+    print(f"\nwith token defense enabled:")
+    print(f"  legitimate viewer joins: {legit.pdn_loaded}")
+    stolen_token = issuer.issue([bed3.video_url])
+    probe3 = ApiKeyProbe(env3, bed3.provider)
+    attack_ok, reason = probe3.probe(stolen_token)
+    print(f"  stolen token on the attacker's own stream: {attack_ok} ({reason})")
+
+
+if __name__ == "__main__":
+    main()

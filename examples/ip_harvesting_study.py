@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""The §IV-D in-the-wild IP harvest, and the §V-C mitigations.
+
+Parks a collecting peer in a Huya-style and an RT-News-style live
+channel (two hours a day for a simulated week), harvests candidate
+disclosures, and reports the same statistics the paper does: unique
+addresses, bogon artifact breakdown, and coarse geography. Then shows
+what the same-country geo filter and TURN relaying would have left the
+harvester.
+
+Run:  python examples/ip_harvesting_study.py
+      python examples/ip_harvesting_study.py --days 1    (quick look)
+"""
+
+import argparse
+
+from repro.experiments import ip_leak_wild
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=float, default=7.0, help="harvest duration")
+    args = parser.parse_args()
+
+    print(f"harvesting for {args.days:g} simulated day(s), 2 hours per day...\n")
+    result = ip_leak_wild.run(days=args.days)
+    print(result.render())
+
+    print("\n§V-C mitigation summary:")
+    huya = result.platforms["huya.com"]
+    rt = result.platforms["rt-news-app"]
+    print(
+        f"  same-country candidate filter: a US observer would still see "
+        f"{rt.same_country_share(result.geo) * 100:.0f}% of RT News leaks "
+        f"(paper: 35%) and {huya.same_country_share(result.geo) * 100:.0f}% "
+        f"of Huya leaks (paper: none)"
+    )
+    print("  TURN relaying removes the leak entirely — see "
+          "benchmarks/bench_ablation_turn.py for the bandwidth bill.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: the Fig. 1 traffic flow, end to end.
+
+Builds the paper's controlled test bed (origin -> CDN edge -> test
+website with a Peer5-style PDN SDK), lets two viewers watch the same
+stream, and shows the PDN doing its job: the second viewer fetches most
+segments from the first viewer instead of the CDN, and the provider
+bills the customer for the P2P traffic.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.testbed import build_test_bed
+from repro.environment import Environment
+from repro.pdn.provider import PEER5
+from repro.web.browser import Browser
+
+
+def main() -> None:
+    env = Environment(seed=1)
+    bed = build_test_bed(
+        env, PEER5, video_segments=10, segment_seconds=4.0, segment_bytes=250_000
+    )
+    print(f"test bed ready: https://{bed.site.domain}/ streaming {bed.video_url}")
+    print(f"PDN provider: {bed.provider.profile.name}, API key: {bed.api_key}")
+
+    # Viewer 1 opens the page; the embedded SDK joins the PDN swarm.
+    alice = Browser(env, "alice", country="US")
+    session_a = alice.open(f"https://{bed.site.domain}/")
+    print(f"\nalice joined PDN: {session_a.pdn_loaded}")
+    env.run(8.0)
+
+    # Viewer 2 arrives a bit later and leeches from viewer 1.
+    bob = Browser(env, "bob", country="US")
+    session_b = bob.open(f"https://{bed.site.domain}/")
+    print(f"bob joined PDN:   {session_b.pdn_loaded}")
+    env.run(60.0)
+
+    for name, session in (("alice", session_a), ("bob", session_b)):
+        stats = session.player.stats
+        print(
+            f"\n{name}: played {len(stats.played)} segments "
+            f"(CDN {stats.bytes_from_cdn / 1e6:.2f} MB, "
+            f"P2P {stats.bytes_from_p2p / 1e6:.2f} MB, "
+            f"p2p ratio {stats.p2p_ratio * 100:.0f}%)"
+        )
+        authentic = [s.digest for s in bed.video.segments]
+        print(f"{name}: content authentic: {stats.played_digests() == authentic}")
+
+    account = bed.provider.billing.account(bed.customer_id)
+    print(
+        f"\nprovider billed {bed.customer_id}: {account.p2p_bytes / 1e6:.2f} MB "
+        f"of P2P traffic (${account.cost:.6f} at Peer5 pricing)"
+    )
+    print(f"CDN served {bed.cdn.bytes_served / 1e6:.2f} MB (cost ${bed.cdn.traffic_cost:.6f})")
+    saved = session_b.player.stats.p2p_ratio
+    print(f"bandwidth the PDN offloaded for bob's session: {saved * 100:.0f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""repro — a full reproduction of "Stealthy Peers" (DSN 2024).
+
+The library implements every system the paper measures, attacks, and
+defends: a WebRTC-like stack over a simulated internet, a CDN/HLS
+delivery chain, the PDN services themselves (public and private), the
+customer-detection pipeline, the PDN analyzer, the four attack families,
+and the three defense families — plus experiment drivers that regenerate
+every table and figure.
+
+Start with :class:`repro.environment.Environment` and
+:func:`repro.core.build_test_bed`, or run ``python -m repro all``.
+"""
+
+__version__ = "1.0.0"
+
+from repro.environment import Environment
+
+__all__ = ["Environment", "__version__"]

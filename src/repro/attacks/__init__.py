@@ -1,0 +1,42 @@
+"""The attacks the paper demonstrates, as runnable security tests.
+
+- :mod:`repro.attacks.free_riding` — cross-domain and domain-spoofing
+  service free riding (§IV-B), plus the lightweight key prober used for
+  the 40-key in-the-wild study;
+- :mod:`repro.attacks.pollution` — direct and video-segment content
+  pollution via a fake CDN and a colluding peer (§IV-C, Fig. 3);
+- :mod:`repro.attacks.harvesting` — peer IP harvesting: ghost viewers,
+  the collecting peer, and the controlled IP-leak test (§IV-D);
+- :mod:`repro.attacks.squatting` — resource-squatting measurement
+  (consent audit + CPU/memory/bandwidth overhead, §IV-D).
+"""
+
+from repro.attacks.free_riding import (
+    ApiKeyProbe,
+    CrossDomainAttackTest,
+    DomainSpoofingAttackTest,
+    build_attacker_site,
+)
+from repro.attacks.pollution import (
+    DirectContentPollutionTest,
+    VideoSegmentPollutionTest,
+)
+from repro.attacks.harvesting import GhostViewer, HarvestingPeer, IpLeakTest
+from repro.attacks.malicious_sdk import ImFlooder, ReplayPeer
+from repro.attacks.squatting import ResourceSquattingTest, audit_consent
+
+__all__ = [
+    "ImFlooder",
+    "ReplayPeer",
+    "ApiKeyProbe",
+    "CrossDomainAttackTest",
+    "DomainSpoofingAttackTest",
+    "build_attacker_site",
+    "DirectContentPollutionTest",
+    "VideoSegmentPollutionTest",
+    "GhostViewer",
+    "HarvestingPeer",
+    "IpLeakTest",
+    "ResourceSquattingTest",
+    "audit_consent",
+]

@@ -1,0 +1,172 @@
+"""Service free riding (§IV-B).
+
+The attacker retrieves a victim customer's static API key (it sits in
+the victim's page HTML or APK) and integrates the PDN SDK into their
+*own* streaming website, offloading their bandwidth bill onto the
+victim:
+
+- **cross-domain attack** — just use the stolen key from the attacker's
+  own origin. Succeeds whenever the key has no domain allowlist (the
+  Peer5/Streamroot default; 11 of 40 valid in-the-wild keys).
+- **domain-spoofing attack** — additionally rewrite ``Origin``/``Referer``
+  to the victim's domain through the attacker's proxy. Succeeds against
+  every provider, because the check trusts client-supplied headers.
+
+During the in-the-wild key study the paper was careful to generate no
+actual P2P transfer; :class:`ApiKeyProbe` reproduces that: it performs
+only the authentication step.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.core.report import TestReport
+from repro.core.security_test import SecurityTest
+from repro.core.testbed import TestBed
+from repro.environment import Environment
+from repro.pdn.provider import PdnProvider
+from repro.proxy.mitm import MitmProxy
+from repro.streaming.cdn import CdnEdge, OriginServer, vod_playlist_url
+from repro.streaming.http import HttpClient
+from repro.streaming.video import make_video
+from repro.web.page import PdnEmbed, WebPage, Website
+
+ATTACKER_DOMAIN = "free-movies.attacker.example"
+
+
+def build_attacker_site(
+    env: Environment,
+    provider: PdnProvider,
+    stolen_key: str,
+    domain: str = ATTACKER_DOMAIN,
+    video_segments: int = 8,
+    segment_bytes: int = 120_000,
+) -> Website:
+    """The attacker's own streaming site, wired to the victim's PDN key."""
+    origin = OriginServer(env.loop, hostname=f"origin.{domain}")
+    cdn = CdnEdge(origin, hostname=f"cdn.{domain}")
+    env.urlspace.register(origin.hostname, origin)
+    env.urlspace.register(cdn.hostname, cdn)
+    video = make_video(f"pirated-{domain}", video_segments, 4.0, segment_bytes)
+    origin.add_vod(video)
+    video_url = vod_playlist_url(cdn.hostname, video.video_id)
+    site = Website(domain, category="video")
+    site.add_page(
+        WebPage("/", "free movies", has_video=True, embed=PdnEmbed(provider, stolen_key, video_url))
+    )
+    env.urlspace.register(domain, site)
+    return site
+
+
+@dataclass
+class ApiKeyProbe:
+    """Authentication-only probe of one stolen key (no data transfer)."""
+
+    env: Environment
+    provider: PdnProvider
+    attacker_origin: str = f"https://{ATTACKER_DOMAIN}"
+
+    def probe(self, key: str, spoof_domain: str | None = None) -> tuple[bool, str]:
+        """Attempt a join with the key; returns (accepted, reason)."""
+        proxy = None
+        if spoof_domain is not None:
+            proxy = MitmProxy("key-probe")
+            proxy.spoof_domain(spoof_domain)
+        http = HttpClient(self.env.urlspace, client_ip="198.51.100.77", proxy=proxy)
+        response = http.post(
+            f"https://{self.provider.profile.signaling_host}/v2/join",
+            json.dumps({"credential": key, "video_url": "https://attacker/video.m3u8"}).encode(),
+            headers={"Origin": self.attacker_origin, "Referer": self.attacker_origin + "/"},
+        )
+        body = json.loads(response.body.decode() or "{}")
+        return response.ok, body.get("error", "ok")
+
+
+class CrossDomainAttackTest(SecurityTest):
+    """Integrate the stolen key on the attacker's site; no spoofing."""
+
+    name = "free-riding:cross-domain"
+
+    def __init__(self, bed: TestBed, attacker_domain: str = ATTACKER_DOMAIN, watch: float = 60.0):
+        self.bed = bed
+        self.attacker_domain = attacker_domain
+        self.watch = watch
+
+    def run(self, analyzer) -> TestReport:
+        """Run the attack through the analyzer and report verdicts."""
+        report = TestReport(self.name, self.bed.provider.profile.name)
+        build_attacker_site(
+            analyzer.env, self.bed.provider, self.bed.api_key, self.attacker_domain
+        )
+        victim_account = self.bed.provider.billing.account(self.bed.customer_id)
+        cost_before = victim_account.cost
+        bytes_before = victim_account.p2p_bytes
+        peer_a = analyzer.create_peer(proxy=MitmProxy())
+        peer_b = analyzer.create_peer(proxy=MitmProxy())
+        url = f"https://{self.attacker_domain}/"
+        session_a = peer_a.open(url)
+        analyzer.run(10.0)  # stagger so the second peer leeches off the first
+        session_b = peer_b.open(url)
+        analyzer.run(self.watch)
+        self.bed.provider.signaling.settle_all()
+        joined = session_a.pdn_loaded and session_b.pdn_loaded
+        p2p_bytes = sum(
+            s.sdk.stats.p2p_total for s in (session_a, session_b) if s.sdk is not None
+        )
+        report.add_verdict(
+            "cross_domain_free_riding",
+            triggered=joined,
+            attacker_joined=joined,
+            join_error=session_a.skip_reason or None,
+            p2p_bytes_generated=p2p_bytes,
+            victim_billed_extra_bytes=victim_account.p2p_bytes - bytes_before,
+            victim_billed_extra_cost=victim_account.cost - cost_before,
+        )
+        peer_a.close()
+        peer_b.close()
+        return report
+
+
+class DomainSpoofingAttackTest(SecurityTest):
+    """Same integration, but the proxy rewrites Origin/Referer to the victim."""
+
+    name = "free-riding:domain-spoofing"
+
+    def __init__(self, bed: TestBed, attacker_domain: str = "spoof." + ATTACKER_DOMAIN, watch: float = 60.0):
+        self.bed = bed
+        self.attacker_domain = attacker_domain
+        self.watch = watch
+
+    def run(self, analyzer) -> TestReport:
+        """Run the attack through the analyzer and report verdicts."""
+        report = TestReport(self.name, self.bed.provider.profile.name)
+        build_attacker_site(
+            analyzer.env, self.bed.provider, self.bed.api_key, self.attacker_domain
+        )
+        victim_account = self.bed.provider.billing.account(self.bed.customer_id)
+        bytes_before = victim_account.p2p_bytes
+        peers = []
+        sessions = []
+        for _ in range(2):
+            proxy = MitmProxy("spoof")
+            proxy.spoof_domain(self.bed.site.domain)
+            peer = analyzer.create_peer(proxy=proxy)
+            peers.append(peer)
+            sessions.append(peer.open(f"https://{self.attacker_domain}/"))
+            analyzer.run(10.0)  # stagger joins so P2P transfer happens
+        analyzer.run(self.watch)
+        self.bed.provider.signaling.settle_all()
+        joined = all(s.pdn_loaded for s in sessions)
+        p2p_bytes = sum(s.sdk.stats.p2p_total for s in sessions if s.sdk is not None)
+        report.add_verdict(
+            "domain_spoofing_free_riding",
+            triggered=joined,
+            attacker_joined=joined,
+            p2p_bytes_generated=p2p_bytes,
+            victim_billed_extra_bytes=victim_account.p2p_bytes - bytes_before,
+        )
+        for peer in peers:
+            peer.close()
+        return report

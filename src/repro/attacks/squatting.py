@@ -1,0 +1,121 @@
+"""Resource squatting measurement (§IV-D).
+
+Two findings folded into one test:
+
+- **no consent**: none of the studied customers show a consent dialog or
+  let viewers disable the PDN (checked by :func:`audit_consent`);
+- **overhead**: serving as a PDN peer costs extra CPU (~15%), memory
+  (~10%), and — as the neighbor count grows — upload bandwidth that can
+  reach twice the download rate (Figs. 4–5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.report import TestReport
+from repro.core.security_test import SecurityTest
+from repro.core.testbed import TestBed
+from repro.pdn.policy import ClientPolicy
+from repro.web.page import Website
+
+
+@dataclass
+class ConsentAudit:
+    """§IV-D user-consent check for one customer integration."""
+
+    target: str
+    shows_consent_dialog: bool
+    allows_user_disable: bool
+    mentions_p2p_in_terms: bool = False
+
+    @property
+    def informs_viewers(self) -> bool:
+        """True if viewers are told about the P2P service."""
+        return self.shows_consent_dialog or self.mentions_p2p_in_terms
+
+
+def audit_consent(target: str, policy: ClientPolicy, site: Website | None = None) -> ConsentAudit:
+    """Audit one customer: dialogs, opt-outs, Terms-of-Use mentions."""
+    mentions = False
+    if site is not None:
+        for page in site.pages.values():
+            html = page.render(site.domain).lower()
+            if "peer-to-peer" in html or "p2p network" in html:
+                mentions = True
+    return ConsentAudit(
+        target=target,
+        shows_consent_dialog=policy.show_consent_dialog,
+        allows_user_disable=policy.allow_user_disable,
+        mentions_p2p_in_terms=mentions,
+    )
+
+
+class ResourceSquattingTest(SecurityTest):
+    """Measure PDN peers against a no-PDN baseline viewer."""
+
+    name = "privacy:resource-squatting"
+
+    def __init__(self, bed: TestBed, watch: float = 40.0, stagger: float = 10.0):
+        self.bed = bed
+        self.watch = watch
+        self.stagger = stagger
+
+    def run(self, analyzer) -> TestReport:
+        """Run the attack through the analyzer and report verdicts."""
+        report = TestReport(self.name, self.bed.provider.profile.name)
+
+        # Baseline: a viewer on a plain CDN-only copy of the page.
+        from repro.web.page import WebPage  # here to avoid a module cycle
+
+        baseline_site = Website(f"baseline.{self.bed.site.domain}", category="video")
+        baseline_site.add_page(
+            WebPage("/", "baseline", has_video=True, video_url=self.bed.video_url)
+        )
+        analyzer.env.urlspace.register(baseline_site.domain, baseline_site)
+
+        windows: dict[str, tuple[float, float]] = {}
+        no_peer = analyzer.create_peer(name="no-peer")
+        start = analyzer.env.loop.now
+        no_peer.open(f"https://{baseline_site.domain}/")
+        windows["no-peer"] = (start, start + self.bed.video.duration)
+        peer_a = analyzer.create_peer(name="peer-a")
+        start = analyzer.env.loop.now
+        peer_a.watch_test_stream(self.bed)
+        windows["peer-a"] = (start, start + self.bed.video.duration)
+        analyzer.run(self.stagger)  # Peer B joins late and leeches off Peer A
+        peer_b = analyzer.create_peer(name="peer-b")
+        start = analyzer.env.loop.now
+        peer_b.watch_test_stream(self.bed)
+        windows["peer-b"] = (start, start + self.bed.video.duration)
+        analyzer.run(self.watch)
+
+        # Compare each viewer over its own playback window, so idle
+        # samples after a finished stream don't dilute the means.
+        def window_mean(peer, series_name):
+            """Mean of a monitor series within a peer's playback window."""
+            t0, t1 = windows[peer.name]
+            series = peer.monitor.cpu if series_name == "cpu" else peer.monitor.memory
+            return series.mean_between(t0, t1)
+
+        cpu_base = window_mean(no_peer, "cpu")
+        mem_base = window_mean(no_peer, "mem")
+        cpu_pdn = (window_mean(peer_a, "cpu") + window_mean(peer_b, "cpu")) / 2
+        mem_pdn = (window_mean(peer_a, "mem") + window_mean(peer_b, "mem")) / 2
+        policy = self.bed.provider.customer_policy(self.bed.customer_id)
+        consent = audit_consent(self.bed.site.domain, policy, self.bed.site)
+        report.add_verdict(
+            "resource_squatting",
+            triggered=(cpu_pdn > cpu_base or mem_pdn > mem_base) and not consent.informs_viewers,
+            cpu_overhead_ratio=cpu_pdn / cpu_base if cpu_base else 0.0,
+            memory_overhead_ratio=mem_pdn / mem_base if mem_base else 0.0,
+            consent_dialog=consent.shows_consent_dialog,
+            user_can_disable=consent.allows_user_disable,
+        )
+        report.artifacts["no_peer_monitor"] = no_peer.monitor
+        report.artifacts["peer_a_monitor"] = peer_a.monitor
+        report.artifacts["peer_b_monitor"] = peer_b.monitor
+        no_peer.close()
+        peer_a.close()
+        peer_b.close()
+        return report

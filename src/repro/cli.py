@@ -1,0 +1,151 @@
+"""Command-line interface: regenerate any of the paper's results.
+
+Usage::
+
+    python -m repro detect            # Tables I-IV
+    python -m repro risk-matrix       # Table V
+    python -m repro im-checking       # Table VI (pass --full for 600 s)
+    python -m repro resources         # Fig. 4
+    python -m repro bandwidth         # Fig. 5
+    python -m repro free-riding       # §IV-B in-the-wild key study
+    python -m repro ip-leak           # §IV-D week-long harvest
+    python -m repro token-defense     # §V-A evaluation
+    python -m repro ecdn              # §VI Microsoft eCDN discussion
+    python -m repro all               # everything, in paper order
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _run_detect(args) -> str:
+    from repro.experiments import detection_tables
+
+    return detection_tables.run(seed=args.seed).render_all()
+
+
+def _run_risk_matrix(args) -> str:
+    from repro.experiments import risk_matrix
+
+    return risk_matrix.run(seed=args.seed, quick=not args.full).render()
+
+
+def _run_im_checking(args) -> str:
+    from repro.experiments import im_checking
+
+    duration = 600.0 if args.full else 200.0
+    return im_checking.run(seed=args.seed, duration=duration).render()
+
+
+def _run_resources(args) -> str:
+    from repro.experiments import resource_fig4
+
+    return resource_fig4.run(seed=args.seed).render()
+
+
+def _run_bandwidth(args) -> str:
+    from repro.experiments import bandwidth_fig5
+
+    return bandwidth_fig5.run(seed=args.seed).render()
+
+
+def _run_free_riding(args) -> str:
+    from repro.experiments import free_riding_wild
+
+    return free_riding_wild.run(seed=args.seed).render()
+
+
+def _run_ip_leak(args) -> str:
+    from repro.experiments import ip_leak_wild
+
+    days = 7.0 if args.full else args.days
+    return ip_leak_wild.run(seed=args.seed, days=days).render()
+
+
+def _run_token_defense(args) -> str:
+    from repro.experiments import token_defense
+
+    return token_defense.run(seed=args.seed).render()
+
+
+def _run_ecdn(args) -> str:
+    from repro.experiments import ecdn_discussion
+
+    return ecdn_discussion.run(seed=args.seed).render()
+
+
+def _run_propagation(args) -> str:
+    from repro.experiments import pollution_propagation
+
+    return pollution_propagation.run(seed=args.seed).render()
+
+
+def _run_consent(args) -> str:
+    from repro.experiments import consent_and_config
+
+    return consent_and_config.run(seed=args.seed).render()
+
+
+def _run_quality(args) -> str:
+    from repro.experiments import detection_quality
+
+    return detection_quality.run(seed=args.seed).render()
+
+
+_COMMANDS = {
+    "detect": (_run_detect, "Tables I-IV: the PDN customer detection pipeline"),
+    "risk-matrix": (_run_risk_matrix, "Table V: the security & privacy risk matrix"),
+    "im-checking": (_run_im_checking, "Table VI: IM-checking overhead"),
+    "resources": (_run_resources, "Fig. 4: PDN peer resource consumption"),
+    "bandwidth": (_run_bandwidth, "Fig. 5: upload growth with served peers"),
+    "free-riding": (_run_free_riding, "§IV-B: in-the-wild API-key study"),
+    "ip-leak": (_run_ip_leak, "§IV-D: in-the-wild IP harvest"),
+    "token-defense": (_run_token_defense, "§V-A: disposable video-binding tokens"),
+    "ecdn": (_run_ecdn, "§VI: Microsoft eCDN discussion"),
+    "propagation": (_run_propagation, "§IV-C: swarm-scale pollution propagation"),
+    "consent": (_run_consent, "§IV-D: consent audit + cellular configs"),
+    "detection-quality": (_run_quality, "detector precision/recall vs ground truth"),
+}
+
+_ALL_ORDER = [
+    "detect", "detection-quality", "free-riding", "risk-matrix", "resources",
+    "bandwidth", "ip-leak", "consent", "propagation", "token-defense",
+    "im-checking", "ecdn",
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Stealthy Peers' (DSN 2024) results.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name, (_fn, help_text) in list(_COMMANDS.items()) + [
+        ("all", (None, "run every experiment in paper order"))
+    ]:
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument("--seed", type=int, default=2024, help="simulation seed")
+        sub.add_argument("--full", action="store_true", help="paper-scale parameters")
+        sub.add_argument("--days", type=float, default=1.0, help="ip-leak harvest days (without --full)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    commands = _ALL_ORDER if args.command == "all" else [args.command]
+    for name in commands:
+        fn, _ = _COMMANDS[name]
+        start = time.time()
+        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+        print(fn(args))
+        print(f"[{name}: {time.time() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

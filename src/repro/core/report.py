@@ -1,0 +1,54 @@
+"""Security-test reports and verdicts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class RiskVerdict:
+    """Did the risk under evaluation trigger, and with what evidence?"""
+
+    risk: str
+    triggered: bool
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - display convenience
+        mark = "VULNERABLE" if self.triggered else "protected"
+        return f"{self.risk}: {mark} {self.details}"
+
+
+@dataclass
+class TestReport:
+    """Everything one analyzer run produced."""
+
+    test_name: str
+    provider: str
+    verdicts: list[RiskVerdict] = field(default_factory=list)
+    logs: list[str] = field(default_factory=list)
+    artifacts: dict[str, Any] = field(default_factory=dict)
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    def add_verdict(self, risk: str, triggered: bool, **details: Any) -> RiskVerdict:
+        """Record one risk verdict on this report."""
+        verdict = RiskVerdict(risk, triggered, details)
+        self.verdicts.append(verdict)
+        return verdict
+
+    def log(self, message: str) -> None:
+        """Append a log line to this report."""
+        self.logs.append(message)
+
+    def verdict(self, risk: str) -> RiskVerdict | None:
+        """Look up a verdict by risk name, or None."""
+        for v in self.verdicts:
+            if v.risk == risk:
+                return v
+        return None
+
+    @property
+    def any_triggered(self) -> bool:
+        """True if any recorded verdict triggered."""
+        return any(v.triggered for v in self.verdicts)

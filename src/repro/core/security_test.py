@@ -1,0 +1,21 @@
+"""The security-test abstraction the analyzer executes."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.report import TestReport
+
+
+class SecurityTest(abc.ABC):
+    """One predefined test (peer authentication, content integrity, ...).
+
+    Concrete tests live in :mod:`repro.attacks`; each builds its peers
+    through the analyzer, drives the scenario, and fills a report.
+    """
+
+    name: str = "security-test"
+
+    @abc.abstractmethod
+    def run(self, analyzer) -> TestReport:
+        """Execute against ``analyzer`` and return the filled report."""

@@ -1,0 +1,103 @@
+"""The analyzer's controlled test bed.
+
+§IV-A: "we integrate PDN services on our own website (www.test.com) and
+a customized stream server connected to a CDN service ... Wowza
+Streaming Engine ... Amazon CloudFront". This module assembles exactly
+that: an origin, a CDN edge, a test website with the PDN SDK embedded,
+and a customized video source — so no real-world viewers are ever
+involved (peers are grouped by content, and only the analyzer watches
+this content).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.environment import Environment
+from repro.pdn.policy import ClientPolicy
+from repro.pdn.provider import PdnProvider, ProviderProfile
+from repro.streaming.cdn import CdnEdge, LiveChannel, OriginServer, live_playlist_url, vod_playlist_url
+from repro.streaming.video import VideoSource, make_video
+from repro.web.page import PdnEmbed, WebPage, Website
+
+TEST_DOMAIN = "www.test.com"
+
+
+@dataclass
+class TestBed:
+    """Our own PDN-integrated website plus its delivery chain."""
+
+    env: Environment
+    provider: PdnProvider
+    origin: OriginServer
+    cdn: CdnEdge
+    site: Website
+    api_key: str
+    video: VideoSource
+    video_url: str
+    live_channel: LiveChannel | None = None
+
+    @property
+    def customer_id(self) -> str:
+        """The test website's customer identity at the provider."""
+        return self.site.domain
+
+
+def build_test_bed(
+    env: Environment,
+    profile: ProviderProfile,
+    *,
+    domain: str = TEST_DOMAIN,
+    video_segments: int = 10,
+    segment_seconds: float = 4.0,
+    segment_bytes: int = 120_000,
+    live: bool = False,
+    allowed_domains: set[str] | None = None,
+    policy: ClientPolicy | None = None,
+    provider: PdnProvider | None = None,
+) -> TestBed:
+    """Stand up origin + CDN + PDN subscription + test website.
+
+    Pass ``allowed_domains`` to opt in to the provider's domain
+    allowlist (Viblast forces one regardless). Pass an existing
+    ``provider`` to add a second customer to a provider under test.
+    """
+    if provider is None:
+        provider = PdnProvider(env.loop, env.rand, profile)
+        provider.install(env.urlspace)
+    origin = OriginServer(env.loop, hostname=f"origin.{domain}")
+    cdn = CdnEdge(origin, hostname=f"cdn.{domain}")
+    env.urlspace.register(origin.hostname, origin)
+    env.urlspace.register(cdn.hostname, cdn)
+
+    video = make_video(
+        f"stream-{domain}",
+        num_segments=video_segments,
+        segment_duration=segment_seconds,
+        segment_size=segment_bytes,
+    )
+    live_channel = None
+    if live:
+        live_channel = origin.add_live("test-live", video, window=4)
+        video_url = live_playlist_url(cdn.hostname, "test-live")
+    else:
+        origin.add_vod(video)
+        video_url = vod_playlist_url(cdn.hostname, video.video_id)
+
+    key = provider.signup_customer(domain, allowed_domains, policy)
+    site = Website(domain, rank=100_000, category="video")
+    embed = PdnEmbed(provider, key.key, video_url)
+    site.add_page(WebPage("/", f"{domain} test stream", has_video=True, embed=embed))
+    env.urlspace.register(domain, site)
+
+    return TestBed(
+        env=env,
+        provider=provider,
+        origin=origin,
+        cdn=cdn,
+        site=site,
+        api_key=key.key,
+        video=video,
+        video_url=video_url,
+        live_channel=live_channel,
+    )

@@ -1,0 +1,44 @@
+"""The paper's §V mitigations, implemented and pluggable.
+
+- :mod:`repro.defenses.jwtmin` — a minimal HS256 JSON Web Token codec
+  (the paper transmits its token as a JWT; the Listing 1 example encodes
+  to 283 bytes);
+- :mod:`repro.defenses.tokens` — the disposable, video-binding
+  authentication token defeating service free riding (§V-A);
+- :mod:`repro.defenses.integrity` — peer-assisted integrity checking:
+  IM reports, server-side conflict resolution against the CDN, signed
+  integrity metadata (SIM), and the peer blacklist (§V-B, Table VI);
+- :mod:`repro.defenses.privacy_mitigations` — geo-constrained candidate
+  disclosure, TURN relaying, upload caps, and consent (§V-C).
+"""
+
+from repro.defenses.jwtmin import jwt_decode, jwt_encode
+from repro.defenses.tokens import TokenIssuer, TokenValidator, VideoToken
+from repro.defenses.integrity import ClientIntegrity, IntegrityCoordinator, SimRecord
+from repro.defenses.hash_manifest import ClientHashManifest, install_hash_manifest
+from repro.defenses.adblock import PdnBlocker
+from repro.defenses.oauth import OAuthAuthorizationServer, OAuthMitmAttack
+from repro.defenses.privacy_mitigations import (
+    apply_consent_policy,
+    enable_geo_filter,
+    enable_upload_cap,
+)
+
+__all__ = [
+    "jwt_decode",
+    "jwt_encode",
+    "TokenIssuer",
+    "TokenValidator",
+    "VideoToken",
+    "ClientIntegrity",
+    "IntegrityCoordinator",
+    "SimRecord",
+    "ClientHashManifest",
+    "install_hash_manifest",
+    "PdnBlocker",
+    "OAuthAuthorizationServer",
+    "OAuthMitmAttack",
+    "apply_consent_policy",
+    "enable_geo_filter",
+    "enable_upload_cap",
+]

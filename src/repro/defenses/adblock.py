@@ -1,0 +1,58 @@
+"""Viewer-side PDN blocking (the AdblockPlus / douyu-p2p-block pattern).
+
+§IV-D: "resource squatting behavior has also motivated viewers to
+disable or filter PDN services. For example, viewers have utilized
+AdblockPlus to block the domain of PDN servers" [16]. This module is
+that browser-extension defense: a filter list of PDN SDK and signaling
+hosts, applied as a request blocker on the viewer's own browser. The
+PDN fails closed — the SDK never loads or never joins — and playback
+degrades gracefully to plain CDN delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.streaming.http import HttpRequest, HttpResponse, UrlSpace
+
+# The community filter list: SDK + signaling hosts of the known public
+# providers (what lists like douyu-p2p-block ship for private ones).
+DEFAULT_FILTER_LIST = [
+    "api.peer5.com",
+    "signal.peer5.com",
+    "cdn.streamroot.io",
+    "backend.dna.streamroot.io",
+    "cdn.viblast.com",
+    "pdn.viblast.com",
+]
+
+
+@dataclass
+class PdnBlocker:
+    """An AdblockPlus-style request blocker, usable as a browser proxy."""
+
+    blocked_hosts: set[str] = field(default_factory=lambda: set(DEFAULT_FILTER_LIST))
+    blocked_requests: int = 0
+    passed_requests: int = 0
+
+    @classmethod
+    def from_providers(cls, providers) -> "PdnBlocker":
+        """Build a filter list covering the given provider objects."""
+        hosts: set[str] = set()
+        for provider in providers:
+            hosts.add(provider.profile.sdk_host.lower())
+            hosts.add(provider.profile.signaling_host.lower())
+        return cls(blocked_hosts=hosts)
+
+    def blocks(self, host: str) -> bool:
+        """True if requests to this host are filtered."""
+        host = host.lower()
+        return any(host == h or host.endswith("." + h) for h in self.blocked_hosts)
+
+    def handle(self, request: HttpRequest, urlspace: UrlSpace) -> HttpResponse:
+        """Proxy hook: rewrite, forward, and log one HTTP exchange."""
+        if self.blocks(request.host):
+            self.blocked_requests += 1
+            return HttpResponse(403, b"blocked by filter list")
+        self.passed_requests += 1
+        return urlspace.dispatch(request)

@@ -1,0 +1,55 @@
+"""A minimal JSON Web Token (HS256) implementation.
+
+Only what the §V-A defense needs: compact serialization
+(``base64url(header).base64url(payload).base64url(hmac-sha256)``),
+signature verification, and tamper detection. Payload key order is
+preserved (insertion order), matching how the paper's Listing 1 token
+reaches its reported 283-byte encoding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+
+from repro.util.encoding import b64url_decode, b64url_encode
+from repro.util.errors import TokenError
+
+_HEADER = {"alg": "HS256", "typ": "JWT"}
+
+
+def _segment(data: dict) -> str:
+    return b64url_encode(json.dumps(data, separators=(",", ":")).encode())
+
+
+def jwt_encode(payload: dict, secret: bytes) -> str:
+    """Encode and sign a payload as a compact JWT."""
+    signing_input = f"{_segment(_HEADER)}.{_segment(payload)}"
+    signature = hmac.new(secret, signing_input.encode(), hashlib.sha256).digest()
+    return f"{signing_input}.{b64url_encode(signature)}"
+
+
+def jwt_decode(token: str, secret: bytes) -> dict:
+    """Verify a compact JWT and return its payload.
+
+    Raises :class:`TokenError` on structural problems or a bad signature.
+    """
+    parts = token.split(".")
+    if len(parts) != 3:
+        raise TokenError(f"malformed JWT: expected 3 segments, got {len(parts)}")
+    header_b64, payload_b64, signature_b64 = parts
+    try:
+        header = json.loads(b64url_decode(header_b64))
+        payload = json.loads(b64url_decode(payload_b64))
+        signature = b64url_decode(signature_b64)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise TokenError(f"undecodable JWT segment: {exc}") from exc
+    if header.get("alg") != "HS256":
+        raise TokenError(f"unsupported algorithm {header.get('alg')!r}")
+    expected = hmac.new(
+        secret, f"{header_b64}.{payload_b64}".encode(), hashlib.sha256
+    ).digest()
+    if not hmac.compare_digest(signature, expected):
+        raise TokenError("JWT signature verification failed")
+    return payload

@@ -1,0 +1,109 @@
+"""OAuth-style temporary tokens, and why they fail here (§V-A).
+
+The paper considers OAuth as an alternative to persistent API keys:
+temporary tokens reduce credential exposure, *but* "an attacker can
+perform a man-in-the-middle attack to redirect viewers' requests to a
+legitimate PDN customer and get valid tokens to access the PDN
+service". Token binding doesn't help either, because it relies on
+trusting the client — which a PDN peer is not.
+
+This module implements exactly that strawman: an authorization server
+minting short-lived bearer tokens to anyone who presents a request that
+*appears* to come from the customer's page, and the MITM harvest that
+defeats it. The contrast with :mod:`repro.defenses.tokens` is the point:
+only binding the token to the *video content* removes the attacker's
+economic incentive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.pdn.auth import _registrable_domain
+from repro.util.rand import DeterministicRandom
+
+
+@dataclass
+class BearerToken:
+    """BearerToken."""
+    token: str
+    customer_id: str
+    issued_at: float
+    ttl: float
+
+
+class OAuthAuthorizationServer:
+    """Issues short-lived bearer tokens for a customer's viewers.
+
+    The grant check is the same Origin-based heuristic the static-key
+    allowlists use — because the authorization request originates from
+    an untrusted browser, there is nothing stronger available.
+    """
+
+    def __init__(self, clock: Callable[[], float], rand: DeterministicRandom, ttl: float = 300.0) -> None:
+        self.clock = clock
+        self.rand = rand
+        self.ttl = ttl
+        self._customers: dict[str, str] = {}  # domain -> customer id
+        self._tokens: dict[str, BearerToken] = {}
+        self.grants = 0
+
+    def register_customer(self, customer_id: str, domain: str) -> None:
+        """Register a customer and its shared secret."""
+        self._customers[_registrable_domain(domain)] = customer_id
+
+    def grant(self, origin: str) -> BearerToken | None:
+        """The authorization-code dance, collapsed to its trust decision."""
+        customer_id = self._customers.get(_registrable_domain(origin))
+        if customer_id is None:
+            return None
+        self.grants += 1
+        token = BearerToken(
+            token=self.rand.bytes(16).hex(),
+            customer_id=customer_id,
+            issued_at=self.clock(),
+            ttl=self.ttl,
+        )
+        self._tokens[token.token] = token
+        return token
+
+    def validate(self, token_str: str) -> tuple[bool, str | None]:
+        """Validate a credential; returns the outcome with a reason."""
+        token = self._tokens.get(token_str)
+        if token is None:
+            return False, None
+        if self.clock() > token.issued_at + token.ttl:
+            return False, token.customer_id
+        return True, token.customer_id
+
+
+class OAuthMitmAttack:
+    """§V-A: redirect a viewer's grant request and pocket the token.
+
+    The attacker's proxy sits between a (proxied) viewer and the
+    authorization server; it forwards the grant with the *victim's*
+    origin — indistinguishable from the real thing — and records the
+    bearer token, which is not bound to any video and therefore offloads
+    the attacker's own streams just fine.
+    """
+
+    def __init__(self, auth_server: OAuthAuthorizationServer, victim_domain: str) -> None:
+        self.auth_server = auth_server
+        self.victim_domain = victim_domain
+        self.harvested: list[BearerToken] = []
+
+    def harvest_token(self) -> BearerToken | None:
+        """Obtain one bearer token via the MITM redirect."""
+        token = self.auth_server.grant(f"https://{self.victim_domain}")
+        if token is not None:
+            self.harvested.append(token)
+        return token
+
+    def attack_succeeds(self) -> bool:
+        """Can a harvested token authenticate the attacker's session?"""
+        token = self.harvest_token()
+        if token is None:
+            return False
+        valid, _customer = self.auth_server.validate(token.token)
+        return valid

@@ -1,0 +1,157 @@
+"""Disposable, video-binding authentication tokens (§V-A, Listing 1).
+
+Replaces the static API key with a short-lived JWT minted by the PDN
+customer's backend on each page load. The token binds to the peer, the
+exact video manifests of the page, an issuance timestamp + TTL, and a
+usage limit — so a stolen token cannot offload the attacker's *own*
+streams (wrong video ids), cannot be replayed (usage limit), and rots
+quickly (TTL). The validator plugs into the provider's signaling join
+path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.defenses.jwtmin import jwt_decode, jwt_encode
+from repro.util.errors import TokenError
+
+
+@dataclass(frozen=True)
+class VideoToken:
+    """The Listing 1 token structure."""
+
+    customer_id: str
+    pdn_peer_id: str
+    video_ids: tuple[str, ...]
+    timestamp: int
+    ttl: int = 60
+    usage_limit: int = 1
+
+    def to_payload(self) -> dict:
+        # Field order matches Listing 1 so encodings are comparable.
+        """To payload."""
+        return {
+            "customer_id": self.customer_id,
+            "pdn_peer_id": self.pdn_peer_id,
+            "video_ids": list(self.video_ids),
+            "timestamp": self.timestamp,
+            "ttl": self.ttl,
+            "usage_limit": self.usage_limit,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "VideoToken":
+        """From payload."""
+        try:
+            return cls(
+                customer_id=payload["customer_id"],
+                pdn_peer_id=payload["pdn_peer_id"],
+                video_ids=tuple(payload["video_ids"]),
+                timestamp=int(payload["timestamp"]),
+                ttl=int(payload["ttl"]),
+                usage_limit=int(payload["usage_limit"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TokenError(f"token payload missing/invalid field: {exc}") from exc
+
+
+class TokenIssuer:
+    """Runs at the PDN customer's backend; shares a secret with the provider."""
+
+    def __init__(self, customer_id: str, secret: bytes, clock: Callable[[], float]) -> None:
+        self.customer_id = customer_id
+        self.secret = secret
+        self.clock = clock
+        self._peer_counter = 0
+        self.issued = 0
+
+    def issue(
+        self,
+        video_ids: list[str],
+        ttl: int = 60,
+        usage_limit: int = 1,
+        peer_id: str | None = None,
+    ) -> str:
+        """Issue."""
+        self._peer_counter += 1
+        self.issued += 1
+        token = VideoToken(
+            customer_id=self.customer_id,
+            pdn_peer_id=peer_id or str(self._peer_counter),
+            video_ids=tuple(video_ids),
+            timestamp=int(self.clock()),
+            ttl=ttl,
+            usage_limit=usage_limit,
+        )
+        return jwt_encode(token.to_payload(), self.secret)
+
+
+@dataclass
+class ValidationOutcome:
+    """ValidationOutcome."""
+    accepted: bool
+    customer_id: str | None = None
+    reason: str = "ok"
+
+
+class TokenValidator:
+    """Runs at the PDN provider; enforces all four binding dimensions."""
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self.clock = clock
+        self._secrets: dict[str, bytes] = {}
+        self._usage: dict[str, int] = {}
+        self.validations = 0
+        self.rejections = 0
+
+    def register_customer(self, customer_id: str, secret: bytes) -> None:
+        """Register a customer and its shared secret."""
+        self._secrets[customer_id] = secret
+
+    def validate(self, token_str: str, video_url: str) -> ValidationOutcome:
+        """Check signature, expiry, usage budget, and video binding."""
+        self.validations += 1
+        outcome = self._validate(token_str, video_url)
+        if not outcome.accepted:
+            self.rejections += 1
+        return outcome
+
+    def _validate(self, token_str: str, video_url: str) -> ValidationOutcome:
+        claimed_customer = self._peek_customer(token_str)
+        secret = self._secrets.get(claimed_customer or "")
+        if secret is None:
+            return ValidationOutcome(False, None, "unknown customer")
+        try:
+            payload = jwt_decode(token_str, secret)
+            token = VideoToken.from_payload(payload)
+        except TokenError as exc:
+            return ValidationOutcome(False, claimed_customer, str(exc))
+        now = self.clock()
+        if now > token.timestamp + token.ttl:
+            return ValidationOutcome(False, token.customer_id, "token expired")
+        if video_url not in token.video_ids:
+            return ValidationOutcome(
+                False, token.customer_id, "token not bound to this video"
+            )
+        used = self._usage.get(token_str, 0)
+        if used >= token.usage_limit:
+            return ValidationOutcome(False, token.customer_id, "token usage limit reached")
+        self._usage[token_str] = used + 1
+        return ValidationOutcome(True, token.customer_id)
+
+    @staticmethod
+    def _peek_customer(token_str: str) -> str | None:
+        """Read the (unverified) customer id to select the HMAC secret."""
+        import json
+
+        from repro.util.encoding import b64url_decode
+
+        parts = token_str.split(".")
+        if len(parts) != 3:
+            return None
+        try:
+            return json.loads(b64url_decode(parts[1])).get("customer_id")
+        except (ValueError, UnicodeDecodeError):
+            return None

@@ -1,0 +1,45 @@
+"""The PDN customer detection framework (§III-C).
+
+Two stages, exactly as in the paper:
+
+1. **Signature scan** — crawl candidate websites (depth ≤ 3, only sites
+   with a ``<video>`` tag) and unpack APKs, matching provider signatures
+   (SDK URL patterns, Android namespaces, manifest metadata keys) plus
+   generic WebRTC signatures for private services. Matches become
+   *potential PDN customers*; API keys are extracted by regex where not
+   obfuscated.
+2. **Dynamic confirmation** — run the potential customer with probe
+   viewers, capture traffic, and look for STUN binding requests followed
+   by a DTLS handshake between candidate peer pairs. Successes become
+   *confirmed PDN customers*.
+"""
+
+from repro.detection.signatures import (
+    GENERIC_WEBRTC_SIGNATURES,
+    Signature,
+    SignatureKind,
+    provider_signatures,
+)
+from repro.detection.categorize import CategoryEngine, default_engines, is_video_related
+from repro.detection.scanner import ApkScanner, ScanResult, WebsiteScanner
+from repro.detection.traffic import PdnTrafficReport, classify_capture
+from repro.detection.dynamic import DynamicConfirmer
+from repro.detection.pipeline import DetectionPipeline, PipelineReport
+
+__all__ = [
+    "GENERIC_WEBRTC_SIGNATURES",
+    "Signature",
+    "SignatureKind",
+    "provider_signatures",
+    "CategoryEngine",
+    "default_engines",
+    "is_video_related",
+    "ApkScanner",
+    "ScanResult",
+    "WebsiteScanner",
+    "PdnTrafficReport",
+    "classify_capture",
+    "DynamicConfirmer",
+    "DetectionPipeline",
+    "PipelineReport",
+]

@@ -1,0 +1,71 @@
+"""Website category engines (the VirusTotal category filter).
+
+The paper filters the Tranco top 300K to 68,713 video-related domains
+using five category engines, keeping a domain when *any* engine's label
+contains a video keyword. Each engine here is an imperfect labeler of a
+site's true category — with per-engine noise, so a site can be kept by
+one engine and missed by another, like the real ensemble.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.rand import DeterministicRandom
+from repro.web.page import Website
+
+ENGINE_NAMES = (
+    "Forcepoint ThreatSeeker",
+    "Sophos",
+    "BitDefender",
+    "Comodo Valkyrie Verdict",
+    "alphaMountain.ai",
+)
+
+VIDEO_KEYWORDS = ("tv", "media", "video", "stream", "entertainment")
+
+# What each engine tends to call a site of a given true category.
+_LABELS_BY_CATEGORY = {
+    "tv": ["tv", "streaming media", "entertainment"],
+    "video": ["video", "media sharing", "streaming media"],
+    "live": ["tv", "live media", "streaming media"],
+    "news": ["news", "news and media", "information"],
+    "adult": ["adult", "adult media"],
+    "general": ["business", "shopping", "technology", "reference"],
+    "social": ["social networking", "social media"],
+}
+
+
+@dataclass
+class CategoryEngine:
+    """One labeler with a miss rate (returns a non-video label sometimes)."""
+
+    name: str
+    miss_rate: float
+    rand: DeterministicRandom
+
+    def label(self, site: Website) -> str:
+        """Label."""
+        labels = _LABELS_BY_CATEGORY.get(site.category, _LABELS_BY_CATEGORY["general"])
+        stream = self.rand.fork(f"{self.name}:{site.domain}")
+        if stream.random() < self.miss_rate:
+            return "uncategorized"
+        return stream.choice(labels)
+
+
+def default_engines(rand: DeterministicRandom) -> list[CategoryEngine]:
+    """Default engines."""
+    rates = [0.25, 0.30, 0.20, 0.35, 0.30]
+    return [
+        CategoryEngine(name, rate, rand.fork(f"engine:{name}"))
+        for name, rate in zip(ENGINE_NAMES, rates)
+    ]
+
+
+def is_video_related(site: Website, engines: list[CategoryEngine]) -> bool:
+    """Paper rule: keep the domain if any engine label has a video keyword."""
+    for engine in engines:
+        label = engine.label(site)
+        if any(keyword in label for keyword in VIDEO_KEYWORDS):
+            return True
+    return False

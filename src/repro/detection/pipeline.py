@@ -1,0 +1,205 @@
+"""The end-to-end detection pipeline (§III-C), producing Tables I–IV.
+
+Stages: category-filter the corpus, signature-scan the video-related
+sites and the sampled APKs, dynamically confirm every potential
+customer, and separately test the top-10K generic-WebRTC sites for
+private PDN services.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.detection.categorize import default_engines, is_video_related
+from repro.detection.dynamic import ConfirmationResult, DynamicConfirmer
+from repro.detection.scanner import ApkScanner, ScanResult, WebsiteScanner
+from repro.detection.signatures import provider_signatures
+from repro.detection.source_search import SourceSearchEngine
+from repro.environment import Environment
+from repro.web.corpus import Corpus
+
+
+@dataclass
+class ProviderCounts:
+    """One row of Table I."""
+
+    provider: str
+    potential_sites: int = 0
+    confirmed_sites: int = 0
+    potential_apps: int = 0
+    confirmed_apps: int = 0
+    potential_apks: int = 0
+    confirmed_apks: int = 0
+
+
+@dataclass
+class PipelineReport:
+    """Everything the detection stage produced."""
+
+    virtual_total_domains: int = 0
+    virtual_video_related: int = 0
+    video_related_scanned: int = 0
+    site_scans: dict[str, ScanResult] = field(default_factory=dict)
+    app_scans: dict[str, ScanResult] = field(default_factory=dict)
+    site_confirmations: dict[str, ConfirmationResult] = field(default_factory=dict)
+    app_confirmations: dict[str, ConfirmationResult] = field(default_factory=dict)
+    private_confirmations: dict[str, ConfirmationResult] = field(default_factory=dict)
+    generic_webrtc_sites: list[str] = field(default_factory=list)
+    relay_sites: list[str] = field(default_factory=list)
+    extracted_keys: set[str] = field(default_factory=set)
+    source_search_hits: set[str] = field(default_factory=set)
+
+    # -- derived views --------------------------------------------------------
+
+    def potential_sites(self, provider: str | None = None) -> list[str]:
+        """Potential sites."""
+        out = []
+        for domain, scan in self.site_scans.items():
+            if not scan.is_potential:
+                continue
+            attributed = scan.provider()
+            if attributed == "webrtc-generic":
+                continue
+            if provider is None or attributed == provider:
+                out.append(domain)
+        return sorted(out)
+
+    def confirmed_sites(self, provider: str | None = None) -> list[str]:
+        """Confirmed sites."""
+        return sorted(
+            d
+            for d in self.potential_sites(provider)
+            if self.site_confirmations.get(d) and self.site_confirmations[d].confirmed
+        )
+
+    def potential_apps(self, provider: str | None = None) -> list[str]:
+        """Potential apps."""
+        out = []
+        for package, scan in self.app_scans.items():
+            if not scan.is_potential:
+                continue
+            if provider is None or scan.provider() == provider:
+                out.append(package)
+        return sorted(out)
+
+    def confirmed_apps(self, provider: str | None = None) -> list[str]:
+        """Confirmed apps."""
+        return sorted(
+            p
+            for p in self.potential_apps(provider)
+            if self.app_confirmations.get(p) and self.app_confirmations[p].confirmed
+        )
+
+    def confirmed_private(self) -> list[str]:
+        """Confirmed private."""
+        return sorted(
+            d for d, result in self.private_confirmations.items() if result.confirmed
+        )
+
+    def provider_counts(self, provider: str) -> ProviderCounts:
+        """Provider counts."""
+        counts = ProviderCounts(provider)
+        counts.potential_sites = len(self.potential_sites(provider))
+        counts.confirmed_sites = len(self.confirmed_sites(provider))
+        potential_apps = self.potential_apps(provider)
+        confirmed_apps = set(self.confirmed_apps(provider))
+        counts.potential_apps = len(potential_apps)
+        counts.confirmed_apps = len(confirmed_apps)
+        for package in potential_apps:
+            scan = self.app_scans[package]
+            counts.potential_apks += scan.pdn_apk_versions
+            if package in confirmed_apps:
+                counts.confirmed_apks += scan.pdn_apk_versions
+        return counts
+
+
+class DetectionPipeline:
+    """Runs the full §III-C methodology over a corpus."""
+
+    def __init__(
+        self,
+        env: Environment,
+        corpus: Corpus,
+        watch_seconds: float = 40.0,
+        probe_country: str = "US",
+        confirm: bool = True,
+    ) -> None:
+        self.env = env
+        self.corpus = corpus
+        self.watch_seconds = watch_seconds
+        self.probe_country = probe_country
+        self.confirm = confirm
+
+    def run(self) -> PipelineReport:
+        """Execute and return the outcome."""
+        report = PipelineReport(
+            virtual_total_domains=self.corpus.config.virtual_total_domains,
+            virtual_video_related=self.corpus.config.virtual_video_related,
+        )
+        self._scan_websites(report)
+        self._scan_apps(report)
+        if self.confirm:
+            self._confirm(report)
+            self._test_private(report)
+        return report
+
+    # -- stage 1: category filter + signature scan ---------------------------------
+
+    def _scan_websites(self, report: PipelineReport) -> None:
+        engines = default_engines(self.env.rand.fork("category-engines"))
+        scanner = WebsiteScanner(self.env.urlspace)
+        # Source-search engines (NerdyData/PublicWWW) rescue PDN customers
+        # the category filter dropped, exactly as the paper used them.
+        search_engine = SourceSearchEngine("nerdydata+publicwww")
+        for site in self.corpus.websites:
+            search_engine.index_site(self.env.urlspace, site)
+        from repro.detection.signatures import GENERIC_WEBRTC_SIGNATURES
+
+        report.source_search_hits = search_engine.search_all(
+            provider_signatures() + GENERIC_WEBRTC_SIGNATURES
+        )
+        for site in self.corpus.websites:
+            if not is_video_related(site, engines) and site.domain not in report.source_search_hits:
+                continue
+            report.video_related_scanned += 1
+            scan = scanner.scan(site.domain)
+            report.site_scans[site.domain] = scan
+            report.extracted_keys.update(scan.extracted_keys)
+            if scan.is_potential and scan.provider() == "webrtc-generic":
+                report.generic_webrtc_sites.append(site.domain)
+
+    def _scan_apps(self, report: PipelineReport) -> None:
+        scanner = ApkScanner()
+        for app in self.corpus.apps:
+            scan = scanner.scan(app)
+            report.app_scans[app.package_name] = scan
+            report.extracted_keys.update(scan.extracted_keys)
+
+    # -- stage 2: dynamic confirmation -----------------------------------------------
+
+    def _confirm(self, report: PipelineReport) -> None:
+        confirmer = DynamicConfirmer(
+            self.env, watch_seconds=self.watch_seconds, probe_country=self.probe_country
+        )
+        for domain in report.potential_sites():
+            site = self.corpus.website(domain)
+            if site is not None:
+                report.site_confirmations[domain] = confirmer.confirm_site(site)
+        for package in report.potential_apps():
+            app = self.corpus.app(package)
+            if app is not None:
+                report.app_confirmations[package] = confirmer.confirm_app(app)
+
+    def _test_private(self, report: PipelineReport) -> None:
+        """Dynamically test the top-10K sites matching generic signatures."""
+        confirmer = DynamicConfirmer(
+            self.env, watch_seconds=self.watch_seconds, probe_country=self.probe_country
+        )
+        for domain in self.corpus.top10k_webrtc_domains:
+            site = self.corpus.website(domain)
+            if site is None:
+                continue
+            result = confirmer.confirm_site(site)
+            report.private_confirmations[domain] = result
+            if result.relay_suspected:
+                report.relay_sites.append(domain)

@@ -1,0 +1,90 @@
+"""PDN fingerprinting signatures.
+
+Derived the way the paper derived them — from provider documentation and
+SDK artifacts: URL patterns (``api.peer5.com/peer5.js?id=*``), unique
+Android namespaces (``com.viblast.android``), manifest metadata keys
+(``io.streamroot.dna.StreamrootKey``), and the generic WebRTC markers
+that surface private services.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.pdn.provider import PUBLIC_PROVIDERS, ProviderProfile
+
+
+class SignatureKind(enum.Enum):
+    """SignatureKind."""
+    URL_PATTERN = "url_pattern"
+    NAMESPACE = "namespace"
+    MANIFEST_KEY = "manifest_key"
+    CONTENT = "content"  # generic string in page/JS source
+
+
+@dataclass(frozen=True)
+class Signature:
+    """One matchable fingerprint, attributed to a provider (or generic)."""
+
+    kind: SignatureKind
+    pattern: str
+    provider: str  # provider name, or "webrtc-generic"
+
+    def compiled(self) -> re.Pattern:
+        """Compiled."""
+        if self.kind is SignatureKind.URL_PATTERN:
+            # '*' wildcards; everything else literal.
+            return re.compile(
+                ".*".join(re.escape(part) for part in self.pattern.split("*"))
+            )
+        return re.compile(re.escape(self.pattern))
+
+    def matches(self, text: str) -> bool:
+        """Matches."""
+        return self.compiled().search(text) is not None
+
+
+def provider_signatures(profiles: tuple[ProviderProfile, ...] = PUBLIC_PROVIDERS) -> list[Signature]:
+    """Signatures for the public providers."""
+    signatures: list[Signature] = []
+    for profile in profiles:
+        url_pattern = profile.sdk_url_pattern.format(key="*")
+        for prefix in ("https://", "http://"):
+            if url_pattern.startswith(prefix):
+                url_pattern = url_pattern[len(prefix) :]
+        signatures.append(Signature(SignatureKind.URL_PATTERN, url_pattern, profile.name))
+        if profile.android_namespace:
+            signatures.append(
+                Signature(SignatureKind.NAMESPACE, profile.android_namespace, profile.name)
+            )
+        if profile.manifest_key:
+            signatures.append(
+                Signature(SignatureKind.MANIFEST_KEY, profile.manifest_key, profile.name)
+            )
+    return signatures
+
+
+GENERIC_WEBRTC_SIGNATURES: list[Signature] = [
+    Signature(SignatureKind.CONTENT, "new RTCPeerConnection", "webrtc-generic"),
+    Signature(SignatureKind.CONTENT, "new WebSocket('wss://", "webrtc-generic"),
+]
+
+# Regexes for extracting API keys out of page source (§IV-B: 44 of the
+# keys were extractable this way; the rest are obfuscated or loaded at
+# runtime).
+KEY_EXTRACTION_PATTERNS = [
+    re.compile(r"pdnApiKey\s*=\s*'([0-9a-f]{8,})'"),
+    re.compile(r"peer5\.js\?id=([0-9a-f]{8,})"),
+    re.compile(r"/dna/([0-9a-f]{8,})/dna\.js"),
+    re.compile(r"/vb/([0-9a-f]{8,})/viblast\.js"),
+]
+
+
+def extract_api_keys(html: str) -> set[str]:
+    """Regex key extraction; defeated by obfuscation, as in the paper."""
+    keys: set[str] = set()
+    for pattern in KEY_EXTRACTION_PATTERNS:
+        keys.update(pattern.findall(html))
+    return keys

@@ -1,0 +1,80 @@
+"""The simulation environment: one object bundling shared infrastructure.
+
+Everything an experiment needs to stand up — event loop, network, URL
+space, geolocation database, STUN/TURN infrastructure, and geo-aware
+host allocation — lives here, so examples and benchmarks read as "build
+an environment, add parties, run".
+"""
+
+from __future__ import annotations
+
+from repro.net.clock import EventLoop
+from repro.net.nat import NatType
+from repro.net.network import Host, Network
+from repro.privacy.geo import GeoDatabase
+from repro.streaming.http import HttpClient, UrlSpace
+from repro.util.ids import CountingIdFactory
+from repro.util.rand import DeterministicRandom
+from repro.webrtc.peer_connection import RtcConfig
+from repro.webrtc.stun import StunServer
+from repro.webrtc.turn import TurnServer
+
+
+class Environment:
+    """Shared infrastructure for one simulation run."""
+
+    def __init__(self, seed: int | str = 0, loss_rate: float = 0.0) -> None:
+        self.rand = DeterministicRandom(seed)
+        self.loop = EventLoop()
+        self.network = Network(self.loop, rand=self.rand, loss_rate=loss_rate)
+        self.urlspace = UrlSpace()
+        self.geo = GeoDatabase()
+        self.ids = CountingIdFactory()
+        self.stun = StunServer(self.network.add_host("stun.infra", region="US"))
+        self._turn: TurnServer | None = None
+
+    @property
+    def turn(self) -> TurnServer:
+        """A TURN relay, created on first use (the §V-C mitigation)."""
+        if self._turn is None:
+            self._turn = TurnServer(self.network.add_host("turn.infra", region="US"))
+        return self._turn
+
+    def rtc_config(self, relay_only: bool = False) -> RtcConfig:
+        """Rtc config."""
+        return RtcConfig(
+            stun_servers=[self.stun.endpoint],
+            turn_server=self.turn.endpoint if relay_only else None,
+            relay_only=relay_only,
+        )
+
+    def add_viewer_host(
+        self,
+        name: str | None = None,
+        country: str = "US",
+        nat_type: NatType = NatType.FULL_CONE,
+        uplink_bytes_per_sec: float | None = None,
+    ) -> Host:
+        """A NATed host whose public address geolocates to ``country``."""
+        name = name or self.ids.next("viewer")
+        external_ip = self.geo.random_ip(self.rand.fork(f"ip:{name}"), country)
+        attempts = 0
+        while external_ip in self.network.hosts or self.network._routable.get(external_ip):
+            external_ip = self.geo.random_ip(self.rand.fork(f"ip:{name}:{attempts}"), country)
+            attempts += 1
+        nat = self.network.add_nat(nat_type, external_ip=external_ip)
+        return self.network.add_host(
+            name, nat=nat, region=country, uplink_bytes_per_sec=uplink_bytes_per_sec
+        )
+
+    def add_server_host(self, name: str, country: str = "US") -> Host:
+        """Add server host."""
+        return self.network.add_host(name, region=country)
+
+    def http_client(self, host: Host, proxy=None) -> HttpClient:
+        """Http client."""
+        return HttpClient(self.urlspace, client_ip=host.public_ip, proxy=proxy)
+
+    def run(self, seconds: float) -> None:
+        """Advance the simulated clock by ``seconds``."""
+        self.loop.run(seconds)

@@ -1,0 +1,23 @@
+"""Experiment drivers: one module per table/figure in the paper.
+
+Each module exposes a ``run(...)`` returning a result object with the
+measured quantities and a ``render()`` producing the same rows/series
+the paper reports. The benchmark harness under ``benchmarks/`` calls
+these and prints paper-vs-measured comparisons; EXPERIMENTS.md records
+one canonical run.
+
+| Paper artifact    | Module |
+|-------------------|--------|
+| Table I–IV        | :mod:`repro.experiments.detection_tables` |
+| Table V           | :mod:`repro.experiments.risk_matrix` |
+| Table VI          | :mod:`repro.experiments.im_checking` |
+| Fig. 4            | :mod:`repro.experiments.resource_fig4` |
+| Fig. 5            | :mod:`repro.experiments.bandwidth_fig5` |
+| §IV-B wild        | :mod:`repro.experiments.free_riding_wild` |
+| §IV-C propagation | :mod:`repro.experiments.pollution_propagation` |
+| §IV-D wild        | :mod:`repro.experiments.ip_leak_wild` |
+| §IV-D consent     | :mod:`repro.experiments.consent_and_config` |
+| §V-A eval         | :mod:`repro.experiments.token_defense` |
+| §VI eCDN          | :mod:`repro.experiments.ecdn_discussion` |
+| methodology       | :mod:`repro.experiments.detection_quality` |
+"""

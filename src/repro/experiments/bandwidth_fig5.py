@@ -1,0 +1,149 @@
+"""Fig. 5: bandwidth consumption when serving multiple peers.
+
+Peer A joins first (and so holds the content); then k ∈ {1, 2, 3}
+late-joining peers leech from it. CPU, memory, and *download* stay
+roughly flat — WebRTC scales — but A's *upload* grows with the neighbor
+count, reaching ≈200% of its download at 3 peers (the paper's headline
+shape).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analyzer import PdnAnalyzer
+from repro.core.testbed import build_test_bed
+from repro.environment import Environment
+from repro.pdn.provider import PEER5, ProviderProfile
+from repro.util.tables import render_table
+
+
+@dataclass
+class BandwidthPoint:
+    """BandwidthPoint."""
+    neighbor_peers: int
+    download_bytes: int
+    upload_bytes: int
+    cpu_mean: float
+    memory_mean: float
+
+    @property
+    def upload_over_download(self) -> float:
+        """Upload over download."""
+        return self.upload_bytes / self.download_bytes if self.download_bytes else 0.0
+
+
+@dataclass
+class Fig5Result:
+    """Fig5Result."""
+    points: list[BandwidthPoint]
+
+    def rows(self) -> list[list]:
+        """The table rows for rendering."""
+        return [
+            [
+                p.neighbor_peers,
+                f"{p.download_bytes / 1e6:.1f}MB",
+                f"{p.upload_bytes / 1e6:.1f}MB",
+                f"{p.upload_over_download * 100:.0f}%",
+                f"{p.cpu_mean:.1f}%",
+            ]
+            for p in self.points
+        ]
+
+    def render(self) -> str:
+        """Render the result as the paper-style text block."""
+        return render_table(
+            ["# peers served", "download", "upload", "upload/download (paper: ->200% @3)", "mean CPU"],
+            self.rows(),
+            title="Fig. 5: Bandwidth consumption of serving multiple peers",
+        )
+
+    def upload_monotone(self) -> bool:
+        """Upload monotone."""
+        uploads = [p.upload_bytes for p in self.points]
+        return all(a < b for a, b in zip(uploads, uploads[1:]))
+
+
+def run(
+    seed: int = 55,
+    profile: ProviderProfile = PEER5,
+    max_neighbors: int = 3,
+    segment_bytes: int = 1_000_000,
+    segment_seconds: float = 4.0,
+    segments: int = 12,
+    stagger: float = 10.0,
+    seeder_uplink: float | None = None,
+) -> Fig5Result:
+    """Sweep served-peer counts and measure the seeder's bandwidth."""
+    points = []
+    for k in range(1, max_neighbors + 1):
+        points.append(
+            _run_point(seed + k, profile, k, segment_bytes, segment_seconds, segments,
+                       stagger, seeder_uplink)
+        )
+    return Fig5Result(points)
+
+
+def run_saturation(
+    seed: int = 56,
+    seeder_uplink: float = 600_000.0,  # ~0.6 MB/s: saturates near 2 leechers
+    max_neighbors: int = 5,
+    segment_bytes: int = 1_000_000,
+) -> Fig5Result:
+    """The paper's footnote effect: "adding more peers (over 5 peers)
+    will significantly lower the download traffic of peers" — with a
+    finite seeder uplink, upload growth flattens and leechers fall back
+    to the CDN instead of scaling P2P forever."""
+    return run(
+        seed=seed,
+        max_neighbors=max_neighbors,
+        segment_bytes=segment_bytes,
+        seeder_uplink=seeder_uplink,
+    )
+
+
+def _run_point(
+    seed: int,
+    profile: ProviderProfile,
+    neighbors: int,
+    segment_bytes: int,
+    segment_seconds: float,
+    segments: int,
+    stagger: float,
+    seeder_uplink: float | None = None,
+) -> BandwidthPoint:
+    env = Environment(seed=seed)
+    bed = build_test_bed(
+        env,
+        profile,
+        video_segments=segments,
+        segment_seconds=segment_seconds,
+        segment_bytes=segment_bytes,
+    )
+    analyzer = PdnAnalyzer(env)
+    duration = segments * segment_seconds
+
+    peer_a = analyzer.create_peer(name="peer-a", uplink_bytes_per_sec=seeder_uplink)
+    t0 = env.loop.now
+    session_a = peer_a.watch_test_stream(bed)
+    analyzer.run(stagger)
+    leechers = []
+    for i in range(neighbors):
+        leecher = analyzer.create_peer(name=f"leecher-{i}")
+        leecher.watch_test_stream(bed)
+        leechers.append(leecher)
+    analyzer.run(duration + stagger + 5.0)
+
+    sdk = session_a.sdk
+    download = (sdk.stats.bytes_cdn + sdk.stats.bytes_p2p_down) if sdk else 0
+    upload = sdk.stats.bytes_p2p_up if sdk else 0
+    point = BandwidthPoint(
+        neighbor_peers=neighbors,
+        download_bytes=download,
+        upload_bytes=upload,
+        cpu_mean=peer_a.monitor.cpu.mean_between(t0, t0 + duration),
+        memory_mean=peer_a.monitor.memory.mean_between(t0, t0 + duration),
+    )
+    analyzer.teardown()
+    return point

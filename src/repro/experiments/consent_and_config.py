@@ -1,0 +1,143 @@
+"""§IV-D user consent and resource-squatting configuration, in the wild.
+
+Two corpus-wide audits the paper performed manually:
+
+- **User consent**: across all potential PDN customers (134 websites +
+  38 apps + 10 private services), none shows a consent dialog, none
+  mentions the P2P network in its terms, and none lets viewers disable
+  the PDN.
+- **Cellular configuration**: Peer5 ships each customer's configuration
+  in an unprotected JavaScript variable. Reading it across customers,
+  exactly three high-download apps (com.bongo.bioscope,
+  com.portonics.mygp, com.arenacloudtv.android — >15M installs in
+  total) allow the SDK to use viewers' *cellular* data for both upload
+  and download; the rest are leech-only on cellular.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.attacks.squatting import audit_consent
+from repro.environment import Environment
+from repro.streaming.http import HttpClient
+from repro.util.tables import render_kv, render_table
+from repro.web.corpus import CELLULAR_FULL_APPS, Corpus, CorpusConfig, build_corpus
+
+PAPER = {
+    "customers_checked": 134 + 38 + 10,
+    "informing_viewers": 0,
+    "allowing_disable": 0,
+    "cellular_full_apps": sorted(CELLULAR_FULL_APPS),
+}
+
+
+@dataclass
+class ConsentAndConfigResult:
+    """ConsentAndConfigResult."""
+    customers_checked: int = 0
+    informing_viewers: int = 0
+    allowing_disable: int = 0
+    configs_read: int = 0
+    cellular_full: list[str] = field(default_factory=list)
+    cellular_leech: int = 0
+    cellular_none: int = 0
+    flagged_total_downloads: int = 0
+
+    def render(self) -> str:
+        """Render the result as the paper-style text block."""
+        consent = render_kv(
+            "§IV-D user consent audit (paper: none of 182 inform viewers)",
+            [
+                ("customers checked", self.customers_checked),
+                ("show consent dialog / mention P2P", self.informing_viewers),
+                ("allow viewers to disable the PDN", self.allowing_disable),
+            ],
+        )
+        config = render_table(
+            ["app allowing cellular upload+download", "paper flags it"],
+            [[package, package in PAPER["cellular_full_apps"]] for package in self.cellular_full],
+            title=(
+                "§IV-D cellular configuration, read from the unprotected SDK config "
+                f"variable ({self.configs_read} configs; leech-only: {self.cellular_leech})"
+            ),
+        )
+        downloads = render_kv(
+            "impact",
+            [("combined Google Play downloads of flagged apps (paper: >15M)",
+              f"{self.flagged_total_downloads / 1e6:.1f}M")],
+        )
+        return "\n\n".join([consent, config, downloads])
+
+
+def run(seed: int = 909, config: CorpusConfig | None = None) -> ConsentAndConfigResult:
+    """Audit the corpus for consent and cellular configuration."""
+    env = Environment(seed=seed)
+    corpus = build_corpus(env, config)
+    result = ConsentAndConfigResult()
+    _audit_consent(corpus, result)
+    _read_configs(env, corpus, result)
+    return result
+
+
+def _audit_consent(corpus: Corpus, result: ConsentAndConfigResult) -> None:
+    for record in corpus.records:
+        provider = (
+            corpus.private_providers.get(record.name)
+            if record.kind == "private"
+            else corpus.providers.get(record.provider)
+        )
+        if provider is None:
+            continue
+        policy = provider.customer_policy(record.name)
+        site = corpus.website(record.name) if record.kind != "app" else None
+        audit = audit_consent(record.name, policy, site)
+        result.customers_checked += 1
+        if audit.informs_viewers:
+            result.informing_viewers += 1
+        if audit.allows_user_disable:
+            result.allowing_disable += 1
+
+
+def _read_configs(env: Environment, corpus: Corpus, result: ConsentAndConfigResult) -> None:
+    """Fetch each confirmed customer's SDK JS and parse the config var."""
+    http = HttpClient(env.urlspace, client_ip="198.18.0.9")
+    downloads_by_app = {}
+    for record in corpus.records:
+        if record.api_key is None or not record.confirmed_expected:
+            continue
+        provider = corpus.providers[record.provider]
+        response = http.get(provider.profile.sdk_url(record.api_key))
+        if not response.ok:
+            continue
+        config = _parse_config_variable(response.body.decode())
+        if config is None:
+            continue
+        result.configs_read += 1
+        mode = config.get("cellularMode")
+        if mode == "full":
+            result.cellular_full.append(record.name)
+            if record.kind == "app":
+                downloads_by_app[record.name] = record.downloads or 0
+        elif mode == "leech":
+            result.cellular_leech += 1
+        else:
+            result.cellular_none += 1
+    result.cellular_full.sort()
+    result.flagged_total_downloads = sum(downloads_by_app.values())
+
+
+def _parse_config_variable(js_source: str) -> dict | None:
+    """Extract ``var _pdnConfig = {...};`` from the SDK JavaScript."""
+    marker = "var _pdnConfig = "
+    start = js_source.find(marker)
+    if start < 0:
+        return None
+    end = js_source.find(";\n", start)
+    if end < 0:
+        return None
+    try:
+        return json.loads(js_source[start + len(marker) : end])
+    except ValueError:
+        return None

@@ -1,0 +1,102 @@
+"""Detector quality: precision/recall against corpus ground truth.
+
+The paper can only report what its detector found; the simulation knows
+the ground truth, so it can also score the methodology itself — which
+§VI's limitations discuss qualitatively: signature scanning misses
+dynamically-loaded embeds beyond the crawl depth, and dynamic analysis
+misses geo-gated/subscription-gated customers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.detection.pipeline import DetectionPipeline
+from repro.environment import Environment
+from repro.util.tables import render_table
+from repro.web.corpus import Corpus, CorpusConfig, build_corpus
+
+
+@dataclass
+class QualityRow:
+    """QualityRow."""
+    stage: str
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """Precision."""
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def recall(self) -> float:
+        """Recall."""
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 1.0
+
+
+@dataclass
+class DetectionQualityResult:
+    """DetectionQualityResult."""
+    rows: list[QualityRow]
+
+    def row(self, stage: str) -> QualityRow:
+        """Row."""
+        for row in self.rows:
+            if row.stage == stage:
+                return row
+        raise KeyError(stage)
+
+    def render(self) -> str:
+        """Render the result as the paper-style text block."""
+        return render_table(
+            ["stage", "TP", "FP", "FN", "precision", "recall"],
+            [
+                [r.stage, r.true_positives, r.false_positives, r.false_negatives,
+                 f"{r.precision * 100:.0f}%", f"{r.recall * 100:.0f}%"]
+                for r in self.rows
+            ],
+            title="Detector quality vs corpus ground truth",
+        )
+
+
+def run(seed: int = 1101, config: CorpusConfig | None = None) -> DetectionQualityResult:
+    """Score the detector against the corpus ground truth."""
+    env = Environment(seed=seed)
+    corpus = build_corpus(env, config)
+    report = DetectionPipeline(env, corpus, watch_seconds=30.0).run()
+
+    rows = []
+    # Stage 1: potential-customer detection (public providers), websites.
+    truth_sites = {r.name for r in corpus.records if r.kind == "website"}
+    found_sites = set(report.potential_sites())
+    rows.append(_score("signature scan (websites)", found_sites, truth_sites))
+    # Stage 1, apps.
+    truth_apps = {r.name for r in corpus.records if r.kind == "app"}
+    found_apps = set(report.potential_apps())
+    rows.append(_score("signature scan (apps)", found_apps, truth_apps))
+    # Stage 2: dynamic confirmation vs actually-active ground truth.
+    truth_confirmed_sites = corpus.expected_confirmed("website")
+    rows.append(
+        _score("dynamic confirmation (websites)", set(report.confirmed_sites()), truth_confirmed_sites)
+    )
+    truth_confirmed_apps = corpus.expected_confirmed("app")
+    rows.append(
+        _score("dynamic confirmation (apps)", set(report.confirmed_apps()), truth_confirmed_apps)
+    )
+    # Private services.
+    truth_private = corpus.expected_confirmed("private")
+    rows.append(_score("private services", set(report.confirmed_private()), truth_private))
+    return DetectionQualityResult(rows)
+
+
+def _score(stage: str, found: set[str], truth: set[str]) -> QualityRow:
+    return QualityRow(
+        stage=stage,
+        true_positives=len(found & truth),
+        false_positives=len(found - truth),
+        false_negatives=len(truth - found),
+    )

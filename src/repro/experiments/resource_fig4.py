@@ -1,0 +1,136 @@
+"""Fig. 4: resource consumption of serving as a PDN peer.
+
+Three viewers on the same content: *no peer* (plain CDN), *Peer A*
+(first PDN viewer, ends up seeding), *Peer B* (joins later, leeches).
+Per-second CPU, memory, and network I/O are sampled Docker-stats style.
+Paper: PDN peers cost ≈ +15% CPU and ≈ +10% memory over the no-peer
+baseline, with the cost concentrated in DTLS encryption/decryption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analyzer import PdnAnalyzer
+from repro.core.testbed import build_test_bed
+from repro.environment import Environment
+from repro.pdn.provider import PEER5, ProviderProfile
+from repro.util.tables import render_kv, render_table
+from repro.web.page import WebPage, Website
+
+PAPER = {"cpu_overhead": 0.15, "memory_overhead": 0.10}
+
+
+@dataclass
+class ViewerSeries:
+    """ViewerSeries."""
+    name: str
+    cpu_mean: float
+    memory_mean: float
+    downloaded_bytes: float
+    uploaded_bytes: float
+    cpu_series: list[tuple[float, float]]
+    memory_series: list[tuple[float, float]]
+
+
+@dataclass
+class Fig4Result:
+    """Fig4Result."""
+    viewers: dict[str, ViewerSeries]
+
+    @property
+    def cpu_overhead(self) -> float:
+        """Cpu overhead."""
+        base = self.viewers["no-peer"].cpu_mean
+        pdn = (self.viewers["peer-a"].cpu_mean + self.viewers["peer-b"].cpu_mean) / 2
+        return pdn / base - 1.0 if base else 0.0
+
+    @property
+    def memory_overhead(self) -> float:
+        """Memory overhead."""
+        base = self.viewers["no-peer"].memory_mean
+        pdn = (self.viewers["peer-a"].memory_mean + self.viewers["peer-b"].memory_mean) / 2
+        return pdn / base - 1.0 if base else 0.0
+
+    def rows(self) -> list[list]:
+        """The table rows for rendering."""
+        return [
+            [
+                v.name,
+                f"{v.cpu_mean:.1f}%",
+                f"{v.memory_mean:.0f}MB",
+                f"{v.downloaded_bytes / 1e6:.1f}MB",
+                f"{v.uploaded_bytes / 1e6:.1f}MB",
+            ]
+            for v in self.viewers.values()
+        ]
+
+    def render(self) -> str:
+        """Render the result as the paper-style text block."""
+        table = render_table(
+            ["viewer", "mean CPU", "mean memory", "downloaded", "uploaded"],
+            self.rows(),
+            title="Fig. 4: Resource consumption of serving as a PDN peer",
+        )
+        summary = render_kv(
+            "overheads vs no-peer",
+            [
+                ("CPU overhead (paper ~ +15%)", f"+{self.cpu_overhead * 100:.1f}%"),
+                ("memory overhead (paper ~ +10%)", f"+{self.memory_overhead * 100:.1f}%"),
+            ],
+        )
+        return table + "\n\n" + summary
+
+
+def run(
+    seed: int = 44,
+    profile: ProviderProfile = PEER5,
+    segment_bytes: int = 1_000_000,
+    segment_seconds: float = 4.0,
+    segments: int = 12,
+    stagger: float = 10.0,
+) -> Fig4Result:
+    """Measure Fig. 4's per-viewer resource series."""
+    env = Environment(seed=seed)
+    bed = build_test_bed(
+        env,
+        profile,
+        video_segments=segments,
+        segment_seconds=segment_seconds,
+        segment_bytes=segment_bytes,
+    )
+    baseline = Website(f"baseline.{bed.site.domain}", category="video")
+    baseline.add_page(WebPage("/", "baseline", has_video=True, video_url=bed.video_url))
+    env.urlspace.register(baseline.domain, baseline)
+
+    analyzer = PdnAnalyzer(env)
+    duration = segments * segment_seconds
+
+    windows: dict[str, tuple[float, float]] = {}
+    no_peer = analyzer.create_peer(name="no-peer")
+    windows["no-peer"] = (env.loop.now, env.loop.now + duration)
+    no_peer.open(f"https://{baseline.domain}/")
+    peer_a = analyzer.create_peer(name="peer-a")
+    windows["peer-a"] = (env.loop.now, env.loop.now + duration)
+    peer_a.watch_test_stream(bed)
+    analyzer.run(stagger)
+    peer_b = analyzer.create_peer(name="peer-b")
+    windows["peer-b"] = (env.loop.now, env.loop.now + duration)
+    peer_b.watch_test_stream(bed)
+    analyzer.run(duration + stagger)
+
+    viewers: dict[str, ViewerSeries] = {}
+    for peer in (no_peer, peer_a, peer_b):
+        t0, t1 = windows[peer.name]
+        monitor = peer.monitor
+        viewers[peer.name] = ViewerSeries(
+            name=peer.name,
+            cpu_mean=monitor.cpu.mean_between(t0, t1),
+            memory_mean=monitor.memory.mean_between(t0, t1),
+            downloaded_bytes=monitor.total_net_in(),
+            uploaded_bytes=monitor.total_net_out(),
+            cpu_series=list(monitor.cpu.points),
+            memory_series=list(monitor.memory.points),
+        )
+    analyzer.teardown()
+    return Fig4Result(viewers)

@@ -1,0 +1,196 @@
+"""Table V: the security & privacy risk matrix.
+
+For every public provider profile (and a Mango-TV-style private
+service), run the full battery through the PDN analyzer:
+
+- peer authentication: cross-domain (reported as vulnerable-keys/valid-
+  keys from the in-the-wild probe) and domain spoofing;
+- content integrity: direct content pollution and video segment
+  pollution;
+- peer privacy: IP leak and resource squatting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.attacks.free_riding import DomainSpoofingAttackTest
+from repro.attacks.harvesting import IpLeakTest
+from repro.attacks.pollution import DirectContentPollutionTest, VideoSegmentPollutionTest
+from repro.attacks.squatting import ResourceSquattingTest
+from repro.core.analyzer import PdnAnalyzer
+from repro.core.testbed import build_test_bed
+from repro.environment import Environment
+from repro.experiments import free_riding_wild
+from repro.pdn.provider import PEER5, STREAMROOT, VIBLAST, private_profile
+from repro.util.tables import render_table
+
+PAPER_MATRIX = {
+    "cross_domain": {"peer5": "11/36", "streamroot": "0/1", "viblast": "0/3", "private": "vuln"},
+    "domain_spoofing": {"peer5": "vuln", "streamroot": "vuln", "viblast": "vuln", "private": "vuln"},
+    "direct_pollution": {"peer5": "safe", "streamroot": "safe", "viblast": "safe", "private": "safe"},
+    "segment_pollution": {"peer5": "vuln", "streamroot": "vuln", "viblast": "vuln", "private": "blocked (DRM)"},
+    "ip_leak": {"peer5": "vuln", "streamroot": "vuln", "viblast": "vuln", "private": "vuln"},
+    "resource_squatting": {"peer5": "vuln", "streamroot": "vuln", "viblast": "vuln", "private": "vuln"},
+}
+
+_RISK_LABELS = [
+    ("cross_domain", "cross-domain attack"),
+    ("domain_spoofing", "domain-spoofing attack"),
+    ("direct_pollution", "direct content pollution"),
+    ("segment_pollution", "video segment pollution"),
+    ("ip_leak", "IP leak"),
+    ("resource_squatting", "resource squatting"),
+]
+
+
+@dataclass
+class RiskMatrixResult:
+    """RiskMatrixResult."""
+    cells: dict[str, dict[str, str]] = field(default_factory=dict)
+    details: dict[str, dict[str, dict]] = field(default_factory=dict)
+
+    def set(self, risk: str, provider: str, value: str, detail: dict | None = None) -> None:
+        """Set."""
+        self.cells.setdefault(risk, {})[provider] = value
+        if detail is not None:
+            self.details.setdefault(risk, {})[provider] = detail
+
+    def rows(self) -> list[list[str]]:
+        """The table rows for rendering."""
+        providers = ["peer5", "streamroot", "viblast", "private"]
+        rows = []
+        for risk, label in _RISK_LABELS:
+            row = [label]
+            for provider in providers:
+                measured = self.cells.get(risk, {}).get(provider, "?")
+                row.append(measured)
+            row.append(" | ".join(PAPER_MATRIX[risk][p] for p in providers))
+            rows.append(row)
+        return rows
+
+    def render(self) -> str:
+        """Render the result as the paper-style text block."""
+        return render_table(
+            ["risk", "peer5", "streamroot", "viblast", "private", "paper (p5|sr|vb|priv)"],
+            self.rows(),
+            title="Table V: Security and privacy risks of PDN services",
+        )
+
+
+def _mark(triggered: bool) -> str:
+    return "vuln" if triggered else "safe"
+
+
+def run(seed: int = 5150, quick: bool = False) -> RiskMatrixResult:
+    """Run the whole matrix. ``quick`` shrinks watch times for tests."""
+    result = RiskMatrixResult()
+    watch = 40.0 if quick else 80.0
+
+    # Row 1: cross-domain, from the in-the-wild key probe.
+    key_stats = free_riding_wild.run(seed=seed)
+    for provider in ("peer5", "streamroot", "viblast"):
+        vulnerable, total = key_stats.cross_domain_vulnerable(provider)
+        result.set("cross_domain", provider, f"{vulnerable}/{total}")
+
+    profiles = [PEER5, STREAMROOT, VIBLAST]
+    for profile in profiles:
+        name = profile.name
+
+        env = Environment(seed=seed + 1)
+        bed = build_test_bed(env, profile)
+        analyzer = PdnAnalyzer(env)
+        report = analyzer.run_test(DomainSpoofingAttackTest(bed, watch=watch))
+        result.set("domain_spoofing", name, _mark(report.any_triggered), report.verdicts[0].details)
+        analyzer.teardown()
+
+        env = Environment(seed=seed + 2)
+        bed = build_test_bed(env, profile)
+        analyzer = PdnAnalyzer(env)
+        report = analyzer.run_test(DirectContentPollutionTest(bed, watch=watch))
+        result.set("direct_pollution", name, _mark(report.any_triggered), report.verdicts[0].details)
+        analyzer.teardown()
+
+        env = Environment(seed=seed + 3)
+        bed = build_test_bed(env, profile)
+        analyzer = PdnAnalyzer(env)
+        report = analyzer.run_test(VideoSegmentPollutionTest(bed, watch=watch))
+        result.set("segment_pollution", name, _mark(report.any_triggered), report.verdicts[0].details)
+        analyzer.teardown()
+
+        env = Environment(seed=seed + 4)
+        bed = build_test_bed(env, profile)
+        analyzer = PdnAnalyzer(env)
+        report = analyzer.run_test(IpLeakTest(bed, watch=30.0))
+        result.set("ip_leak", name, _mark(report.any_triggered), report.verdicts[0].details)
+        analyzer.teardown()
+
+        env = Environment(seed=seed + 5)
+        bed = build_test_bed(env, profile, segment_bytes=1_000_000)
+        analyzer = PdnAnalyzer(env)
+        report = analyzer.run_test(ResourceSquattingTest(bed, watch=45.0))
+        result.set("resource_squatting", name, _mark(report.any_triggered), report.verdicts[0].details)
+        analyzer.teardown()
+
+    _run_private_column(result, seed, watch)
+    return result
+
+
+def _run_private_column(result: RiskMatrixResult, seed: int, watch: float) -> None:
+    """The Mango-TV-style hooked private SDK, integrated on our test site."""
+    profile = private_profile("mgtv.example", "signal.mgtv.example", video_bound_tokens=False)
+
+    # Free riding: the hooked SDK joins from our own site with a token the
+    # platform minted for *its* video — unbound tokens accept it anyway.
+    env = Environment(seed=seed + 6)
+    bed = build_test_bed(env, profile)
+    from repro.web.browser import Browser
+
+    viewer = Browser(env, "hooked-viewer")
+    session = viewer.open(f"https://{bed.site.domain}/")
+    env.run(20.0)
+    result.set(
+        "cross_domain",
+        "private",
+        _mark(session.pdn_loaded),
+        {"joined": session.pdn_loaded, "reason": session.skip_reason},
+    )
+    result.set("domain_spoofing", "private", _mark(session.pdn_loaded))
+    viewer.close()
+
+    # Pollution: DRM-protected platform, custom source not registered.
+    env = Environment(seed=seed + 7)
+    bed = build_test_bed(env, profile)
+    analyzer = PdnAnalyzer(env)
+    report = analyzer.run_test(DirectContentPollutionTest(bed, watch=watch))
+    result.set("direct_pollution", "private", _mark(report.any_triggered))
+    analyzer.teardown()
+
+    env = Environment(seed=seed + 8)
+    bed = build_test_bed(env, profile)
+    analyzer = PdnAnalyzer(env)
+    report = analyzer.run_test(VideoSegmentPollutionTest(bed, watch=watch))
+    detail = report.verdicts[0].details
+    transmitted = detail.get("victim_p2p_bytes", 0) > 0
+    if report.any_triggered:
+        cell = "vuln"
+    elif transmitted:
+        cell = "blocked (DRM)"  # DTLS transfer observed, never played
+    else:
+        cell = "safe"
+    result.set("segment_pollution", "private", cell, detail)
+    analyzer.teardown()
+
+    env = Environment(seed=seed + 9)
+    bed = build_test_bed(env, profile)
+    analyzer = PdnAnalyzer(env)
+    report = analyzer.run_test(IpLeakTest(bed, watch=30.0))
+    result.set("ip_leak", "private", _mark(report.any_triggered))
+    analyzer.teardown()
+
+    env = Environment(seed=seed + 10)
+    bed = build_test_bed(env, profile, segment_bytes=1_000_000)
+    analyzer = PdnAnalyzer(env)
+    report = analyzer.run_test(ResourceSquattingTest(bed, watch=45.0))
+    result.set("resource_squatting", "private", _mark(report.any_triggered))
+    analyzer.teardown()

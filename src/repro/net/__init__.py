@@ -1,0 +1,32 @@
+"""Discrete-event network substrate.
+
+This package simulates the slice of the Internet that the paper's
+measurement ran on: an event loop (:mod:`repro.net.clock`), IPv4
+endpoints and address classification (:mod:`repro.net.addresses`), a
+datagram network with per-link latency and loss (:mod:`repro.net.network`),
+the four classic NAT behaviours (:mod:`repro.net.nat`), and a
+tcpdump-style capture facility (:mod:`repro.net.capture`) that the
+dynamic PDN detector parses for STUN/DTLS flows.
+"""
+
+from repro.net.clock import EventLoop, TimerHandle
+from repro.net.addresses import Endpoint, IpClass, classify_ip, is_bogon
+from repro.net.capture import CapturedPacket, TrafficCapture
+from repro.net.nat import NatBox, NatType
+from repro.net.network import Host, Network, UdpSocket
+
+__all__ = [
+    "EventLoop",
+    "TimerHandle",
+    "Endpoint",
+    "IpClass",
+    "classify_ip",
+    "is_bogon",
+    "CapturedPacket",
+    "TrafficCapture",
+    "NatBox",
+    "NatType",
+    "Host",
+    "Network",
+    "UdpSocket",
+]

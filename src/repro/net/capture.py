@@ -1,0 +1,93 @@
+"""tcpdump-style traffic capture.
+
+The PDN analyzer starts a capture on each peer container's virtual
+interface (the paper dumps ``docker0``); the dynamic detector then
+parses the captured datagrams for STUN binding requests followed by
+DTLS handshakes between candidate peer pairs (§III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.net.addresses import Endpoint
+
+
+@dataclass(frozen=True)
+class CapturedPacket:
+    """One on-the-wire datagram as seen by the capture point."""
+
+    time: float
+    src: Endpoint
+    dst: Endpoint
+    payload: bytes
+    dropped: bool = False  # True if the network dropped it after capture
+
+    @property
+    def size(self) -> int:
+        """Size."""
+        return len(self.payload)
+
+
+class TrafficCapture:
+    """An append-only packet log with simple filtering.
+
+    A capture may be *scoped* to a set of host IPs (a container's
+    interface) via ``interface_ips``; unscoped captures see everything
+    (the network-wide tap used in controlled experiments).
+    """
+
+    def __init__(self, name: str = "capture", interface_ips: Iterable[str] | None = None) -> None:
+        self.name = name
+        self.interface_ips: frozenset[str] | None = (
+            frozenset(interface_ips) if interface_ips is not None else None
+        )
+        self.packets: list[CapturedPacket] = []
+        self._running = True
+
+    def wants(self, packet: CapturedPacket) -> bool:
+        """Wants."""
+        if not self._running:
+            return False
+        if self.interface_ips is None:
+            return True
+        return packet.src.ip in self.interface_ips or packet.dst.ip in self.interface_ips
+
+    def record(self, packet: CapturedPacket) -> None:
+        """Record."""
+        if self.wants(packet):
+            self.packets.append(packet)
+
+    def stop(self) -> None:
+        """Stop this component."""
+        self._running = False
+
+    # -- queries ---------------------------------------------------------
+
+    def filter(self, predicate: Callable[[CapturedPacket], bool]) -> list[CapturedPacket]:
+        """Filter."""
+        return [p for p in self.packets if predicate(p)]
+
+    def between(self, a: Endpoint | str, b: Endpoint | str) -> list[CapturedPacket]:
+        """Packets in either direction between two endpoints (or bare IPs)."""
+
+        def matches(ep: Endpoint, spec: Endpoint | str) -> bool:
+            """Matches."""
+            if isinstance(spec, str):
+                return ep.ip == spec
+            return ep == spec
+
+        return [
+            p
+            for p in self.packets
+            if (matches(p.src, a) and matches(p.dst, b))
+            or (matches(p.src, b) and matches(p.dst, a))
+        ]
+
+    def total_bytes(self) -> int:
+        """Total bytes."""
+        return sum(p.size for p in self.packets)
+
+    def __len__(self) -> int:
+        return len(self.packets)

@@ -1,0 +1,136 @@
+"""Discrete-event simulation clock.
+
+Everything time-dependent in the simulator — datagram delivery, player
+ticks, resource-monitor sampling, viewer churn — is driven by one
+:class:`EventLoop`. Time is a float in seconds; events at equal times
+fire in scheduling order (a monotonically increasing sequence number
+breaks ties), which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+from repro.util.errors import ConfigurationError
+
+
+class TimerHandle:
+    """Handle returned by :meth:`EventLoop.schedule`; supports cancel()."""
+
+    __slots__ = ("when", "callback", "args", "cancelled")
+
+    def __init__(self, when: float, callback: Callable[..., Any], args: tuple) -> None:
+        self.when = when
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Cancel."""
+        self.cancelled = True
+
+
+class EventLoop:
+    """A heap-based discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, TimerHandle]] = []
+        self._seq = itertools.count()
+        self._events_fired = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> TimerHandle:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ConfigurationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self.now + delay, callback, *args)
+
+    def schedule_at(self, when: float, callback: Callable[..., Any], *args: Any) -> TimerHandle:
+        """Run ``callback(*args)`` at absolute time ``when``."""
+        if when < self.now:
+            raise ConfigurationError(f"cannot schedule at {when} < now {self.now}")
+        handle = TimerHandle(when, callback, args)
+        heapq.heappush(self._heap, (when, next(self._seq), handle))
+        return handle
+
+    def call_every(
+        self,
+        interval: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        until: float | None = None,
+    ) -> TimerHandle:
+        """Schedule a repeating callback every ``interval`` seconds.
+
+        Returns the handle of the *first* occurrence; cancelling it stops
+        the whole chain (each tick checks the shared cancelled flag).
+        """
+        if interval <= 0:
+            raise ConfigurationError("interval must be positive")
+        first = TimerHandle(self.now + interval, callback, args)
+
+        def tick() -> None:
+            """Tick."""
+            if first.cancelled:
+                return
+            if until is not None and self.now > until:
+                return
+            callback(*args)
+            self.schedule(interval, tick)
+
+        heapq.heappush(self._heap, (first.when, next(self._seq), TimerHandle(first.when, tick, ())))
+        return first
+
+    # -- execution -------------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the next event. Returns False when the queue is empty."""
+        while self._heap:
+            when, _, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self.now = when
+            handle.callback(*handle.args)
+            self._events_fired += 1
+            return True
+        return False
+
+    def run_until(self, deadline: float) -> None:
+        """Fire all events scheduled at or before ``deadline``."""
+        while self._heap:
+            when, _, handle = self._heap[0]
+            if when > deadline:
+                break
+            heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self.now = when
+            handle.callback(*handle.args)
+            self._events_fired += 1
+        self.now = max(self.now, deadline)
+
+    def run(self, duration: float) -> None:
+        """Advance the clock ``duration`` seconds, firing due events."""
+        self.run_until(self.now + duration)
+
+    def run_all(self, max_events: int = 1_000_000) -> None:
+        """Drain the queue completely (bounded to catch runaway loops)."""
+        fired = 0
+        while self.step():
+            fired += 1
+            if fired > max_events:
+                raise RuntimeError(f"event loop exceeded {max_events} events; likely a livelock")
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for _, _, h in self._heap if not h.cancelled)
+
+    @property
+    def events_fired(self) -> int:
+        """Events fired."""
+        return self._events_fired

@@ -1,0 +1,124 @@
+"""Network address translation boxes.
+
+PDN peers overwhelmingly sit behind NATs; the whole reason WebRTC
+exchanges candidate addresses over STUN is NAT traversal, and the
+paper's in-the-wild harvest even observes *translation artifacts*
+(private/shared/reserved source addresses leaking into candidate
+exchanges). This module models the four classic NAT behaviours so the
+ICE layer, the leak experiment, and the TURN fallback all face the same
+constraints real peers do.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+
+from repro.net.addresses import Endpoint
+from repro.util.errors import ConfigurationError, NetworkError
+
+
+class NatType(enum.Enum):
+    """Classic NAT mapping/filtering behaviours (RFC 3489 taxonomy)."""
+
+    FULL_CONE = "full_cone"
+    RESTRICTED_CONE = "restricted_cone"
+    PORT_RESTRICTED_CONE = "port_restricted_cone"
+    SYMMETRIC = "symmetric"
+
+
+class NatBox:
+    """One NAT gateway with an external IP and a pool of mapped ports.
+
+    Hosts attached to the box get addresses in its private subnet; the
+    network layer calls :meth:`outbound` when such a host sends, and
+    :meth:`inbound` when a datagram arrives at the external address.
+    """
+
+    def __init__(
+        self,
+        external_ip: str,
+        nat_type: NatType = NatType.PORT_RESTRICTED_CONE,
+        subnet_prefix: str = "192.168.1",
+        port_base: int = 40000,
+    ) -> None:
+        self.external_ip = external_ip
+        self.nat_type = nat_type
+        self.subnet_prefix = subnet_prefix
+        self._port_counter = itertools.count(port_base)
+        self._host_counter = itertools.count(2)  # .1 is the gateway itself
+        # cone NATs: one mapping per internal endpoint
+        self._cone_map: dict[Endpoint, int] = {}
+        self._cone_reverse: dict[int, Endpoint] = {}
+        # which remotes each external port has contacted (for filtering)
+        self._permissions: dict[int, set[Endpoint]] = {}
+        # symmetric NATs: one mapping per (internal, remote) pair
+        self._sym_map: dict[tuple[Endpoint, Endpoint], int] = {}
+        self._sym_reverse: dict[int, tuple[Endpoint, Endpoint]] = {}
+
+    def allocate_internal_ip(self) -> str:
+        """Hand out the next private address in this NAT's subnet."""
+        host_part = next(self._host_counter)
+        if host_part > 254:
+            raise NetworkError(f"NAT subnet {self.subnet_prefix}.0/24 exhausted")
+        return f"{self.subnet_prefix}.{host_part}"
+
+    # -- translation -----------------------------------------------------
+
+    def outbound(self, internal: Endpoint, remote: Endpoint) -> Endpoint:
+        """Translate an outgoing datagram's source address.
+
+        Creates (or reuses) the mapping and records the remote as a
+        permitted return path for filtering purposes.
+        """
+        if self.nat_type is NatType.SYMMETRIC:
+            key = (internal, remote)
+            if key not in self._sym_map:
+                port = next(self._port_counter)
+                self._sym_map[key] = port
+                self._sym_reverse[port] = key
+            port = self._sym_map[key]
+        else:
+            if internal not in self._cone_map:
+                port = next(self._port_counter)
+                self._cone_map[internal] = port
+                self._cone_reverse[port] = internal
+            port = self._cone_map[internal]
+        self._permissions.setdefault(port, set()).add(remote)
+        return Endpoint(self.external_ip, port)
+
+    def inbound(self, external_port: int, remote: Endpoint) -> Endpoint | None:
+        """Translate an incoming datagram, or None if filtered.
+
+        Applies the filtering rule for this NAT type: full cone forwards
+        anything to a mapped port; restricted cone requires the internal
+        host to have previously sent to the remote *IP*; port-restricted
+        requires the exact remote *(IP, port)*; symmetric requires the
+        exact remote the mapping was created for.
+        """
+        if self.nat_type is NatType.SYMMETRIC:
+            entry = self._sym_reverse.get(external_port)
+            if entry is None:
+                return None
+            internal, mapped_remote = entry
+            if remote != mapped_remote:
+                return None
+            return internal
+
+        internal = self._cone_reverse.get(external_port)
+        if internal is None:
+            return None
+        if self.nat_type is NatType.FULL_CONE:
+            return internal
+        permitted = self._permissions.get(external_port, set())
+        if self.nat_type is NatType.RESTRICTED_CONE:
+            if any(p.ip == remote.ip for p in permitted):
+                return internal
+            return None
+        if self.nat_type is NatType.PORT_RESTRICTED_CONE:
+            return internal if remote in permitted else None
+        raise ConfigurationError(f"unknown NAT type {self.nat_type}")  # pragma: no cover
+
+    def mapping_count(self) -> int:
+        """Number of active port mappings (diagnostics)."""
+        return len(self._cone_map) + len(self._sym_map)

@@ -1,0 +1,268 @@
+"""The datagram network: hosts, sockets, routing, latency, loss.
+
+The network routes by *public* address: each routable IP belongs either
+to a public :class:`Host` or to a :class:`~repro.net.nat.NatBox` whose
+attached hosts carry private addresses. Sending through the network
+performs NAT translation, captures the wire-level packet for every
+interested :class:`~repro.net.capture.TrafficCapture`, applies loss,
+and schedules delivery on the event loop after a latency drawn from the
+region-aware latency model.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable
+
+from repro.net.addresses import Endpoint, int_to_ip, ip_to_int
+from repro.net.capture import CapturedPacket, TrafficCapture
+from repro.net.clock import EventLoop
+from repro.net.nat import NatBox, NatType
+from repro.util.errors import AddressInUseError, ConfigurationError, NetworkError
+from repro.util.rand import DeterministicRandom
+
+DatagramHandler = Callable[[bytes, Endpoint, "UdpSocket"], None]
+
+
+class UdpSocket:
+    """A bound UDP port on a host.
+
+    Incoming datagrams are passed to ``handler(payload, src, socket)``
+    when one is set, and always appended to :attr:`inbox` so tests can
+    poll without wiring callbacks.
+    """
+
+    def __init__(self, host: "Host", port: int, handler: DatagramHandler | None = None) -> None:
+        self.host = host
+        self.port = port
+        self.handler = handler
+        self.inbox: list[tuple[bytes, Endpoint]] = []
+        self.closed = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    @property
+    def endpoint(self) -> Endpoint:
+        """The socket's local (possibly private) address."""
+        return Endpoint(self.host.ip, self.port)
+
+    def send(self, dst: Endpoint, payload: bytes) -> None:
+        """Send."""
+        if self.closed:
+            raise NetworkError(f"socket {self.endpoint} is closed")
+        self.bytes_sent += len(payload)
+        self.host.network.send_datagram(self.host, self.port, dst, payload)
+
+    def deliver(self, payload: bytes, src: Endpoint) -> None:
+        """Push a message to the attached client, if any."""
+        if self.closed:
+            return
+        self.bytes_received += len(payload)
+        self.inbox.append((payload, src))
+        if self.handler is not None:
+            self.handler(payload, src, self)
+
+    def close(self) -> None:
+        """Close and release resources."""
+        self.closed = True
+        self.host.release_port(self.port)
+
+
+class Host:
+    """A machine on the network, optionally behind a NAT."""
+
+    def __init__(
+        self,
+        network: "Network",
+        name: str,
+        ip: str,
+        nat: NatBox | None = None,
+        region: str | None = None,
+        uplink_bytes_per_sec: float | None = None,
+    ) -> None:
+        self.network = network
+        self.name = name
+        self.ip = ip
+        self.nat = nat
+        self.region = region
+        # Residential uplinks are finite; None = unconstrained (the
+        # default, matching the original latency-only model).
+        self.uplink_bytes_per_sec = uplink_bytes_per_sec
+        self._uplink_busy_until = 0.0
+        self.sockets: dict[int, UdpSocket] = {}
+        self._ephemeral = itertools.count(10000)
+
+    @property
+    def public_ip(self) -> str:
+        """The address the rest of the Internet sees for this host."""
+        return self.nat.external_ip if self.nat else self.ip
+
+    def bind_udp(self, port: int = 0, handler: DatagramHandler | None = None) -> UdpSocket:
+        """Bind a UDP socket; port 0 picks a free ephemeral port."""
+        if port == 0:
+            port = next(self._ephemeral)
+            while port in self.sockets:
+                port = next(self._ephemeral)
+        if port in self.sockets:
+            raise AddressInUseError(f"{self.name}: port {port} already bound")
+        sock = UdpSocket(self, port, handler)
+        self.sockets[port] = sock
+        return sock
+
+    def release_port(self, port: int) -> None:
+        """Release port."""
+        self.sockets.pop(port, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"Host({self.name}, {self.ip}, nat={self.nat is not None})"
+
+
+class Network:
+    """The simulated Internet."""
+
+    def __init__(
+        self,
+        loop: EventLoop | None = None,
+        rand: DeterministicRandom | None = None,
+        base_latency: float = 0.02,
+        cross_region_latency: float = 0.12,
+        jitter: float = 0.004,
+        loss_rate: float = 0.0,
+    ) -> None:
+        self.loop = loop or EventLoop()
+        self.rand = (rand or DeterministicRandom(0)).fork("network")
+        self.base_latency = base_latency
+        self.cross_region_latency = cross_region_latency
+        self.jitter = jitter
+        self.loss_rate = loss_rate
+        self.hosts: dict[str, Host] = {}  # keyed by the host's own ip
+        self._routable: dict[str, Host | NatBox] = {}  # public address space
+        self.captures: list[TrafficCapture] = []
+        self._next_public_ip = ip_to_int("5.0.0.1")
+        self._next_nat_subnet = itertools.count(1)
+        self.datagrams_sent = 0
+        self.datagrams_dropped = 0
+
+    # -- topology --------------------------------------------------------
+
+    def allocate_public_ip(self) -> str:
+        """Allocate public ip."""
+        ip = int_to_ip(self._next_public_ip)
+        self._next_public_ip += 1
+        return ip
+
+    def add_host(
+        self,
+        name: str,
+        ip: str | None = None,
+        nat: NatBox | None = None,
+        region: str | None = None,
+        uplink_bytes_per_sec: float | None = None,
+    ) -> Host:
+        """Create a host. Behind a NAT it gets a private subnet address."""
+        if nat is not None:
+            if ip is not None:
+                raise ConfigurationError("cannot set explicit ip for a NATed host")
+            ip = nat.allocate_internal_ip()
+        elif ip is None:
+            ip = self.allocate_public_ip()
+        if ip in self.hosts:
+            raise ConfigurationError(f"duplicate host ip {ip}")
+        host = Host(self, name, ip, nat=nat, region=region,
+                    uplink_bytes_per_sec=uplink_bytes_per_sec)
+        self.hosts[ip] = host
+        if nat is None:
+            self._routable[ip] = host
+        return host
+
+    def add_nat(
+        self,
+        nat_type: NatType = NatType.PORT_RESTRICTED_CONE,
+        external_ip: str | None = None,
+    ) -> NatBox:
+        """Create a NAT box with its own public address and subnet."""
+        if external_ip is None:
+            external_ip = self.allocate_public_ip()
+        subnet_index = next(self._next_nat_subnet)
+        subnet = f"192.168.{subnet_index % 256}" if subnet_index < 256 else (
+            f"10.{subnet_index // 256}.{subnet_index % 256}"
+        )
+        nat = NatBox(external_ip, nat_type, subnet_prefix=subnet)
+        self._routable[external_ip] = nat
+        return nat
+
+    def add_capture(self, capture: TrafficCapture) -> TrafficCapture:
+        """Add capture."""
+        self.captures.append(capture)
+        return capture
+
+    # -- data plane ------------------------------------------------------
+
+    def latency_between(self, src: Host, dst_region: str | None) -> float:
+        """Latency between."""
+        base = (
+            self.base_latency
+            if src.region == dst_region or src.region is None or dst_region is None
+            else self.cross_region_latency
+        )
+        return max(0.001, base + self.rand.uniform(-self.jitter, self.jitter))
+
+    def send_datagram(self, src_host: Host, src_port: int, dst: Endpoint, payload: bytes) -> None:
+        """Send one datagram. NAT-translates, captures, drops, delivers."""
+        self.datagrams_sent += 1
+        if src_host.nat is not None:
+            wire_src = src_host.nat.outbound(Endpoint(src_host.ip, src_port), dst)
+        else:
+            wire_src = Endpoint(src_host.ip, src_port)
+
+        dropped = self.loss_rate > 0 and self.rand.random() < self.loss_rate
+        packet = CapturedPacket(self.loop.now, wire_src, dst, payload, dropped=dropped)
+        for capture in self.captures:
+            capture.record(packet)
+        if dropped:
+            self.datagrams_dropped += 1
+            return
+
+        target = self._routable.get(dst.ip)
+        if target is None:
+            # Unroutable destination (e.g. a bogon candidate): black-hole.
+            self.datagrams_dropped += 1
+            return
+
+        if isinstance(target, NatBox):
+            internal = target.inbound(dst.port, wire_src)
+            if internal is None:
+                self.datagrams_dropped += 1
+                return
+            dest_host = self.hosts.get(internal.ip)
+            dest_port = internal.port
+        else:
+            dest_host = target
+            dest_port = dst.port
+        if dest_host is None:
+            self.datagrams_dropped += 1
+            return
+
+        delay = self.latency_between(src_host, dest_host.region)
+        delay += self._uplink_queue_delay(src_host, len(payload))
+        self.loop.schedule(delay, self._deliver, dest_host, dest_port, payload, wire_src)
+
+    def _uplink_queue_delay(self, src_host: Host, size: int) -> float:
+        """Serialisation + queueing on a capacity-limited uplink.
+
+        Each datagram occupies the sender's uplink for size/rate seconds;
+        concurrent sends queue behind it (how a seeder saturates when too
+        many leechers pull from it at once)."""
+        rate = src_host.uplink_bytes_per_sec
+        if rate is None or rate <= 0:
+            return 0.0
+        start = max(self.loop.now, src_host._uplink_busy_until)
+        src_host._uplink_busy_until = start + size / rate
+        return src_host._uplink_busy_until - self.loop.now
+
+    def _deliver(self, host: Host, port: int, payload: bytes, src: Endpoint) -> None:
+        sock = host.sockets.get(port)
+        if sock is None:
+            self.datagrams_dropped += 1
+            return
+        sock.deliver(payload, src)

@@ -1,0 +1,50 @@
+"""The peer-assisted delivery network (PDN) itself.
+
+This package implements the services under study: provider profiles
+modeling Peer5 / Streamroot / Viblast and the private platform services
+(:mod:`repro.pdn.provider`), static-API-key authentication with optional
+domain allowlists (:mod:`repro.pdn.auth`), usage billing
+(:mod:`repro.pdn.billing`), the signaling/tracker server that forms
+swarms and relays SDP (:mod:`repro.pdn.signaling`), neighbor selection
+(:mod:`repro.pdn.scheduler`), and the client SDK — a hybrid segment
+loader that mixes CDN slow-start with P2P delivery
+(:mod:`repro.pdn.sdk`).
+"""
+
+from repro.pdn.provider import (
+    PEER5,
+    STREAMROOT,
+    VIBLAST,
+    AuthPolicyKind,
+    BillingModel,
+    PdnProvider,
+    ProviderProfile,
+    private_profile,
+)
+from repro.pdn.auth import ApiKey, AuthDecision, Authenticator
+from repro.pdn.billing import BillingAccount
+from repro.pdn.policy import CellularPolicy, ClientPolicy
+from repro.pdn.scheduler import SwarmScheduler
+from repro.pdn.signaling import PdnSignalingServer, SignalingSession
+from repro.pdn.sdk import PdnClient
+
+__all__ = [
+    "PEER5",
+    "STREAMROOT",
+    "VIBLAST",
+    "AuthPolicyKind",
+    "BillingModel",
+    "PdnProvider",
+    "ProviderProfile",
+    "private_profile",
+    "ApiKey",
+    "AuthDecision",
+    "Authenticator",
+    "BillingAccount",
+    "CellularPolicy",
+    "ClientPolicy",
+    "SwarmScheduler",
+    "PdnSignalingServer",
+    "SignalingSession",
+    "PdnClient",
+]

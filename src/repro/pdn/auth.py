@@ -1,0 +1,178 @@
+"""PDN peer/customer authentication.
+
+The free-riding vulnerability (§IV-B) is *inherent* in how these
+services authenticate: a static API key embedded in the customer's page,
+checked — at best — against the HTTP ``Origin``/``Referer`` headers,
+which any proxy can spoof. This module implements that mechanism
+faithfully, per provider policy:
+
+- ``API_KEY_ONLY``: any origin accepted (Peer5/Streamroot default) —
+  vulnerable to the plain cross-domain attack;
+- ``ALLOWLIST_OPTIONAL``: a customer *may* configure a domain allowlist;
+- ``ALLOWLIST_REQUIRED``: the provider forces an allowlist at setup
+  (Viblast) — stops cross-domain but not domain spoofing, because the
+  check trusts client-supplied headers;
+- ``SESSION_TOKEN``: private services issue per-session tokens, with or
+  without binding to the video URL (Tencent Video famously without).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.util.rand import DeterministicRandom
+
+
+class AuthPolicyKind(enum.Enum):
+    """AuthPolicyKind."""
+    API_KEY_ONLY = "api_key_only"
+    ALLOWLIST_OPTIONAL = "allowlist_optional"
+    ALLOWLIST_REQUIRED = "allowlist_required"
+    SESSION_TOKEN = "session_token"
+
+
+@dataclass
+class ApiKey:
+    """A customer's static credential, as shipped inside pages/apps."""
+
+    key: str
+    customer_id: str
+    allowed_domains: frozenset[str] | None = None  # None = no allowlist configured
+    active: bool = True
+
+    @property
+    def has_allowlist(self) -> bool:
+        """Has allowlist."""
+        return self.allowed_domains is not None
+
+
+@dataclass(frozen=True)
+class AuthDecision:
+    """Outcome of an authentication attempt."""
+
+    accepted: bool
+    customer_id: str | None = None
+    reason: str = ""
+
+
+def _registrable_domain(origin: str) -> str:
+    """Normalize an Origin/Referer value to a comparable domain."""
+    value = origin.strip().lower()
+    for prefix in ("https://", "http://", "app://"):
+        if value.startswith(prefix):
+            value = value[len(prefix) :]
+    value = value.split("/")[0].split(":")[0]
+    return value[4:] if value.startswith("www.") else value
+
+
+class Authenticator:
+    """Server-side authentication for one provider."""
+
+    def __init__(self, policy: AuthPolicyKind, rand: DeterministicRandom | None = None) -> None:
+        self.policy = policy
+        self.rand = rand or DeterministicRandom("auth")
+        self._keys: dict[str, ApiKey] = {}
+        self._session_tokens: dict[str, dict] = {}  # token -> claims
+        self.attempts = 0
+        self.rejections = 0
+
+    # -- key management ---------------------------------------------------
+
+    def issue_key(
+        self,
+        customer_id: str,
+        allowed_domains: set[str] | None = None,
+    ) -> ApiKey:
+        """Issue a static API key for a customer.
+
+        Under ``ALLOWLIST_REQUIRED`` the provider insists on a non-empty
+        allowlist at setup time (Viblast's behaviour).
+        """
+        if self.policy is AuthPolicyKind.ALLOWLIST_REQUIRED and not allowed_domains:
+            allowed_domains = {customer_id}  # provider defaults it to the signup domain
+        key = ApiKey(
+            key=self.rand.bytes(12).hex(),
+            customer_id=customer_id,
+            allowed_domains=(
+                frozenset(_registrable_domain(d) for d in allowed_domains)
+                if allowed_domains
+                else None
+            ),
+        )
+        self._keys[key.key] = key
+        return key
+
+    def revoke_key(self, key: str) -> None:
+        """Revoke key."""
+        if key in self._keys:
+            self._keys[key].active = False
+
+    def configure_allowlist(self, key: str, domains: set[str]) -> None:
+        """Configure allowlist."""
+        api_key = self._keys[key]
+        api_key.allowed_domains = frozenset(_registrable_domain(d) for d in domains)
+
+    def lookup(self, key: str) -> ApiKey | None:
+        """Lookup."""
+        return self._keys.get(key)
+
+    # -- session tokens (private services) -----------------------------------
+
+    def issue_session_token(self, customer_id: str, video_url: str | None = None) -> str:
+        """Issue a temporary session token, optionally video-bound.
+
+        ``video_url=None`` reproduces Tencent Video's weakness: the token
+        authenticates the peer but not *what* it is allowed to stream.
+        """
+        token = self.rand.bytes(16).hex()
+        self._session_tokens[token] = {"customer_id": customer_id, "video_url": video_url}
+        return token
+
+    # -- the check itself ---------------------------------------------------
+
+    def authenticate(
+        self,
+        key_or_token: str,
+        origin: str | None = None,
+        video_url: str | None = None,
+    ) -> AuthDecision:
+        """Authenticate a joining peer.
+
+        ``origin`` is whatever the client *claims* in its Origin/Referer
+        headers — the server has no way to verify it, which is the root
+        cause of the domain-spoofing bypass.
+        """
+        self.attempts += 1
+        if self.policy is AuthPolicyKind.SESSION_TOKEN:
+            decision = self._check_session_token(key_or_token, video_url)
+        else:
+            decision = self._check_api_key(key_or_token, origin)
+        if not decision.accepted:
+            self.rejections += 1
+        return decision
+
+    def _check_api_key(self, key: str, origin: str | None) -> AuthDecision:
+        api_key = self._keys.get(key)
+        if api_key is None:
+            return AuthDecision(False, reason="unknown api key")
+        if not api_key.active:
+            return AuthDecision(False, reason="expired api key")
+        if api_key.allowed_domains is not None:
+            claimed = _registrable_domain(origin or "")
+            if claimed not in api_key.allowed_domains:
+                return AuthDecision(
+                    False, api_key.customer_id, reason=f"origin {claimed!r} not in allowlist"
+                )
+        return AuthDecision(True, api_key.customer_id, reason="ok")
+
+    def _check_session_token(self, token: str, video_url: str | None) -> AuthDecision:
+        claims = self._session_tokens.get(token)
+        if claims is None:
+            return AuthDecision(False, reason="unknown session token")
+        bound = claims.get("video_url")
+        if bound is not None and video_url != bound:
+            return AuthDecision(
+                False, claims["customer_id"], reason="token not valid for this video"
+            )
+        return AuthDecision(True, claims["customer_id"], reason="ok")

@@ -1,0 +1,85 @@
+"""Usage billing — the economics of the free-riding attack.
+
+§IV-B: Peer5 and Streamroot charge by monthly P2P traffic (Peer5:
+$500 per 50 TB), Viblast by concurrent viewer hours ($0.01/hour). An
+attacker free-riding a victim's key inflates exactly these meters, so
+the billing account is what the free-riding benchmark reads to show the
+monetary damage.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class BillingModel(enum.Enum):
+    """BillingModel."""
+    P2P_TRAFFIC = "p2p_traffic"  # $ per byte of P2P traffic (Peer5, Streamroot)
+    VIEWER_HOURS = "viewer_hours"  # $ per concurrent viewer hour (Viblast)
+    NONE = "none"  # private services bill nobody
+
+
+# Peer5's public pricing: $500 for 50 TB of P2P traffic.
+PEER5_PRICE_PER_BYTE = 500.0 / (50 * 1e12)
+VIBLAST_PRICE_PER_VIEWER_HOUR = 0.01
+
+
+@dataclass
+class BillingAccount:
+    """Usage meters for one customer at one provider."""
+
+    customer_id: str
+    model: BillingModel
+    price_per_byte: float = PEER5_PRICE_PER_BYTE
+    price_per_viewer_hour: float = VIBLAST_PRICE_PER_VIEWER_HOUR
+    p2p_bytes: int = 0
+    viewer_seconds: float = 0.0
+    sessions: int = 0
+
+    def record_p2p_bytes(self, count: int) -> None:
+        """Record p2p bytes."""
+        if count < 0:
+            raise ValueError("byte count cannot be negative")
+        self.p2p_bytes += count
+
+    def record_viewer_time(self, seconds: float) -> None:
+        """Record viewer time."""
+        if seconds < 0:
+            raise ValueError("viewer time cannot be negative")
+        self.viewer_seconds += seconds
+
+    def record_session(self) -> None:
+        """Record session."""
+        self.sessions += 1
+
+    @property
+    def cost(self) -> float:
+        """Dollars owed under this provider's pricing model."""
+        if self.model is BillingModel.P2P_TRAFFIC:
+            return self.p2p_bytes * self.price_per_byte
+        if self.model is BillingModel.VIEWER_HOURS:
+            return (self.viewer_seconds / 3600.0) * self.price_per_viewer_hour
+        return 0.0
+
+
+class BillingLedger:
+    """All customer accounts at one provider."""
+
+    def __init__(self, model: BillingModel) -> None:
+        self.model = model
+        self._accounts: dict[str, BillingAccount] = {}
+
+    def account(self, customer_id: str) -> BillingAccount:
+        """Account."""
+        if customer_id not in self._accounts:
+            self._accounts[customer_id] = BillingAccount(customer_id, self.model)
+        return self._accounts[customer_id]
+
+    def total_cost(self) -> float:
+        """Total cost."""
+        return sum(a.cost for a in self._accounts.values())
+
+    def accounts(self) -> list[BillingAccount]:
+        """Accounts."""
+        return list(self._accounts.values())

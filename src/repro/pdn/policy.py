@@ -1,0 +1,54 @@
+"""Per-customer client-side PDN configuration.
+
+§IV-D's *resource squatting in the wild* finding is about exactly this
+object: Peer5 ships the customer's configuration in an unprotected
+JavaScript variable, and three popular apps were found configured to use
+viewers' *cellular* data for both upload and download. The policy knobs
+here mirror the fields the paper extracted.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class CellularPolicy(enum.Enum):
+    """What the SDK may do when the device is on a cellular connection."""
+
+    NONE = "none"  # no P2P on cellular at all
+    LEECH = "leech"  # download from peers, never upload (most customers)
+    FULL = "full"  # upload and download on cellular (the 3 flagged apps)
+
+
+@dataclass(frozen=True)
+class ClientPolicy:
+    """The customer-controlled SDK configuration (the unprotected JS config)."""
+
+    cellular: CellularPolicy = CellularPolicy.LEECH
+    max_neighbors: int = 8
+    max_upload_bytes_per_sec: float | None = None  # None = unlimited (default!)
+    show_consent_dialog: bool = False  # no studied customer sets this
+    allow_user_disable: bool = False  # none of the providers allow it
+
+    def upload_allowed(self, connection_type: str) -> bool:
+        """May the SDK serve segments to peers on this connection type?"""
+        if connection_type == "cellular":
+            return self.cellular is CellularPolicy.FULL
+        return True
+
+    def download_allowed(self, connection_type: str) -> bool:
+        """May the SDK fetch segments from peers on this connection type?"""
+        if connection_type == "cellular":
+            return self.cellular in (CellularPolicy.LEECH, CellularPolicy.FULL)
+        return True
+
+    def to_js_config(self) -> dict:
+        """The unprotected configuration variable shipped in the SDK JS."""
+        return {
+            "cellularMode": self.cellular.value,
+            "maxNeighbors": self.max_neighbors,
+            "maxUploadBps": self.max_upload_bytes_per_sec,
+            "consentDialog": self.show_consent_dialog,
+            "userDisable": self.allow_user_disable,
+        }

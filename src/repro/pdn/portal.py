@@ -1,0 +1,64 @@
+"""The provider's customer portal (usage & billing dashboard).
+
+§III-B: the authors "signed up as a customer of the verified PDN
+services so as to access their documentation, client-side SDKs as well
+as customer portals". The portal is where a free-riding victim would
+*see* the damage: P2P traffic and viewer-hours they never served,
+accruing cost under their API key.
+
+Fittingly for the ecosystem's security posture, the portal
+authenticates with the same static API key the paper shows anyone can
+scrape — so the attacker can even watch the victim's meter.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.streaming.http import HttpRequest, HttpResponse
+
+
+class CustomerPortal:
+    """Read-only usage dashboard, one per provider."""
+
+    def __init__(self, provider) -> None:
+        self.provider = provider
+        self.hostname = f"portal.{provider.profile.sdk_host}"
+        self.requests_served = 0
+
+    def install(self, urlspace) -> "CustomerPortal":
+        """Register this component in the URL space and return it."""
+        urlspace.register(self.hostname, self)
+        return self
+
+    def handle_request(self, request: HttpRequest) -> HttpResponse:
+        """Serve one HTTP request."""
+        self.requests_served += 1
+        if not request.path.startswith("/api/usage"):
+            return HttpResponse(404, b"not found")
+        key_value = _query_param(request.path, "key")
+        api_key = self.provider.authenticator.lookup(key_value or "")
+        if api_key is None:
+            return HttpResponse(403, b"invalid api key")
+        account = self.provider.billing.account(api_key.customer_id)
+        payload = {
+            "customer_id": api_key.customer_id,
+            "key_active": api_key.active,
+            "p2p_bytes": account.p2p_bytes,
+            "viewer_hours": round(account.viewer_seconds / 3600.0, 4),
+            "sessions": account.sessions,
+            "cost_usd": round(account.cost, 6),
+            "billing_model": account.model.value,
+        }
+        return HttpResponse(
+            200, json.dumps(payload).encode(), {"content-type": "application/json"}
+        )
+
+
+def _query_param(path: str, name: str) -> str | None:
+    if "?" not in path:
+        return None
+    for chunk in path.split("?", 1)[1].split("&"):
+        if chunk.startswith(name + "="):
+            return chunk.split("=", 1)[1]
+    return None

@@ -1,0 +1,245 @@
+"""PDN provider profiles and the provider service object.
+
+Three public providers are modeled after the paper's findings
+(Table V):
+
+=============  ====================  ==========================  =============
+provider       auth policy           billing                     cross-domain?
+=============  ====================  ==========================  =============
+Peer5          allowlist optional    P2P traffic ($500/50 TB)    vulnerable by default
+Streamroot     allowlist optional    P2P traffic                 vulnerable by default
+Viblast        allowlist required    viewer hours ($0.01/h)      protected (but spoofable)
+=============  ====================  ==========================  =============
+
+Private platform services (Table IV) use per-session tokens and their
+own signaling domains; :func:`private_profile` builds those, including
+the Mango-TV-style no-binding weakness and the Tencent-style
+token-not-bound-to-video weakness.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.net.clock import EventLoop
+from repro.pdn.auth import ApiKey, AuthPolicyKind, Authenticator
+from repro.pdn.billing import BillingLedger, BillingModel
+from repro.pdn.policy import ClientPolicy
+from repro.pdn.scheduler import GeoFilterMode, SwarmScheduler
+from repro.streaming.http import HttpRequest, HttpResponse, UrlSpace
+from repro.util.rand import DeterministicRandom
+
+# re-exported for convenience
+__all__ = [
+    "ProviderProfile",
+    "PdnProvider",
+    "AuthPolicyKind",
+    "BillingModel",
+    "PEER5",
+    "STREAMROOT",
+    "VIBLAST",
+    "private_profile",
+]
+
+
+@dataclass(frozen=True)
+class ProviderProfile:
+    """Static description of a PDN provider's service design."""
+
+    name: str
+    sdk_host: str
+    signaling_host: str
+    auth_policy: AuthPolicyKind
+    billing_model: BillingModel
+    sdk_url_pattern: str  # the detector's URL signature, {key} substituted
+    android_namespace: str | None = None  # APK signature (package namespace)
+    manifest_key: str | None = None  # Android manifest metadata signature
+    slow_start_segments: int = 2
+    is_private: bool = False
+    video_bound_tokens: bool = False  # private services: bind token to video URL
+    drm_protected: bool = False  # private platforms gate playback on registered sources
+
+    def sdk_url(self, api_key: str) -> str:
+        """Sdk url."""
+        return self.sdk_url_pattern.format(key=api_key)
+
+
+PEER5 = ProviderProfile(
+    name="peer5",
+    sdk_host="api.peer5.com",
+    signaling_host="signal.peer5.com",
+    auth_policy=AuthPolicyKind.ALLOWLIST_OPTIONAL,
+    billing_model=BillingModel.P2P_TRAFFIC,
+    sdk_url_pattern="https://api.peer5.com/peer5.js?id={key}",
+    android_namespace="com.peer5.sdk",
+    manifest_key="com.peer5.ApiKey",
+)
+
+STREAMROOT = ProviderProfile(
+    name="streamroot",
+    sdk_host="cdn.streamroot.io",
+    signaling_host="backend.dna.streamroot.io",
+    auth_policy=AuthPolicyKind.ALLOWLIST_OPTIONAL,
+    billing_model=BillingModel.P2P_TRAFFIC,
+    sdk_url_pattern="https://cdn.streamroot.io/dna/{key}/dna.js",
+    android_namespace="io.streamroot.dna",
+    manifest_key="io.streamroot.dna.StreamrootKey",
+)
+
+VIBLAST = ProviderProfile(
+    name="viblast",
+    sdk_host="cdn.viblast.com",
+    signaling_host="pdn.viblast.com",
+    auth_policy=AuthPolicyKind.ALLOWLIST_REQUIRED,
+    billing_model=BillingModel.VIEWER_HOURS,
+    sdk_url_pattern="https://cdn.viblast.com/vb/{key}/viblast.js",
+    android_namespace="com.viblast.android",
+    manifest_key="com.viblast.LicenseKey",
+)
+
+PUBLIC_PROVIDERS = (PEER5, STREAMROOT, VIBLAST)
+
+
+def private_profile(
+    platform_domain: str,
+    signaling_host: str,
+    video_bound_tokens: bool = True,
+    drm_protected: bool = True,
+) -> ProviderProfile:
+    """Build a private (single-platform) PDN service profile.
+
+    Private platforms default to DRM-style access control on video
+    sources (§IV-C: Mango TV transmitted polluted segments over DTLS but
+    never played them, "probably because private PDN services maintain
+    access control on all the existing video sources").
+    """
+    return ProviderProfile(
+        name=f"private:{platform_domain}",
+        sdk_host=platform_domain,
+        signaling_host=signaling_host,
+        auth_policy=AuthPolicyKind.SESSION_TOKEN,
+        billing_model=BillingModel.NONE,
+        sdk_url_pattern=f"https://{platform_domain}/player/pdn.js",
+        slow_start_segments=2,
+        is_private=True,
+        video_bound_tokens=video_bound_tokens,
+        drm_protected=drm_protected,
+    )
+
+
+class PdnProvider:
+    """A running PDN service: auth + billing + signaling + scheduling.
+
+    Also an HTTP server for its SDK host, serving the JavaScript SDK
+    whose body carries the signature strings and the unprotected
+    configuration variable that the detector and the resource-squatting
+    analysis read.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        rand: DeterministicRandom,
+        profile: ProviderProfile,
+        geo_filter: GeoFilterMode = GeoFilterMode.NONE,
+        max_neighbors: int = 8,
+    ) -> None:
+        self.loop = loop
+        self.rand = rand.fork(f"provider:{profile.name}")
+        self.profile = profile
+        self.authenticator = Authenticator(profile.auth_policy, self.rand.fork("auth"))
+        self.billing = BillingLedger(profile.billing_model)
+        self.scheduler = SwarmScheduler(
+            self.rand.fork("sched"), max_candidates=max_neighbors, geo_filter=geo_filter
+        )
+        # The signaling server is created lazily to avoid a circular import.
+        from repro.pdn.signaling import PdnSignalingServer
+
+        self.signaling = PdnSignalingServer(loop, self.rand.fork("signal"), self)
+        self._customer_policies: dict[str, ClientPolicy] = {}
+        # Video sources registered with the platform's DRM/access control.
+        # Only meaningful when profile.drm_protected is set.
+        self.drm_registry: set[str] = set()
+        # §V-A defense: when set, joins authenticate with disposable
+        # video-binding tokens instead of the static API key.
+        self.token_defense = None  # TokenValidator | None
+
+    def register_drm_video(self, video_url: str) -> None:
+        """Register drm video."""
+        self.drm_registry.add(video_url)
+
+    # -- customer management ------------------------------------------------
+
+    def signup_customer(
+        self,
+        customer_id: str,
+        allowed_domains: set[str] | None = None,
+        policy: ClientPolicy | None = None,
+    ) -> ApiKey:
+        """Provision a customer: API key + client policy config."""
+        key = self.authenticator.issue_key(customer_id, allowed_domains)
+        self._customer_policies[customer_id] = policy or ClientPolicy()
+        self.billing.account(customer_id)
+        return key
+
+    def customer_policy(self, customer_id: str) -> ClientPolicy:
+        """Customer policy."""
+        return self._customer_policies.get(customer_id, ClientPolicy())
+
+    def issue_session_token(self, customer_id: str, video_url: str | None = None) -> str:
+        """Private services: mint a session token (maybe video-bound)."""
+        bound = video_url if self.profile.video_bound_tokens else None
+        return self.authenticator.issue_session_token(customer_id, bound)
+
+    # -- the SDK artifact -----------------------------------------------------
+
+    def sdk_script_source(self, api_key: str) -> str:
+        """The JavaScript SDK body served to browsers.
+
+        Includes the provider namespace (a content signature) and the
+        *unprotected configuration variable* (§IV-D resource squatting
+        in the wild) exposing the customer's cellular policy.
+        """
+        key = self.authenticator.lookup(api_key)
+        policy = (
+            self.customer_policy(key.customer_id) if key is not None else ClientPolicy()
+        )
+        config = json.dumps(policy.to_js_config())
+        return (
+            f"/* {self.profile.name} pdn sdk */\n"
+            f"var _pdnNamespace = '{self.profile.android_namespace or self.profile.name}';\n"
+            f"var _pdnApiKey = '{api_key}';\n"
+            f"var _pdnConfig = {config};\n"
+            f"var _pdnSignaling = 'wss://{self.profile.signaling_host}/v2/ws';\n"
+        )
+
+    def handle_request(self, request: HttpRequest) -> HttpResponse:
+        """Serve the SDK JS from the provider's CDN host."""
+        key = _extract_key_from_request(request, self.profile)
+        if key is None:
+            return HttpResponse(404, b"unknown sdk path")
+        return HttpResponse(
+            200,
+            self.sdk_script_source(key).encode(),
+            headers={"content-type": "application/javascript"},
+        )
+
+    def install(self, urlspace: UrlSpace) -> None:
+        """Make the provider reachable: SDK host, signaling host, and —
+        for public providers — the customer portal."""
+        urlspace.register(self.profile.sdk_host, self)
+        urlspace.register(self.profile.signaling_host, self.signaling)
+        if not self.profile.is_private:
+            from repro.pdn.portal import CustomerPortal
+
+            self.portal = CustomerPortal(self).install(urlspace)
+
+
+def _extract_key_from_request(request: HttpRequest, profile: ProviderProfile) -> str | None:
+    """Pull the API key back out of an SDK URL, per provider pattern."""
+    url = request.url
+    prefix, suffix = profile.sdk_url_pattern.split("{key}")
+    if url.startswith(prefix) and url.endswith(suffix):
+        return url[len(prefix) : len(url) - len(suffix)] or None
+    return None

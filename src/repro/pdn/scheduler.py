@@ -1,0 +1,77 @@
+"""Swarm membership and neighbor selection (mesh overlay).
+
+PDNs are mesh-based (§II): each peer connects to a random subset of the
+swarm watching the same content. Neighbor selection is also where the
+§V-C IP-leak mitigation plugs in — constraining candidates to the same
+country or ISP before their addresses are ever disclosed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.util.rand import DeterministicRandom
+
+
+class GeoFilterMode(enum.Enum):
+    """How aggressively the scheduler restricts candidate disclosure."""
+
+    NONE = "none"
+    SAME_COUNTRY = "same_country"
+    SAME_ISP = "same_isp"
+
+
+@dataclass
+class PeerRecord:
+    """What the signaling server knows about one connected peer."""
+
+    peer_id: str
+    ip: str
+    country: str = "unknown"
+    isp: str = "unknown"
+    joined_at: float = 0.0
+    # Relay-only peers advertise no real transport address (§V-C TURN
+    # mitigation): the scheduler may pick them, but their IP is never
+    # disclosed to other peers.
+    hidden: bool = False
+    session: object | None = field(default=None, repr=False)
+
+
+class SwarmScheduler:
+    """Picks candidate neighbors for a joining or refreshing peer."""
+
+    def __init__(
+        self,
+        rand: DeterministicRandom,
+        max_candidates: int = 8,
+        geo_filter: GeoFilterMode = GeoFilterMode.NONE,
+    ) -> None:
+        self.rand = rand
+        self.max_candidates = max_candidates
+        self.geo_filter = geo_filter
+        self.candidates_disclosed = 0
+
+    def eligible(self, candidate: PeerRecord, requester: PeerRecord) -> bool:
+        """Eligible."""
+        if candidate.peer_id == requester.peer_id:
+            return False
+        if self.geo_filter is GeoFilterMode.SAME_COUNTRY:
+            return candidate.country == requester.country
+        if self.geo_filter is GeoFilterMode.SAME_ISP:
+            return candidate.isp == requester.isp and candidate.country == requester.country
+        return True
+
+    def candidates_for(
+        self,
+        swarm: list[PeerRecord],
+        requester: PeerRecord,
+        limit: int | None = None,
+    ) -> list[PeerRecord]:
+        """Random sample of eligible swarm members for the requester."""
+        limit = limit if limit is not None else self.max_candidates
+        pool = [p for p in swarm if self.eligible(p, requester)]
+        if len(pool) > limit:
+            pool = self.rand.sample(pool, limit)
+        self.candidates_disclosed += len(pool)
+        return pool

@@ -1,0 +1,20 @@
+"""Peer-privacy substrate: geolocation, viewer churn, resource accounting.
+
+Supports the §IV-D experiments: the synthetic IPinfo-style geolocation
+database (:mod:`repro.privacy.geo`), per-platform viewer churn models
+(:mod:`repro.privacy.viewers`), and the Docker-stats-style resource
+monitor (:mod:`repro.privacy.resources`).
+"""
+
+from repro.privacy.geo import GeoDatabase, GeoInfo
+from repro.privacy.resources import ResourceModel, ResourceMonitor
+from repro.privacy.viewers import PlatformAudience, ViewerChurn
+
+__all__ = [
+    "GeoDatabase",
+    "GeoInfo",
+    "ResourceModel",
+    "ResourceMonitor",
+    "PlatformAudience",
+    "ViewerChurn",
+]

@@ -1,0 +1,17 @@
+"""Traffic interception tooling (the analyzer's mitmproxy analog).
+
+Each analyzer peer container runs with a proxy client whose traffic the
+control panel's proxy server can observe and rewrite (Fig. 2). Two
+interceptors reproduce the paper's attacks:
+
+- :class:`~repro.proxy.mitm.MitmProxy` — header rewriting (the
+  domain-spoofing free-riding attack) and URL redirection;
+- :class:`~repro.proxy.fake_cdn.FakeCdn` — the fake CDN of Fig. 3 that
+  downloads authentic video files from the real CDN and alters selected
+  segments before handing them to the malicious peer.
+"""
+
+from repro.proxy.mitm import MitmProxy
+from repro.proxy.fake_cdn import FakeCdn
+
+__all__ = ["MitmProxy", "FakeCdn"]

@@ -1,0 +1,88 @@
+"""The fake CDN of the content-pollution attack (Fig. 3).
+
+The fake CDN fronts the real CDN: it downloads the authentic manifest
+and segments, then alters segments selected by a predicate before
+returning them to the (attacker-controlled) peer. The peer's SDK caches
+the altered bytes as if they were authentic and serves them onward to
+benign peers — no knowledge of PDN protocols or browser-storage access
+required, exactly as the paper argues.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.streaming.cdn import _parse_segment_index
+from repro.streaming.http import HttpRequest, HttpResponse, UrlSpace, parse_url
+
+POLLUTION_MARKER = b"POLLUTED-BY-FAKE-CDN"
+
+
+def pollute_bytes(data: bytes, marker: bytes = POLLUTION_MARKER) -> bytes:
+    """Replace content while preserving length (a convincing fake segment)."""
+    if not data:
+        return data
+    repeated = marker * (len(data) // len(marker) + 1)
+    return repeated[: len(data)]
+
+
+class FakeCdn:
+    """An HTTP server that proxies a real CDN and alters chosen segments."""
+
+    def __init__(
+        self,
+        urlspace: UrlSpace,
+        real_cdn_host: str,
+        should_pollute: Callable[[int], bool],
+        hostname: str = "cdn.attacker.example",
+        marker: bytes = POLLUTION_MARKER,
+    ) -> None:
+        self.urlspace = urlspace
+        self.real_cdn_host = real_cdn_host
+        self.should_pollute = should_pollute
+        self.hostname = hostname
+        self.marker = marker
+        self.segments_polluted = 0
+        self.segments_passed_through = 0
+
+    def install(self) -> None:
+        """Register this component in the URL space and return it."""
+        self.urlspace.register(self.hostname, self)
+
+    def handle_request(self, request: HttpRequest) -> HttpResponse:
+        """Serve one HTTP request."""
+        scheme, _host, path = parse_url(request.url)
+        upstream = HttpRequest(
+            request.method,
+            f"{scheme}://{self.real_cdn_host}{path}",
+            dict(request.headers),
+            request.body,
+            request.client_ip,
+        )
+        response = self.urlspace.dispatch(upstream)
+        if not response.ok:
+            return response
+        filename = path.rsplit("/", 1)[-1]
+        if filename.startswith("seg-") and filename.endswith(".ts"):
+            index = _parse_segment_index(filename)
+            if index is not None and self.should_pollute(index):
+                self.segments_polluted += 1
+                return HttpResponse(200, pollute_bytes(response.body, self.marker), dict(response.headers))
+            self.segments_passed_through += 1
+        return response
+
+
+def pollute_all(_index: int) -> bool:
+    """Predicate for the *direct* content pollution attack (§IV-C test 1)."""
+    return True
+
+
+def pollute_after_slow_start(slow_start: int) -> Callable[[int], bool]:
+    """Predicate for the *video segment* pollution attack (§IV-C test 2):
+    leave the first ``slow_start`` segments authentic."""
+
+    def predicate(index: int) -> bool:
+        """Predicate."""
+        return index >= slow_start
+
+    return predicate

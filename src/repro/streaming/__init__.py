@@ -1,0 +1,60 @@
+"""Video streaming substrate: HTTP, synthetic video, HLS, CDN, player.
+
+This models the delivery stack the paper's test website ran on — a
+Wowza-style origin (:class:`~repro.streaming.cdn.OriginServer`), a
+CloudFront-style edge (:class:`~repro.streaming.cdn.CdnEdge`) with cache
+and billing, HLS playlists and TS segments, and a buffered video player
+that fetches segments through a pluggable loader (which is exactly where
+the PDN SDK inserts its hybrid CDN/P2P logic).
+"""
+
+from repro.streaming.http import (
+    HttpClient,
+    HttpRequest,
+    HttpResponse,
+    HttpServer,
+    UrlSpace,
+    parse_url,
+)
+from repro.streaming.video import VideoSegment, VideoSource, make_multi_bitrate_video, make_video
+from repro.streaming.hls import (
+    MasterPlaylist,
+    MediaPlaylist,
+    PlaylistEntry,
+    VariantEntry,
+    generate_master_playlist,
+    generate_media_playlist,
+    is_master_playlist,
+    parse_master_playlist,
+    parse_media_playlist,
+)
+from repro.streaming.cdn import CdnEdge, LiveChannel, OriginServer
+from repro.streaming.player import PlayerStats, SegmentLoader, VideoPlayer
+
+__all__ = [
+    "HttpClient",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpServer",
+    "UrlSpace",
+    "parse_url",
+    "VideoSegment",
+    "VideoSource",
+    "make_video",
+    "make_multi_bitrate_video",
+    "MasterPlaylist",
+    "VariantEntry",
+    "generate_master_playlist",
+    "parse_master_playlist",
+    "is_master_playlist",
+    "MediaPlaylist",
+    "PlaylistEntry",
+    "generate_media_playlist",
+    "parse_media_playlist",
+    "CdnEdge",
+    "LiveChannel",
+    "OriginServer",
+    "PlayerStats",
+    "SegmentLoader",
+    "VideoPlayer",
+]

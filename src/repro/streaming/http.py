@@ -1,0 +1,164 @@
+"""A compact HTTP model for the control plane.
+
+Video manifests, segments, PDN signaling bootstraps, and web pages all
+travel over HTTP(S) in the real system. Here HTTP exchanges are
+synchronous calls routed through a :class:`UrlSpace` (DNS + TCP in one),
+with byte accounting on both ends. What matters for the paper is not
+packet-level HTTP realism but (a) who talks to whom, (b) the headers —
+``Origin``/``Referer`` drive the free-riding authentication story — and
+(c) how many bytes each party pays for; all three are modeled exactly.
+
+An :class:`HttpClient` can be pointed at an intercepting proxy
+(:mod:`repro.proxy.mitm`), which is how the paper's analyzer rewrites
+headers and redirects CDN fetches to a fake CDN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.util.errors import HttpError, NetworkError
+
+
+def parse_url(url: str) -> tuple[str, str, str]:
+    """Split a URL into (scheme, host, path+query).
+
+    >>> parse_url("https://cdn.test.com/vod/clip/seg-1.ts")
+    ('https', 'cdn.test.com', '/vod/clip/seg-1.ts')
+    """
+    if "://" not in url:
+        raise NetworkError(f"malformed url: {url!r}")
+    scheme, rest = url.split("://", 1)
+    if "/" in rest:
+        host, path = rest.split("/", 1)
+        path = "/" + path
+    else:
+        host, path = rest, "/"
+    if not host:
+        raise NetworkError(f"malformed url: {url!r}")
+    return scheme, host, path
+
+
+@dataclass
+class HttpRequest:
+    """One HTTP request. ``client_ip`` is the connecting address a server sees."""
+
+    method: str
+    url: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    client_ip: str = "0.0.0.0"
+
+    @property
+    def host(self) -> str:
+        """Host."""
+        return parse_url(self.url)[1]
+
+    @property
+    def path(self) -> str:
+        """Path."""
+        return parse_url(self.url)[2]
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        """Header."""
+        for key, value in self.headers.items():
+            if key.lower() == name.lower():
+                return value
+        return default
+
+
+@dataclass
+class HttpResponse:
+    """HttpResponse."""
+    status: int
+    body: bytes = b""
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Ok."""
+        return 200 <= self.status < 300
+
+    def raise_for_status(self) -> "HttpResponse":
+        """Raise for status."""
+        if not self.ok:
+            raise HttpError(self.status, f"HTTP {self.status} for response")
+        return self
+
+
+class HttpServer(Protocol):
+    """Anything that answers HTTP requests."""
+
+    def handle_request(self, request: HttpRequest) -> HttpResponse:  # pragma: no cover
+        """Serve one HTTP request."""
+        ...
+
+
+class UrlSpace:
+    """The name space of reachable HTTP servers (DNS analog)."""
+
+    def __init__(self) -> None:
+        self._servers: dict[str, HttpServer] = {}
+
+    def register(self, hostname: str, server: HttpServer) -> None:
+        """Register."""
+        self._servers[hostname.lower()] = server
+
+    def unregister(self, hostname: str) -> None:
+        """Unregister."""
+        self._servers.pop(hostname.lower(), None)
+
+    def resolve(self, hostname: str) -> HttpServer | None:
+        """Resolve."""
+        return self._servers.get(hostname.lower())
+
+    def dispatch(self, request: HttpRequest) -> HttpResponse:
+        """Dispatch."""
+        server = self.resolve(request.host)
+        if server is None:
+            return HttpResponse(502, b"bad gateway: unknown host " + request.host.encode())
+        return server.handle_request(request)
+
+
+class HttpClient:
+    """An HTTP client bound to a client identity (IP), optionally proxied.
+
+    The proxy, when set, receives every request *before* name resolution
+    — mirroring how the analyzer's peers are configured with a proxy
+    client that hands all traffic to the control panel's proxy server.
+    """
+
+    def __init__(self, urlspace: UrlSpace, client_ip: str = "0.0.0.0", proxy=None) -> None:
+        self.urlspace = urlspace
+        self.client_ip = client_ip
+        self.proxy = proxy
+        self.requests_made = 0
+        self.bytes_downloaded = 0
+        self.bytes_uploaded = 0
+
+    def request(
+        self,
+        method: str,
+        url: str,
+        headers: dict[str, str] | None = None,
+        body: bytes = b"",
+    ) -> HttpResponse:
+        """Request."""
+        request = HttpRequest(method, url, dict(headers or {}), body, self.client_ip)
+        self.requests_made += 1
+        self.bytes_uploaded += len(body)
+        if self.proxy is not None:
+            response = self.proxy.handle(request, self.urlspace)
+        else:
+            response = self.urlspace.dispatch(request)
+        self.bytes_downloaded += len(response.body)
+        return response
+
+    def get(self, url: str, headers: dict[str, str] | None = None) -> HttpResponse:
+        """Get."""
+        return self.request("GET", url, headers)
+
+    def post(self, url: str, body: bytes, headers: dict[str, str] | None = None) -> HttpResponse:
+        """Post."""
+        return self.request("POST", url, headers, body)

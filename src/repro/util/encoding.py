@@ -1,0 +1,30 @@
+"""Byte-level encoding helpers (base64url, hex dumps, padding)."""
+
+from __future__ import annotations
+
+import base64
+
+
+def b64url_encode(data: bytes) -> str:
+    """Encode bytes as unpadded URL-safe base64 (JWT style)."""
+    return base64.urlsafe_b64encode(data).rstrip(b"=").decode("ascii")
+
+
+def b64url_decode(data: str) -> bytes:
+    """Decode unpadded URL-safe base64."""
+    padding = "=" * (-len(data) % 4)
+    return base64.urlsafe_b64decode(data + padding)
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} != {len(b)}")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def chunk_bytes(data: bytes, size: int) -> list[bytes]:
+    """Split ``data`` into chunks of at most ``size`` bytes."""
+    if size <= 0:
+        raise ValueError("chunk size must be positive")
+    return [data[i : i + size] for i in range(0, len(data), size)] or [b""]

@@ -1,0 +1,50 @@
+"""Deterministic identifier generation.
+
+The simulator needs many unique ids (peers, sessions, transactions,
+segments). Using a counter-based factory keeps runs reproducible and ids
+human-readable in logs and test failures.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+
+
+class IdFactory:
+    """Produces ids like ``peer-1``, ``peer-2``, ``session-1``, ...
+
+    Each prefix has its own counter, so interleaved allocation of
+    different kinds of ids stays stable as code evolves.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, itertools.count] = defaultdict(lambda: itertools.count(1))
+
+    def next(self, prefix: str) -> str:
+        """Return the next id for ``prefix``."""
+        return f"{prefix}-{next(self._counters[prefix])}"
+
+    def peek_count(self, prefix: str) -> int:
+        """Number of ids issued so far for ``prefix`` (for diagnostics)."""
+        counter = self._counters[prefix]
+        # itertools.count cannot be inspected; clone via repr parsing is
+        # fragile, so track by issuing nothing: we store counts separately.
+        raise NotImplementedError("use CountingIdFactory when counts are needed")
+
+
+class CountingIdFactory(IdFactory):
+    """An :class:`IdFactory` that also tracks how many ids were issued."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._issued: dict[str, int] = defaultdict(int)
+
+    def next(self, prefix: str) -> str:
+        """Next."""
+        self._issued[prefix] += 1
+        return f"{prefix}-{self._issued[prefix]}"
+
+    def peek_count(self, prefix: str) -> int:
+        """Peek count."""
+        return self._issued[prefix]

@@ -1,0 +1,141 @@
+"""Lightweight metrics primitives used by monitors and experiments.
+
+The Docker-stats analog (:mod:`repro.privacy.resources`) and the traffic
+accounting in the CDN/PDN layers record their observations through these
+classes so that experiments can aggregate them uniformly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Inc."""
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move up and down."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set."""
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        """Add."""
+        self.value += amount
+
+
+@dataclass
+class TimeSeries:
+    """A sampled series of (time, value) points with summary statistics."""
+
+    name: str = ""
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def record(self, t: float, value: float) -> None:
+        """Record."""
+        self.points.append((t, value))
+
+    def values(self) -> list[float]:
+        """Values."""
+        return [v for _, v in self.points]
+
+    def mean(self) -> float:
+        """Mean."""
+        vals = self.values()
+        return sum(vals) / len(vals) if vals else 0.0
+
+    def mean_between(self, t0: float, t1: float) -> float:
+        """Mean between."""
+        vals = [v for t, v in self.points if t0 <= t <= t1]
+        return sum(vals) / len(vals) if vals else 0.0
+
+    def max(self) -> float:
+        """Max."""
+        vals = self.values()
+        return max(vals) if vals else 0.0
+
+    def min(self) -> float:
+        """Min."""
+        vals = self.values()
+        return min(vals) if vals else 0.0
+
+    def stddev(self) -> float:
+        """Stddev."""
+        vals = self.values()
+        if len(vals) < 2:
+            return 0.0
+        mu = self.mean()
+        return math.sqrt(sum((v - mu) ** 2 for v in vals) / (len(vals) - 1))
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        vals = sorted(self.values())
+        if not vals:
+            return 0.0
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        rank = max(1, math.ceil(p / 100 * len(vals)))
+        return vals[rank - 1]
+
+    def last(self) -> float:
+        """Last."""
+        return self.points[-1][1] if self.points else 0.0
+
+    def total(self) -> float:
+        """Total."""
+        return sum(self.values())
+
+
+class MetricRegistry:
+    """A named collection of counters, gauges, and series."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._series: dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Counter."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """Gauge."""
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def series(self, name: str) -> TimeSeries:
+        """Series."""
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat dict of counter/gauge values and series means."""
+        out: dict[str, float] = {}
+        for name, c in self._counters.items():
+            out[f"counter.{name}"] = c.value
+        for name, g in self._gauges.items():
+            out[f"gauge.{name}"] = g.value
+        for name, s in self._series.items():
+            out[f"series.{name}.mean"] = s.mean()
+        return out

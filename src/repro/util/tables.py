@@ -1,0 +1,51 @@
+"""Plain-text table rendering for benchmark and experiment output.
+
+Every benchmark prints the rows of the paper table it reproduces; this
+module renders them in a compact, aligned format so the output can be
+diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
+    """Render rows as an aligned ASCII table.
+
+    >>> print(render_table(["a", "b"], [[1, 2]], title="t"))
+    t
+    a | b
+    --+--
+    1 | 2
+    """
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def render_kv(title: str, pairs: Sequence[tuple[str, Any]]) -> str:
+    """Render key/value pairs as an aligned two-column block."""
+    width = max((len(k) for k, _ in pairs), default=0)
+    lines = [title] if title else []
+    for key, value in pairs:
+        lines.append(f"  {key.ljust(width)} : {_fmt(value)}")
+    return "\n".join(lines)

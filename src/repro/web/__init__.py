@@ -1,0 +1,28 @@
+"""The web substrate: pages, websites, apps, a headless browser, a corpus.
+
+The measurement half of the paper runs against the public web; this
+package provides its synthetic stand-in. :class:`~repro.web.page.Website`
+objects serve HTML whose script tags and inline JavaScript carry the
+same signatures real PDN customers exhibit; :class:`~repro.web.apk.AndroidApp`
+models APKs with namespaces and manifest metadata;
+:class:`~repro.web.browser.Browser` loads pages, runs the PDN SDK under
+each customer's load conditions, and accounts resources; and
+:mod:`repro.web.corpus` builds the ranked, categorised internet-scale
+corpus — seeded with the paper's confirmed customers as ground truth —
+that the detector (:mod:`repro.detection`) is evaluated against.
+"""
+
+from repro.web.page import LoadCondition, PdnEmbed, WebPage, Website
+from repro.web.apk import AndroidApp, ApkVersion
+from repro.web.browser import Browser, PageSession
+
+__all__ = [
+    "LoadCondition",
+    "PdnEmbed",
+    "WebPage",
+    "Website",
+    "AndroidApp",
+    "ApkVersion",
+    "Browser",
+    "PageSession",
+]

@@ -1,0 +1,106 @@
+"""Android apps and APK versions.
+
+The app-side detector unpacks APKs and looks for PDN SDK namespaces
+(``com.viblast.android``), manifest metadata keys
+(``io.streamroot.dna.StreamrootKey``), and embedded API keys — the same
+signatures the paper extracted. An app may ship many APK versions, only
+some of which contain the SDK (the paper found 252 of 627 versions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.web.page import PdnEmbed
+
+
+@dataclass
+class ApkVersion:
+    """One unpacked APK: class paths + manifest metadata + strings."""
+
+    version_code: int
+    class_paths: list[str] = field(default_factory=list)  # e.g. com/peer5/sdk/Engine.class
+    manifest_metadata: dict[str, str] = field(default_factory=dict)
+    string_pool: list[str] = field(default_factory=list)  # embedded constants
+    embed: PdnEmbed | None = None  # ground truth: the live integration, if any
+
+    def contains_namespace(self, namespace: str) -> bool:
+        """Contains namespace."""
+        prefix = namespace.replace(".", "/")
+        return any(path.startswith(prefix) for path in self.class_paths)
+
+    def all_strings(self) -> list[str]:
+        """All strings."""
+        return self.string_pool + list(self.manifest_metadata.values())
+
+
+@dataclass
+class AndroidApp:
+    """An app in the store, with its version history."""
+
+    package_name: str
+    downloads: int | None = None  # Google Play installs, None = unlisted
+    category: str = "video"
+    versions: list[ApkVersion] = field(default_factory=list)
+
+    @property
+    def latest(self) -> ApkVersion | None:
+        """Latest."""
+        return max(self.versions, key=lambda v: v.version_code) if self.versions else None
+
+    def add_version(self, version: ApkVersion) -> ApkVersion:
+        """Add version."""
+        self.versions.append(version)
+        return version
+
+    def pdn_versions(self) -> list[ApkVersion]:
+        """Pdn versions."""
+        return [v for v in self.versions if v.embed is not None]
+
+
+def build_pdn_apk(
+    version_code: int,
+    embed: PdnEmbed,
+    extra_classes: list[str] | None = None,
+    obfuscated: bool = True,
+) -> ApkVersion:
+    """Assemble an APK version that truly integrates a PDN SDK.
+
+    With ``obfuscated`` (the common case in the paper — app keys were
+    not among the 44 regex-extractable ones), the manifest references a
+    runtime resource and the key never appears as a plain string.
+    """
+    profile = embed.profile
+    namespace_path = (profile.android_namespace or profile.name).replace(".", "/")
+    if obfuscated:
+        strings = [profile.sdk_url_pattern.format(key="RUNTIME_KEY")]
+        manifest_value = "@string/pdn_key"
+    else:
+        strings = [profile.sdk_url(embed.credential), embed.credential]
+        manifest_value = embed.credential
+    version = ApkVersion(
+        version_code=version_code,
+        class_paths=[
+            f"{namespace_path}/Engine.class",
+            f"{namespace_path}/PeerAgent.class",
+            "com/example/player/MainActivity.class",
+            *(extra_classes or []),
+        ],
+        string_pool=strings,
+        embed=embed,
+    )
+    if profile.manifest_key:
+        version.manifest_metadata[profile.manifest_key] = manifest_value
+    return version
+
+
+def build_plain_apk(version_code: int) -> ApkVersion:
+    """An APK with no PDN integration (noise / pre-integration versions)."""
+    return ApkVersion(
+        version_code=version_code,
+        class_paths=[
+            "com/example/player/MainActivity.class",
+            "com/google/android/exoplayer2/ExoPlayer.class",
+        ],
+        string_pool=["https://example-analytics.com/v1/track"],
+    )

@@ -1,0 +1,260 @@
+"""A headless browser: page loading, SDK execution, resource accounting.
+
+The analyzer's peer containers each run "a web driver and a proxy
+client" (Fig. 2); :class:`Browser` is that pairing. Opening a video page
+mirrors what a real browser does with a PDN customer's HTML:
+
+1. fetch the page (through the proxy, if configured);
+2. if a PDN embed is present and its load condition passes for this
+   viewer (geolocation gates, paywalls), fetch the SDK JavaScript and
+   start a :class:`~repro.pdn.sdk.PdnClient` — with *no consent dialog*,
+   because no studied customer shows one (§IV-D);
+3. attach a :class:`~repro.streaming.player.VideoPlayer` to whichever
+   loader applies (hybrid SDK, or plain CDN when there is no PDN).
+
+The browser exposes cumulative activity counters that the resource
+monitor converts to CPU/memory figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.environment import Environment
+from repro.net.nat import NatType
+from repro.net.network import Host
+from repro.pdn.sdk import PdnClient
+from repro.privacy.resources import ActivitySnapshot
+from repro.streaming.http import parse_url
+from repro.streaming.player import CdnLoader, VideoPlayer
+from repro.web.apk import AndroidApp
+from repro.web.page import Website
+
+
+@dataclass
+class PageSession:
+    """One open tab: the page plus whatever it spawned."""
+
+    url: str
+    html: str = ""
+    status: int = 0
+    site: Website | None = None
+    sdk: PdnClient | None = None
+    player: VideoPlayer | None = None
+    pdn_loaded: bool = False
+    skip_reason: str = ""
+    consent_requested: bool = False  # stays False: the §IV-D finding
+
+    def close(self) -> None:
+        """Close and release resources."""
+        if self.player is not None:
+            self.player.stop()
+        if self.sdk is not None:
+            self.sdk.stop()
+
+
+class Browser:
+    """A viewer's browser (or the analyzer's web driver)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str | None = None,
+        country: str = "US",
+        nat_type: NatType = NatType.FULL_CONE,
+        proxy=None,
+        connection_type: str = "wifi",
+        host: Host | None = None,
+        integrity=None,
+        relay_only: bool = False,
+    ) -> None:
+        self.env = env
+        self.name = name or env.ids.next("browser")
+        self.country = country
+        self.host = host or env.add_viewer_host(self.name, country, nat_type)
+        self.http = env.http_client(self.host, proxy=proxy)
+        self.proxy = proxy
+        self.connection_type = connection_type
+        self.integrity = integrity
+        self.relay_only = relay_only
+        # What this viewer would answer if a consent dialog appeared
+        # (§V-C mitigation; only ~30% of real viewers opt in [81]).
+        self.grant_pdn_consent = True
+        self.sessions: list[PageSession] = []
+        self._closed_sdk_stats: list = []
+
+    # -- navigation -----------------------------------------------------------
+
+    def open(
+        self,
+        url: str,
+        watch: bool = True,
+        subscribed: bool = False,
+        buffer_target: int = 3,
+        max_segments: int | None = None,
+    ) -> PageSession:
+        """Load a page; start the PDN SDK and player if the page has video."""
+        session = PageSession(url=url)
+        self.sessions.append(session)
+        response = self.http.get(url, headers={"User-Agent": "repro-browser"})
+        session.status = response.status
+        if not response.ok:
+            session.skip_reason = f"http {response.status}"
+            return session
+        session.html = response.body.decode(errors="replace")
+        _scheme, host, path = parse_url(url)
+        site = self.env.urlspace.resolve(host)
+        if not isinstance(site, Website):
+            session.skip_reason = "not a modeled website"
+            return session
+        session.site = site
+        page = site.page(path)
+        if page is None or not page.has_video or not watch:
+            session.skip_reason = "no video on page" if page else "page missing"
+            return session
+
+        loader = None
+        video_url = page.embed.video_url if page.embed else page.video_url
+        if page.embed is not None:
+            if page.embed.loads_for(self.country, subscribed):
+                loader = self._boot_sdk(session, site, page)
+            else:
+                session.skip_reason = f"load condition {page.embed.load_condition.value} not met"
+        if video_url is None:
+            return session
+        if loader is None:
+            loader = CdnLoader(self.http)
+        session.player = VideoPlayer(
+            self.env.loop,
+            loader,
+            video_url,
+            buffer_target=buffer_target,
+            max_segments=max_segments,
+            name=self.name,
+        )
+        session.player.start()
+        return session
+
+    def _boot_sdk(self, session: PageSession, site: Website, page) -> PdnClient | None:
+        embed = page.embed
+        profile = embed.profile
+        if not profile.is_private:
+            # The external SDK script fetch — observable, fingerprinted traffic.
+            self.http.get(profile.sdk_url(embed.credential))
+        credential = site.issue_viewer_credential(page)
+        if credential is None:
+            session.skip_reason = "no credential issued"
+            return None
+        customer_id = embed.credential if profile.is_private else None
+        key = embed.provider.authenticator.lookup(embed.credential)
+        policy = embed.provider.customer_policy(
+            key.customer_id if key is not None else (customer_id or site.domain)
+        )
+        if policy.show_consent_dialog:
+            session.consent_requested = True
+            if not self.grant_pdn_consent:
+                session.skip_reason = "viewer declined PDN consent"
+                return None
+        sdk = PdnClient(
+            loop=self.env.loop,
+            rand=self.env.rand,
+            host=self.host,
+            http=self.http,
+            provider=embed.provider,
+            credential=credential,
+            page_origin=f"https://{site.domain}",
+            video_url=embed.video_url,
+            rtc_config=self.env.rtc_config(relay_only=self.relay_only or embed.relay_only),
+            policy=policy,
+            connection_type=self.connection_type,
+            name=self.name,
+            integrity=self.integrity,
+        )
+        session.sdk = sdk
+        session.pdn_loaded = sdk.start()
+        if not session.pdn_loaded:
+            session.skip_reason = f"pdn join rejected: {sdk.join_error}"
+            return None
+        return sdk
+
+    def run_app(self, app: AndroidApp, subscribed: bool = False) -> PageSession:
+        """Launch an Android app (its latest APK) the way the analyzer does."""
+        session = PageSession(url=f"app://{app.package_name}")
+        self.sessions.append(session)
+        apk = app.latest
+        if apk is None or apk.embed is None:
+            session.skip_reason = "apk has no pdn integration"
+            return session
+        embed = apk.embed
+        if not embed.loads_for(self.country, subscribed):
+            session.skip_reason = f"load condition {embed.load_condition.value} not met"
+            return session
+        sdk = PdnClient(
+            loop=self.env.loop,
+            rand=self.env.rand,
+            host=self.host,
+            http=self.http,
+            provider=embed.provider,
+            credential=embed.credential,
+            page_origin=f"app://{app.package_name}",
+            video_url=embed.video_url,
+            rtc_config=self.env.rtc_config(relay_only=self.relay_only),
+            policy=embed.provider.customer_policy(app.package_name),
+            connection_type=self.connection_type,
+            name=self.name,
+            integrity=self.integrity,
+        )
+        session.sdk = sdk
+        session.pdn_loaded = sdk.start()
+        if not session.pdn_loaded:
+            session.skip_reason = f"pdn join rejected: {sdk.join_error}"
+            return session
+        session.player = VideoPlayer(self.env.loop, sdk, embed.video_url, name=self.name)
+        session.player.start()
+        return session
+
+    def close(self) -> None:
+        """Close and release resources."""
+        for session in self.sessions:
+            if session.sdk is not None:
+                self._closed_sdk_stats.append(session.sdk.stats)
+            session.close()
+        self.sessions = []
+
+    # -- resource accounting -------------------------------------------------------
+
+    def resource_activity(self) -> ActivitySnapshot:
+        """Resource activity."""
+        playing = any(
+            s.player is not None and not s.player.finished and s.player.started
+            for s in self.sessions
+        )
+        pdn_active = any(s.pdn_loaded for s in self.sessions)
+        integrity_active = any(
+            s.sdk is not None and s.sdk.integrity is not None and s.pdn_loaded
+            for s in self.sessions
+        )
+        stats = [s.sdk.stats for s in self.sessions if s.sdk is not None]
+        stats += self._closed_sdk_stats
+        p2p_down = sum(st.bytes_p2p_down for st in stats)
+        p2p_up = sum(st.bytes_p2p_up for st in stats)
+        hash_bytes = sum(st.hash_bytes for st in stats)
+        cdn_bytes = sum(st.bytes_cdn for st in stats)
+        cache_bytes = sum(
+            s.sdk.cache_bytes() for s in self.sessions if s.sdk is not None
+        )
+        if not stats:
+            # no PDN: all HTTP download counts as CDN traffic
+            cdn_bytes = self.http.bytes_downloaded
+        return ActivitySnapshot(
+            playing=playing,
+            pdn_active=pdn_active,
+            integrity_active=integrity_active,
+            bytes_cdn=cdn_bytes,
+            bytes_p2p_down=p2p_down,
+            bytes_p2p_up=p2p_up,
+            hash_bytes=hash_bytes,
+            cache_bytes=cache_bytes,
+            net_in=self.http.bytes_downloaded + p2p_down,
+            net_out=self.http.bytes_uploaded + p2p_up,
+        )

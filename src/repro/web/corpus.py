@@ -1,0 +1,587 @@
+"""The synthetic internet corpus, seeded with the paper's ground truth.
+
+The corpus materialises every site and app the paper's pipeline acted
+on, embedded in realistic noise:
+
+- the 17 confirmed PDN websites of Table II and 18 confirmed apps of
+  Table III (one of the paper's 18 rows is a duplicate of
+  ``vn.com.vega.clipvn``; we materialise the 18th as the placeholder
+  package ``vn.com.vega.clipvn2`` so per-provider counts match Table I);
+- the remaining *potential* customers (134 sites / 38 apps in total)
+  whose PDN never triggers under dynamic analysis — geolocation gates,
+  subscription walls;
+- the 10 confirmed private PDN services of Table IV, the 2 adult
+  TURN-relaying platforms, 3 WebRTC-fingerprinting sites, and 42 generic
+  WebRTC sites that never produce PDN traffic;
+- API keys distributed so that exactly 44 are regex-extractable, 40 of
+  those valid, and 11 of the valid Peer5 keys lack a domain allowlist —
+  the §IV-B in-the-wild numbers;
+- noise: video sites without any PDN, and non-video sites.
+
+Counts that the paper reports but that need no per-site behaviour (the
+Tranco 300K crawl, the 68,713 video-related domains, the 1.5M sampled
+apps) are carried as *virtual* totals on the corpus object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.environment import Environment
+from repro.pdn.policy import CellularPolicy, ClientPolicy
+from repro.pdn.provider import PEER5, STREAMROOT, VIBLAST, PdnProvider, private_profile
+from repro.streaming.cdn import CdnEdge, OriginServer, vod_playlist_url
+from repro.streaming.video import make_video
+from repro.web.apk import AndroidApp, build_pdn_apk, build_plain_apk
+from repro.web.page import LoadCondition, PdnEmbed, WebPage, Website
+
+# --------------------------------------------------------------------------
+# Ground-truth data straight from the paper's tables.
+# --------------------------------------------------------------------------
+
+# Table II: confirmed PDN websites (domain, provider, monthly visits).
+CONFIRMED_WEBSITES: list[tuple[str, str, int | None]] = [
+    ("rt.com", "streamroot", 117_000_000),
+    ("clarin.com", "peer5", 69_000_000),
+    ("rtve.es", "peer5", 35_000_000),
+    ("jn.pt", "peer5", 12_000_000),
+    ("ojogo.pt", "peer5", 8_000_000),
+    ("dn.pt", "peer5", 6_000_000),
+    ("servustv.com", "peer5", 4_000_000),
+    ("www.popcornflix.com", "peer5", 1_000_000),
+    ("tsf.pt", "peer5", 1_000_000),
+    ("dinheirovivo.pt", "peer5", 1_000_000),
+    ("www.sliver.tv", "peer5", None),
+    ("hdo.tv", "peer5", None),
+    ("www.souvenirsfromearth.tv", "peer5", None),
+    ("www.severestudios.com", "peer5", None),
+    ("www.performancevetsupply.com", "peer5", None),
+    ("www.schoolfordesign.net", "peer5", None),
+    ("9uu.com", "peer5", None),
+]
+
+# Table III: confirmed PDN apps (package, provider, Google Play downloads).
+CONFIRMED_APPS: list[tuple[str, str, int | None]] = [
+    ("iflix.play", "streamroot", 50_000_000),
+    ("fr.francetv.pluzz", "streamroot", 10_000_000),
+    ("com.nousguide.android.rbtv", "peer5", 10_000_000),
+    ("com.portonics.mygp", "peer5", 10_000_000),
+    ("mivo.tv", "peer5", 10_000_000),
+    ("com.bongo.bioscope", "peer5", 5_000_000),
+    ("tv.fubo.mobile", "peer5", 5_000_000),
+    ("com.rt.mobile.english", "streamroot", 1_000_000),
+    ("vn.com.vega.clipvn", "peer5", 1_000_000),
+    ("com.flipps.fitetv", "peer5", 1_000_000),
+    # Table III prints vn.com.vega.clipvn twice; placeholder keeps counts.
+    ("vn.com.vega.clipvn2", "peer5", 1_000_000),
+    ("com.arenacloudtv.android", "peer5", 500_000),
+    ("com.televisions.burma", "peer5", 50_000),
+    ("com.totalaccesstv.live", "peer5", None),
+    ("dev.hw.app.tgnd", "peer5", None),
+    ("tv.almighty.apk", "peer5", None),
+    ("com.rvcomx.brpro", "peer5", None),
+    ("com.lts.cricingif", "peer5", None),
+]
+
+# §IV-D: the three apps allowing cellular upload AND download.
+CELLULAR_FULL_APPS = {"com.bongo.bioscope", "com.portonics.mygp", "com.arenacloudtv.android"}
+
+# Table IV: confirmed private PDN services (domain, signaling host, visits).
+PRIVATE_SERVICES: list[tuple[str, str, int]] = [
+    ("bilibili.com", "hw-v2-web-player-tracker.biliapi.net", 911_000_000),
+    ("ok.ru", "vm.mycdn.me", 662_000_000),
+    ("douyu.com", "wsproxy.douyu.com", 95_000_000),
+    ("v.qq.com", "webrtcpunch.video.qq.com", 92_000_000),
+    ("iqiyi.com", "broker-qx-ws2.iqiyi.com", 82_000_000),
+    ("huya.com", "wsapi.huya.com", 61_000_000),
+    ("youku.com", "ws.mmstat.com", 60_000_000),
+    ("tudou.com", "ws.mmstat.com", 44_000_000),
+    ("mgtv.com", "signal.api.mgtv.com", 42_000_000),
+    ("younow.com", "signaling.younow-prod.video.propsproject.com", 1_000_000),
+]
+
+# Private services whose tokens are NOT bound to the video source
+# (Mango TV confirmed free-ridable; Tencent Video token unbound).
+PRIVATE_UNBOUND_TOKENS = {"mgtv.com", "v.qq.com"}
+
+ADULT_RELAY_SITES = ["xhamsterlive.com", "stripchat.com"]
+WEBRTC_TRACKING_SITES = ["tracker-cdn.example-ads.com", "fingerprintjs.example.net", "metrics.example-media.tv"]
+
+# Potential-but-unconfirmed split per provider (Table I: potential 60/53/21
+# websites minus confirmed 16/1/0).
+POTENTIAL_UNCONFIRMED_SITES = {"peer5": 44, "streamroot": 52, "viblast": 21}
+# Apps: potential 31/6/1 minus confirmed 15/3/0.
+POTENTIAL_UNCONFIRMED_APPS = {"peer5": 16, "streamroot": 3, "viblast": 1}
+
+# APK version budgets (Table I): pdn-signature APKs for confirmed apps /
+# for potential-only apps, per provider.
+APK_BUDGETS = {
+    "peer5": {"confirmed_pdn": 199, "potential_pdn": 349},
+    "streamroot": {"confirmed_pdn": 53, "potential_pdn": 15},
+    "viblast": {"confirmed_pdn": 0, "potential_pdn": 11},
+}
+
+# §IV-B key extraction ground truth. Keys are extractable unless the
+# customer obfuscates them; of the 44 extractable, 4 are expired; of the
+# 36 valid Peer5 keys, 11 lack a domain allowlist.
+EXTRACTABLE_KEYS = {"peer5": 38, "streamroot": 2, "viblast": 4}
+EXPIRED_EXTRACTABLE = {"peer5": 2, "streamroot": 1, "viblast": 1}
+PEER5_NO_ALLOWLIST_VALID = 11
+
+
+@dataclass
+class CorpusConfig:
+    """Scale knobs for the synthetic internet."""
+
+    virtual_total_domains: int = 300_000
+    virtual_video_related: int = 68_713
+    virtual_source_search_hits: int = 44
+    virtual_sampled_apps: int = 1_500_000
+    generic_webrtc_total: int = 385  # sites matching generic signatures
+    generic_webrtc_top10k: int = 57  # of which in the top 10K (dyn. tested)
+    untriggerable_generic_top10k: int = 42
+    noise_video_sites: int = 80
+    noise_nonvideo_sites: int = 40
+    noise_apps: int = 25
+    video_segments: int = 8
+    segment_seconds: float = 4.0
+    segment_bytes: int = 60_000
+
+
+@dataclass
+class CustomerRecord:
+    """Ground truth about one PDN customer integration."""
+
+    name: str  # domain or package
+    provider: str
+    kind: str  # "website" | "app" | "private"
+    confirmed_expected: bool
+    api_key: str | None = None
+    key_extractable: bool = False
+    key_valid: bool = True
+    key_has_allowlist: bool = True
+    monthly_visits: int | None = None
+    downloads: int | None = None
+
+
+@dataclass
+class Corpus:
+    """The materialised internet plus its ground truth."""
+
+    env: Environment
+    config: CorpusConfig
+    origin: OriginServer
+    cdn: CdnEdge
+    providers: dict[str, PdnProvider] = field(default_factory=dict)
+    private_providers: dict[str, PdnProvider] = field(default_factory=dict)
+    websites: list[Website] = field(default_factory=list)
+    apps: list[AndroidApp] = field(default_factory=list)
+    records: list[CustomerRecord] = field(default_factory=list)
+    top10k_webrtc_domains: list[str] = field(default_factory=list)
+
+    def website(self, domain: str) -> Website | None:
+        """Website."""
+        for site in self.websites:
+            if site.domain == domain:
+                return site
+        return None
+
+    def app(self, package: str) -> AndroidApp | None:
+        """App."""
+        for app in self.apps:
+            if app.package_name == package:
+                return app
+        return None
+
+    def record_for(self, name: str) -> CustomerRecord | None:
+        """Record for."""
+        for record in self.records:
+            if record.name == name:
+                return record
+        return None
+
+    def expected_confirmed(self, kind: str) -> set[str]:
+        """Expected confirmed."""
+        return {r.name for r in self.records if r.kind == kind and r.confirmed_expected}
+
+    def extractable_keys(self) -> list[CustomerRecord]:
+        """Extractable keys."""
+        return [r for r in self.records if r.key_extractable and r.api_key]
+
+
+def build_corpus(env: Environment, config: CorpusConfig | None = None) -> Corpus:
+    """Materialise the synthetic internet into ``env``'s URL space."""
+    config = config or CorpusConfig()
+    origin = OriginServer(env.loop, hostname="origin.corpus.net")
+    cdn = CdnEdge(origin, hostname="cdn.corpus.net")
+    env.urlspace.register(origin.hostname, origin)
+    env.urlspace.register(cdn.hostname, cdn)
+    corpus = Corpus(env, config, origin, cdn)
+
+    for profile in (PEER5, STREAMROOT, VIBLAST):
+        provider = PdnProvider(env.loop, env.rand, profile)
+        provider.install(env.urlspace)
+        corpus.providers[profile.name] = provider
+
+    _add_shared_video(corpus)
+    key_plan = _KeyPlan()
+    _add_confirmed_websites(corpus, key_plan)
+    _add_potential_websites(corpus, key_plan)
+    _add_apps(corpus, key_plan)
+    _add_private_services(corpus)
+    _add_adult_relay_sites(corpus)
+    _add_tracking_and_generic_sites(corpus)
+    _add_noise(corpus)
+    key_plan.verify()
+    env.rand.fork("corpus-shuffle")  # reserved stream, keeps older seeds stable
+    return corpus
+
+
+# --------------------------------------------------------------------------
+# Internals
+# --------------------------------------------------------------------------
+
+
+class _KeyPlan:
+    """Allocates extractable/expired/no-allowlist key slots per provider."""
+
+    def __init__(self) -> None:
+        self.extractable_left = dict(EXTRACTABLE_KEYS)
+        self.expired_left = dict(EXPIRED_EXTRACTABLE)
+        self.no_allowlist_left = PEER5_NO_ALLOWLIST_VALID
+
+    def take_extractable(self, provider: str) -> bool:
+        """Take extractable."""
+        if self.extractable_left.get(provider, 0) > 0:
+            self.extractable_left[provider] -= 1
+            return True
+        return False
+
+    def take_expired(self, provider: str) -> bool:
+        """Take expired."""
+        if self.expired_left.get(provider, 0) > 0:
+            self.expired_left[provider] -= 1
+            return True
+        return False
+
+    def take_no_allowlist(self, provider: str) -> bool:
+        """Take no allowlist."""
+        if provider == "peer5" and self.no_allowlist_left > 0:
+            self.no_allowlist_left -= 1
+            return True
+        return False
+
+    def verify(self) -> None:
+        """Return True if the signature checks out."""
+        leftover = (
+            sum(self.extractable_left.values())
+            + sum(self.expired_left.values())
+            + self.no_allowlist_left
+        )
+        if leftover:
+            raise RuntimeError(
+                f"key plan not exhausted: {self.extractable_left} {self.expired_left} "
+                f"no-allowlist={self.no_allowlist_left}"
+            )
+
+
+def _add_shared_video(corpus: Corpus) -> None:
+    config = corpus.config
+    video = make_video(
+        "corpus-shared",
+        num_segments=config.video_segments,
+        segment_duration=config.segment_seconds,
+        segment_size=config.segment_bytes,
+    )
+    corpus.origin.add_vod(video)
+
+
+def _video_for(corpus: Corpus, video_id: str) -> str:
+    config = corpus.config
+    video = make_video(
+        video_id,
+        num_segments=config.video_segments,
+        segment_duration=config.segment_seconds,
+        segment_size=config.segment_bytes,
+    )
+    corpus.origin.add_vod(video)
+    return vod_playlist_url(corpus.cdn.hostname, video_id)
+
+
+def _shared_video_url(corpus: Corpus) -> str:
+    return vod_playlist_url(corpus.cdn.hostname, "corpus-shared")
+
+
+def _add_confirmed_websites(corpus: Corpus, key_plan: _KeyPlan) -> None:
+    for rank_offset, (domain, provider_name, visits) in enumerate(CONFIRMED_WEBSITES):
+        provider = corpus.providers[provider_name]
+        # Confirmed sites never use expired keys (they join successfully);
+        # a handful of them are among the 11 Peer5 no-allowlist customers.
+        no_allowlist = provider_name == "peer5" and rank_offset % 3 == 0 and key_plan.take_no_allowlist(provider_name)
+        domains = None if no_allowlist else {domain}
+        key = provider.signup_customer(domain, domains, ClientPolicy())
+        extractable = key_plan.take_extractable(provider_name)
+        video_url = _video_for(corpus, f"vod-{domain.replace('.', '-')}")
+        site = Website(domain, rank=200 + rank_offset * 37, category="tv", monthly_visits=visits)
+        embed = PdnEmbed(provider, key.key, video_url, obfuscated=not extractable)
+        site.add_page(WebPage("/", f"{domain} home", has_video=True, embed=embed,
+                              links=["/live", "/about"]))
+        site.add_page(WebPage("/live", "live", has_video=True, embed=embed))
+        site.add_page(WebPage("/about", "about"))
+        corpus.env.urlspace.register(domain, site)
+        corpus.websites.append(site)
+        corpus.records.append(
+            CustomerRecord(
+                name=domain,
+                provider=provider_name,
+                kind="website",
+                confirmed_expected=True,
+                api_key=key.key,
+                key_extractable=extractable,
+                key_valid=True,
+                key_has_allowlist=key.has_allowlist,
+                monthly_visits=visits,
+            )
+        )
+
+
+def _add_potential_websites(corpus: Corpus, key_plan: _KeyPlan) -> None:
+    conditions = [
+        (LoadCondition.GEO, "CN"),
+        (LoadCondition.GEO, "RU"),
+        (LoadCondition.SUBSCRIPTION, ""),
+    ]
+    counter = 0
+    for provider_name, count in POTENTIAL_UNCONFIRMED_SITES.items():
+        provider = corpus.providers[provider_name]
+        for i in range(count):
+            counter += 1
+            domain = f"{provider_name}-potential-{i}.example.org"
+            condition, geo = conditions[counter % len(conditions)]
+            extractable = key_plan.take_extractable(provider_name)
+            expired = extractable and key_plan.take_expired(provider_name)
+            # Only valid, extracted keys can show up in the §IV-B 11/36
+            # cross-domain statistic, so no-allowlist slots go to those.
+            no_allowlist = extractable and not expired and key_plan.take_no_allowlist(provider_name)
+            domains = None if no_allowlist else {domain}
+            key = provider.signup_customer(domain, domains, ClientPolicy())
+            if expired:
+                provider.authenticator.revoke_key(key.key)
+            valid = not expired
+            embed = PdnEmbed(
+                provider,
+                key.key,
+                _shared_video_url(corpus),
+                obfuscated=not extractable,
+                load_condition=condition,
+                geo_country=geo or "CN",
+            )
+            site = Website(domain, rank=2_000 + counter * 71, category="video")
+            # Some potential customers carry the embed on a depth-2 page.
+            if counter % 4 == 0:
+                site.add_page(WebPage("/", "home", has_video=True, links=["/videos"]))
+                site.add_page(WebPage("/videos", "videos", has_video=True, links=["/videos/live"]))
+                site.add_page(WebPage("/videos/live", "live", has_video=True, embed=embed))
+            else:
+                site.add_page(WebPage("/", "home", has_video=True, embed=embed))
+            corpus.env.urlspace.register(domain, site)
+            corpus.websites.append(site)
+            corpus.records.append(
+                CustomerRecord(
+                    name=domain,
+                    provider=provider_name,
+                    kind="website",
+                    confirmed_expected=False,
+                    api_key=key.key,
+                    key_extractable=extractable,
+                    key_valid=valid,
+                    key_has_allowlist=key.has_allowlist,
+                )
+            )
+
+
+def _apk_spread(total: int, parts: int) -> list[int]:
+    """Split ``total`` APKs across ``parts`` apps, deterministic."""
+    if parts == 0:
+        return []
+    base = total // parts
+    out = [base] * parts
+    for i in range(total - base * parts):
+        out[i] += 1
+    return out
+
+
+def _add_apps(corpus: Corpus, key_plan: _KeyPlan) -> None:
+    confirmed_by_provider: dict[str, list[tuple[str, int | None]]] = {}
+    for package, provider_name, downloads in CONFIRMED_APPS:
+        confirmed_by_provider.setdefault(provider_name, []).append((package, downloads))
+
+    for provider_name, budget in APK_BUDGETS.items():
+        provider = corpus.providers[provider_name]
+        confirmed = confirmed_by_provider.get(provider_name, [])
+        spreads = _apk_spread(budget["confirmed_pdn"], len(confirmed))
+        for (package, downloads), pdn_versions in zip(confirmed, spreads):
+            cellular = (
+                CellularPolicy.FULL if package in CELLULAR_FULL_APPS else CellularPolicy.LEECH
+            )
+            key = provider.signup_customer(package, {package}, ClientPolicy(cellular=cellular))
+            video_url = _video_for(corpus, f"app-{package.replace('.', '-')}")
+            embed = PdnEmbed(provider, key.key, video_url)
+            app = AndroidApp(package, downloads=downloads)
+            for v in range(max(1, pdn_versions)):
+                app.add_version(build_pdn_apk(100 + v, embed))
+            app.add_version(build_plain_apk(50))  # a pre-integration version
+            corpus.apps.append(app)
+            corpus.records.append(
+                CustomerRecord(
+                    name=package,
+                    provider=provider_name,
+                    kind="app",
+                    confirmed_expected=True,
+                    api_key=key.key,
+                    key_extractable=False,  # app keys ship obfuscated
+                    key_valid=True,
+                    key_has_allowlist=True,
+                    downloads=downloads,
+                )
+            )
+        potential_count = POTENTIAL_UNCONFIRMED_APPS.get(provider_name, 0)
+        spreads = _apk_spread(budget["potential_pdn"], potential_count)
+        for i, pdn_versions in enumerate(spreads):
+            package = f"com.{provider_name}.potential{i}"
+            key = provider.signup_customer(package, {package}, ClientPolicy())
+            embed = PdnEmbed(
+                provider,
+                key.key,
+                _shared_video_url(corpus),
+                load_condition=LoadCondition.GEO,
+                geo_country="CN",
+            )
+            app = AndroidApp(package, downloads=None)
+            for v in range(max(1, pdn_versions)):
+                app.add_version(build_pdn_apk(100 + v, embed))
+            corpus.apps.append(app)
+            corpus.records.append(
+                CustomerRecord(
+                    name=package,
+                    provider=provider_name,
+                    kind="app",
+                    confirmed_expected=False,
+                    api_key=key.key,
+                    key_extractable=False,
+                    key_valid=True,
+                    key_has_allowlist=True,
+                )
+            )
+
+
+def _add_private_services(corpus: Corpus) -> None:
+    by_signaling_host: dict[str, PdnProvider] = {}
+    for rank_offset, (domain, signaling_host, visits) in enumerate(PRIVATE_SERVICES):
+        if signaling_host in by_signaling_host:
+            # youku.com and tudou.com share ws.mmstat.com: one Alibaba
+            # signaling service with two customer platforms.
+            provider = by_signaling_host[signaling_host]
+        else:
+            profile = private_profile(
+                domain, signaling_host, video_bound_tokens=domain not in PRIVATE_UNBOUND_TOKENS
+            )
+            provider = PdnProvider(corpus.env.loop, corpus.env.rand, profile)
+            provider.install(corpus.env.urlspace)
+            by_signaling_host[signaling_host] = provider
+        provider.signup_customer(domain, {domain}, ClientPolicy())
+        corpus.private_providers[domain] = provider
+        video_url = _video_for(corpus, f"private-{domain.replace('.', '-')}")
+        provider.register_drm_video(video_url)
+        site = Website(domain, rank=10 + rank_offset * 13, category="live", monthly_visits=visits)
+        embed = PdnEmbed(provider, domain, video_url)
+        site.add_page(WebPage("/", f"{domain}", has_video=True, embed=embed))
+        corpus.env.urlspace.register(domain, site)
+        corpus.websites.append(site)
+        corpus.top10k_webrtc_domains.append(domain)
+        corpus.records.append(
+            CustomerRecord(
+                name=domain,
+                provider=f"private:{domain}",
+                kind="private",
+                confirmed_expected=True,
+                monthly_visits=visits,
+            )
+        )
+
+
+def _add_adult_relay_sites(corpus: Corpus) -> None:
+    for i, domain in enumerate(ADULT_RELAY_SITES):
+        profile = private_profile(domain, f"relay.{domain}")
+        provider = PdnProvider(corpus.env.loop, corpus.env.rand, profile)
+        provider.install(corpus.env.urlspace)
+        provider.signup_customer(domain, {domain}, ClientPolicy())
+        corpus.private_providers[domain] = provider
+        video_url = _video_for(corpus, f"adult-{i}")
+        provider.register_drm_video(video_url)
+        site = Website(domain, rank=3_000 + i * 311, category="adult")
+        embed = PdnEmbed(provider, domain, video_url, relay_only=True)
+        site.add_page(WebPage("/", domain, has_video=True, embed=embed))
+        corpus.env.urlspace.register(domain, site)
+        corpus.websites.append(site)
+        corpus.top10k_webrtc_domains.append(domain)
+
+
+def _add_tracking_and_generic_sites(corpus: Corpus) -> None:
+    tracking_js = (
+        "<script>var pc = new RTCPeerConnection({iceServers:[]});"
+        "pc.createDataChannel('probe');</script>"
+    )
+    for i, domain in enumerate(WEBRTC_TRACKING_SITES):
+        site = Website(domain, rank=4_000 + i * 97, category="tv")
+        site.add_page(WebPage("/", domain, has_video=True, extra_html=tracking_js))
+        corpus.env.urlspace.register(domain, site)
+        corpus.websites.append(site)
+        corpus.top10k_webrtc_domains.append(domain)
+    generic_js = (
+        "<script>var signal = new WebSocket('wss://{host}/live-ws');"
+        "var pc = new RTCPeerConnection();</script>"
+    )
+    config = corpus.config
+    for i in range(config.untriggerable_generic_top10k):
+        domain = f"generic-webrtc-{i}.example.tv"
+        site = Website(domain, rank=5_000 + i * 29, category="video")
+        site.add_page(
+            WebPage("/", domain, has_video=True, extra_html=generic_js.format(host=domain))
+        )
+        corpus.env.urlspace.register(domain, site)
+        corpus.websites.append(site)
+        corpus.top10k_webrtc_domains.append(domain)
+    # The remaining generic-WebRTC sites rank below the top 10K; the paper
+    # never dynamically tested them. A small materialised sample stands in
+    # for the tail; the virtual count covers the rest.
+    for i in range(10):
+        domain = f"longtail-webrtc-{i}.example.net"
+        site = Website(domain, rank=40_000 + i * 997, category="video")
+        site.add_page(
+            WebPage("/", domain, has_video=True, extra_html=generic_js.format(host=domain))
+        )
+        corpus.env.urlspace.register(domain, site)
+        corpus.websites.append(site)
+
+
+def _add_noise(corpus: Corpus) -> None:
+    config = corpus.config
+    for i in range(config.noise_video_sites):
+        domain = f"video-noise-{i}.example.com"
+        site = Website(domain, rank=8_000 + i * 53, category="video")
+        site.add_page(WebPage("/", domain, has_video=True, links=["/shows"]))
+        site.add_page(WebPage("/shows", "shows", has_video=True))
+        corpus.env.urlspace.register(domain, site)
+        corpus.websites.append(site)
+    for i in range(config.noise_nonvideo_sites):
+        domain = f"plain-noise-{i}.example.com"
+        site = Website(domain, rank=12_000 + i * 61, category="general")
+        site.add_page(WebPage("/", domain, has_video=False))
+        corpus.env.urlspace.register(domain, site)
+        corpus.websites.append(site)
+    for i in range(config.noise_apps):
+        app = AndroidApp(f"com.noise.app{i}", downloads=10_000 * (i + 1))
+        for v in range(3):
+            app.add_version(build_plain_apk(10 + v))
+        corpus.apps.append(app)

@@ -1,0 +1,61 @@
+"""A WebRTC-like stack: STUN, ICE, DTLS, data channels, TURN.
+
+The paper's findings all hinge on observable WebRTC behaviours:
+
+- the dynamic detector confirms PDN customers by spotting *STUN binding
+  requests followed by DTLS handshakes between candidate peer pairs*;
+- the IP-leak risk exists because ICE exchanges candidate transport
+  addresses in the clear through the signaling server and STUN;
+- the pollution attack works *despite* DTLS-encrypted peer links,
+  because integrity is never checked above the transport;
+- the TURN-relay mitigation hides peer IPs at bandwidth cost.
+
+This package implements those behaviours with wire-accurate STUN
+framing (magic cookie, XOR-MAPPED-ADDRESS), a DTLS-shaped handshake and
+record layer (authenticated, tamper-evident; the key schedule is a
+simulation, not real cryptography), SCTP-like reliable data channels,
+and a TURN relay server.
+"""
+
+from repro.webrtc.stun import (
+    StunAttribute,
+    StunMessage,
+    StunMethod,
+    StunClass,
+    StunServer,
+    decode_stun,
+    encode_stun,
+    is_stun_datagram,
+)
+from repro.webrtc.certificates import Certificate
+from repro.webrtc.dtls import DtlsSession, is_dtls_datagram
+from repro.webrtc.ice import IceAgent, IceCandidate, CandidateType
+from repro.webrtc.datachannel import DataChannelLayer
+from repro.webrtc.peer_connection import PeerConnection, RtcConfig, SessionDescription
+from repro.webrtc.turn import TurnServer
+from repro.webrtc.sdp import candidate_ips, parse_sdp, render_sdp
+
+__all__ = [
+    "StunAttribute",
+    "StunMessage",
+    "StunMethod",
+    "StunClass",
+    "StunServer",
+    "decode_stun",
+    "encode_stun",
+    "is_stun_datagram",
+    "Certificate",
+    "DtlsSession",
+    "is_dtls_datagram",
+    "IceAgent",
+    "IceCandidate",
+    "CandidateType",
+    "DataChannelLayer",
+    "PeerConnection",
+    "RtcConfig",
+    "SessionDescription",
+    "TurnServer",
+    "render_sdp",
+    "parse_sdp",
+    "candidate_ips",
+]

@@ -1,0 +1,96 @@
+"""SDP serialization for session descriptions (RFC 4566/8839 subset).
+
+The signaling relay carries real SDP text, as browsers exchange it: the
+``a=ice-ufrag``/``a=ice-pwd`` credentials, the ``a=fingerprint`` line the
+DTLS handshake authenticates against, the ``a=setup`` role, and one
+``a=candidate`` line per ICE candidate. Rendering and parsing this text
+is also what makes the privacy analysis concrete — the candidate lines
+*are* the IP leak.
+"""
+
+from __future__ import annotations
+
+from repro.net.addresses import Endpoint
+from repro.util.errors import SdpError
+from repro.webrtc.ice import CandidateType, IceCandidate
+from repro.webrtc.peer_connection import SessionDescription
+
+_SETUP_BY_KIND = {"offer": "actpass", "answer": "active"}
+_KIND_BY_SETUP = {"actpass": "offer", "active": "answer", "passive": "answer"}
+
+
+def render_sdp(description: SessionDescription) -> str:
+    """Serialise a session description to SDP text."""
+    lines = [
+        "v=0",
+        "o=- 0 0 IN IP4 0.0.0.0",
+        "s=-",
+        "t=0 0",
+        "m=application 9 UDP/DTLS/SCTP webrtc-datachannel",
+        "c=IN IP4 0.0.0.0",
+        f"a=ice-ufrag:{description.ufrag}",
+        f"a=ice-pwd:{description.pwd}",
+        f"a=fingerprint:{description.fingerprint}",
+        f"a=setup:{_SETUP_BY_KIND.get(description.kind, 'actpass')}",
+        "a=mid:0",
+        "a=sctp-port:5000",
+    ]
+    for index, candidate in enumerate(description.candidates, start=1):
+        lines.append(
+            f"a=candidate:{candidate.foundation.replace(' ', '-')} 1 udp "
+            f"{candidate.priority} {candidate.endpoint.ip} {candidate.endpoint.port} "
+            f"typ {candidate.cand_type.value}"
+        )
+    return "\r\n".join(lines) + "\r\n"
+
+
+def parse_sdp(text: str) -> SessionDescription:
+    """Parse SDP text back into a session description."""
+    ufrag = pwd = fingerprint = None
+    setup = "actpass"
+    candidates: list[IceCandidate] = []
+    for raw_line in text.replace("\r\n", "\n").splitlines():
+        line = raw_line.strip()
+        if not line.startswith("a="):
+            continue
+        attribute = line[2:]
+        if attribute.startswith("ice-ufrag:"):
+            ufrag = attribute.split(":", 1)[1]
+        elif attribute.startswith("ice-pwd:"):
+            pwd = attribute.split(":", 1)[1]
+        elif attribute.startswith("fingerprint:"):
+            fingerprint = attribute.split(":", 1)[1]
+        elif attribute.startswith("setup:"):
+            setup = attribute.split(":", 1)[1]
+        elif attribute.startswith("candidate:"):
+            candidates.append(_parse_candidate(attribute))
+    if ufrag is None or pwd is None or fingerprint is None:
+        raise SdpError("SDP missing ice-ufrag, ice-pwd, or fingerprint")
+    return SessionDescription(
+        kind=_KIND_BY_SETUP.get(setup, "offer"),
+        ufrag=ufrag,
+        pwd=pwd,
+        fingerprint=fingerprint,
+        candidates=candidates,
+    )
+
+
+def _parse_candidate(attribute: str) -> IceCandidate:
+    # a=candidate:<foundation> <component> udp <priority> <ip> <port> typ <type>
+    parts = attribute.split(":", 1)[1].split()
+    if len(parts) < 8 or parts[6] != "typ":
+        raise SdpError(f"malformed candidate line: {attribute!r}")
+    try:
+        return IceCandidate(
+            cand_type=CandidateType(parts[7]),
+            endpoint=Endpoint(parts[4], int(parts[5])),
+            priority=int(parts[3]),
+            foundation=parts[0],
+        )
+    except (ValueError, KeyError) as exc:
+        raise SdpError(f"malformed candidate line: {attribute!r}") from exc
+
+
+def candidate_ips(text: str) -> list[str]:
+    """Every transport address disclosed by an SDP blob (the leak view)."""
+    return [c.endpoint.ip for c in parse_sdp(text).candidates]

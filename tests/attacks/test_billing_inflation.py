@@ -1,0 +1,78 @@
+"""§IV-B economics: inflating the victim's bill under both pricing models."""
+
+import pytest
+
+from repro.attacks.harvesting import GhostViewer
+from repro.core.testbed import build_test_bed
+from repro.environment import Environment
+from repro.pdn.provider import PEER5, VIBLAST
+from repro.privacy.viewers import ViewerDescriptor
+from repro.proxy.mitm import MitmProxy
+from repro.streaming.http import HttpClient
+
+
+class TestViewerHourInflation:
+    """Viblast bills $0.01 per concurrent viewer hour: an attacker only
+    has to *park sessions* on the stolen key — no traffic needed."""
+
+    def test_parked_sessions_accrue_viewer_hours(self):
+        env = Environment(seed=201)
+        bed = build_test_bed(env, VIBLAST)
+        account = bed.provider.billing.account(bed.customer_id)
+        bed.provider.signaling.session_ttl = 1e9  # attack bots ping; modeled
+
+        # The attacker spoofs the victim's domain (Viblast forces an
+        # allowlist) and parks 20 fake viewers for two hours.
+        spoof = MitmProxy("spoof")
+        spoof.spoof_domain(bed.site.domain)
+        for i in range(20):
+            http = HttpClient(env.urlspace, client_ip=f"198.51.100.{i + 1}", proxy=spoof)
+            import json
+
+            response = http.post(
+                f"https://{bed.provider.profile.signaling_host}/v2/join",
+                json.dumps({"credential": bed.api_key, "video_url": "x"}).encode(),
+                headers={"Origin": "https://attacker.example"},
+            )
+            assert response.ok
+        env.run(2 * 3600.0)
+        bed.provider.signaling.settle_all()
+        assert account.viewer_seconds == pytest.approx(20 * 2 * 3600.0)
+        assert account.cost == pytest.approx(20 * 2 * 0.01)  # $0.40 of damage
+
+    def test_cross_domain_blocked_means_no_cost(self):
+        env = Environment(seed=202)
+        bed = build_test_bed(env, VIBLAST)
+        account = bed.provider.billing.account(bed.customer_id)
+        import json
+
+        http = HttpClient(env.urlspace, client_ip="198.51.100.50")
+        response = http.post(
+            f"https://{bed.provider.profile.signaling_host}/v2/join",
+            json.dumps({"credential": bed.api_key, "video_url": "x"}).encode(),
+            headers={"Origin": "https://attacker.example"},
+        )
+        assert response.status == 403
+        env.run(3600.0)
+        bed.provider.signaling.settle_all()
+        assert account.viewer_seconds == 0.0
+
+
+class TestTrafficInflation:
+    """Peer5/Streamroot bill by P2P bytes: the attacker's own swarm
+    transfers count against the victim's 50 TB allotment."""
+
+    def test_attacker_swarm_traffic_billed_to_victim(self):
+        from repro.attacks.free_riding import CrossDomainAttackTest
+        from repro.core.analyzer import PdnAnalyzer
+        from repro.pdn.billing import PEER5_PRICE_PER_BYTE
+
+        env = Environment(seed=203)
+        bed = build_test_bed(env, PEER5)
+        account = bed.provider.billing.account(bed.customer_id)
+        analyzer = PdnAnalyzer(env)
+        report = analyzer.run_test(CrossDomainAttackTest(bed, watch=60.0))
+        billed = report.verdicts[0].details["victim_billed_extra_bytes"]
+        assert billed > 0
+        assert account.cost == pytest.approx(account.p2p_bytes * PEER5_PRICE_PER_BYTE)
+        analyzer.teardown()

@@ -1,0 +1,90 @@
+"""Tests for the free-riding attacks (§IV-B)."""
+
+import pytest
+
+from repro.attacks.free_riding import (
+    ApiKeyProbe,
+    CrossDomainAttackTest,
+    DomainSpoofingAttackTest,
+    build_attacker_site,
+)
+from repro.core.analyzer import PdnAnalyzer
+from repro.core.testbed import build_test_bed
+from repro.environment import Environment
+from repro.pdn.provider import PEER5, STREAMROOT, VIBLAST
+
+
+class TestApiKeyProbe:
+    def test_default_open_key_accepts_attacker(self):
+        env = Environment(seed=81)
+        bed = build_test_bed(env, PEER5)
+        ok, reason = ApiKeyProbe(env, bed.provider).probe(bed.api_key)
+        assert ok
+
+    def test_allowlisted_key_rejects_attacker(self):
+        env = Environment(seed=82)
+        bed = build_test_bed(env, PEER5, allowed_domains={"www.test.com"})
+        ok, reason = ApiKeyProbe(env, bed.provider).probe(bed.api_key)
+        assert not ok
+        assert "allowlist" in reason
+
+    def test_spoofing_bypasses_allowlist(self):
+        env = Environment(seed=83)
+        bed = build_test_bed(env, PEER5, allowed_domains={"www.test.com"})
+        ok, _ = ApiKeyProbe(env, bed.provider).probe(bed.api_key, spoof_domain="www.test.com")
+        assert ok
+
+    def test_viblast_cross_domain_blocked_spoof_works(self):
+        env = Environment(seed=84)
+        bed = build_test_bed(env, VIBLAST)
+        probe = ApiKeyProbe(env, bed.provider)
+        assert not probe.probe(bed.api_key)[0]
+        assert probe.probe(bed.api_key, spoof_domain="www.test.com")[0]
+
+    def test_probe_generates_no_billing(self):
+        """The paper's ethics: auth-only, no transfer, no cost."""
+        env = Environment(seed=85)
+        bed = build_test_bed(env, PEER5)
+        account = bed.provider.billing.account(bed.customer_id)
+        ApiKeyProbe(env, bed.provider).probe(bed.api_key)
+        assert account.p2p_bytes == 0
+
+
+class TestAttackerSite:
+    def test_attacker_site_streams_own_video(self):
+        env = Environment(seed=86)
+        bed = build_test_bed(env, PEER5)
+        site = build_attacker_site(env, bed.provider, bed.api_key)
+        page = site.landing
+        assert page.embed.credential == bed.api_key
+        assert "attacker" in page.embed.video_url
+
+
+class TestFullAttacks:
+    def test_cross_domain_attack_bills_victim(self):
+        env = Environment(seed=87)
+        bed = build_test_bed(env, PEER5)
+        analyzer = PdnAnalyzer(env)
+        report = analyzer.run_test(CrossDomainAttackTest(bed, watch=60.0))
+        verdict = report.verdicts[0]
+        assert verdict.triggered
+        assert verdict.details["p2p_bytes_generated"] > 0
+        assert verdict.details["victim_billed_extra_bytes"] > 0
+        analyzer.teardown()
+
+    def test_cross_domain_blocked_by_allowlist(self):
+        env = Environment(seed=88)
+        bed = build_test_bed(env, PEER5, allowed_domains={"www.test.com"})
+        analyzer = PdnAnalyzer(env)
+        report = analyzer.run_test(CrossDomainAttackTest(bed, watch=30.0))
+        assert not report.verdicts[0].triggered
+        analyzer.teardown()
+
+    @pytest.mark.parametrize("profile", [PEER5, STREAMROOT, VIBLAST])
+    def test_spoofing_beats_every_provider(self, profile):
+        env = Environment(seed=89)
+        bed = build_test_bed(env, profile, allowed_domains={"www.test.com"})
+        analyzer = PdnAnalyzer(env)
+        report = analyzer.run_test(DomainSpoofingAttackTest(bed, watch=60.0))
+        assert report.verdicts[0].triggered
+        analyzer.teardown()

@@ -1,0 +1,89 @@
+"""Tests for IP harvesting and the controlled leak test (§IV-D)."""
+
+from repro.attacks.harvesting import GhostViewer, HarvestingPeer, IpLeakTest
+from repro.core.analyzer import PdnAnalyzer
+from repro.core.testbed import build_test_bed
+from repro.environment import Environment
+from repro.pdn.policy import ClientPolicy
+from repro.pdn.provider import PEER5, PdnProvider
+from repro.privacy.viewers import ViewerDescriptor
+
+
+def make_provider_world(seed=101):
+    env = Environment(seed=seed)
+    provider = PdnProvider(env.loop, env.rand, PEER5)
+    provider.install(env.urlspace)
+    key = provider.signup_customer("site.com", None, ClientPolicy())
+    return env, provider, key
+
+
+def descriptor(ip, n=1, session=600.0):
+    return ViewerDescriptor(n, ip, "US", session, False)
+
+
+class TestGhostViewer:
+    def test_joins_and_leaves(self):
+        env, provider, key = make_provider_world()
+        ghost = GhostViewer(env, provider, key.key, "https://cdn/v.m3u8",
+                            descriptor("9.9.9.9", session=60.0), "https://site.com")
+        assert ghost.joined
+        assert provider.signaling.swarm_size("site.com|https://cdn/v.m3u8") == 1
+        env.run(120.0)
+        assert provider.signaling.swarm_size("site.com|https://cdn/v.m3u8") == 0
+
+    def test_rejected_join_handled(self):
+        env, provider, key = make_provider_world()
+        ghost = GhostViewer(env, provider, "bad-key", "https://cdn/v.m3u8",
+                            descriptor("9.9.9.9"), "https://site.com")
+        assert not ghost.joined
+
+
+class TestHarvestingPeer:
+    def test_collects_swarm_ips(self):
+        env, provider, key = make_provider_world()
+        for i in range(12):
+            GhostViewer(env, provider, key.key, "https://cdn/v.m3u8",
+                        descriptor(f"9.9.9.{i}", i), "https://site.com")
+        harvester = HarvestingPeer(env, provider, key.key, "https://cdn/v.m3u8",
+                                   origin="https://site.com", poll_interval=5.0)
+        assert harvester.start()
+        env.run(60.0)
+        harvester.stop()
+        collected = harvester.unique_ips()
+        assert len(collected) >= 10  # repeated polls cover the swarm
+
+    def test_windows_limit_collection(self):
+        env, provider, key = make_provider_world()
+        provider.signaling.session_ttl = 1e9  # ghosts don't keepalive
+        for i in range(5):
+            GhostViewer(env, provider, key.key, "https://cdn/v.m3u8",
+                        descriptor(f"9.9.9.{i}", i, session=10_000.0), "https://site.com")
+        harvester = HarvestingPeer(env, provider, key.key, "https://cdn/v.m3u8",
+                                   origin="https://site.com", poll_interval=5.0,
+                                   windows=[(1000.0, 1100.0)])
+        harvester.start()
+        env.run(500.0)  # before the window
+        assert harvester.unique_ips() == set()
+        env.run(700.0)  # inside the window now
+        assert harvester.unique_ips()
+
+    def test_empty_swarm_yields_nothing(self):
+        env, provider, key = make_provider_world()
+        harvester = HarvestingPeer(env, provider, key.key, "https://cdn/v.m3u8",
+                                   origin="https://site.com")
+        harvester.start()
+        env.run(60.0)
+        assert harvester.unique_ips() == set()
+
+
+class TestIpLeakTest:
+    def test_cross_continent_leak(self):
+        env = Environment(seed=102)
+        bed = build_test_bed(env, PEER5, video_segments=6, segment_seconds=3.0)
+        analyzer = PdnAnalyzer(env)
+        report = analyzer.run_test(IpLeakTest(bed, watch=30.0))
+        verdict = report.verdicts[0]
+        assert verdict.triggered
+        assert verdict.details["us_collected_cn_ip"]
+        assert verdict.details["cn_collected_us_ip"]
+        analyzer.teardown()

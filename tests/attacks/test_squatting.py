@@ -1,0 +1,58 @@
+"""Tests for the resource-squatting measurement and consent audit."""
+
+from repro.attacks.squatting import ResourceSquattingTest, audit_consent
+from repro.core.analyzer import PdnAnalyzer
+from repro.core.testbed import build_test_bed
+from repro.environment import Environment
+from repro.pdn.policy import ClientPolicy
+from repro.pdn.provider import PEER5
+from repro.web.page import WebPage, Website
+
+
+class TestConsentAudit:
+    def test_default_policy_fails_audit(self):
+        audit = audit_consent("site.com", ClientPolicy())
+        assert not audit.informs_viewers
+        assert not audit.allows_user_disable
+
+    def test_consenting_policy_passes(self):
+        policy = ClientPolicy(show_consent_dialog=True, allow_user_disable=True)
+        audit = audit_consent("site.com", policy)
+        assert audit.informs_viewers
+
+    def test_terms_of_use_mention_detected(self):
+        site = Website("site.com")
+        site.add_page(WebPage("/terms", extra_html="<p>We use a P2P network to deliver video.</p>"))
+        audit = audit_consent("site.com", ClientPolicy(), site)
+        assert audit.mentions_p2p_in_terms
+        assert audit.informs_viewers
+
+    def test_silent_site_has_no_mention(self):
+        site = Website("site.com")
+        site.add_page(WebPage("/", title="home"))
+        assert not audit_consent("site.com", ClientPolicy(), site).mentions_p2p_in_terms
+
+
+class TestResourceSquattingTest:
+    def test_overhead_measured_against_baseline(self):
+        env = Environment(seed=111)
+        bed = build_test_bed(env, PEER5, segment_bytes=1_000_000)
+        analyzer = PdnAnalyzer(env)
+        report = analyzer.run_test(ResourceSquattingTest(bed, watch=45.0))
+        verdict = report.verdicts[0]
+        assert verdict.triggered  # overhead without consent
+        details = verdict.details
+        assert 1.05 < details["cpu_overhead_ratio"] < 1.35
+        assert 1.03 < details["memory_overhead_ratio"] < 1.25
+        assert details["consent_dialog"] is False
+        analyzer.teardown()
+
+    def test_not_triggered_when_viewers_informed(self):
+        env = Environment(seed=112)
+        policy = ClientPolicy(show_consent_dialog=True, allow_user_disable=True)
+        bed = build_test_bed(env, PEER5, segment_bytes=500_000, policy=policy)
+        analyzer = PdnAnalyzer(env)
+        report = analyzer.run_test(ResourceSquattingTest(bed, watch=40.0))
+        # overhead still exists, but consent was requested -> not squatting
+        assert not report.verdicts[0].triggered
+        analyzer.teardown()

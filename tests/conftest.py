@@ -1,0 +1,23 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import EventLoop, Network
+from repro.util.rand import DeterministicRandom
+
+
+@pytest.fixture
+def loop() -> EventLoop:
+    return EventLoop()
+
+
+@pytest.fixture
+def rand() -> DeterministicRandom:
+    return DeterministicRandom(1234)
+
+
+@pytest.fixture
+def network(loop: EventLoop, rand: DeterministicRandom) -> Network:
+    return Network(loop, rand=rand)

@@ -1,0 +1,77 @@
+"""Tests for test reports, id factories, and the environment."""
+
+import pytest
+
+from repro.core.report import TestReport as AnalyzerReport
+from repro.environment import Environment
+from repro.util.ids import CountingIdFactory
+
+
+class TestAnalyzerReport:
+    def test_verdict_accumulation(self):
+        report = AnalyzerReport("t", "peer5")
+        report.add_verdict("risk_a", True, detail=1)
+        report.add_verdict("risk_b", False)
+        assert report.any_triggered
+        assert report.verdict("risk_a").details == {"detail": 1}
+        assert report.verdict("risk_b").triggered is False
+        assert report.verdict("missing") is None
+
+    def test_logs(self):
+        report = AnalyzerReport("t", "p")
+        report.log("step one")
+        assert report.logs == ["step one"]
+
+    def test_no_verdicts_not_triggered(self):
+        assert not AnalyzerReport("t", "p").any_triggered
+
+
+class TestCountingIdFactory:
+    def test_sequential_per_prefix(self):
+        ids = CountingIdFactory()
+        assert ids.next("peer") == "peer-1"
+        assert ids.next("peer") == "peer-2"
+        assert ids.next("session") == "session-1"
+        assert ids.peek_count("peer") == 2
+        assert ids.peek_count("session") == 1
+
+    def test_unused_prefix_count_zero(self):
+        assert CountingIdFactory().peek_count("nothing") == 0
+
+
+class TestEnvironment:
+    def test_deterministic_given_seed(self):
+        env_a = Environment(seed=5)
+        env_b = Environment(seed=5)
+        host_a = env_a.add_viewer_host("v", "CN")
+        host_b = env_b.add_viewer_host("v", "CN")
+        assert host_a.public_ip == host_b.public_ip
+
+    def test_viewer_host_geolocates(self):
+        env = Environment(seed=6)
+        host = env.add_viewer_host("v", "GB")
+        assert env.geo.country_of(host.public_ip) == "GB"
+
+    def test_turn_created_lazily(self):
+        env = Environment(seed=7)
+        assert env._turn is None
+        _ = env.turn
+        assert env._turn is not None
+        config = env.rtc_config(relay_only=True)
+        assert config.turn_server == env.turn.endpoint
+
+    def test_rtc_config_default_no_turn(self):
+        env = Environment(seed=8)
+        config = env.rtc_config()
+        assert config.turn_server is None
+        assert config.stun_servers == [env.stun.endpoint]
+
+    def test_distinct_viewer_ips(self):
+        env = Environment(seed=9)
+        ips = {env.add_viewer_host(country="US").public_ip for _ in range(25)}
+        assert len(ips) == 25
+
+    def test_uplink_cap_passthrough(self):
+        env = Environment(seed=10)
+        host = env.add_viewer_host("capped", uplink_bytes_per_sec=1000.0)
+        assert host.uplink_bytes_per_sec == 1000.0

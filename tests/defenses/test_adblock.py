@@ -1,0 +1,66 @@
+"""Tests for viewer-side PDN blocking (the douyu-p2p-block pattern)."""
+
+from repro.core.testbed import build_test_bed
+from repro.defenses.adblock import DEFAULT_FILTER_LIST, PdnBlocker
+from repro.environment import Environment
+from repro.pdn.provider import PEER5, STREAMROOT
+from repro.web.browser import Browser
+
+
+class TestFilterList:
+    def test_default_list_covers_public_providers(self):
+        blocker = PdnBlocker()
+        for host in ("api.peer5.com", "backend.dna.streamroot.io", "pdn.viblast.com"):
+            assert blocker.blocks(host)
+        assert not blocker.blocks("cdn.test.com")
+
+    def test_subdomains_blocked(self):
+        blocker = PdnBlocker({"peer5.com"})
+        assert blocker.blocks("api.peer5.com")
+        assert blocker.blocks("PEER5.COM")
+        assert not blocker.blocks("notpeer5.com")
+
+    def test_from_providers(self):
+        env = Environment(seed=151)
+        bed = build_test_bed(env, STREAMROOT)
+        blocker = PdnBlocker.from_providers([bed.provider])
+        assert blocker.blocks(STREAMROOT.signaling_host)
+        assert blocker.blocks(STREAMROOT.sdk_host)
+
+
+class TestBlockedViewer:
+    def test_pdn_fails_playback_continues(self):
+        """A viewer running the filter list: no PDN join, clean CDN
+        playback — exactly what douyu-p2p-block users get."""
+        env = Environment(seed=152)
+        bed = build_test_bed(env, PEER5, video_segments=6, segment_seconds=2.0)
+        blocker = PdnBlocker.from_providers([bed.provider])
+        viewer = Browser(env, "blocker-user", proxy=blocker)
+        session = viewer.open(f"https://{bed.site.domain}/")
+        assert not session.pdn_loaded
+        assert blocker.blocked_requests > 0
+        env.run(30.0)
+        assert session.player.finished
+        assert session.player.stats.bytes_from_p2p == 0
+        assert session.player.stats.played_digests() == [
+            s.digest for s in bed.video.segments
+        ]
+
+    def test_unblocked_viewer_unaffected(self):
+        env = Environment(seed=153)
+        bed = build_test_bed(env, PEER5, video_segments=6, segment_seconds=2.0)
+        session = Browser(env, "normal").open(f"https://{bed.site.domain}/")
+        assert session.pdn_loaded
+
+    def test_blocked_viewer_invisible_to_swarm(self):
+        """The blocked viewer never appears in candidate disclosures."""
+        env = Environment(seed=154)
+        bed = build_test_bed(env, PEER5, video_segments=6)
+        blocker = PdnBlocker.from_providers([bed.provider])
+        blocked = Browser(env, "blocked", proxy=blocker)
+        blocked.open(f"https://{bed.site.domain}/")
+        normal = Browser(env, "normal")
+        normal_session = normal.open(f"https://{bed.site.domain}/")
+        env.run(20.0)
+        harvested = {ip for _, ip in normal_session.sdk.harvested_ips()}
+        assert blocked.host.public_ip not in harvested

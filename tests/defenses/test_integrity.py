@@ -1,0 +1,135 @@
+"""Tests for peer-assisted integrity checking (§V-B)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analyzer import PdnAnalyzer
+from repro.core.testbed import build_test_bed
+from repro.defenses.integrity import ClientIntegrity, IntegrityCoordinator, compute_im, content_id
+from repro.environment import Environment
+from repro.pdn.provider import PEER5
+
+
+class TestComputeIm:
+    def test_binds_content_video_and_position(self):
+        base = compute_im(b"data", "video-a", 3)
+        assert compute_im(b"data2", "video-a", 3) != base  # content
+        assert compute_im(b"data", "video-b", 3) != base  # video (cross-video replay)
+        assert compute_im(b"data", "video-a", 4) != base  # position (reorder replay)
+
+    def test_deterministic(self):
+        assert compute_im(b"x", "v", 0) == compute_im(b"x", "v", 0)
+
+
+def make_world(seed=121, quorum=2):
+    env = Environment(seed=seed)
+    bed = build_test_bed(env, PEER5, video_segments=6)
+    coordinator = IntegrityCoordinator(
+        env.loop, env.rand.fork("im"), bed.provider, env.urlspace, quorum=quorum
+    ).install()
+    return env, bed, coordinator
+
+
+class TestCoordinator:
+    def test_quorum_agreement_signs_sim(self):
+        env, bed, coord = make_world(quorum=2)
+        digest = compute_im(bed.video.segments[0].data, content_id(bed.video_url, ''), 0)
+        coord.receive_report("peer-1", bed.video_url, 0, digest)
+        assert coord.get_sim(bed.video_url, 0) is None  # below quorum
+        coord.receive_report("peer-2", bed.video_url, 0, digest)
+        sim = coord.get_sim(bed.video_url, 0)
+        assert sim is not None and sim.digest == digest
+
+    def test_conflict_resolved_from_cdn_and_faker_banned(self):
+        env, bed, coord = make_world()
+        authentic = compute_im(bed.video.segments[1].data, content_id(bed.video_url, ''), 1)
+        coord.receive_report("honest-peer", bed.video_url, 1, authentic)
+        coord.receive_report("evil-peer", bed.video_url, 1, "f" * 64)
+        sim = coord.get_sim(bed.video_url, 1)
+        assert sim is not None and sim.digest == authentic
+        assert "evil-peer" in coord.peers_blacklisted
+        assert "honest-peer" not in coord.peers_blacklisted
+        assert coord.conflicts_resolved == 1
+        assert coord.cdn_fetches == 1
+
+    def test_single_benign_reporter_wins(self):
+        """The paper's guarantee: one benign reporter identifies the truth."""
+        env, bed, coord = make_world(quorum=3)
+        authentic = compute_im(bed.video.segments[2].data, content_id(bed.video_url, ''), 2)
+        coord.receive_report("evil-1", bed.video_url, 2, "a" * 64)
+        coord.receive_report("evil-2", bed.video_url, 2, "a" * 64)
+        coord.receive_report("honest", bed.video_url, 2, authentic)
+        assert coord.get_sim(bed.video_url, 2).digest == authentic
+        assert coord.peers_blacklisted == {"evil-1", "evil-2"}
+
+    def test_late_fake_report_still_banned(self):
+        env, bed, coord = make_world(quorum=1)
+        authentic = compute_im(bed.video.segments[0].data, content_id(bed.video_url, ''), 0)
+        coord.receive_report("honest", bed.video_url, 0, authentic)
+        coord.receive_report("late-evil", bed.video_url, 0, "b" * 64)
+        assert "late-evil" in coord.peers_blacklisted
+
+    def test_signature_verifies(self):
+        env, bed, coord = make_world(quorum=1)
+        digest = compute_im(bed.video.segments[0].data, content_id(bed.video_url, ''), 0)
+        coord.receive_report("p", bed.video_url, 0, digest)
+        sim = coord.get_sim(bed.video_url, 0)
+        verify = coord.verifier()
+        cid = content_id(bed.video_url, "")
+        assert verify(cid, 0, sim.digest, sim.signature)
+        assert not verify(cid, 0, "0" * 64, sim.signature)
+        assert not verify(cid, 1, sim.digest, sim.signature)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=5), st.integers(min_value=1, max_value=5))
+    def test_authentic_wins_whenever_a_benign_reporter_exists(self, evil, honest):
+        env, bed, coord = make_world(seed=500 + evil * 10 + honest, quorum=evil + honest)
+        authentic = compute_im(bed.video.segments[0].data, content_id(bed.video_url, ''), 0)
+        for i in range(evil):
+            coord.receive_report(f"evil-{i}", bed.video_url, 0, "c" * 64)
+        for i in range(honest):
+            coord.receive_report(f"honest-{i}", bed.video_url, 0, authentic)
+        sim = coord.get_sim(bed.video_url, 0)
+        assert sim is not None and sim.digest == authentic
+
+
+class TestEndToEndDefense:
+    def test_pollution_blocked_and_attacker_blacklisted(self):
+        from repro.attacks.pollution import VideoSegmentPollutionTest
+
+        env, bed, coord = make_world(seed=122)
+        integrity = ClientIntegrity(env.loop, coord)
+        analyzer = PdnAnalyzer(env)
+        original_create = analyzer.create_peer
+
+        def create_with_integrity(*args, **kwargs):
+            kwargs.setdefault("integrity", integrity)
+            return original_create(*args, **kwargs)
+
+        analyzer.create_peer = create_with_integrity
+        report = analyzer.run_test(VideoSegmentPollutionTest(bed))
+        verdict = report.verdicts[0]
+        assert not verdict.triggered
+        assert verdict.details["authentic_played"] == len(bed.video.segments)
+        assert coord.peers_blacklisted  # the polluter got banned
+        analyzer.teardown()
+
+    def test_benign_swarm_unaffected_by_defense(self):
+        # quorum=1: a two-peer swarm can never satisfy a larger quorum
+        # (see the quorum ablation bench for the trade-off).
+        env, bed, coord = make_world(seed=123, quorum=1)
+        integrity = ClientIntegrity(env.loop, coord)
+        analyzer = PdnAnalyzer(env)
+        peer_a = analyzer.create_peer(name="a", integrity=integrity)
+        peer_a.watch_test_stream(bed)
+        analyzer.run(8.0)
+        peer_b = analyzer.create_peer(name="b", integrity=integrity)
+        session_b = peer_b.watch_test_stream(bed)
+        analyzer.run(60.0)
+        assert session_b.player.finished
+        assert session_b.player.stats.bytes_from_p2p > 0  # P2P still works
+        assert session_b.player.stats.played_digests() == [
+            s.digest for s in bed.video.segments
+        ]
+        assert not coord.peers_blacklisted
+        analyzer.teardown()

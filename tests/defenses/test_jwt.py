@@ -1,0 +1,70 @@
+"""Tests for the minimal JWT implementation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.defenses.jwtmin import jwt_decode, jwt_encode
+from repro.util.errors import TokenError
+
+SECRET = b"test-secret"
+
+
+class TestRoundTrip:
+    def test_basic(self):
+        payload = {"sub": "peer-1", "n": 42}
+        assert jwt_decode(jwt_encode(payload, SECRET), SECRET) == payload
+
+    def test_compact_three_segments(self):
+        token = jwt_encode({"a": 1}, SECRET)
+        assert token.count(".") == 2
+        assert "=" not in token  # unpadded base64url
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=10),
+            st.one_of(st.integers(), st.text(max_size=20), st.booleans()),
+            max_size=8,
+        )
+    )
+    def test_round_trip_property(self, payload):
+        assert jwt_decode(jwt_encode(payload, SECRET), SECRET) == payload
+
+
+class TestVerification:
+    def test_wrong_secret_rejected(self):
+        token = jwt_encode({"a": 1}, SECRET)
+        with pytest.raises(TokenError):
+            jwt_decode(token, b"other-secret")
+
+    def test_tampered_payload_rejected(self):
+        token = jwt_encode({"role": "viewer"}, SECRET)
+        header, payload, signature = token.split(".")
+        from repro.util.encoding import b64url_decode, b64url_encode
+
+        forged_payload = b64url_encode(
+            b64url_decode(payload).replace(b"viewer", b"server")
+        )
+        with pytest.raises(TokenError):
+            jwt_decode(f"{header}.{forged_payload}.{signature}", SECRET)
+
+    def test_malformed_rejected(self):
+        for bad in ["", "a.b", "a.b.c.d", "!!!.???.***"]:
+            with pytest.raises(TokenError):
+                jwt_decode(bad, SECRET)
+
+    def test_wrong_alg_rejected(self):
+        from repro.util.encoding import b64url_encode
+        import json
+
+        header = b64url_encode(json.dumps({"alg": "none", "typ": "JWT"}).encode())
+        payload = b64url_encode(json.dumps({"a": 1}).encode())
+        with pytest.raises(TokenError):
+            jwt_decode(f"{header}.{payload}.", SECRET)
+
+
+class TestPaperSize:
+    def test_listing1_encodes_to_283_bytes(self):
+        """§V-A: 'a encoded JWT of 283 bytes'."""
+        from repro.experiments.token_defense import listing1_token_bytes
+
+        assert listing1_token_bytes() == 283

@@ -1,0 +1,77 @@
+"""Tests for the §V-A OAuth strawman and its MITM defeat."""
+
+from repro.defenses.oauth import OAuthAuthorizationServer, OAuthMitmAttack
+from repro.defenses.tokens import TokenIssuer, TokenValidator
+from repro.util.rand import DeterministicRandom
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_server(ttl=300.0):
+    clock = FakeClock()
+    server = OAuthAuthorizationServer(clock, DeterministicRandom(7), ttl=ttl)
+    server.register_customer("victim-corp", "victim.com")
+    return clock, server
+
+
+class TestOAuthBasics:
+    def test_grant_for_registered_origin(self):
+        _, server = make_server()
+        token = server.grant("https://victim.com")
+        assert token is not None
+        assert server.validate(token.token) == (True, "victim-corp")
+
+    def test_no_grant_for_stranger(self):
+        _, server = make_server()
+        assert server.grant("https://attacker.com") is None
+
+    def test_token_expires(self):
+        clock, server = make_server(ttl=60.0)
+        token = server.grant("https://victim.com")
+        clock.now = 61.0
+        valid, _ = server.validate(token.token)
+        assert not valid
+
+    def test_unknown_token_invalid(self):
+        _, server = make_server()
+        assert server.validate("bogus") == (False, None)
+
+
+class TestMitmDefeat:
+    def test_mitm_harvests_valid_tokens(self):
+        """The §V-A argument: OAuth tokens reduce exposure but a MITM
+        gets fresh valid ones at will — free riding survives."""
+        _, server = make_server()
+        attack = OAuthMitmAttack(server, "victim.com")
+        assert attack.attack_succeeds()
+        assert len(attack.harvested) >= 1
+
+    def test_tokens_not_video_bound(self):
+        """Nothing in the bearer token restricts *what* it streams."""
+        _, server = make_server()
+        attack = OAuthMitmAttack(server, "victim.com")
+        token = attack.harvest_token()
+        # the validator has no video parameter at all — the design gap
+        assert server.validate(token.token)[0]
+
+    def test_video_binding_closes_the_gap(self):
+        """The same MITM against the §V-A video-binding tokens: the
+        harvested token cannot offload the attacker's own stream."""
+        clock = FakeClock()
+        secret = b"s3cret"
+        issuer = TokenIssuer("victim-corp", secret, clock)
+        validator = TokenValidator(clock)
+        validator.register_customer("victim-corp", secret)
+        # MITM harvests a real token minted for the victim's video...
+        harvested = issuer.issue(["https://victim.com/live.m3u8"])
+        # ...which is useless for the attacker's own stream:
+        assert not validator.validate(harvested, "https://attacker.com/own.m3u8").accepted
+        # and single-use on the victim's stream:
+        assert validator.validate(harvested, "https://victim.com/live.m3u8").accepted
+        assert not validator.validate(harvested, "https://victim.com/live.m3u8").accepted

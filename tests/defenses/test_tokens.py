@@ -1,0 +1,103 @@
+"""Tests for the disposable video-binding token defense (§V-A)."""
+
+import pytest
+
+from repro.defenses.tokens import TokenIssuer, TokenValidator, VideoToken
+from repro.util.errors import TokenError
+
+SECRET = b"customer-secret"
+VIDEO = "https://cdn.test.com/vod/x/playlist.m3u8"
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def world():
+    clock = FakeClock()
+    issuer = TokenIssuer("site.com", SECRET, clock)
+    validator = TokenValidator(clock)
+    validator.register_customer("site.com", SECRET)
+    return clock, issuer, validator
+
+
+class TestHappyPath:
+    def test_fresh_token_validates_once(self, world):
+        clock, issuer, validator = world
+        token = issuer.issue([VIDEO])
+        outcome = validator.validate(token, VIDEO)
+        assert outcome.accepted
+        assert outcome.customer_id == "site.com"
+
+    def test_multi_video_page(self, world):
+        clock, issuer, validator = world
+        token = issuer.issue([VIDEO, "https://cdn/other.m3u8"], usage_limit=2)
+        assert validator.validate(token, VIDEO).accepted
+        assert validator.validate(token, "https://cdn/other.m3u8").accepted
+
+
+class TestBindings:
+    def test_video_binding_rejects_other_stream(self, world):
+        clock, issuer, validator = world
+        token = issuer.issue([VIDEO])
+        outcome = validator.validate(token, "https://attacker/own.m3u8")
+        assert not outcome.accepted
+        assert "not bound" in outcome.reason
+
+    def test_usage_limit_blocks_replay(self, world):
+        clock, issuer, validator = world
+        token = issuer.issue([VIDEO], usage_limit=1)
+        assert validator.validate(token, VIDEO).accepted
+        outcome = validator.validate(token, VIDEO)
+        assert not outcome.accepted
+        assert "usage limit" in outcome.reason
+
+    def test_ttl_expiry(self, world):
+        clock, issuer, validator = world
+        token = issuer.issue([VIDEO], ttl=60)
+        clock.now += 61
+        outcome = validator.validate(token, VIDEO)
+        assert not outcome.accepted
+        assert "expired" in outcome.reason
+
+    def test_forged_signature_rejected(self, world):
+        clock, issuer, validator = world
+        forged_issuer = TokenIssuer("site.com", b"wrong-secret", clock)
+        outcome = validator.validate(forged_issuer.issue([VIDEO]), VIDEO)
+        assert not outcome.accepted
+
+    def test_unknown_customer_rejected(self, world):
+        clock, issuer, validator = world
+        stranger = TokenIssuer("other.com", SECRET, clock)
+        outcome = validator.validate(stranger.issue([VIDEO]), VIDEO)
+        assert not outcome.accepted
+        assert "unknown customer" in outcome.reason
+
+    def test_garbage_token_rejected(self, world):
+        clock, issuer, validator = world
+        assert not validator.validate("garbage", VIDEO).accepted
+        assert not validator.validate("", VIDEO).accepted
+
+
+class TestVideoToken:
+    def test_payload_round_trip(self):
+        token = VideoToken("c", "1", ("u1", "u2"), 1000, 60, 1)
+        assert VideoToken.from_payload(token.to_payload()) == token
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(TokenError):
+            VideoToken.from_payload({"customer_id": "c"})
+
+    def test_counters(self, world):
+        clock, issuer, validator = world
+        token = issuer.issue([VIDEO])
+        validator.validate(token, VIDEO)
+        validator.validate(token, VIDEO)  # replay
+        assert issuer.issued == 1
+        assert validator.validations == 2
+        assert validator.rejections == 1

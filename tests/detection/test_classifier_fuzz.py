@@ -1,0 +1,51 @@
+"""Fuzzing the traffic classifier: arbitrary captures must never crash.
+
+The dynamic detector parses whatever bytes the wire carried; hostile or
+garbage datagrams (including truncated STUN and DTLS-looking frames)
+must be skipped, not raised on.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.detection.traffic import classify_capture
+from repro.net.addresses import Endpoint
+from repro.net.capture import CapturedPacket, TrafficCapture
+
+endpoints = st.builds(
+    Endpoint,
+    st.sampled_from(["1.1.1.1", "2.2.2.2", "9.9.9.9"]),
+    st.integers(min_value=1, max_value=65535),
+)
+
+# Mix of pure noise and STUN/DTLS-prefixed noise to reach the parsers.
+payloads = st.one_of(
+    st.binary(max_size=64),
+    st.binary(max_size=40).map(lambda b: b"\x00\x01" + b),
+    st.binary(max_size=40).map(lambda b: b"\x00\x01\x00\x00\x21\x12\xa4\x42" + b),
+    st.binary(max_size=40).map(lambda b: b"\x16\xfe\xfd" + b),
+    st.binary(max_size=40).map(lambda b: b"\x17\xfe\xfd" + b),
+)
+
+packets = st.builds(
+    CapturedPacket,
+    st.floats(min_value=0, max_value=1000),
+    endpoints,
+    endpoints,
+    payloads,
+    st.booleans(),
+)
+
+
+class TestClassifierFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(packets, max_size=30))
+    def test_never_crashes(self, packet_list):
+        capture = TrafficCapture("fuzz")
+        for packet in packet_list:
+            capture.record(packet)
+        report = classify_capture(capture, infrastructure_ips={"9.9.9.9"})
+        # structural sanity regardless of input
+        assert report.confirmed_pairs <= report.candidate_pairs
+        for pair in report.candidate_pairs:
+            assert len(pair) == 2
+        assert "9.9.9.9" not in report.observed_peer_ips

@@ -1,0 +1,126 @@
+"""Tests for the website and APK scanners."""
+
+from repro.detection.scanner import ApkScanner, WebsiteScanner
+from repro.environment import Environment
+from repro.pdn.provider import PEER5, PdnProvider
+from repro.web.apk import AndroidApp, build_pdn_apk, build_plain_apk
+from repro.web.page import PdnEmbed, WebPage, Website
+
+
+def make_env():
+    env = Environment(seed=51)
+    provider = PdnProvider(env.loop, env.rand, PEER5)
+    provider.install(env.urlspace)
+    key = provider.signup_customer("target.com")
+    return env, provider, key
+
+
+class TestWebsiteScanner:
+    def test_detects_embed_on_landing(self):
+        env, provider, key = make_env()
+        site = Website("target.com")
+        site.add_page(WebPage("/", has_video=True, embed=PdnEmbed(provider, key.key, "u")))
+        env.urlspace.register("target.com", site)
+        result = WebsiteScanner(env.urlspace).scan("target.com")
+        assert result.is_potential
+        assert result.provider() == "peer5"
+        assert key.key in result.extracted_keys
+
+    def test_detects_embed_at_depth(self):
+        env, provider, key = make_env()
+        site = Website("target.com")
+        site.add_page(WebPage("/", has_video=True, links=["/a"]))
+        site.add_page(WebPage("/a", has_video=True, links=["/a/b"]))
+        site.add_page(WebPage("/a/b", has_video=True, embed=PdnEmbed(provider, key.key, "u")))
+        env.urlspace.register("target.com", site)
+        result = WebsiteScanner(env.urlspace).scan("target.com")
+        assert result.is_potential
+        assert result.pages_scanned == 3
+
+    def test_depth_limit_misses_deep_embeds(self):
+        env, provider, key = make_env()
+        site = Website("target.com")
+        site.add_page(WebPage("/", has_video=True, links=["/1"]))
+        site.add_page(WebPage("/1", has_video=True, links=["/2"]))
+        site.add_page(WebPage("/2", has_video=True, links=["/3"]))
+        site.add_page(WebPage("/3", has_video=True, links=["/4"]))
+        site.add_page(WebPage("/4", has_video=True, embed=PdnEmbed(provider, key.key, "u")))
+        env.urlspace.register("target.com", site)
+        result = WebsiteScanner(env.urlspace, max_depth=3).scan("target.com")
+        assert not result.is_potential  # the paper's acknowledged blind spot
+
+    def test_requires_video_tag(self):
+        env, provider, key = make_env()
+        site = Website("target.com")
+        site.add_page(WebPage("/", has_video=False, embed=PdnEmbed(provider, key.key, "u")))
+        env.urlspace.register("target.com", site)
+        result = WebsiteScanner(env.urlspace).scan("target.com")
+        assert not result.is_potential
+        assert result.pages_scanned == 0
+
+    def test_unreachable_site(self):
+        env, _, _ = make_env()
+        result = WebsiteScanner(env.urlspace).scan("ghost.com")
+        assert not result.is_potential
+
+    def test_obfuscated_site_detected_without_key(self):
+        env, provider, key = make_env()
+        site = Website("target.com")
+        site.add_page(
+            WebPage("/", has_video=True,
+                    embed=PdnEmbed(provider, key.key, "u", obfuscated=True))
+        )
+        env.urlspace.register("target.com", site)
+        result = WebsiteScanner(env.urlspace).scan("target.com")
+        assert result.is_potential
+        assert result.extracted_keys == set()
+
+    def test_generic_webrtc_attribution(self):
+        env, _, _ = make_env()
+        site = Website("webrtc-site.com")
+        site.add_page(
+            WebPage("/", has_video=True, extra_html="<script>new RTCPeerConnection()</script>")
+        )
+        env.urlspace.register("webrtc-site.com", site)
+        result = WebsiteScanner(env.urlspace).scan("webrtc-site.com")
+        assert result.provider() == "webrtc-generic"
+
+
+class TestApkScanner:
+    def _embed(self, env, provider, obfuscated=True):
+        key = provider.signup_customer(f"com.app{obfuscated}")
+        return PdnEmbed(provider, key.key, "u"), key
+
+    def test_detects_namespace(self):
+        env, provider, _ = make_env()
+        embed, key = self._embed(env, provider)
+        app = AndroidApp("com.app")
+        app.add_version(build_pdn_apk(1, embed))
+        result = ApkScanner().scan(app)
+        assert result.is_potential
+        assert result.provider() == "peer5"
+        assert result.pdn_apk_versions == 1
+
+    def test_counts_versions(self):
+        env, provider, _ = make_env()
+        embed, _ = self._embed(env, provider)
+        app = AndroidApp("com.app")
+        for v in range(3):
+            app.add_version(build_pdn_apk(v, embed))
+        app.add_version(build_plain_apk(99))
+        result = ApkScanner().scan(app)
+        assert result.pdn_apk_versions == 3
+        assert result.total_apk_versions == 4
+
+    def test_clear_key_extracted_from_manifest(self):
+        env, provider, _ = make_env()
+        embed, key = self._embed(env, provider)
+        app = AndroidApp("com.app")
+        app.add_version(build_pdn_apk(1, embed, obfuscated=False))
+        result = ApkScanner().scan(app)
+        assert key.key in result.extracted_keys
+
+    def test_plain_app_not_potential(self):
+        app = AndroidApp("com.plain")
+        app.add_version(build_plain_apk(1))
+        assert not ApkScanner().scan(app).is_potential

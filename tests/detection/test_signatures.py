@@ -1,0 +1,61 @@
+"""Tests for PDN signatures and key extraction."""
+
+from repro.detection.signatures import (
+    GENERIC_WEBRTC_SIGNATURES,
+    SignatureKind,
+    extract_api_keys,
+    provider_signatures,
+)
+
+
+class TestProviderSignatures:
+    def test_all_providers_have_url_patterns(self):
+        signatures = provider_signatures()
+        providers = {s.provider for s in signatures if s.kind is SignatureKind.URL_PATTERN}
+        assert providers == {"peer5", "streamroot", "viblast"}
+
+    def test_url_pattern_wildcard_matches(self):
+        signatures = provider_signatures()
+        peer5 = next(
+            s for s in signatures
+            if s.provider == "peer5" and s.kind is SignatureKind.URL_PATTERN
+        )
+        assert peer5.matches('<script src="https://api.peer5.com/peer5.js?id=abc123"></script>')
+        assert not peer5.matches('<script src="https://api.other.com/x.js"></script>')
+
+    def test_namespace_signatures(self):
+        signatures = provider_signatures()
+        viblast = next(
+            s for s in signatures
+            if s.provider == "viblast" and s.kind is SignatureKind.NAMESPACE
+        )
+        assert viblast.pattern == "com.viblast.android"
+
+    def test_generic_webrtc_signatures_match_rtc_code(self):
+        html = "<script>var pc = new RTCPeerConnection();</script>"
+        assert any(s.matches(html) for s in GENERIC_WEBRTC_SIGNATURES)
+
+
+class TestKeyExtraction:
+    def test_extracts_clear_key_from_script_url(self):
+        html = '<script src="https://api.peer5.com/peer5.js?id=0123456789abcdef"></script>'
+        assert extract_api_keys(html) == {"0123456789abcdef"}
+
+    def test_extracts_inline_variable(self):
+        html = "var pdnApiKey = 'deadbeefdeadbeef';"
+        assert extract_api_keys(html) == {"deadbeefdeadbeef"}
+
+    def test_extracts_streamroot_and_viblast_paths(self):
+        html = (
+            '<script src="https://cdn.streamroot.io/dna/aabbccddeeff0011/dna.js"></script>'
+            '<script src="https://cdn.viblast.com/vb/1122334455667788/viblast.js"></script>'
+        )
+        assert extract_api_keys(html) == {"aabbccddeeff0011", "1122334455667788"}
+
+    def test_obfuscated_key_not_extracted(self):
+        html = "var _0x101f38=['beef','dead'];_s.src='https://api.peer5.com/peer5.js?id='+k;"
+        assert extract_api_keys(html) == set()
+
+    def test_non_hex_not_extracted(self):
+        html = '<script src="https://api.peer5.com/peer5.js?id=RUNTIME_KEY"></script>'
+        assert extract_api_keys(html) == set()

@@ -1,0 +1,71 @@
+"""Multi-bitrate streams over the PDN: swarms share per rendition."""
+
+from repro.environment import Environment
+from repro.pdn.policy import ClientPolicy
+from repro.pdn.provider import PEER5, PdnProvider
+from repro.streaming.cdn import CdnEdge, OriginServer
+from repro.streaming.video import make_multi_bitrate_video
+from repro.web.browser import Browser
+from repro.web.page import PdnEmbed, WebPage, Website
+
+BITRATES = {"360p": 80, "720p": 250, "1080p": 500}
+
+
+def make_world(seed=191):
+    env = Environment(seed=seed)
+    origin = OriginServer(env.loop)
+    cdn = CdnEdge(origin)
+    env.urlspace.register(origin.hostname, origin)
+    env.urlspace.register(cdn.hostname, cdn)
+    renditions = make_multi_bitrate_video("movie", 12, 3.0, BITRATES)
+    origin.add_vod_renditions("movie", renditions)
+    master_url = f"https://{cdn.hostname}/vod/movie/master.m3u8"
+    provider = PdnProvider(env.loop, env.rand, PEER5)
+    provider.install(env.urlspace)
+    key = provider.signup_customer("abr.example.com", None, ClientPolicy())
+    site = Website("abr.example.com", category="video")
+    site.add_page(WebPage("/", has_video=True, embed=PdnEmbed(provider, key.key, master_url)))
+    env.urlspace.register(site.domain, site)
+    return env, renditions, site
+
+
+class TestAbrOverPdn:
+    def test_viewers_share_within_renditions(self):
+        env, renditions, site = make_world()
+        viewer_a = Browser(env, "a")
+        session_a = viewer_a.open(f"https://{site.domain}/")
+        env.run(8.0)
+        viewer_b = Browser(env, "b")
+        session_b = viewer_b.open(f"https://{site.domain}/")
+        env.run(90.0)
+        assert session_a.player.finished and session_b.player.finished
+        # B leeched something from A (both climb the same ladder)
+        assert session_b.player.stats.bytes_from_p2p > 0
+        # every played digest is authentic content of SOME rendition
+        all_digests = {
+            s.digest for video in renditions.values() for s in video.segments
+        }
+        for session in (session_a, session_b):
+            assert set(session.player.stats.played_digests()) <= all_digests
+        # ABR actually moved both players up the ladder
+        assert len(session_a.player.rendition_switches) >= 2
+
+    def test_no_cross_rendition_content(self):
+        """A segment served P2P must match the rendition the requester
+        asked for — (rendition, index) keys prevent cross-serving."""
+        env, renditions, site = make_world(seed=192)
+        viewer_a = Browser(env, "a")
+        session_a = viewer_a.open(f"https://{site.domain}/")
+        env.run(8.0)
+        viewer_b = Browser(env, "b")
+        session_b = viewer_b.open(f"https://{site.domain}/")
+        env.run(90.0)
+        # Every played segment must be SOME rendition's content *at that
+        # exact index* — never another index's bytes (no cross-serving,
+        # no replay through the rendition seam).
+        for session in (session_a, session_b):
+            for played in session.player.stats.played:
+                at_index = {
+                    video.segments[played.index].digest for video in renditions.values()
+                }
+                assert played.digest in at_index

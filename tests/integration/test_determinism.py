@@ -1,0 +1,38 @@
+"""The determinism promise: same seed, same world, same numbers."""
+
+from repro.core.testbed import build_test_bed
+from repro.environment import Environment
+from repro.pdn.provider import PEER5
+from repro.web.browser import Browser
+
+
+def run_scenario(seed):
+    env = Environment(seed=seed)
+    bed = build_test_bed(env, PEER5, video_segments=8, segment_seconds=3.0)
+    alice = Browser(env, "alice")
+    session_a = alice.open(f"https://{bed.site.domain}/")
+    env.run(8.0)
+    bob = Browser(env, "bob")
+    session_b = bob.open(f"https://{bed.site.domain}/")
+    env.run(60.0)
+    account = bed.provider.billing.account(bed.customer_id)
+    return {
+        "a_digests": session_a.player.stats.played_digests(),
+        "b_digests": session_b.player.stats.played_digests(),
+        "b_p2p": session_b.player.stats.bytes_from_p2p,
+        "billed": account.p2p_bytes,
+        "alice_ip": alice.host.public_ip,
+        "api_key": bed.api_key,
+        "events": env.loop.events_fired,
+    }
+
+
+class TestDeterminism:
+    def test_identical_runs_for_identical_seeds(self):
+        assert run_scenario(4242) == run_scenario(4242)
+
+    def test_different_seeds_differ(self):
+        a = run_scenario(1)
+        b = run_scenario(2)
+        assert a["api_key"] != b["api_key"]
+        assert a["alice_ip"] != b["alice_ip"]

@@ -1,0 +1,151 @@
+"""Failure injection and robustness across the whole stack."""
+
+import pytest
+
+from repro.core.analyzer import PdnAnalyzer
+from repro.core.testbed import build_test_bed
+from repro.environment import Environment
+from repro.pdn.provider import PEER5
+from repro.web.browser import Browser
+
+
+class TestPacketLoss:
+    def test_full_pdn_flow_survives_loss(self):
+        """5% datagram loss: handshakes retransmit, chunks retransmit,
+        playback completes with authentic content."""
+        env = Environment(seed=141, loss_rate=0.05)
+        bed = build_test_bed(env, PEER5, video_segments=8, segment_seconds=3.0)
+        viewer_a = Browser(env, "a")
+        session_a = viewer_a.open(f"https://{bed.site.domain}/")
+        env.run(8.0)
+        viewer_b = Browser(env, "b")
+        session_b = viewer_b.open(f"https://{bed.site.domain}/")
+        env.run(90.0)
+        assert session_a.player.finished and session_b.player.finished
+        authentic = [s.digest for s in bed.video.segments]
+        assert session_b.player.stats.played_digests() == authentic
+
+    def test_heavy_loss_degrades_to_cdn_not_failure(self):
+        """At 30% loss P2P may be useless, but the hybrid design must
+        still deliver via CDN fallback (HTTP is reliable transport)."""
+        env = Environment(seed=142, loss_rate=0.30)
+        bed = build_test_bed(env, PEER5, video_segments=6, segment_seconds=3.0)
+        viewer_a = Browser(env, "a")
+        viewer_a.open(f"https://{bed.site.domain}/")
+        env.run(6.0)
+        viewer_b = Browser(env, "b")
+        session_b = viewer_b.open(f"https://{bed.site.domain}/")
+        env.run(120.0)
+        assert session_b.player.finished
+        assert session_b.player.stats.played_digests() == [
+            s.digest for s in bed.video.segments
+        ]
+
+
+class TestPeerChurn:
+    def test_seeder_departure_mid_playback(self):
+        """The seeding peer vanishes mid-stream; the leecher's pending
+        P2P requests time out and CDN fallback finishes the video."""
+        env = Environment(seed=143)
+        bed = build_test_bed(env, PEER5, video_segments=10, segment_seconds=3.0)
+        seeder = Browser(env, "seeder")
+        seeder_session = seeder.open(f"https://{bed.site.domain}/")
+        env.run(8.0)
+        leecher = Browser(env, "leecher")
+        leecher_session = leecher.open(f"https://{bed.site.domain}/")
+        env.run(8.0)
+        seeder_session.close()  # gone, mid-playback
+        env.run(90.0)
+        assert leecher_session.player.finished
+        assert leecher_session.player.stats.played_digests() == [
+            s.digest for s in bed.video.segments
+        ]
+
+    def test_many_short_sessions_no_swarm_corruption(self):
+        env = Environment(seed=144)
+        bed = build_test_bed(env, PEER5, video_segments=10, segment_seconds=3.0)
+        anchor = Browser(env, "anchor")
+        anchor_session = anchor.open(f"https://{bed.site.domain}/")
+        for i in range(4):
+            transient = Browser(env, f"transient-{i}")
+            session = transient.open(f"https://{bed.site.domain}/")
+            env.run(4.0)
+            session.close()
+        env.run(40.0)
+        assert anchor_session.player.finished
+        assert anchor_session.player.stats.played_digests() == [
+            s.digest for s in bed.video.segments
+        ]
+
+
+class TestLiveStreamingOverPdn:
+    def test_live_swarm_shares_segments(self):
+        """Live channels: the window slides, late joiners enter at the
+        edge, and P2P sharing still happens between live viewers."""
+        env = Environment(seed=145)
+        bed = build_test_bed(
+            env, PEER5, live=True, video_segments=10, segment_seconds=4.0,
+            segment_bytes=100_000,
+        )
+        viewer_a = Browser(env, "a")
+        session_a = viewer_a.open(f"https://{bed.site.domain}/", max_segments=8)
+        env.run(10.0)
+        viewer_b = Browser(env, "b")
+        session_b = viewer_b.open(f"https://{bed.site.domain}/", max_segments=6)
+        env.run(120.0)
+        assert session_a.player.live and session_b.player.live
+        assert session_a.player.finished and session_b.player.finished
+        total_p2p = (
+            session_a.player.stats.bytes_from_p2p + session_b.player.stats.bytes_from_p2p
+        )
+        assert total_p2p > 0  # the swarm shared at least some live segments
+
+
+class TestAnalyzerIsolation:
+    def test_two_beds_do_not_cross_pollinate(self):
+        """Swarms are keyed by (customer, video): viewers of different
+        test beds at the same provider never exchange segments."""
+        env = Environment(seed=146)
+        bed_a = build_test_bed(env, PEER5, domain="a.test.com", video_segments=6)
+        bed_b = build_test_bed(
+            env, PEER5, domain="b.test.com", video_segments=6, provider=bed_a.provider
+        )
+        analyzer = PdnAnalyzer(env)
+        peer_a = analyzer.create_peer(name="pa")
+        peer_a.watch_test_stream(bed_a)
+        peer_b = analyzer.create_peer(name="pb")
+        peer_b.watch_test_stream(bed_b)
+        analyzer.run(50.0)
+        assert peer_a.session.sdk.stats.bytes_p2p_down == 0
+        assert peer_b.session.sdk.stats.bytes_p2p_down == 0
+        assert peer_a.session.player.finished and peer_b.session.player.finished
+        analyzer.teardown()
+
+
+class TestImFloodEconomics:
+    def test_blacklist_bounds_server_cdn_cost(self):
+        """§V-B 'the peer blacklist': an attacker spamming fake IMs
+        forces at most one CDN resolution per segment before being
+        banned; further floods from that peer are free."""
+        from repro.defenses.integrity import IntegrityCoordinator, compute_im, content_id
+
+        env = Environment(seed=147)
+        bed = build_test_bed(env, PEER5, video_segments=10)
+        coord = IntegrityCoordinator(
+            env.loop, env.rand.fork("im"), bed.provider, env.urlspace, quorum=2
+        ).install()
+        # An honest reporter covers every segment...
+        for segment in bed.video.segments:
+            coord.receive_report(
+                "honest", bed.video_url, segment.index,
+                compute_im(segment.data, content_id(bed.video_url, ''), segment.index),
+            )
+        # ...and the attacker floods 100 fake reports across them.
+        for round_number in range(10):
+            for segment in bed.video.segments:
+                coord.receive_report(
+                    "flooder", bed.video_url, segment.index, f"{round_number:064d}"
+                )
+        assert coord.cdn_fetches <= len(bed.video.segments)  # bounded, not 100
+        assert "flooder" in coord.peers_blacklisted
+        assert "flooder" in bed.provider.signaling.blacklist

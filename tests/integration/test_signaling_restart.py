@@ -1,0 +1,62 @@
+"""Failure injection: the signaling server restarts mid-session."""
+
+from repro.core.testbed import build_test_bed
+from repro.environment import Environment
+from repro.pdn.provider import PEER5
+from repro.web.browser import Browser
+
+
+class TestSignalingRestart:
+    def test_viewers_rejoin_and_swarm_reforms(self):
+        env = Environment(seed=161)
+        bed = build_test_bed(env, PEER5, video_segments=14, segment_seconds=3.0)
+        viewer_a = Browser(env, "a")
+        session_a = viewer_a.open(f"https://{bed.site.domain}/")
+        env.run(8.0)
+
+        bed.provider.signaling.restart()  # tracker crash: all sessions gone
+        env.run(25.0)  # next stats/topology ticks hit "unknown session"
+
+        assert session_a.sdk.rejoins >= 1
+        # A newcomer after the restart still finds the rejoined peer.
+        viewer_b = Browser(env, "b")
+        session_b = viewer_b.open(f"https://{bed.site.domain}/")
+        env.run(60.0)
+        assert session_a.player.finished and session_b.player.finished
+        assert session_b.player.stats.bytes_from_p2p > 0
+
+    def test_established_links_survive_restart(self):
+        """The data plane is peer-to-peer: a tracker restart must not
+        break transfers already in flight."""
+        env = Environment(seed=162)
+        bed = build_test_bed(env, PEER5, video_segments=12, segment_seconds=3.0)
+        viewer_a = Browser(env, "a")
+        viewer_a.open(f"https://{bed.site.domain}/")
+        env.run(8.0)
+        viewer_b = Browser(env, "b")
+        session_b = viewer_b.open(f"https://{bed.site.domain}/")
+        env.run(8.0)  # link established, transfers running
+        p2p_before = session_b.player.stats.bytes_from_p2p
+
+        bed.provider.signaling.restart()
+        env.run(60.0)
+        assert session_b.player.finished
+        assert session_b.player.stats.bytes_from_p2p > p2p_before
+        assert session_b.player.stats.played_digests() == [
+            s.digest for s in bed.video.segments
+        ]
+
+    def test_restart_preserves_billing(self):
+        env = Environment(seed=163)
+        bed = build_test_bed(env, PEER5, video_segments=8, segment_seconds=3.0)
+        viewer_a = Browser(env, "a")
+        viewer_a.open(f"https://{bed.site.domain}/")
+        env.run(6.0)
+        viewer_b = Browser(env, "b")
+        viewer_b.open(f"https://{bed.site.domain}/")
+        env.run(20.0)
+        account = bed.provider.billing.account(bed.customer_id)
+        billed_before = account.p2p_bytes
+        bed.provider.signaling.restart()
+        env.run(30.0)
+        assert account.p2p_bytes >= billed_before  # durable, not in-memory

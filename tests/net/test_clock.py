@@ -1,0 +1,97 @@
+"""Tests for the discrete-event loop."""
+
+import pytest
+
+from repro.net.clock import EventLoop
+from repro.util.errors import ConfigurationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(2.0, fired.append, "late")
+        loop.schedule(1.0, fired.append, "early")
+        loop.run_all()
+        assert fired == ["early", "late"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        loop = EventLoop()
+        fired = []
+        for i in range(5):
+            loop.schedule(1.0, fired.append, i)
+        loop.run_all()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(ConfigurationError):
+            loop.schedule(-0.1, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        loop.run_all()
+        with pytest.raises(ConfigurationError):
+            loop.schedule_at(0.5, lambda: None)
+
+    def test_cancelled_event_does_not_fire(self):
+        loop = EventLoop()
+        fired = []
+        handle = loop.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        loop.run_all()
+        assert fired == []
+
+
+class TestRunUntil:
+    def test_run_until_advances_now_even_without_events(self):
+        loop = EventLoop()
+        loop.run_until(5.0)
+        assert loop.now == 5.0
+
+    def test_run_until_fires_only_due_events(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, fired.append, "a")
+        loop.schedule(3.0, fired.append, "b")
+        loop.run_until(2.0)
+        assert fired == ["a"]
+        assert loop.now == 2.0
+
+    def test_run_is_relative(self):
+        loop = EventLoop()
+        loop.run(1.0)
+        loop.run(1.0)
+        assert loop.now == 2.0
+
+    def test_events_scheduled_during_run_fire_in_same_window(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: loop.schedule(0.5, fired.append, "nested"))
+        loop.run_until(2.0)
+        assert fired == ["nested"]
+
+
+class TestCallEvery:
+    def test_repeats_until_cancelled(self):
+        loop = EventLoop()
+        ticks = []
+        loop.call_every(1.0, lambda: ticks.append(loop.now))
+        loop.run_until(3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_invalid_interval(self):
+        loop = EventLoop()
+        with pytest.raises(ConfigurationError):
+            loop.call_every(0, lambda: None)
+
+    def test_runaway_guard(self):
+        loop = EventLoop()
+
+        def reschedule():
+            loop.schedule(0.0, reschedule)
+
+        loop.schedule(0.0, reschedule)
+        with pytest.raises(RuntimeError):
+            loop.run_all(max_events=100)

@@ -1,0 +1,81 @@
+"""Tests for NAT translation and filtering semantics."""
+
+import pytest
+
+from repro.net.addresses import Endpoint
+from repro.net.nat import NatBox, NatType
+
+INTERNAL = Endpoint("192.168.1.2", 5000)
+REMOTE_A = Endpoint("9.9.9.9", 1111)
+REMOTE_B = Endpoint("8.8.8.8", 2222)
+REMOTE_A_OTHER_PORT = Endpoint("9.9.9.9", 3333)
+
+
+def make(nat_type: NatType) -> NatBox:
+    return NatBox("5.5.5.5", nat_type)
+
+
+class TestMapping:
+    def test_cone_reuses_mapping_across_remotes(self):
+        nat = make(NatType.FULL_CONE)
+        ext1 = nat.outbound(INTERNAL, REMOTE_A)
+        ext2 = nat.outbound(INTERNAL, REMOTE_B)
+        assert ext1 == ext2
+
+    def test_symmetric_allocates_per_remote(self):
+        nat = make(NatType.SYMMETRIC)
+        ext1 = nat.outbound(INTERNAL, REMOTE_A)
+        ext2 = nat.outbound(INTERNAL, REMOTE_B)
+        assert ext1 != ext2
+
+    def test_external_ip_used(self):
+        nat = make(NatType.FULL_CONE)
+        assert nat.outbound(INTERNAL, REMOTE_A).ip == "5.5.5.5"
+
+    def test_distinct_internal_endpoints_get_distinct_ports(self):
+        nat = make(NatType.FULL_CONE)
+        other = Endpoint("192.168.1.3", 5000)
+        assert nat.outbound(INTERNAL, REMOTE_A) != nat.outbound(other, REMOTE_A)
+
+
+class TestFiltering:
+    def test_full_cone_accepts_anyone(self):
+        nat = make(NatType.FULL_CONE)
+        ext = nat.outbound(INTERNAL, REMOTE_A)
+        assert nat.inbound(ext.port, REMOTE_B) == INTERNAL
+
+    def test_restricted_cone_requires_known_ip(self):
+        nat = make(NatType.RESTRICTED_CONE)
+        ext = nat.outbound(INTERNAL, REMOTE_A)
+        assert nat.inbound(ext.port, REMOTE_A_OTHER_PORT) == INTERNAL  # same IP ok
+        assert nat.inbound(ext.port, REMOTE_B) is None  # unknown IP filtered
+
+    def test_port_restricted_requires_exact_remote(self):
+        nat = make(NatType.PORT_RESTRICTED_CONE)
+        ext = nat.outbound(INTERNAL, REMOTE_A)
+        assert nat.inbound(ext.port, REMOTE_A) == INTERNAL
+        assert nat.inbound(ext.port, REMOTE_A_OTHER_PORT) is None
+
+    def test_symmetric_filters_everything_but_mapped_remote(self):
+        nat = make(NatType.SYMMETRIC)
+        ext = nat.outbound(INTERNAL, REMOTE_A)
+        assert nat.inbound(ext.port, REMOTE_A) == INTERNAL
+        assert nat.inbound(ext.port, REMOTE_A_OTHER_PORT) is None
+        assert nat.inbound(ext.port, REMOTE_B) is None
+
+    def test_unmapped_port_filtered(self):
+        nat = make(NatType.FULL_CONE)
+        assert nat.inbound(49999, REMOTE_A) is None
+
+
+class TestInternalAllocation:
+    def test_allocates_sequential_private_ips(self):
+        nat = NatBox("5.5.5.5", NatType.FULL_CONE, subnet_prefix="192.168.7")
+        assert nat.allocate_internal_ip() == "192.168.7.2"
+        assert nat.allocate_internal_ip() == "192.168.7.3"
+
+    def test_mapping_count(self):
+        nat = make(NatType.SYMMETRIC)
+        nat.outbound(INTERNAL, REMOTE_A)
+        nat.outbound(INTERNAL, REMOTE_B)
+        assert nat.mapping_count() == 2

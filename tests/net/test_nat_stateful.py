@@ -1,0 +1,54 @@
+"""Stateful property test for NAT translation invariants."""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.net.addresses import Endpoint
+from repro.net.nat import NatBox, NatType
+
+INTERNALS = [Endpoint(f"192.168.1.{i}", 5000 + i) for i in range(2, 6)]
+REMOTES = [Endpoint(f"9.9.9.{i}", 1000 + i) for i in range(1, 5)]
+
+
+class NatMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.nat = NatBox("5.5.5.5", NatType.PORT_RESTRICTED_CONE)
+        self.mappings: dict[Endpoint, Endpoint] = {}  # internal -> external
+        self.permitted: dict[Endpoint, set[Endpoint]] = {}  # internal -> remotes contacted
+
+    @rule(internal=st.sampled_from(INTERNALS), remote=st.sampled_from(REMOTES))
+    def outbound(self, internal, remote):
+        external = self.nat.outbound(internal, remote)
+        if internal in self.mappings:
+            # cone NAT: the mapping is stable regardless of remote
+            assert self.mappings[internal] == external
+        self.mappings[internal] = external
+        self.permitted.setdefault(internal, set()).add(remote)
+        assert external.ip == "5.5.5.5"
+
+    @rule(internal=st.sampled_from(INTERNALS), remote=st.sampled_from(REMOTES))
+    def inbound(self, internal, remote):
+        external = self.mappings.get(internal)
+        if external is None:
+            return
+        result = self.nat.inbound(external.port, remote)
+        # port-restricted: forwarded iff this exact remote was contacted
+        if remote in self.permitted.get(internal, set()):
+            assert result == internal
+        else:
+            assert result is None
+
+    @invariant()
+    def distinct_internals_distinct_ports(self):
+        externals = list(self.mappings.values())
+        assert len(externals) == len(set(externals))
+
+    @invariant()
+    def unmapped_ports_filtered(self):
+        assert self.nat.inbound(1, REMOTES[0]) is None
+
+
+TestNatStateful = NatMachine.TestCase
+TestNatStateful.settings = settings(max_examples=40, stateful_step_count=25, deadline=None)

@@ -1,0 +1,222 @@
+"""Tests for the datagram network: routing, NAT, capture, loss."""
+
+import pytest
+
+from repro.net import Endpoint, EventLoop, NatType, Network, TrafficCapture
+from repro.util.errors import AddressInUseError, ConfigurationError
+from repro.util.rand import DeterministicRandom
+
+
+def make_network(**kwargs) -> Network:
+    return Network(EventLoop(), rand=DeterministicRandom(1), **kwargs)
+
+
+class TestTopology:
+    def test_public_ip_autoassignment(self):
+        net = make_network()
+        a = net.add_host("a")
+        b = net.add_host("b")
+        assert a.ip != b.ip
+        assert a.public_ip == a.ip
+
+    def test_nated_host_gets_private_ip(self):
+        net = make_network()
+        nat = net.add_nat(NatType.FULL_CONE)
+        host = net.add_host("h", nat=nat)
+        assert host.ip.startswith("192.168.")
+        assert host.public_ip == nat.external_ip
+
+    def test_explicit_ip_conflict_rejected(self):
+        net = make_network()
+        net.add_host("a", ip="9.9.9.9")
+        with pytest.raises(ConfigurationError):
+            net.add_host("b", ip="9.9.9.9")
+
+    def test_nated_host_rejects_explicit_ip(self):
+        net = make_network()
+        nat = net.add_nat()
+        with pytest.raises(ConfigurationError):
+            net.add_host("h", ip="1.2.3.4", nat=nat)
+
+
+class TestSockets:
+    def test_bind_duplicate_port_rejected(self):
+        net = make_network()
+        host = net.add_host("h")
+        host.bind_udp(1000)
+        with pytest.raises(AddressInUseError):
+            host.bind_udp(1000)
+
+    def test_ephemeral_ports_unique(self):
+        net = make_network()
+        host = net.add_host("h")
+        s1, s2 = host.bind_udp(), host.bind_udp()
+        assert s1.port != s2.port
+
+    def test_close_releases_port(self):
+        net = make_network()
+        host = net.add_host("h")
+        sock = host.bind_udp(1000)
+        sock.close()
+        host.bind_udp(1000)  # no error
+
+
+class TestDelivery:
+    def test_public_to_public(self):
+        net = make_network()
+        a = net.add_host("a")
+        b = net.add_host("b")
+        received = []
+        b.bind_udp(2000, lambda data, src, sock: received.append((data, src)))
+        sa = a.bind_udp(1000)
+        sa.send(Endpoint(b.ip, 2000), b"hi")
+        net.loop.run(1.0)
+        assert received == [(b"hi", Endpoint(a.ip, 1000))]
+
+    def test_nat_translates_source(self):
+        net = make_network()
+        nat = net.add_nat(NatType.FULL_CONE)
+        a = net.add_host("a", nat=nat)
+        b = net.add_host("b")
+        received = []
+        b.bind_udp(2000, lambda data, src, sock: received.append(src))
+        a.bind_udp(1000).send(Endpoint(b.ip, 2000), b"x")
+        net.loop.run(1.0)
+        assert received[0].ip == nat.external_ip
+        assert received[0].ip != a.ip
+
+    def test_reply_through_nat(self):
+        net = make_network()
+        nat = net.add_nat(NatType.PORT_RESTRICTED_CONE)
+        a = net.add_host("a", nat=nat)
+        b = net.add_host("b")
+        a_received = []
+        a.bind_udp(1000, lambda data, src, sock: a_received.append(data))
+        b.bind_udp(2000, lambda data, src, sock: sock.send(src, b"reply"))
+        a.sockets[1000].send(Endpoint(b.ip, 2000), b"ping")
+        net.loop.run(1.0)
+        assert a_received == [b"reply"]
+
+    def test_unsolicited_inbound_filtered_by_nat(self):
+        net = make_network()
+        nat = net.add_nat(NatType.PORT_RESTRICTED_CONE)
+        a = net.add_host("a", nat=nat)
+        b = net.add_host("b")
+        received = []
+        a.bind_udp(1000, lambda data, src, sock: received.append(data))
+        b.bind_udp(2000).send(Endpoint(nat.external_ip, 40000), b"attack")
+        net.loop.run(1.0)
+        assert received == []
+
+    def test_unroutable_destination_blackholed(self):
+        net = make_network()
+        a = net.add_host("a")
+        a.bind_udp(1000).send(Endpoint("203.0.113.7", 9), b"x")
+        net.loop.run(1.0)
+        assert net.datagrams_dropped == 1
+
+    def test_unbound_port_drops(self):
+        net = make_network()
+        a = net.add_host("a")
+        b = net.add_host("b")
+        a.bind_udp(1000).send(Endpoint(b.ip, 7777), b"x")
+        net.loop.run(1.0)
+        assert net.datagrams_dropped == 1
+
+
+class TestCaptureAndLoss:
+    def test_capture_sees_wire_addresses(self):
+        net = make_network()
+        cap = net.add_capture(TrafficCapture("all"))
+        nat = net.add_nat(NatType.FULL_CONE)
+        a = net.add_host("a", nat=nat)
+        b = net.add_host("b")
+        b.bind_udp(2000, lambda *args: None)
+        a.bind_udp(1000).send(Endpoint(b.ip, 2000), b"data")
+        net.loop.run(1.0)
+        assert len(cap) == 1
+        assert cap.packets[0].src.ip == nat.external_ip
+
+    def test_scoped_capture_filters(self):
+        net = make_network()
+        a = net.add_host("a")
+        b = net.add_host("b")
+        c = net.add_host("c")
+        cap = net.add_capture(TrafficCapture("only-c", interface_ips=[c.ip]))
+        b.bind_udp(2000, lambda *args: None)
+        c.bind_udp(2000, lambda *args: None)
+        a.bind_udp(1000).send(Endpoint(b.ip, 2000), b"not captured")
+        a.sockets[1000].send(Endpoint(c.ip, 2000), b"captured")
+        net.loop.run(1.0)
+        assert len(cap) == 1
+        assert cap.packets[0].payload == b"captured"
+
+    def test_loss_rate_drops_packets(self):
+        net = make_network(loss_rate=1.0)
+        a = net.add_host("a")
+        b = net.add_host("b")
+        received = []
+        b.bind_udp(2000, lambda data, src, sock: received.append(data))
+        a.bind_udp(1000).send(Endpoint(b.ip, 2000), b"x")
+        net.loop.run(1.0)
+        assert received == []
+        assert net.datagrams_dropped == 1
+
+    def test_cross_region_latency_larger(self):
+        loop = EventLoop()
+        net = Network(loop, rand=DeterministicRandom(1), jitter=0.0)
+        a = net.add_host("a", region="us")
+        b = net.add_host("b", region="cn")
+        c = net.add_host("c", region="us")
+        times = {}
+        b.bind_udp(2000, lambda data, src, sock: times.__setitem__("cross", loop.now))
+        c.bind_udp(2000, lambda data, src, sock: times.__setitem__("same", loop.now))
+        start = loop.now
+        a.bind_udp(1000).send(Endpoint(b.ip, 2000), b"x")
+        a.sockets[1000].send(Endpoint(c.ip, 2000), b"x")
+        loop.run(1.0)
+        assert times["cross"] - start > times["same"] - start
+
+
+class TestUplinkCapacity:
+    def test_unlimited_by_default(self):
+        net = make_network()
+        host = net.add_host("h")
+        assert host.uplink_bytes_per_sec is None
+        assert net._uplink_queue_delay(host, 10**9) == 0.0
+
+    def test_serialization_delay(self):
+        net = Network(EventLoop(), rand=DeterministicRandom(1), jitter=0.0)
+        sender = net.add_host("s", uplink_bytes_per_sec=1000.0)
+        receiver = net.add_host("r")
+        times = []
+        receiver.bind_udp(2000, lambda data, src, sock: times.append(net.loop.now))
+        sock = sender.bind_udp(1000)
+        sock.send(Endpoint(receiver.ip, 2000), b"x" * 1000)  # 1 second on the wire
+        net.loop.run(10.0)
+        assert times and times[0] >= 1.0
+
+    def test_concurrent_sends_queue(self):
+        net = Network(EventLoop(), rand=DeterministicRandom(1), jitter=0.0)
+        sender = net.add_host("s", uplink_bytes_per_sec=1000.0)
+        receiver = net.add_host("r")
+        times = []
+        receiver.bind_udp(2000, lambda data, src, sock: times.append(net.loop.now))
+        sock = sender.bind_udp(1000)
+        for _ in range(3):
+            sock.send(Endpoint(receiver.ip, 2000), b"x" * 1000)
+        net.loop.run(20.0)
+        assert len(times) == 3
+        # back-to-back 1-second serializations: ~1s, ~2s, ~3s
+        assert times[1] - times[0] >= 0.9
+        assert times[2] - times[1] >= 0.9
+
+    def test_receiver_uplink_irrelevant(self):
+        net = Network(EventLoop(), rand=DeterministicRandom(1), jitter=0.0)
+        sender = net.add_host("s")
+        receiver = net.add_host("r", uplink_bytes_per_sec=1.0)  # tiny uplink
+        times = []
+        receiver.bind_udp(2000, lambda data, src, sock: times.append(net.loop.now))
+        sender.bind_udp(1000).send(Endpoint(receiver.ip, 2000), b"x" * 10000)
+        net.loop.run(5.0)
+        assert times and times[0] < 1.0  # downloads unaffected

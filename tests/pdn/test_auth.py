@@ -1,0 +1,110 @@
+"""Tests for PDN authentication policies (§IV-B root cause)."""
+
+import pytest
+
+from repro.pdn.auth import AuthPolicyKind, Authenticator, _registrable_domain
+from repro.util.rand import DeterministicRandom
+
+
+def make(policy):
+    return Authenticator(policy, DeterministicRandom(1))
+
+
+class TestDomainNormalization:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("https://www.example.com", "example.com"),
+            ("http://example.com/page", "example.com"),
+            ("https://example.com:8443/x", "example.com"),
+            ("app://com.example.app", "com.example.app"),
+            ("EXAMPLE.COM", "example.com"),
+        ],
+    )
+    def test_normalizes(self, raw, expected):
+        assert _registrable_domain(raw) == expected
+
+
+class TestApiKeyPolicy:
+    def test_key_only_accepts_any_origin(self):
+        auth = make(AuthPolicyKind.API_KEY_ONLY)
+        key = auth.issue_key("victim.com")
+        assert auth.authenticate(key.key, origin="https://attacker.com").accepted
+
+    def test_unknown_key_rejected(self):
+        auth = make(AuthPolicyKind.API_KEY_ONLY)
+        decision = auth.authenticate("no-such-key", origin="https://x.com")
+        assert not decision.accepted
+        assert "unknown" in decision.reason
+
+    def test_revoked_key_rejected(self):
+        auth = make(AuthPolicyKind.API_KEY_ONLY)
+        key = auth.issue_key("victim.com")
+        auth.revoke_key(key.key)
+        decision = auth.authenticate(key.key, origin="https://victim.com")
+        assert not decision.accepted
+        assert "expired" in decision.reason
+
+    def test_allowlist_blocks_cross_domain(self):
+        auth = make(AuthPolicyKind.ALLOWLIST_OPTIONAL)
+        key = auth.issue_key("victim.com", allowed_domains={"victim.com"})
+        assert not auth.authenticate(key.key, origin="https://attacker.com").accepted
+        assert auth.authenticate(key.key, origin="https://victim.com").accepted
+
+    def test_allowlist_trusts_spoofed_origin(self):
+        """The fundamental flaw: the Origin header is client-supplied."""
+        auth = make(AuthPolicyKind.ALLOWLIST_OPTIONAL)
+        key = auth.issue_key("victim.com", allowed_domains={"victim.com"})
+        # attacker's proxy rewrote the header
+        assert auth.authenticate(key.key, origin="https://victim.com").accepted
+
+    def test_allowlist_optional_default_open(self):
+        """Peer5/Streamroot default: no allowlist unless configured."""
+        auth = make(AuthPolicyKind.ALLOWLIST_OPTIONAL)
+        key = auth.issue_key("victim.com")
+        assert not key.has_allowlist
+        assert auth.authenticate(key.key, origin="https://attacker.com").accepted
+
+    def test_allowlist_required_forces_one(self):
+        """Viblast: a key cannot exist without an allowlist."""
+        auth = make(AuthPolicyKind.ALLOWLIST_REQUIRED)
+        key = auth.issue_key("victim.com")
+        assert key.has_allowlist
+        assert not auth.authenticate(key.key, origin="https://attacker.com").accepted
+
+    def test_configure_allowlist_later(self):
+        auth = make(AuthPolicyKind.ALLOWLIST_OPTIONAL)
+        key = auth.issue_key("victim.com")
+        auth.configure_allowlist(key.key, {"victim.com"})
+        assert not auth.authenticate(key.key, origin="https://attacker.com").accepted
+
+    def test_www_prefix_equivalent(self):
+        auth = make(AuthPolicyKind.ALLOWLIST_OPTIONAL)
+        key = auth.issue_key("victim.com", allowed_domains={"www.victim.com"})
+        assert auth.authenticate(key.key, origin="https://victim.com").accepted
+
+
+class TestSessionTokens:
+    def test_video_bound_token(self):
+        auth = make(AuthPolicyKind.SESSION_TOKEN)
+        token = auth.issue_session_token("bilibili.com", "https://cdn/v1.m3u8")
+        assert auth.authenticate(token, video_url="https://cdn/v1.m3u8").accepted
+        assert not auth.authenticate(token, video_url="https://cdn/other.m3u8").accepted
+
+    def test_unbound_token_accepts_any_video(self):
+        """Tencent Video's weakness: token not bound to the source URL."""
+        auth = make(AuthPolicyKind.SESSION_TOKEN)
+        token = auth.issue_session_token("v.qq.com", video_url=None)
+        assert auth.authenticate(token, video_url="https://attacker/own.m3u8").accepted
+
+    def test_unknown_token_rejected(self):
+        auth = make(AuthPolicyKind.SESSION_TOKEN)
+        assert not auth.authenticate("bogus", video_url="x").accepted
+
+    def test_rejection_counters(self):
+        auth = make(AuthPolicyKind.SESSION_TOKEN)
+        auth.authenticate("bogus", video_url="x")
+        token = auth.issue_session_token("c", None)
+        auth.authenticate(token, video_url="x")
+        assert auth.attempts == 2
+        assert auth.rejections == 1

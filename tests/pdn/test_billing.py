@@ -1,0 +1,53 @@
+"""Tests for usage billing (the free-riding economics)."""
+
+import pytest
+
+from repro.pdn.billing import (
+    PEER5_PRICE_PER_BYTE,
+    BillingAccount,
+    BillingLedger,
+    BillingModel,
+)
+
+
+class TestAccounts:
+    def test_p2p_traffic_pricing_matches_peer5(self):
+        """Peer5: $500 for 50 TB."""
+        account = BillingAccount("c", BillingModel.P2P_TRAFFIC)
+        account.record_p2p_bytes(50 * 10**12)
+        assert account.cost == pytest.approx(500.0)
+
+    def test_viewer_hour_pricing_matches_viblast(self):
+        account = BillingAccount("c", BillingModel.VIEWER_HOURS)
+        account.record_viewer_time(3600 * 100)
+        assert account.cost == pytest.approx(1.0)  # $0.01 x 100 hours
+
+    def test_private_services_bill_nothing(self):
+        account = BillingAccount("c", BillingModel.NONE)
+        account.record_p2p_bytes(10**12)
+        account.record_viewer_time(10**6)
+        assert account.cost == 0.0
+
+    def test_negative_rejected(self):
+        account = BillingAccount("c", BillingModel.P2P_TRAFFIC)
+        with pytest.raises(ValueError):
+            account.record_p2p_bytes(-1)
+        with pytest.raises(ValueError):
+            account.record_viewer_time(-0.1)
+
+    def test_price_constant(self):
+        assert PEER5_PRICE_PER_BYTE == pytest.approx(500.0 / 50e12)
+
+
+class TestLedger:
+    def test_account_identity(self):
+        ledger = BillingLedger(BillingModel.P2P_TRAFFIC)
+        assert ledger.account("a") is ledger.account("a")
+        assert ledger.account("a") is not ledger.account("b")
+
+    def test_total_cost(self):
+        ledger = BillingLedger(BillingModel.P2P_TRAFFIC)
+        ledger.account("a").record_p2p_bytes(10**12)
+        ledger.account("b").record_p2p_bytes(10**12)
+        assert ledger.total_cost() == pytest.approx(20.0)
+        assert len(ledger.accounts()) == 2

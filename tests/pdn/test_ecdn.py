@@ -1,0 +1,52 @@
+"""Tests for the §VI Microsoft eCDN model."""
+
+from repro.attacks.free_riding import ApiKeyProbe
+from repro.detection.signatures import extract_api_keys
+from repro.environment import Environment
+from repro.pdn.ecdn import MSECDN, build_ecdn_test_bed, tenant_id_exposed
+from repro.streaming.http import HttpClient
+from repro.web.browser import Browser
+
+
+class TestTenantIdNotExposed:
+    def test_page_source_carries_no_credential(self):
+        env = Environment(seed=601)
+        bed = build_ecdn_test_bed(env)
+        html = HttpClient(env.urlspace).get(f"https://{bed.site.domain}/").body.decode()
+        assert not tenant_id_exposed(bed, html)
+        assert extract_api_keys(html) == set()
+
+    def test_guessed_tenant_rejected(self):
+        env = Environment(seed=602)
+        bed = build_ecdn_test_bed(env)
+        ok, _ = ApiKeyProbe(env, bed.provider).probe("not-the-tenant-id")
+        assert not ok
+
+
+class TestEnterpriseViewersStillWork:
+    def test_viewer_with_enterprise_config_joins(self):
+        """The credential arrives via enterprise configuration, which
+        issue_viewer_credential models (the page backend knows it)."""
+        env = Environment(seed=603)
+        bed = build_ecdn_test_bed(env, video_segments=6, segment_seconds=2.0)
+        session = Browser(env, "employee").open(f"https://{bed.site.domain}/")
+        assert session.pdn_loaded
+        env.run(30.0)
+        assert session.player.finished
+
+
+class TestProfile:
+    def test_profile_shape(self):
+        assert MSECDN.name == "msecdn"
+        assert MSECDN.billing_model.value == "none"
+        assert MSECDN.slow_start_segments >= 1
+
+
+class TestEcdnExperiment:
+    def test_paper_findings(self):
+        from repro.experiments import ecdn_discussion
+
+        result = ecdn_discussion.run(seed=604)
+        assert result.free_riding_prevented
+        assert not result.direct_pollution_triggered
+        assert result.segment_pollution_triggered  # the surviving gap

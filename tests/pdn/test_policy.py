@@ -1,0 +1,44 @@
+"""Tests for the client policy (resource-squatting configuration)."""
+
+from repro.pdn.policy import CellularPolicy, ClientPolicy
+
+
+class TestCellularPolicies:
+    def test_leech_mode_downloads_only(self):
+        policy = ClientPolicy(cellular=CellularPolicy.LEECH)
+        assert policy.download_allowed("cellular")
+        assert not policy.upload_allowed("cellular")
+
+    def test_full_mode_uses_cellular_both_ways(self):
+        """The com.bongo.bioscope configuration the paper flags."""
+        policy = ClientPolicy(cellular=CellularPolicy.FULL)
+        assert policy.download_allowed("cellular")
+        assert policy.upload_allowed("cellular")
+
+    def test_none_mode_disables_p2p_on_cellular(self):
+        policy = ClientPolicy(cellular=CellularPolicy.NONE)
+        assert not policy.download_allowed("cellular")
+        assert not policy.upload_allowed("cellular")
+
+    def test_wifi_unrestricted_in_all_modes(self):
+        for mode in CellularPolicy:
+            policy = ClientPolicy(cellular=mode)
+            assert policy.upload_allowed("wifi")
+            assert policy.download_allowed("wifi")
+
+
+class TestDefaults:
+    def test_no_consent_by_default(self):
+        """The §IV-D finding: nobody asks, nobody can opt out."""
+        policy = ClientPolicy()
+        assert not policy.show_consent_dialog
+        assert not policy.allow_user_disable
+
+    def test_unlimited_upload_by_default(self):
+        assert ClientPolicy().max_upload_bytes_per_sec is None
+
+    def test_js_config_exposes_cellular_mode(self):
+        """The unprotected config variable the paper read from Peer5 JS."""
+        config = ClientPolicy(cellular=CellularPolicy.FULL).to_js_config()
+        assert config["cellularMode"] == "full"
+        assert config["consentDialog"] is False

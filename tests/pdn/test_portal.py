@@ -1,0 +1,62 @@
+"""Tests for the customer portal."""
+
+import json
+
+from repro.attacks.free_riding import CrossDomainAttackTest
+from repro.core.analyzer import PdnAnalyzer
+from repro.core.testbed import build_test_bed
+from repro.environment import Environment
+from repro.pdn.portal import CustomerPortal
+from repro.pdn.provider import PEER5
+from repro.streaming.http import HttpClient
+
+
+def usage(env, portal, key):
+    response = HttpClient(env.urlspace).get(f"https://{portal.hostname}/api/usage?key={key}")
+    payload = json.loads(response.body.decode()) if response.ok else {}
+    return response, payload
+
+
+class TestPortal:
+    def test_usage_reflects_billing(self):
+        env = Environment(seed=211)
+        bed = build_test_bed(env, PEER5)
+        portal = CustomerPortal(bed.provider).install(env.urlspace)
+        account = bed.provider.billing.account(bed.customer_id)
+        account.record_p2p_bytes(5_000_000)
+        account.record_viewer_time(7200)
+        response, payload = usage(env, portal, bed.api_key)
+        assert response.ok
+        assert payload["customer_id"] == bed.customer_id
+        assert payload["p2p_bytes"] == 5_000_000
+        assert payload["viewer_hours"] == 2.0
+        assert payload["cost_usd"] > 0
+
+    def test_invalid_key_rejected(self):
+        env = Environment(seed=212)
+        bed = build_test_bed(env, PEER5)
+        portal = CustomerPortal(bed.provider).install(env.urlspace)
+        response, _ = usage(env, portal, "not-a-key")
+        assert response.status == 403
+
+    def test_unknown_path_404(self):
+        env = Environment(seed=213)
+        bed = build_test_bed(env, PEER5)
+        portal = CustomerPortal(bed.provider).install(env.urlspace)
+        response = HttpClient(env.urlspace).get(f"https://{portal.hostname}/other")
+        assert response.status == 404
+
+    def test_attacker_watches_the_victims_meter(self):
+        """Free riding end to end, observed through the portal with the
+        very key the attacker scraped."""
+        env = Environment(seed=214)
+        bed = build_test_bed(env, PEER5)
+        portal = CustomerPortal(bed.provider).install(env.urlspace)
+        _, before = usage(env, portal, bed.api_key)
+        analyzer = PdnAnalyzer(env)
+        report = analyzer.run_test(CrossDomainAttackTest(bed, watch=60.0))
+        assert report.verdicts[0].triggered
+        _, after = usage(env, portal, bed.api_key)
+        assert after["p2p_bytes"] > before["p2p_bytes"]
+        assert after["sessions"] > before["sessions"]
+        analyzer.teardown()

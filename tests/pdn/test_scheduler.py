@@ -1,0 +1,75 @@
+"""Tests for swarm neighbor selection, including the geo-filter defense."""
+
+from hypothesis import given, strategies as st
+
+from repro.pdn.scheduler import GeoFilterMode, PeerRecord, SwarmScheduler
+from repro.util.rand import DeterministicRandom
+
+
+def peers(*specs):
+    return [
+        PeerRecord(peer_id=f"p{i}", ip=f"9.9.9.{i}", country=c, isp=isp)
+        for i, (c, isp) in enumerate(specs)
+    ]
+
+
+def make(mode=GeoFilterMode.NONE, limit=8):
+    return SwarmScheduler(DeterministicRandom(5), max_candidates=limit, geo_filter=mode)
+
+
+class TestSelection:
+    def test_never_returns_requester(self):
+        swarm = peers(("US", "a"), ("US", "a"), ("US", "a"))
+        scheduler = make()
+        chosen = scheduler.candidates_for(swarm, swarm[0])
+        assert swarm[0] not in chosen
+
+    def test_respects_limit(self):
+        swarm = peers(*[("US", "a")] * 20)
+        requester = PeerRecord("req", "1.1.1.1", "US", "a")
+        assert len(make(limit=5).candidates_for(swarm, requester)) == 5
+
+    def test_returns_all_when_under_limit(self):
+        swarm = peers(("US", "a"), ("US", "b"))
+        requester = PeerRecord("req", "1.1.1.1", "US", "a")
+        assert len(make(limit=8).candidates_for(swarm, requester)) == 2
+
+    def test_custom_limit_overrides_default(self):
+        swarm = peers(*[("US", "a")] * 10)
+        requester = PeerRecord("req", "1.1.1.1", "US", "a")
+        assert len(make(limit=8).candidates_for(swarm, requester, limit=2)) == 2
+
+    @given(st.integers(min_value=0, max_value=30))
+    def test_disclosure_counter(self, n):
+        swarm = peers(*[("US", "a")] * n)
+        requester = PeerRecord("req", "1.1.1.1", "US", "a")
+        scheduler = make(limit=8)
+        chosen = scheduler.candidates_for(swarm, requester)
+        assert scheduler.candidates_disclosed == len(chosen) == min(n, 8)
+
+
+class TestGeoFilter:
+    def test_same_country_filter(self):
+        swarm = peers(("US", "a"), ("CN", "b"), ("US", "c"), ("GB", "d"))
+        requester = PeerRecord("req", "1.1.1.1", "US", "x")
+        chosen = make(GeoFilterMode.SAME_COUNTRY).candidates_for(swarm, requester)
+        assert {p.country for p in chosen} == {"US"}
+
+    def test_same_isp_filter(self):
+        swarm = peers(("US", "comcast"), ("US", "verizon"), ("CN", "comcast"))
+        requester = PeerRecord("req", "1.1.1.1", "US", "comcast")
+        chosen = make(GeoFilterMode.SAME_ISP).candidates_for(swarm, requester)
+        assert len(chosen) == 1
+        assert chosen[0].isp == "comcast" and chosen[0].country == "US"
+
+    def test_no_filter_discloses_everyone(self):
+        swarm = peers(("US", "a"), ("CN", "b"), ("RU", "c"))
+        requester = PeerRecord("req", "1.1.1.1", "US", "a")
+        assert len(make(GeoFilterMode.NONE).candidates_for(swarm, requester)) == 3
+
+    def test_filter_can_isolate_peer(self):
+        """A viewer in a country with no other viewers gets nobody —
+        the QoS cost of the defense the paper mentions."""
+        swarm = peers(("CN", "a"), ("CN", "b"))
+        requester = PeerRecord("req", "1.1.1.1", "BR", "x")
+        assert make(GeoFilterMode.SAME_COUNTRY).candidates_for(swarm, requester) == []

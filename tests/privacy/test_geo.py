@@ -1,0 +1,60 @@
+"""Tests for the synthetic geolocation database."""
+
+from hypothesis import given, strategies as st
+
+from repro.net.addresses import IpClass
+from repro.privacy.geo import GeoDatabase
+from repro.util.rand import DeterministicRandom
+
+
+class TestLookup:
+    def test_random_ip_geolocates_to_country(self):
+        db = GeoDatabase()
+        rand = DeterministicRandom(9)
+        for country in ("CN", "US", "GB", "RU", "BR"):
+            for _ in range(20):
+                ip = db.random_ip(rand, country)
+                assert db.country_of(ip) == country
+
+    def test_generated_ips_are_public(self):
+        db = GeoDatabase()
+        rand = DeterministicRandom(9)
+        for country in db.countries():
+            info = db.lookup(db.random_ip(rand, country))
+            assert info.is_public
+
+    def test_bogons_have_no_country(self):
+        db = GeoDatabase()
+        info = db.lookup("192.168.1.5")
+        assert not info.is_public
+        assert info.country == ""
+
+    def test_enough_countries_for_rt_news(self):
+        """The RT audience spans 56 countries; the DB must offer more."""
+        assert len(GeoDatabase().countries()) >= 56
+
+    def test_city_and_isp_deterministic(self):
+        db = GeoDatabase()
+        a = db.lookup("13.20.30.40")
+        b = db.lookup("13.20.30.40")
+        assert (a.city, a.isp) == (b.city, b.isp)
+        assert a.city.startswith(a.country)
+
+    def test_resolver_interface(self):
+        db = GeoDatabase()
+        resolve = db.resolver()
+        rand = DeterministicRandom(4)
+        ip = db.random_ip(rand, "CN")
+        country, isp = resolve(ip)
+        assert country == "CN" and isp
+
+
+class TestBogons:
+    @given(st.sampled_from([IpClass.PRIVATE, IpClass.SHARED_NAT, IpClass.RESERVED]),
+           st.integers(min_value=0, max_value=1000))
+    def test_random_bogon_classifies_correctly(self, kind, seed):
+        db = GeoDatabase()
+        ip = db.random_bogon(DeterministicRandom(seed), kind)
+        from repro.net.addresses import classify_ip
+
+        assert classify_ip(ip) is kind

@@ -1,0 +1,95 @@
+"""Tests for the resource model and monitor."""
+
+from repro.net.clock import EventLoop
+from repro.privacy.resources import ActivitySnapshot, ResourceModel, ResourceMonitor
+
+
+class FakeTarget:
+    def __init__(self):
+        self.snapshot = ActivitySnapshot()
+
+    def resource_activity(self):
+        return self.snapshot
+
+
+class TestModel:
+    def test_idle_baseline(self):
+        model = ResourceModel()
+        snap = ActivitySnapshot()
+        assert model.cpu_percent(snap, snap, 1.0) == model.cpu_idle
+        assert model.memory_mb(snap) == model.mem_base_mb
+
+    def test_playback_adds_cpu_and_memory(self):
+        model = ResourceModel()
+        snap = ActivitySnapshot(playing=True)
+        assert model.cpu_percent(snap, snap, 1.0) == model.cpu_idle + model.cpu_playback
+        assert model.memory_mb(snap) == model.mem_base_mb + model.mem_playback_mb
+
+    def test_p2p_rate_costs_more_than_cdn_rate(self):
+        """DTLS crypto makes a P2P byte dearer than a CDN byte."""
+        model = ResourceModel()
+        prev = ActivitySnapshot(playing=True)
+        cdn = ActivitySnapshot(playing=True, bytes_cdn=1_000_000)
+        p2p = ActivitySnapshot(playing=True, bytes_p2p_down=1_000_000)
+        assert model.cpu_percent(prev, p2p, 1.0) > model.cpu_percent(prev, cdn, 1.0)
+
+    def test_hashing_adds_cpu(self):
+        model = ResourceModel()
+        prev = ActivitySnapshot(pdn_active=True)
+        hashed = ActivitySnapshot(pdn_active=True, hash_bytes=2_000_000)
+        assert model.cpu_percent(prev, hashed, 1.0) > model.cpu_percent(prev, prev, 1.0)
+
+    def test_cache_grows_memory(self):
+        model = ResourceModel()
+        small = ActivitySnapshot(pdn_active=True, cache_bytes=0)
+        big = ActivitySnapshot(pdn_active=True, cache_bytes=10_000_000)
+        assert model.memory_mb(big) > model.memory_mb(small)
+
+    def test_integrity_runtime_memory(self):
+        model = ResourceModel()
+        without = ActivitySnapshot(pdn_active=True)
+        with_im = ActivitySnapshot(pdn_active=True, integrity_active=True)
+        assert model.memory_mb(with_im) - model.memory_mb(without) == model.mem_integrity_runtime_mb
+
+
+class TestMonitor:
+    def test_samples_once_per_interval(self):
+        loop = EventLoop()
+        monitor = ResourceMonitor(loop, FakeTarget(), interval=1.0)
+        monitor.start()
+        loop.run(10.5)
+        assert len(monitor.samples) == 10
+
+    def test_stop_halts_sampling(self):
+        loop = EventLoop()
+        monitor = ResourceMonitor(loop, FakeTarget(), interval=1.0)
+        monitor.start()
+        loop.run(3.5)
+        monitor.stop()
+        loop.run(10.0)
+        assert len(monitor.samples) == 3
+
+    def test_rate_computed_from_deltas(self):
+        loop = EventLoop()
+        target = FakeTarget()
+        model = ResourceModel()
+        monitor = ResourceMonitor(loop, target, model=model, interval=1.0)
+        monitor.start()
+        loop.run(1.5)
+        target.snapshot = ActivitySnapshot(bytes_p2p_up=1_000_000, net_out=1_000_000)
+        loop.run(1.0)
+        peak = max(monitor.cpu.values())
+        assert peak >= model.cpu_idle + model.cpu_per_p2p_mb * 0.99
+        assert monitor.total_net_out() == 1_000_000
+
+    def test_net_io_deltas(self):
+        loop = EventLoop()
+        target = FakeTarget()
+        monitor = ResourceMonitor(loop, target, interval=1.0)
+        monitor.start()
+        loop.run(1.5)
+        target.snapshot = ActivitySnapshot(net_in=500)
+        loop.run(1.0)
+        target.snapshot = ActivitySnapshot(net_in=700)
+        loop.run(1.0)
+        assert monitor.total_net_in() == 700

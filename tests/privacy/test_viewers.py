@@ -1,0 +1,110 @@
+"""Tests for audience models and viewer churn."""
+
+import pytest
+
+from repro.net.addresses import IpClass, classify_ip
+from repro.net.clock import EventLoop
+from repro.privacy.geo import GeoDatabase
+from repro.privacy.viewers import (
+    ViewerChurn,
+    huya_audience,
+    rt_news_audience,
+    single_country_audience,
+)
+from repro.util.errors import ConfigurationError
+from repro.util.rand import DeterministicRandom
+
+
+@pytest.fixture(scope="module")
+def geo():
+    return GeoDatabase()
+
+
+def make_churn(geo, audience, rate=60.0, session=5.0, seed=3):
+    return ViewerChurn(
+        EventLoop(), DeterministicRandom(seed), geo, audience,
+        arrival_rate_per_min=rate, mean_session_min=session,
+    )
+
+
+class TestAudiences:
+    def test_huya_overwhelmingly_chinese(self, geo):
+        churn = make_churn(geo, huya_audience())
+        countries = [churn.next_viewer().country for _ in range(500)]
+        assert countries.count("CN") / len(countries) > 0.95
+
+    def test_rt_top_countries(self, geo):
+        churn = make_churn(geo, rt_news_audience(geo))
+        countries = [churn.next_viewer().country for _ in range(2000)]
+        share = lambda c: countries.count(c) / len(countries)
+        assert 0.28 < share("US") < 0.42
+        assert 0.12 < share("GB") < 0.23
+        assert len(set(countries)) > 30  # long tail exists
+
+    def test_single_country(self, geo):
+        churn = make_churn(geo, single_country_audience("okru", "RU"))
+        assert all(churn.next_viewer().country == "RU" for _ in range(50))
+
+
+class TestArtifacts:
+    def test_bogon_rate_approximated(self, geo):
+        churn = make_churn(geo, huya_audience())
+        viewers = [churn.next_viewer() for _ in range(2000)]
+        bogons = [v for v in viewers if v.is_bogon_artifact]
+        assert 0.04 < len(bogons) / len(viewers) < 0.12  # target 7.5%
+        # private addresses dominate the artifact mix, as in the paper
+        private = sum(1 for v in bogons if classify_ip(v.observed_ip) is IpClass.PRIVATE)
+        assert private / len(bogons) > 0.8
+
+    def test_non_artifact_ips_match_country(self, geo):
+        churn = make_churn(geo, huya_audience())
+        for _ in range(100):
+            viewer = churn.next_viewer()
+            if not viewer.is_bogon_artifact and viewer.country == "CN":
+                assert geo.country_of(viewer.observed_ip) == "CN"
+
+
+class TestChurnProcess:
+    def test_poisson_arrivals_approximate_rate(self, geo):
+        loop = EventLoop()
+        churn = ViewerChurn(
+            loop, DeterministicRandom(8), geo, huya_audience(),
+            arrival_rate_per_min=60.0, mean_session_min=1.0,
+        )
+        arrivals = []
+        churn.start(arrivals.append)
+        loop.run(600.0)  # 10 minutes at 60/min -> ~600
+        assert 450 < len(arrivals) < 750
+
+    def test_until_stops_arrivals(self, geo):
+        loop = EventLoop()
+        churn = ViewerChurn(
+            loop, DeterministicRandom(8), geo, huya_audience(),
+            arrival_rate_per_min=60.0, mean_session_min=1.0,
+        )
+        arrivals = []
+        churn.start(arrivals.append, until=60.0)
+        loop.run(600.0)
+        in_window = [1 for _ in arrivals]
+        assert len(in_window) < 100
+
+    def test_stop(self, geo):
+        loop = EventLoop()
+        churn = make_churn(geo, huya_audience())
+        churn.loop = loop
+        arrivals = []
+        churn.start(arrivals.append)
+        loop.run(10.0)
+        churn.stop()
+        count = len(arrivals)
+        loop.run(120.0)
+        assert len(arrivals) == count
+
+    def test_invalid_rates_rejected(self, geo):
+        with pytest.raises(ConfigurationError):
+            ViewerChurn(EventLoop(), DeterministicRandom(1), geo, huya_audience(),
+                        arrival_rate_per_min=0, mean_session_min=5)
+
+    def test_session_lengths_bounded_below(self, geo):
+        churn = make_churn(geo, huya_audience())
+        assert all(churn.next_viewer().session_length >= 30.0 for _ in range(100))

@@ -1,0 +1,102 @@
+"""Tests for the intercepting proxy and fake CDN."""
+
+from repro.proxy.fake_cdn import FakeCdn, pollute_after_slow_start, pollute_all, pollute_bytes
+from repro.proxy.mitm import MitmProxy
+from repro.streaming.cdn import CdnEdge, OriginServer
+from repro.streaming.http import HttpClient, HttpRequest, HttpResponse, UrlSpace
+from repro.streaming.video import make_video
+from repro.net.clock import EventLoop
+
+
+class RecordingServer:
+    def __init__(self):
+        self.requests = []
+
+    def handle_request(self, request):
+        self.requests.append(request)
+        return HttpResponse(200, b"ok")
+
+
+class TestMitmProxy:
+    def test_spoof_domain_rewrites_headers(self):
+        urls = UrlSpace()
+        server = RecordingServer()
+        urls.register("signal.com", server)
+        proxy = MitmProxy()
+        proxy.spoof_domain("victim.com")
+        client = HttpClient(urls, proxy=proxy)
+        client.get("https://signal.com/join", headers={"Origin": "https://attacker.com"})
+        observed = server.requests[0]
+        assert observed.header("Origin") == "https://victim.com"
+        assert observed.header("Referer") == "https://victim.com/"
+
+    def test_redirect_host(self):
+        urls = UrlSpace()
+        real = RecordingServer()
+        fake = RecordingServer()
+        urls.register("cdn.real.com", real)
+        urls.register("cdn.fake.com", fake)
+        proxy = MitmProxy()
+        proxy.redirect_host("cdn.real.com", "cdn.fake.com")
+        HttpClient(urls, proxy=proxy).get("https://cdn.real.com/seg-1.ts")
+        assert not real.requests
+        assert fake.requests and fake.requests[0].path == "/seg-1.ts"
+
+    def test_log_records_exchanges(self):
+        urls = UrlSpace()
+        urls.register("a.com", RecordingServer())
+        proxy = MitmProxy()
+        HttpClient(urls, proxy=proxy).get("https://a.com/x")
+        assert len(proxy.log) == 1
+        assert proxy.log[0].url == "https://a.com/x"
+        assert proxy.log[0].status == 200
+
+    def test_response_hook(self):
+        urls = UrlSpace()
+        urls.register("a.com", RecordingServer())
+        proxy = MitmProxy()
+        proxy.add_response_hook(lambda req, resp: HttpResponse(500, b"injected"))
+        response = HttpClient(urls, proxy=proxy).get("https://a.com/")
+        assert response.status == 500
+
+
+class TestFakeCdn:
+    def make_world(self):
+        urls = UrlSpace()
+        origin = OriginServer(EventLoop())
+        cdn = CdnEdge(origin)
+        urls.register(origin.hostname, origin)
+        urls.register(cdn.hostname, cdn)
+        video = make_video("clip", 5, segment_size=300)
+        origin.add_vod(video)
+        return urls, cdn, video
+
+    def test_pollutes_selected_segments_only(self):
+        urls, cdn, video = self.make_world()
+        fake = FakeCdn(urls, cdn.hostname, pollute_after_slow_start(2))
+        fake.install()
+        client = HttpClient(urls)
+        clean = client.get(f"https://{fake.hostname}/vod/clip/seg-1.ts")
+        dirty = client.get(f"https://{fake.hostname}/vod/clip/seg-3.ts")
+        assert clean.body == video.segments[1].data
+        assert dirty.body != video.segments[3].data
+        assert len(dirty.body) == len(video.segments[3].data)
+        assert fake.segments_polluted == 1 and fake.segments_passed_through == 1
+
+    def test_playlist_passes_through(self):
+        urls, cdn, video = self.make_world()
+        fake = FakeCdn(urls, cdn.hostname, pollute_all)
+        fake.install()
+        response = HttpClient(urls).get(f"https://{fake.hostname}/vod/clip/playlist.m3u8")
+        assert response.ok and b"#EXTM3U" in response.body
+
+    def test_upstream_errors_propagate(self):
+        urls, cdn, video = self.make_world()
+        fake = FakeCdn(urls, cdn.hostname, pollute_all)
+        fake.install()
+        assert HttpClient(urls).get(f"https://{fake.hostname}/vod/ghost/seg-0.ts").status == 404
+
+    def test_pollute_bytes_preserves_length(self):
+        for n in (0, 1, 7, 1000):
+            data = bytes(range(256))[:n] if n <= 256 else b"x" * n
+            assert len(pollute_bytes(data)) == len(data)

@@ -1,0 +1,140 @@
+"""Tests for multi-bitrate HLS and the adaptive player."""
+
+import pytest
+
+from repro.net.clock import EventLoop
+from repro.streaming.cdn import CdnEdge, OriginServer
+from repro.streaming.hls import (
+    VariantEntry,
+    generate_master_playlist,
+    is_master_playlist,
+    parse_master_playlist,
+)
+from repro.streaming.http import HttpClient, UrlSpace
+from repro.streaming.player import CdnLoader, VideoPlayer
+from repro.streaming.video import make_multi_bitrate_video
+from repro.util.errors import ProtocolError
+
+
+class TestMasterPlaylist:
+    def test_round_trip(self):
+        variants = [
+            VariantEntry("360p/playlist.m3u8", 800_000, "360p"),
+            VariantEntry("1080p/playlist.m3u8", 5_000_000, "1080p"),
+        ]
+        parsed = parse_master_playlist(generate_master_playlist(variants))
+        assert parsed.variants == variants
+
+    def test_detection(self):
+        text = generate_master_playlist([VariantEntry("a.m3u8", 1000)])
+        assert is_master_playlist(text)
+        assert not is_master_playlist("#EXTM3U\n#EXTINF:4.0,\nseg-0.ts\n")
+
+    def test_selection_helpers(self):
+        master = parse_master_playlist(
+            generate_master_playlist(
+                [
+                    VariantEntry("lo.m3u8", 800_000, "lo"),
+                    VariantEntry("mid.m3u8", 2_500_000, "mid"),
+                    VariantEntry("hi.m3u8", 5_000_000, "hi"),
+                ]
+            )
+        )
+        assert master.lowest().name == "lo"
+        assert master.best_for(3_000_000).name == "mid"
+        assert master.best_for(100).name == "lo"  # nothing affordable -> lowest
+
+    def test_empty_master_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_master_playlist("#EXTM3U\n")
+
+    def test_uri_without_streaminf_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_master_playlist("#EXTM3U\nvariant.m3u8\n")
+
+
+class TestMultiBitrateVideo:
+    def test_renditions_aligned_but_distinct(self):
+        renditions = make_multi_bitrate_video("show", 6, 4.0)
+        sizes = {name: video.segments[0].size for name, video in renditions.items()}
+        assert sizes["1080p"] > sizes["720p"] > sizes["360p"]
+        counts = {len(video.segments) for video in renditions.values()}
+        assert counts == {6}
+        digests = {video.segments[0].digest for video in renditions.values()}
+        assert len(digests) == 3  # different content per rendition
+
+
+def make_world():
+    loop = EventLoop()
+    urls = UrlSpace()
+    origin = OriginServer(loop)
+    cdn = CdnEdge(origin)
+    urls.register(origin.hostname, origin)
+    urls.register(cdn.hostname, cdn)
+    renditions = make_multi_bitrate_video(
+        "movie", 10, segment_duration=2.0,
+        bitrates_kbps={"360p": 80, "720p": 250, "1080p": 500},
+    )
+    origin.add_vod_renditions("movie", renditions)
+    return loop, urls, cdn, renditions
+
+
+class TestOriginRouting:
+    def test_master_and_renditions_served(self):
+        loop, urls, cdn, renditions = make_world()
+        client = HttpClient(urls)
+        master = client.get(f"https://{cdn.hostname}/vod/movie/master.m3u8")
+        assert master.ok and is_master_playlist(master.body.decode())
+        media = client.get(f"https://{cdn.hostname}/vod/movie/360p/playlist.m3u8")
+        assert media.ok
+        segment = client.get(f"https://{cdn.hostname}/vod/movie/720p/seg-3.ts")
+        assert segment.body == renditions["720p"].segments[3].data
+
+    def test_unknown_rendition_404(self):
+        loop, urls, cdn, _ = make_world()
+        assert HttpClient(urls).get(f"https://{cdn.hostname}/vod/movie/4k/seg-0.ts").status == 404
+
+
+class TestAdaptivePlayer:
+    def test_starts_low_and_upgrades(self):
+        loop, urls, cdn, renditions = make_world()
+        player = VideoPlayer(
+            loop, CdnLoader(HttpClient(urls)),
+            f"https://{cdn.hostname}/vod/movie/master.m3u8",
+        )
+        player.start()
+        loop.run(60.0)
+        assert player.finished
+        assert len(player.stats.played) == 10
+        switches = [name for _, name in player.rendition_switches]
+        assert switches[0] == "360p"  # conservative start
+        assert "720p" in switches  # smooth playback earns an upgrade
+        # played content comes from the renditions actually selected
+        all_digests = {
+            s.digest for video in renditions.values() for s in video.segments
+        }
+        assert set(player.stats.played_digests()) <= all_digests
+
+    def test_rendition_content_matches_level(self):
+        loop, urls, cdn, renditions = make_world()
+        player = VideoPlayer(
+            loop, CdnLoader(HttpClient(urls)),
+            f"https://{cdn.hostname}/vod/movie/master.m3u8",
+        )
+        player.start()
+        loop.run(60.0)
+        first_digests = [p.digest for p in player.stats.played[:3]]
+        low = [s.digest for s in renditions["360p"].segments[:3]]
+        assert first_digests == low  # the startup segments are 360p
+
+    def test_plain_media_playlist_unaffected(self):
+        loop, urls, cdn, renditions = make_world()
+        player = VideoPlayer(
+            loop, CdnLoader(HttpClient(urls)),
+            f"https://{cdn.hostname}/vod/movie/360p/playlist.m3u8",
+        )
+        player.start()
+        loop.run(60.0)
+        assert player.finished
+        assert player.current_rendition is None
+        assert player.rendition_switches == []

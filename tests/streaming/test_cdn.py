@@ -1,0 +1,121 @@
+"""Tests for the origin and CDN edge."""
+
+from repro.net.clock import EventLoop
+from repro.streaming.cdn import CdnEdge, OriginServer, live_playlist_url, vod_playlist_url
+from repro.streaming.hls import parse_media_playlist
+from repro.streaming.http import HttpClient, HttpRequest, UrlSpace
+from repro.streaming.video import make_video
+
+
+def make_stack(loop=None):
+    loop = loop or EventLoop()
+    urls = UrlSpace()
+    origin = OriginServer(loop)
+    cdn = CdnEdge(origin)
+    urls.register(origin.hostname, origin)
+    urls.register(cdn.hostname, cdn)
+    return loop, urls, origin, cdn
+
+
+class TestOriginVod:
+    def test_playlist_and_segments(self):
+        loop, urls, origin, cdn = make_stack()
+        video = make_video("clip", 3, segment_size=100)
+        origin.add_vod(video)
+        client = HttpClient(urls)
+        playlist = client.get(vod_playlist_url(cdn.hostname, "clip"))
+        assert playlist.ok
+        parsed = parse_media_playlist(playlist.body.decode())
+        assert len(parsed.entries) == 3
+        segment = client.get(f"https://{cdn.hostname}/vod/clip/seg-1.ts")
+        assert segment.body == video.segments[1].data
+
+    def test_unknown_video_404(self):
+        loop, urls, origin, cdn = make_stack()
+        assert HttpClient(urls).get(vod_playlist_url(cdn.hostname, "nope")).status == 404
+
+    def test_out_of_range_segment_404(self):
+        loop, urls, origin, cdn = make_stack()
+        origin.add_vod(make_video("clip", 2))
+        assert HttpClient(urls).get(f"https://{cdn.hostname}/vod/clip/seg-9.ts").status == 404
+
+    def test_malformed_paths_404(self):
+        loop, urls, origin, cdn = make_stack()
+        client = HttpClient(urls)
+        for path in ["/vod/clip", "/x/y/z/w", "/vod/clip/seg-abc.ts", "/"]:
+            assert client.get(f"https://{cdn.hostname}{path}").status == 404
+
+
+class TestCdnCache:
+    def test_segments_cached_playlists_not(self):
+        loop, urls, origin, cdn = make_stack()
+        origin.add_vod(make_video("clip", 2, segment_size=100))
+        client = HttpClient(urls)
+        url = f"https://{cdn.hostname}/vod/clip/seg-0.ts"
+        first = client.get(url)
+        second = client.get(url)
+        assert first.headers["x-cache"] == "miss"
+        assert second.headers["x-cache"] == "hit"
+        assert cdn.hits == 1 and cdn.misses == 1
+        # playlists are not cached (live windows change)
+        client.get(vod_playlist_url(cdn.hostname, "clip"))
+        client.get(vod_playlist_url(cdn.hostname, "clip"))
+        assert cdn.hits == 1
+
+    def test_cache_hit_does_not_touch_origin(self):
+        loop, urls, origin, cdn = make_stack()
+        origin.add_vod(make_video("clip", 1, segment_size=100))
+        client = HttpClient(urls)
+        url = f"https://{cdn.hostname}/vod/clip/seg-0.ts"
+        client.get(url)
+        served_before = origin.requests_served
+        client.get(url)
+        assert origin.requests_served == served_before
+
+    def test_billing(self):
+        loop, urls, origin, cdn = make_stack()
+        origin.add_vod(make_video("clip", 1, segment_size=1_000_000))
+        HttpClient(urls).get(f"https://{cdn.hostname}/vod/clip/seg-0.ts")
+        assert cdn.bytes_served == 1_000_000
+        assert cdn.traffic_cost > 0
+
+    def test_purge(self):
+        loop, urls, origin, cdn = make_stack()
+        origin.add_vod(make_video("clip", 1, segment_size=10))
+        client = HttpClient(urls)
+        url = f"https://{cdn.hostname}/vod/clip/seg-0.ts"
+        client.get(url)
+        cdn.purge()
+        assert client.get(url).headers["x-cache"] == "miss"
+
+
+class TestLiveChannel:
+    def test_window_slides_with_time(self):
+        loop, urls, origin, cdn = make_stack()
+        video = make_video("live", 6, segment_duration=4.0, segment_size=50)
+        origin.add_live("news", video, window=2)
+        client = HttpClient(urls)
+        early = parse_media_playlist(
+            client.get(live_playlist_url(cdn.hostname, "news")).body.decode()
+        )
+        loop.run_until(20.0)
+        late = parse_media_playlist(
+            client.get(live_playlist_url(cdn.hostname, "news")).body.decode()
+        )
+        assert late.media_sequence > early.media_sequence
+        assert not late.endlist
+
+    def test_loops_forever_by_default(self):
+        loop, urls, origin, cdn = make_stack()
+        video = make_video("live", 3, segment_duration=4.0, segment_size=50)
+        origin.add_live("news", video, window=2)
+        loop.run_until(100.0)  # far beyond 3 segments of content
+        client = HttpClient(urls)
+        playlist = parse_media_playlist(
+            client.get(live_playlist_url(cdn.hostname, "news")).body.decode()
+        )
+        assert playlist.entries
+        index = playlist.media_sequence
+        segment = client.get(f"https://{cdn.hostname}/live/news/seg-{index}.ts")
+        assert segment.ok
+        assert segment.body == video.segments[index % 3].data

@@ -1,0 +1,69 @@
+"""Tests for HLS playlist generation and parsing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.streaming.hls import generate_media_playlist, parse_media_playlist
+from repro.streaming.video import make_video
+from repro.util.errors import ProtocolError
+
+
+class TestGenerate:
+    def test_vod_playlist_shape(self):
+        video = make_video("clip", 3, segment_duration=4.0)
+        text = generate_media_playlist(video)
+        assert text.startswith("#EXTM3U")
+        assert "#EXT-X-ENDLIST" in text
+        assert text.count("#EXTINF") == 3
+        assert "seg-0.ts" in text and "seg-2.ts" in text
+
+    def test_live_window(self):
+        video = make_video("live", 10, segment_duration=4.0)
+        text = generate_media_playlist(video, first_index=4, window=3, endlist=False)
+        assert "#EXT-X-MEDIA-SEQUENCE:4" in text
+        assert "#EXT-X-ENDLIST" not in text
+        assert "seg-4.ts" in text and "seg-6.ts" in text and "seg-7.ts" not in text
+
+
+class TestParse:
+    def test_round_trip_vod(self):
+        video = make_video("clip", 5, segment_duration=4.0)
+        playlist = parse_media_playlist(generate_media_playlist(video))
+        assert playlist.endlist and not playlist.is_live
+        assert playlist.media_sequence == 0
+        assert [e.uri for e in playlist.entries] == [f"seg-{i}.ts" for i in range(5)]
+        assert all(e.duration == 4.0 for e in playlist.entries)
+
+    def test_round_trip_live(self):
+        video = make_video("live", 8, segment_duration=2.0)
+        playlist = parse_media_playlist(
+            generate_media_playlist(video, first_index=3, window=4, endlist=False)
+        )
+        assert playlist.is_live
+        assert playlist.segment_indices() == [3, 4, 5, 6]
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_media_playlist("#EXT-X-VERSION:3\nseg-0.ts")
+
+    def test_uri_without_extinf_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_media_playlist("#EXTM3U\nseg-0.ts")
+
+    def test_unknown_tags_tolerated(self):
+        text = "#EXTM3U\n#EXT-X-FUTURE-TAG:x\n#EXTINF:4.0,\nseg-0.ts\n#EXT-X-ENDLIST"
+        playlist = parse_media_playlist(text)
+        assert len(playlist.entries) == 1
+
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=0, max_value=50),
+        st.floats(min_value=0.5, max_value=30.0),
+    )
+    def test_round_trip_property(self, count, first, duration):
+        video = make_video("prop", first + count, segment_duration=round(duration, 3))
+        playlist = parse_media_playlist(
+            generate_media_playlist(video, first_index=first, endlist=True)
+        )
+        assert len(playlist.entries) == count
+        assert playlist.media_sequence == first

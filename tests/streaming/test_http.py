@@ -1,0 +1,106 @@
+"""Tests for the HTTP model."""
+
+import pytest
+
+from repro.streaming.http import (
+    HttpClient,
+    HttpRequest,
+    HttpResponse,
+    UrlSpace,
+    parse_url,
+)
+from repro.util.errors import HttpError, NetworkError
+
+
+class EchoServer:
+    def __init__(self):
+        self.requests = []
+
+    def handle_request(self, request):
+        self.requests.append(request)
+        return HttpResponse(200, b"echo:" + request.path.encode())
+
+
+class TestParseUrl:
+    def test_basic(self):
+        assert parse_url("https://cdn.test.com/vod/x/seg-1.ts") == (
+            "https",
+            "cdn.test.com",
+            "/vod/x/seg-1.ts",
+        )
+
+    def test_bare_host(self):
+        assert parse_url("https://example.com") == ("https", "example.com", "/")
+
+    @pytest.mark.parametrize("bad", ["not-a-url", "https://", ""])
+    def test_malformed(self, bad):
+        with pytest.raises(NetworkError):
+            parse_url(bad)
+
+
+class TestUrlSpace:
+    def test_dispatch_routes_by_host(self):
+        urls = UrlSpace()
+        server = EchoServer()
+        urls.register("a.com", server)
+        response = urls.dispatch(HttpRequest("GET", "https://a.com/x"))
+        assert response.body == b"echo:/x"
+
+    def test_unknown_host_is_502(self):
+        urls = UrlSpace()
+        response = urls.dispatch(HttpRequest("GET", "https://nowhere.com/"))
+        assert response.status == 502
+
+    def test_hostnames_case_insensitive(self):
+        urls = UrlSpace()
+        urls.register("A.COM", EchoServer())
+        assert urls.dispatch(HttpRequest("GET", "https://a.com/")).ok
+
+    def test_unregister(self):
+        urls = UrlSpace()
+        urls.register("a.com", EchoServer())
+        urls.unregister("a.com")
+        assert urls.dispatch(HttpRequest("GET", "https://a.com/")).status == 502
+
+
+class TestHttpClient:
+    def test_byte_accounting(self):
+        urls = UrlSpace()
+        urls.register("a.com", EchoServer())
+        client = HttpClient(urls, client_ip="1.2.3.4")
+        client.post("https://a.com/data", b"xxxx")
+        assert client.bytes_uploaded == 4
+        assert client.bytes_downloaded == len(b"echo:/data")
+        assert client.requests_made == 1
+
+    def test_client_ip_visible_to_server(self):
+        urls = UrlSpace()
+        server = EchoServer()
+        urls.register("a.com", server)
+        HttpClient(urls, client_ip="9.9.9.9").get("https://a.com/")
+        assert server.requests[0].client_ip == "9.9.9.9"
+
+    def test_proxy_intercepts(self):
+        class UpperProxy:
+            def handle(self, request, urlspace):
+                request.headers["X-Proxied"] = "yes"
+                return urlspace.dispatch(request)
+
+        urls = UrlSpace()
+        server = EchoServer()
+        urls.register("a.com", server)
+        HttpClient(urls, proxy=UpperProxy()).get("https://a.com/")
+        assert server.requests[0].headers["X-Proxied"] == "yes"
+
+
+class TestHttpTypes:
+    def test_header_lookup_case_insensitive(self):
+        request = HttpRequest("GET", "https://a.com/", {"Origin": "https://b.com"})
+        assert request.header("origin") == "https://b.com"
+        assert request.header("missing", "dflt") == "dflt"
+
+    def test_raise_for_status(self):
+        with pytest.raises(HttpError) as err:
+            HttpResponse(404).raise_for_status()
+        assert err.value.status == 404
+        assert HttpResponse(204).raise_for_status().status == 204

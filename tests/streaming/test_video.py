@@ -1,0 +1,49 @@
+"""Tests for synthetic video sources."""
+
+from repro.streaming.video import make_video, pollute_segment
+
+
+class TestMakeVideo:
+    def test_deterministic(self):
+        a = make_video("clip", 4, segment_size=1000)
+        b = make_video("clip", 4, segment_size=1000)
+        assert [s.digest for s in a.segments] == [s.digest for s in b.segments]
+
+    def test_distinct_ids_distinct_content(self):
+        a = make_video("clip-a", 2, segment_size=1000)
+        b = make_video("clip-b", 2, segment_size=1000)
+        assert a.segments[0].digest != b.segments[0].digest
+
+    def test_segments_distinct_within_video(self):
+        video = make_video("clip", 5, segment_size=1000)
+        assert len({s.digest for s in video.segments}) == 5
+
+    def test_sizes_and_duration(self):
+        video = make_video("clip", 3, segment_duration=6.0, segment_size=12345)
+        assert all(s.size == 12345 for s in video.segments)
+        assert video.duration == 18.0
+        assert video.total_bytes == 3 * 12345
+
+    def test_large_segment_fast_path(self):
+        video = make_video("big", 1, segment_size=3_000_000)
+        assert video.segments[0].size == 3_000_000
+
+    def test_segment_lookup(self):
+        video = make_video("clip", 3)
+        assert video.segment(2) is not None
+        assert video.segment(3) is None
+        assert video.segment(-1) is None
+
+    def test_filenames(self):
+        video = make_video("clip", 2)
+        assert video.segments[1].filename == "seg-1.ts"
+
+
+class TestPollute:
+    def test_same_size_different_content(self):
+        video = make_video("clip", 1, segment_size=500)
+        original = video.segments[0]
+        polluted = pollute_segment(original)
+        assert polluted.size == original.size
+        assert polluted.digest != original.digest
+        assert polluted.index == original.index

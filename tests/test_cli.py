@@ -1,0 +1,42 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("detect", "risk-matrix", "im-checking", "resources",
+                        "bandwidth", "free-riding", "ip-leak", "token-defense",
+                        "ecdn", "propagation", "consent", "detection-quality", "all"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_seed_option(self):
+        args = build_parser().parse_args(["detect", "--seed", "7"])
+        assert args.seed == 7
+
+
+class TestExecution:
+    def test_token_defense_runs(self, capsys):
+        assert main(["token-defense"]) == 0
+        out = capsys.readouterr().out
+        assert "283 B" in out
+        assert "defense effective" in out
+
+    def test_resources_runs(self, capsys):
+        assert main(["resources"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out
+        assert "CPU overhead" in out
+
+    def test_ecdn_runs(self, capsys):
+        assert main(["ecdn"]) == 0
+        out = capsys.readouterr().out
+        assert "Microsoft eCDN" in out

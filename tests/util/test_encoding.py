@@ -1,0 +1,49 @@
+"""Tests for encoding helpers, including property-based round-trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.encoding import b64url_decode, b64url_encode, chunk_bytes, xor_bytes
+
+
+class TestB64Url:
+    def test_known_value_unpadded(self):
+        # 'f' -> 'Zg' in unpadded base64url (JWT convention)
+        assert b64url_encode(b"f") == "Zg"
+
+    @given(st.binary(max_size=512))
+    def test_round_trip(self, data: bytes):
+        assert b64url_decode(b64url_encode(data)) == data
+
+    def test_no_padding_characters(self):
+        for n in range(1, 10):
+            assert "=" not in b64url_encode(b"x" * n)
+
+
+class TestXorBytes:
+    def test_self_inverse(self):
+        a, b = b"\x01\x02\x03", b"\xff\x00\x10"
+        assert xor_bytes(xor_bytes(a, b), b) == a
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            xor_bytes(b"ab", b"abc")
+
+
+class TestChunkBytes:
+    def test_exact_multiple(self):
+        assert chunk_bytes(b"abcdef", 3) == [b"abc", b"def"]
+
+    def test_remainder(self):
+        assert chunk_bytes(b"abcde", 2) == [b"ab", b"cd", b"e"]
+
+    def test_empty_input_yields_one_empty_chunk(self):
+        assert chunk_bytes(b"", 4) == [b""]
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(ValueError):
+            chunk_bytes(b"abc", 0)
+
+    @given(st.binary(max_size=300), st.integers(min_value=1, max_value=64))
+    def test_reassembly(self, data: bytes, size: int):
+        assert b"".join(chunk_bytes(data, size)) == data

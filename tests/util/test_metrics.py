@@ -1,0 +1,67 @@
+"""Tests for metrics primitives."""
+
+import pytest
+
+from repro.util.metrics import Counter, Gauge, MetricRegistry, TimeSeries
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestTimeSeries:
+    def test_summary_stats(self):
+        ts = TimeSeries("cpu")
+        for t, v in enumerate([1.0, 2.0, 3.0, 4.0]):
+            ts.record(float(t), v)
+        assert ts.mean() == 2.5
+        assert ts.max() == 4.0
+        assert ts.min() == 1.0
+        assert ts.last() == 4.0
+        assert ts.total() == 10.0
+
+    def test_percentile_nearest_rank(self):
+        ts = TimeSeries()
+        for v in range(1, 101):
+            ts.record(0.0, float(v))
+        assert ts.percentile(50) == 50.0
+        assert ts.percentile(95) == 95.0
+        assert ts.percentile(100) == 100.0
+
+    def test_percentile_bounds(self):
+        ts = TimeSeries()
+        ts.record(0, 1)
+        with pytest.raises(ValueError):
+            ts.percentile(101)
+
+    def test_empty_series_is_safe(self):
+        ts = TimeSeries()
+        assert ts.mean() == 0.0
+        assert ts.stddev() == 0.0
+        assert ts.percentile(50) == 0.0
+
+
+class TestRegistry:
+    def test_same_name_same_object(self):
+        reg = MetricRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.series("s") is reg.series("s")
+
+    def test_snapshot_flattens(self):
+        reg = MetricRegistry()
+        reg.counter("sent").inc(5)
+        reg.gauge("depth").set(2)
+        reg.series("cpu").record(0.0, 10.0)
+        snap = reg.snapshot()
+        assert snap["counter.sent"] == 5
+        assert snap["gauge.depth"] == 2
+        assert snap["series.cpu.mean"] == 10.0

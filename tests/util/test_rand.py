@@ -1,0 +1,53 @@
+"""Tests for deterministic randomness."""
+
+from repro.util.rand import DeterministicRandom
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRandom(99)
+        b = DeterministicRandom(99)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRandom(1)
+        b = DeterministicRandom(2)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_string_seed_supported(self):
+        a = DeterministicRandom("experiment-a")
+        b = DeterministicRandom("experiment-a")
+        assert a.randint(0, 10**9) == b.randint(0, 10**9)
+
+
+class TestFork:
+    def test_fork_is_deterministic(self):
+        a = DeterministicRandom(7).fork("child")
+        b = DeterministicRandom(7).fork("child")
+        assert a.bytes(16) == b.bytes(16)
+
+    def test_fork_independent_of_parent_consumption(self):
+        parent1 = DeterministicRandom(7)
+        parent2 = DeterministicRandom(7)
+        parent2.random()  # consuming the parent stream...
+        # ...must not change what children see
+        assert parent1.fork("x").random() == parent2.fork("x").random()
+
+    def test_fork_names_produce_distinct_streams(self):
+        parent = DeterministicRandom(7)
+        assert parent.fork("a").random() != parent.fork("b").random()
+
+
+class TestHelpers:
+    def test_weighted_pick_respects_zero_weight(self):
+        rng = DeterministicRandom(3)
+        picks = {rng.weighted_pick([("a", 1.0), ("b", 0.0)]) for _ in range(50)}
+        assert picks == {"a"}
+
+    def test_bytes_length(self):
+        assert len(DeterministicRandom(0).bytes(33)) == 33
+
+    def test_sample_without_replacement(self):
+        rng = DeterministicRandom(5)
+        sample = rng.sample(list(range(100)), 10)
+        assert len(set(sample)) == 10

@@ -1,0 +1,33 @@
+"""Tests for table rendering."""
+
+import pytest
+
+from repro.util.tables import render_kv, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["name", "n"], [["peer5", 10], ["x", 2]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "peer5" in lines[2]
+        # all separator dashes line up with header width
+        assert len(lines[1]) >= len("name | n") - 1
+
+    def test_title(self):
+        out = render_table(["a"], [[1]], title="Table I")
+        assert out.splitlines()[0] == "Table I"
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [[1.23456]])
+        assert "1.23" in out
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+
+class TestRenderKv:
+    def test_basic(self):
+        out = render_kv("stats", [("peers", 3), ("bytes", 1024)])
+        assert "peers" in out and "1024" in out

@@ -1,0 +1,57 @@
+"""Tests for the Android app/APK model."""
+
+from repro.environment import Environment
+from repro.pdn.provider import PEER5, STREAMROOT, PdnProvider
+from repro.web.apk import AndroidApp, build_pdn_apk, build_plain_apk
+from repro.web.page import PdnEmbed
+
+
+def make_embed(seed=1, profile=PEER5):
+    env = Environment(seed=seed)
+    provider = PdnProvider(env.loop, env.rand, profile)
+    key = provider.signup_customer("com.example.app")
+    return PdnEmbed(provider, key.key, "https://cdn/v.m3u8")
+
+
+class TestApkBuilding:
+    def test_pdn_apk_carries_namespace(self):
+        apk = build_pdn_apk(100, make_embed())
+        assert apk.contains_namespace("com.peer5.sdk")
+        assert not apk.contains_namespace("io.streamroot.dna")
+
+    def test_streamroot_manifest_key(self):
+        apk = build_pdn_apk(100, make_embed(profile=STREAMROOT))
+        assert "io.streamroot.dna.StreamrootKey" in apk.manifest_metadata
+
+    def test_obfuscated_apk_hides_key(self):
+        embed = make_embed()
+        apk = build_pdn_apk(100, embed, obfuscated=True)
+        assert embed.credential not in " ".join(apk.all_strings())
+
+    def test_clear_apk_exposes_key(self):
+        embed = make_embed()
+        apk = build_pdn_apk(100, embed, obfuscated=False)
+        assert embed.credential in apk.all_strings()
+
+    def test_plain_apk_has_no_pdn(self):
+        apk = build_plain_apk(1)
+        assert apk.embed is None
+        assert not apk.contains_namespace("com.peer5.sdk")
+
+
+class TestAndroidApp:
+    def test_latest_version(self):
+        app = AndroidApp("com.x")
+        app.add_version(build_plain_apk(3))
+        app.add_version(build_plain_apk(7))
+        app.add_version(build_plain_apk(5))
+        assert app.latest.version_code == 7
+
+    def test_latest_none_when_empty(self):
+        assert AndroidApp("com.x").latest is None
+
+    def test_pdn_versions_filter(self):
+        app = AndroidApp("com.x")
+        app.add_version(build_plain_apk(1))
+        app.add_version(build_pdn_apk(2, make_embed()))
+        assert len(app.pdn_versions()) == 1

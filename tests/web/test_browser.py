@@ -1,0 +1,118 @@
+"""Integration tests for the headless browser."""
+
+import pytest
+
+from repro.core.testbed import build_test_bed
+from repro.environment import Environment
+from repro.pdn.policy import ClientPolicy
+from repro.pdn.provider import PEER5
+from repro.web.browser import Browser
+from repro.web.page import LoadCondition, WebPage, Website
+
+
+@pytest.fixture
+def bed_env():
+    env = Environment(seed=31)
+    bed = build_test_bed(env, PEER5, video_segments=6, segment_seconds=2.0, segment_bytes=20_000)
+    return env, bed
+
+
+class TestOpen:
+    def test_open_pdn_page_starts_sdk_and_player(self, bed_env):
+        env, bed = bed_env
+        browser = Browser(env, "v")
+        session = browser.open(f"https://{bed.site.domain}/")
+        assert session.pdn_loaded
+        assert session.player is not None
+        env.run(40.0)
+        assert session.player.finished
+
+    def test_unknown_domain(self, bed_env):
+        env, bed = bed_env
+        session = Browser(env, "v").open("https://no-such-site.com/")
+        assert session.status == 502
+        assert not session.pdn_loaded
+
+    def test_geo_gate_blocks_sdk_but_not_playback(self, bed_env):
+        env, bed = bed_env
+        page = bed.site.landing
+        page.embed.load_condition = LoadCondition.GEO
+        page.embed.geo_country = "CN"
+        us_viewer = Browser(env, "us-v", country="US")
+        session = us_viewer.open(f"https://{bed.site.domain}/")
+        assert not session.pdn_loaded
+        assert "geo" in session.skip_reason
+        env.run(30.0)
+        assert session.player is not None and session.player.finished  # CDN playback
+
+    def test_geo_gate_admits_matching_country(self, bed_env):
+        env, bed = bed_env
+        page = bed.site.landing
+        page.embed.load_condition = LoadCondition.GEO
+        page.embed.geo_country = "CN"
+        cn_viewer = Browser(env, "cn-v", country="CN")
+        session = cn_viewer.open(f"https://{bed.site.domain}/")
+        assert session.pdn_loaded
+
+    def test_no_video_page(self, bed_env):
+        env, bed = bed_env
+        bed.site.add_page(WebPage("/about", "about"))
+        session = Browser(env, "v").open(f"https://{bed.site.domain}/about")
+        assert session.player is None
+        assert "no video" in session.skip_reason
+
+    def test_plain_video_page_uses_cdn_loader(self, bed_env):
+        env, bed = bed_env
+        plain = Website("plain.com", category="video")
+        plain.add_page(WebPage("/", has_video=True, video_url=bed.video_url))
+        env.urlspace.register("plain.com", plain)
+        session = Browser(env, "v").open("https://plain.com/")
+        assert not session.pdn_loaded
+        env.run(30.0)
+        assert session.player.finished
+        assert session.player.stats.bytes_from_p2p == 0
+
+
+class TestConsent:
+    def test_no_consent_dialog_by_default(self, bed_env):
+        env, bed = bed_env
+        session = Browser(env, "v").open(f"https://{bed.site.domain}/")
+        assert session.consent_requested is False
+        assert session.pdn_loaded  # enrolled silently: the §IV-D finding
+
+    def test_consent_dialog_respected_when_declined(self, bed_env):
+        env, bed = bed_env
+        bed.provider._customer_policies[bed.customer_id] = ClientPolicy(
+            show_consent_dialog=True, allow_user_disable=True
+        )
+        browser = Browser(env, "v")
+        browser.grant_pdn_consent = False
+        session = browser.open(f"https://{bed.site.domain}/")
+        assert session.consent_requested
+        assert not session.pdn_loaded
+        env.run(30.0)
+        assert session.player.finished  # playback continues CDN-only
+
+
+class TestResourceActivity:
+    def test_snapshot_reflects_sdk_activity(self, bed_env):
+        env, bed = bed_env
+        browser_a = Browser(env, "a")
+        browser_a.open(f"https://{bed.site.domain}/")
+        env.run(4.0)
+        browser_b = Browser(env, "b")
+        browser_b.open(f"https://{bed.site.domain}/")
+        env.run(30.0)
+        snap = browser_b.resource_activity()
+        assert snap.pdn_active
+        assert snap.bytes_cdn > 0
+        assert snap.net_in > 0
+
+    def test_closed_sessions_keep_cumulative_counters(self, bed_env):
+        env, bed = bed_env
+        browser = Browser(env, "a")
+        browser.open(f"https://{bed.site.domain}/")
+        env.run(20.0)
+        before = browser.resource_activity().bytes_cdn
+        browser.close()
+        assert browser.resource_activity().bytes_cdn == before

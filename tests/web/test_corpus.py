@@ -1,0 +1,104 @@
+"""Tests for the seeded corpus: scale, ground truth, key plan."""
+
+import pytest
+
+from repro.environment import Environment
+from repro.web.corpus import (
+    CONFIRMED_APPS,
+    CONFIRMED_WEBSITES,
+    PRIVATE_SERVICES,
+    CorpusConfig,
+    build_corpus,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    env = Environment(seed=404)
+    return build_corpus(env)
+
+
+class TestScale:
+    def test_potential_counts_match_paper(self, corpus):
+        sites = [r for r in corpus.records if r.kind == "website"]
+        by_provider = {}
+        for record in sites:
+            by_provider.setdefault(record.provider, []).append(record)
+        assert len(by_provider["peer5"]) == 60
+        assert len(by_provider["streamroot"]) == 53
+        assert len(by_provider["viblast"]) == 21
+
+    def test_confirmed_ground_truth(self, corpus):
+        assert corpus.expected_confirmed("website") == {d for d, _, _ in CONFIRMED_WEBSITES}
+        assert corpus.expected_confirmed("app") == {p for p, _, _ in CONFIRMED_APPS}
+        assert corpus.expected_confirmed("private") == {d for d, _, _ in PRIVATE_SERVICES}
+
+    def test_apps_counts(self, corpus):
+        apps = [r for r in corpus.records if r.kind == "app"]
+        assert len(apps) == 38
+
+    def test_apk_budget(self, corpus):
+        pdn_apks = sum(len(a.pdn_versions()) for a in corpus.apps)
+        assert pdn_apks == 199 + 349 + 53 + 15 + 11  # 627
+
+    def test_sites_registered_in_urlspace(self, corpus):
+        for domain, _, _ in CONFIRMED_WEBSITES:
+            assert corpus.env.urlspace.resolve(domain) is corpus.website(domain)
+
+
+class TestKeyPlan:
+    def test_exactly_44_extractable(self, corpus):
+        assert len(corpus.extractable_keys()) == 44
+
+    def test_validity_split(self, corpus):
+        extractable = corpus.extractable_keys()
+        valid = [r for r in extractable if r.key_valid]
+        assert len(valid) == 40
+        assert len(extractable) - len(valid) == 4
+
+    def test_peer5_no_allowlist_count(self, corpus):
+        vulnerable = [
+            r
+            for r in corpus.extractable_keys()
+            if r.provider == "peer5" and r.key_valid and not r.key_has_allowlist
+        ]
+        assert len(vulnerable) == 11
+
+    def test_expired_keys_actually_rejected(self, corpus):
+        expired = [r for r in corpus.extractable_keys() if not r.key_valid]
+        for record in expired:
+            provider = corpus.providers[record.provider]
+            key = provider.authenticator.lookup(record.api_key)
+            assert key is not None and not key.active
+
+
+class TestPrivateServices:
+    def test_shared_signaling_host_shares_provider(self, corpus):
+        youku = corpus.private_providers["youku.com"]
+        tudou = corpus.private_providers["tudou.com"]
+        assert youku is tudou
+
+    def test_private_videos_drm_registered(self, corpus):
+        provider = corpus.private_providers["bilibili.com"]
+        assert provider.drm_registry
+
+    def test_cellular_full_apps(self, corpus):
+        for package in ("com.bongo.bioscope", "com.portonics.mygp", "com.arenacloudtv.android"):
+            provider = corpus.providers["peer5"]
+            policy = provider.customer_policy(package)
+            assert policy.upload_allowed("cellular"), package
+
+    def test_other_apps_leech_on_cellular(self, corpus):
+        provider = corpus.providers["peer5"]
+        policy = provider.customer_policy("mivo.tv")
+        assert not policy.upload_allowed("cellular")
+        assert policy.download_allowed("cellular")
+
+
+class TestConfigScaling:
+    def test_smaller_corpus_builds(self):
+        env = Environment(seed=405)
+        config = CorpusConfig(noise_video_sites=5, noise_nonvideo_sites=2, noise_apps=2)
+        corpus = build_corpus(env, config)
+        assert corpus.websites
+        assert len(corpus.extractable_keys()) == 44  # ground truth unaffected

@@ -1,0 +1,107 @@
+"""Tests for pages, embeds, and websites."""
+
+from repro.environment import Environment
+from repro.pdn.provider import PEER5, PdnProvider, private_profile
+from repro.streaming.http import HttpRequest
+from repro.web.page import LoadCondition, PdnEmbed, WebPage, Website
+
+
+def make_provider(env, profile=PEER5):
+    provider = PdnProvider(env.loop, env.rand, profile)
+    provider.install(env.urlspace)
+    return provider
+
+
+class TestRender:
+    def test_public_embed_renders_sdk_url_and_key(self):
+        env = Environment(seed=1)
+        provider = make_provider(env)
+        key = provider.signup_customer("site.com")
+        page = WebPage("/", has_video=True, embed=PdnEmbed(provider, key.key, "https://cdn/v.m3u8"))
+        html = page.render("site.com")
+        assert f"api.peer5.com/peer5.js?id={key.key}" in html
+        assert key.key in html
+        assert "<video" in html
+
+    def test_obfuscated_embed_hides_key_but_keeps_url_signature(self):
+        env = Environment(seed=1)
+        provider = make_provider(env)
+        key = provider.signup_customer("site.com")
+        page = WebPage(
+            "/", has_video=True,
+            embed=PdnEmbed(provider, key.key, "https://cdn/v.m3u8", obfuscated=True),
+        )
+        html = page.render("site.com")
+        assert key.key not in html  # never contiguous
+        assert "api.peer5.com/peer5.js?id=" in html
+        assert "_0x101f38" in html
+
+    def test_private_embed_renders_webrtc_signatures(self):
+        env = Environment(seed=1)
+        provider = make_provider(env, private_profile("bili.com", "tracker.bili.net"))
+        page = WebPage("/", has_video=True, embed=PdnEmbed(provider, "bili.com", "https://cdn/v.m3u8"))
+        html = page.render("bili.com")
+        assert "new RTCPeerConnection" in html
+        assert "wss://tracker.bili.net" in html
+
+    def test_links_rendered(self):
+        page = WebPage("/", links=["/a", "/b"])
+        html = page.render("x.com")
+        assert 'href="/a"' in html and 'href="/b"' in html
+
+
+class TestLoadConditions:
+    def test_always(self):
+        env = Environment(seed=1)
+        embed = PdnEmbed(make_provider(env), "k", "u")
+        assert embed.loads_for("US")
+
+    def test_geo_gate(self):
+        env = Environment(seed=1)
+        embed = PdnEmbed(
+            make_provider(env), "k", "u",
+            load_condition=LoadCondition.GEO, geo_country="CN",
+        )
+        assert embed.loads_for("CN")
+        assert not embed.loads_for("US")
+
+    def test_subscription_gate(self):
+        env = Environment(seed=1)
+        embed = PdnEmbed(make_provider(env), "k", "u", load_condition=LoadCondition.SUBSCRIPTION)
+        assert not embed.loads_for("US", subscribed=False)
+        assert embed.loads_for("US", subscribed=True)
+
+
+class TestWebsite:
+    def test_serves_pages_over_http(self):
+        site = Website("x.com")
+        site.add_page(WebPage("/", title="home"))
+        response = site.handle_request(HttpRequest("GET", "https://x.com/"))
+        assert response.ok and b"home" in response.body
+        assert site.handle_request(HttpRequest("GET", "https://x.com/none")).status == 404
+
+    def test_viewer_credential_static_for_public(self):
+        env = Environment(seed=1)
+        provider = make_provider(env)
+        key = provider.signup_customer("x.com")
+        site = Website("x.com")
+        page = site.add_page(WebPage("/", has_video=True, embed=PdnEmbed(provider, key.key, "u")))
+        assert site.issue_viewer_credential(page) == key.key
+
+    def test_viewer_credential_fresh_per_load_for_private(self):
+        env = Environment(seed=1)
+        provider = make_provider(env, private_profile("p.com", "s.p.com"))
+        provider.signup_customer("p.com")
+        site = Website("p.com")
+        page = site.add_page(WebPage("/", has_video=True, embed=PdnEmbed(provider, "p.com", "u")))
+        token_a = site.issue_viewer_credential(page)
+        token_b = site.issue_viewer_credential(page)
+        assert token_a != token_b
+
+    def test_pdn_pages_listing(self):
+        env = Environment(seed=1)
+        provider = make_provider(env)
+        site = Website("x.com")
+        site.add_page(WebPage("/", has_video=True))
+        site.add_page(WebPage("/live", has_video=True, embed=PdnEmbed(provider, "k", "u")))
+        assert len(site.pdn_pages()) == 1

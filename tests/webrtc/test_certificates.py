@@ -1,0 +1,33 @@
+"""Tests for self-signed certificates and fingerprints."""
+
+from repro.util.rand import DeterministicRandom
+from repro.webrtc.certificates import Certificate
+
+
+class TestCertificates:
+    def test_deterministic_generation(self):
+        a = Certificate.generate(DeterministicRandom(5), "peer")
+        b = Certificate.generate(DeterministicRandom(5), "peer")
+        assert a.fingerprint == b.fingerprint
+
+    def test_distinct_secrets_distinct_fingerprints(self):
+        rand = DeterministicRandom(5)
+        a = Certificate.generate(rand.fork("a"), "peer")
+        b = Certificate.generate(rand.fork("b"), "peer")
+        assert a.fingerprint != b.fingerprint
+
+    def test_fingerprint_format_matches_sdp(self):
+        cert = Certificate.generate(DeterministicRandom(1), "x")
+        assert cert.fingerprint.startswith("sha-256 ")
+        hex_part = cert.fingerprint.split(" ", 1)[1]
+        pairs = hex_part.split(":")
+        assert len(pairs) == 32
+        assert all(len(p) == 2 for p in pairs)
+
+    def test_fingerprint_of_public_key_matches(self):
+        cert = Certificate.generate(DeterministicRandom(2), "x")
+        assert Certificate.fingerprint_of(cert.public_key) == cert.fingerprint
+
+    def test_secret_not_in_repr(self):
+        cert = Certificate.generate(DeterministicRandom(3), "x")
+        assert cert.secret.hex() not in repr(cert)

@@ -1,0 +1,125 @@
+"""Tests for the reliable data-channel layer."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.clock import EventLoop
+from repro.webrtc.datachannel import DataChannelLayer
+
+
+class LossyWire:
+    """Connects two DataChannelLayers with scriptable loss/duplication."""
+
+    def __init__(self, loop: EventLoop):
+        self.loop = loop
+        self.a = None
+        self.b = None
+        self.drop_first_n = 0
+        self.duplicate = False
+        self.sent = 0
+
+    def a_transmit(self, record: bytes) -> None:
+        self._forward(record, self.b)
+
+    def b_transmit(self, record: bytes) -> None:
+        self._forward(record, self.a)
+
+    def _forward(self, record: bytes, dest) -> None:
+        self.sent += 1
+        if self.drop_first_n > 0:
+            self.drop_first_n -= 1
+            return
+        self.loop.schedule(0.01, dest.handle_record, record)
+        if self.duplicate:
+            self.loop.schedule(0.02, dest.handle_record, record)
+
+
+def make_pair(loop, chunk_size=100):
+    wire = LossyWire(loop)
+    got_a, got_b = [], []
+    a = DataChannelLayer(loop, wire.a_transmit, lambda ch, p: got_a.append((ch, p)), chunk_size)
+    b = DataChannelLayer(loop, wire.b_transmit, lambda ch, p: got_b.append((ch, p)), chunk_size)
+    wire.a, wire.b = a, b
+    return a, b, wire, got_a, got_b
+
+
+class TestDelivery:
+    def test_small_message(self):
+        loop = EventLoop()
+        a, b, _, _, got_b = make_pair(loop)
+        a.send(1, b"hello")
+        loop.run(1.0)
+        assert got_b == [(1, b"hello")]
+
+    def test_multi_chunk_reassembly(self):
+        loop = EventLoop()
+        a, b, _, _, got_b = make_pair(loop, chunk_size=10)
+        payload = bytes(range(256)) * 4
+        a.send(2, payload)
+        loop.run(2.0)
+        assert got_b == [(2, payload)]
+
+    def test_empty_message(self):
+        loop = EventLoop()
+        a, b, _, _, got_b = make_pair(loop)
+        a.send(3, b"")
+        loop.run(1.0)
+        assert got_b == [(3, b"")]
+
+    def test_channel_ids_preserved(self):
+        loop = EventLoop()
+        a, b, _, _, got_b = make_pair(loop)
+        a.send(7, b"seven")
+        a.send(9, b"nine")
+        loop.run(1.0)
+        assert sorted(got_b) == [(7, b"seven"), (9, b"nine")]
+
+    def test_bidirectional(self):
+        loop = EventLoop()
+        a, b, _, got_a, got_b = make_pair(loop)
+        a.send(1, b"ping")
+        b.send(1, b"pong")
+        loop.run(1.0)
+        assert got_b == [(1, b"ping")] and got_a == [(1, b"pong")]
+
+
+class TestReliability:
+    def test_retransmission_recovers_lost_chunks(self):
+        loop = EventLoop()
+        a, b, wire, _, got_b = make_pair(loop, chunk_size=10)
+        wire.drop_first_n = 3
+        a.send(1, b"0123456789" * 5)
+        loop.run(10.0)
+        assert got_b == [(1, b"0123456789" * 5)]
+        assert a.chunks_retransmitted > 0
+
+    def test_duplicates_delivered_once(self):
+        loop = EventLoop()
+        a, b, wire, _, got_b = make_pair(loop, chunk_size=10)
+        wire.duplicate = True
+        a.send(1, b"abcdefghij" * 3)
+        loop.run(10.0)
+        assert got_b == [(1, b"abcdefghij" * 3)]
+
+    def test_sender_gives_up_on_dead_peer(self):
+        loop = EventLoop()
+        a, b, wire, _, _ = make_pair(loop)
+        wire.drop_first_n = 10**9
+        a.send(1, b"into the void")
+        loop.run(30.0)
+        assert a.inflight_messages == 0  # abandoned, not leaked
+
+    def test_acks_clear_inflight(self):
+        loop = EventLoop()
+        a, b, _, _, _ = make_pair(loop)
+        a.send(1, b"payload")
+        loop.run(1.0)
+        assert a.inflight_messages == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.binary(max_size=5000), st.integers(min_value=1, max_value=500))
+    def test_arbitrary_payload_and_chunk_size(self, payload, chunk_size):
+        loop = EventLoop()
+        a, b, _, _, got_b = make_pair(loop, chunk_size=chunk_size)
+        a.send(1, payload)
+        loop.run(5.0)
+        assert got_b == [(1, payload)]

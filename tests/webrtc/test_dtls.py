@@ -1,0 +1,209 @@
+"""Tests for the DTLS-shaped handshake and record layer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.clock import EventLoop
+from repro.util.errors import DtlsHandshakeError, DtlsRecordError
+from repro.util.rand import DeterministicRandom
+from repro.webrtc.certificates import Certificate
+from repro.webrtc.dtls import DtlsSession, is_dtls_datagram
+
+
+class Pipe:
+    """A bidirectional in-order datagram pipe with optional tampering."""
+
+    def __init__(self, loop: EventLoop, latency: float = 0.01):
+        self.loop = loop
+        self.latency = latency
+        self.a_to_b_hook = None
+        self.b_to_a_hook = None
+        self.a = None
+        self.b = None
+
+    def send_from_a(self, data: bytes) -> None:
+        if self.a_to_b_hook:
+            data = self.a_to_b_hook(data)
+            if data is None:
+                return
+        self.loop.schedule(self.latency, lambda: self.b.handle_datagram(data))
+
+    def send_from_b(self, data: bytes) -> None:
+        if self.b_to_a_hook:
+            data = self.b_to_a_hook(data)
+            if data is None:
+                return
+        self.loop.schedule(self.latency, lambda: self.a.handle_datagram(data))
+
+
+def make_pair(loop, expected_ok=True, pipe=None):
+    rand = DeterministicRandom(11)
+    cert_a = Certificate.generate(rand.fork("a"), "alice")
+    cert_b = Certificate.generate(rand.fork("b"), "bob")
+    pipe = pipe or Pipe(loop)
+    expected_b_fp = cert_b.fingerprint if expected_ok else Certificate.generate(
+        rand.fork("evil"), "evil"
+    ).fingerprint
+    a = DtlsSession(
+        loop, rand.fork("sa"), "client", cert_a, expected_b_fp, send=pipe.send_from_a
+    )
+    b = DtlsSession(
+        loop, rand.fork("sb"), "server", cert_b, cert_a.fingerprint, send=pipe.send_from_b
+    )
+    pipe.a, pipe.b = a, b
+    return a, b, pipe
+
+
+class TestHandshake:
+    def test_both_sides_establish(self):
+        loop = EventLoop()
+        a, b, _ = make_pair(loop)
+        a.start()
+        loop.run(5.0)
+        assert a.established and b.established
+
+    def test_established_callbacks_fire(self):
+        loop = EventLoop()
+        a, b, _ = make_pair(loop)
+        events = []
+        a.on_established = lambda: events.append("a")
+        b.on_established = lambda: events.append("b")
+        a.start()
+        loop.run(5.0)
+        assert sorted(events) == ["a", "b"]
+
+    def test_fingerprint_mismatch_aborts(self):
+        loop = EventLoop()
+        a, b, _ = make_pair(loop, expected_ok=False)
+        errors = []
+        a.on_error = errors.append
+        a.start()
+        loop.run(5.0)
+        assert not a.established
+        assert any(isinstance(e, DtlsHandshakeError) for e in errors)
+        assert a.auth_failures == 1
+
+    def test_handshake_survives_packet_loss(self):
+        loop = EventLoop()
+        pipe = Pipe(loop)
+        drops = {"n": 0}
+
+        def lossy(data):
+            # drop the first two flights in each direction
+            if drops["n"] < 2:
+                drops["n"] += 1
+                return None
+            return data
+
+        pipe.a_to_b_hook = lossy
+        a, b, _ = make_pair(loop, pipe=pipe)
+        a.start()
+        loop.run(10.0)
+        assert a.established and b.established
+
+    def test_handshake_times_out_on_dead_peer(self):
+        loop = EventLoop()
+        pipe = Pipe(loop)
+        pipe.a_to_b_hook = lambda data: None  # black hole
+        a, b, _ = make_pair(loop, pipe=pipe)
+        errors = []
+        a.on_error = errors.append
+        a.start()
+        loop.run(30.0)
+        assert not a.established
+        assert a.failed
+        assert any("timed out" in str(e) for e in errors)
+
+
+class TestRecords:
+    def _established_pair(self, loop):
+        a, b, pipe = make_pair(loop)
+        a.start()
+        loop.run(5.0)
+        assert a.established and b.established
+        return a, b, pipe
+
+    def test_application_data_round_trip(self):
+        loop = EventLoop()
+        a, b, _ = self._established_pair(loop)
+        got = []
+        b.on_data = got.append
+        a.send_application(b"segment-bytes" * 100)
+        loop.run(1.0)
+        assert got == [b"segment-bytes" * 100]
+
+    def test_data_both_directions(self):
+        loop = EventLoop()
+        a, b, _ = self._established_pair(loop)
+        got_a, got_b = [], []
+        a.on_data = got_a.append
+        b.on_data = got_b.append
+        a.send_application(b"to-b")
+        b.send_application(b"to-a")
+        loop.run(1.0)
+        assert got_b == [b"to-b"] and got_a == [b"to-a"]
+
+    def test_ciphertext_differs_from_plaintext(self):
+        loop = EventLoop()
+        pipe = Pipe(loop)
+        wires = []
+        a, b, _ = make_pair(loop, pipe=pipe)
+        a.start()
+        loop.run(5.0)
+        pipe.a_to_b_hook = lambda data: (wires.append(data), data)[1]
+        a.send_application(b"SECRET-VIDEO-SEGMENT")
+        loop.run(1.0)
+        assert wires and all(b"SECRET-VIDEO-SEGMENT" not in w for w in wires)
+
+    def test_tampered_record_rejected(self):
+        loop = EventLoop()
+        a, b, pipe = self._established_pair(loop)
+        got, errors = [], []
+        b.on_data = got.append
+        b.on_error = errors.append
+
+        def tamper(data):
+            raw = bytearray(data)
+            raw[-1] ^= 0xFF
+            return bytes(raw)
+
+        pipe.a_to_b_hook = tamper
+        a.send_application(b"payload")
+        loop.run(1.0)
+        assert got == []
+        assert any(isinstance(e, DtlsRecordError) for e in errors)
+        assert b.auth_failures == 1
+
+    def test_send_before_established_raises(self):
+        loop = EventLoop()
+        a, _, _ = make_pair(loop)
+        with pytest.raises(DtlsRecordError):
+            a.send_application(b"too soon")
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(min_size=0, max_size=2000))
+    def test_arbitrary_payload_round_trip(self, payload: bytes):
+        loop = EventLoop()
+        a, b, _ = make_pair(loop)
+        a.start()
+        loop.run(5.0)
+        got = []
+        b.on_data = got.append
+        a.send_application(payload)
+        loop.run(1.0)
+        assert got == [payload]
+
+
+class TestDemux:
+    def test_records_detected_as_dtls(self):
+        loop = EventLoop()
+        pipe = Pipe(loop)
+        wires = []
+        pipe.a_to_b_hook = lambda data: (wires.append(data), data)[1]
+        a, b, _ = make_pair(loop, pipe=pipe)
+        a.start()
+        loop.run(5.0)
+        assert wires and all(is_dtls_datagram(w) for w in wires)
+
+    def test_stun_not_dtls(self):
+        assert not is_dtls_datagram(b"\x00\x01\x00\x00\x21\x12\xa4\x42" + b"\x00" * 12)

@@ -1,0 +1,139 @@
+"""Unit tests for the ICE agent (gathering, checks, observation log)."""
+
+from repro.net import Endpoint, EventLoop, NatType, Network
+from repro.util.rand import DeterministicRandom
+from repro.webrtc.ice import CandidateType, IceAgent, IceCandidate
+from repro.webrtc.stun import StunServer
+
+
+def make_agent(net, host, stun_servers=None, relay_only=False, relay_endpoint=None):
+    sock = host.bind_udp(0)
+    agent = IceAgent(
+        net.loop,
+        DeterministicRandom(5).fork(host.name),
+        local_ip=host.ip,
+        local_port=sock.port,
+        transport_send=lambda dst, payload: sock.send(dst, payload),
+        stun_servers=stun_servers or [],
+        relay_only=relay_only,
+        relay_endpoint=relay_endpoint,
+    )
+    sock.handler = lambda data, src, s: _feed(agent, data, src)
+    return agent
+
+
+def _feed(agent, data, src):
+    from repro.webrtc.stun import decode_stun, is_stun_datagram
+
+    if is_stun_datagram(data):
+        agent.handle_stun(decode_stun(data), src)
+
+
+class TestGathering:
+    def test_host_candidate_always_present(self):
+        net = Network(EventLoop(), rand=DeterministicRandom(1))
+        host = net.add_host("h")
+        agent = make_agent(net, host)
+        done = []
+        agent.gather(done.append)
+        net.loop.run(2.0)
+        assert done
+        types = {c.cand_type for c in done[0]}
+        assert CandidateType.HOST in types
+
+    def test_srflx_candidate_via_stun(self):
+        net = Network(EventLoop(), rand=DeterministicRandom(1))
+        stun = StunServer(net.add_host("stun"))
+        nat = net.add_nat(NatType.FULL_CONE)
+        host = net.add_host("h", nat=nat)
+        agent = make_agent(net, host, stun_servers=[stun.endpoint])
+        done = []
+        agent.gather(done.append)
+        net.loop.run(3.0)
+        srflx = [c for c in done[0] if c.cand_type is CandidateType.SRFLX]
+        assert srflx and srflx[0].endpoint.ip == nat.external_ip
+
+    def test_public_host_no_duplicate_srflx(self):
+        """A public host's reflexive address equals its host address —
+        the agent must not list it twice."""
+        net = Network(EventLoop(), rand=DeterministicRandom(1))
+        stun = StunServer(net.add_host("stun"))
+        host = net.add_host("h")
+        agent = make_agent(net, host, stun_servers=[stun.endpoint])
+        done = []
+        agent.gather(done.append)
+        net.loop.run(3.0)
+        endpoints = [c.endpoint for c in done[0]]
+        assert len(endpoints) == len(set(endpoints))
+
+    def test_gather_times_out_without_stun_response(self):
+        net = Network(EventLoop(), rand=DeterministicRandom(1))
+        host = net.add_host("h")
+        agent = make_agent(net, host, stun_servers=[Endpoint("203.0.113.1", 3478)])
+        done = []
+        agent.gather(done.append)
+        net.loop.run(5.0)
+        assert done  # completed despite the dead server
+        assert all(c.cand_type is CandidateType.HOST for c in done[0])
+
+    def test_relay_only_suppresses_real_addresses(self):
+        net = Network(EventLoop(), rand=DeterministicRandom(1))
+        host = net.add_host("h")
+        relay = Endpoint("9.9.9.9", 55555)
+        agent = make_agent(net, host, relay_only=True, relay_endpoint=relay)
+        done = []
+        agent.gather(done.append)
+        net.loop.run(2.0)
+        assert [c.endpoint for c in done[0]] == [relay]
+
+
+class TestPriorities:
+    def test_type_preference_ordering(self):
+        host = IceCandidate.make(CandidateType.HOST, Endpoint("1.1.1.1", 1))
+        srflx = IceCandidate.make(CandidateType.SRFLX, Endpoint("2.2.2.2", 2))
+        relay = IceCandidate.make(CandidateType.RELAY, Endpoint("3.3.3.3", 3))
+        assert host.priority > srflx.priority > relay.priority
+
+    def test_dict_round_trip(self):
+        candidate = IceCandidate.make(CandidateType.SRFLX, Endpoint("2.2.2.2", 443))
+        assert IceCandidate.from_dict(candidate.to_dict()) == candidate
+
+
+class TestChecks:
+    def _paired_agents(self):
+        net = Network(EventLoop(), rand=DeterministicRandom(2))
+        host_a = net.add_host("a")
+        host_b = net.add_host("b")
+        agent_a = make_agent(net, host_a)
+        agent_b = make_agent(net, host_b)
+        for agent in (agent_a, agent_b):
+            done = []
+            agent.gather(done.append)
+        net.loop.run(2.0)
+        agent_a.set_remote(agent_b.local_candidates, agent_b.ufrag, agent_b.pwd)
+        agent_b.set_remote(agent_a.local_candidates, agent_a.ufrag, agent_a.pwd)
+        return net, agent_a, agent_b
+
+    def test_nomination_both_sides(self):
+        net, agent_a, agent_b = self._paired_agents()
+        nominated = []
+        agent_b.wait_nominated(lambda ep: nominated.append(("b", ep)))
+        agent_a.start_checks(lambda ep: nominated.append(("a", ep)))
+        net.loop.run(3.0)
+        assert {side for side, _ in nominated} == {"a", "b"}
+
+    def test_wrong_username_ignored(self):
+        net, agent_a, agent_b = self._paired_agents()
+        agent_b.remote_ufrag = "somebody-else"
+        agent_a.start_checks(lambda ep: None)
+        net.loop.run(3.0)
+        assert agent_b.checks_received == 0
+        assert agent_b.nominated_remote is None
+
+    def test_observed_remotes_logged(self):
+        net, agent_a, agent_b = self._paired_agents()
+        agent_b.wait_nominated(lambda ep: None)
+        agent_a.start_checks(lambda ep: None)
+        net.loop.run(3.0)
+        observed = {ep.ip for _, ep in agent_b.observed_remotes}
+        assert observed  # the §IV-D leak: checks expose the remote address

@@ -1,0 +1,90 @@
+"""Tests for the SDP codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addresses import Endpoint
+from repro.util.errors import SdpError
+from repro.webrtc.ice import CandidateType, IceCandidate
+from repro.webrtc.peer_connection import SessionDescription
+from repro.webrtc.sdp import candidate_ips, parse_sdp, render_sdp
+
+
+def make_description(kind="offer", candidates=None):
+    return SessionDescription(
+        kind=kind,
+        ufrag="abcd1234",
+        pwd="deadbeefdeadbeefdeadbeef",
+        fingerprint="sha-256 AA:BB:CC:DD",
+        candidates=candidates
+        if candidates is not None
+        else [
+            IceCandidate.make(CandidateType.HOST, Endpoint("192.168.1.5", 10000)),
+            IceCandidate.make(CandidateType.SRFLX, Endpoint("5.6.7.8", 40001)),
+        ],
+    )
+
+
+class TestRoundTrip:
+    def test_offer_round_trip(self):
+        desc = make_description("offer")
+        parsed = parse_sdp(render_sdp(desc))
+        assert parsed.kind == "offer"
+        assert parsed.ufrag == desc.ufrag
+        assert parsed.pwd == desc.pwd
+        assert parsed.fingerprint == desc.fingerprint
+        assert parsed.candidates == desc.candidates
+
+    def test_answer_round_trip(self):
+        parsed = parse_sdp(render_sdp(make_description("answer")))
+        assert parsed.kind == "answer"
+
+    def test_no_candidates(self):
+        parsed = parse_sdp(render_sdp(make_description(candidates=[])))
+        assert parsed.candidates == []
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(list(CandidateType)),
+                st.integers(min_value=0, max_value=255),
+                st.integers(min_value=1, max_value=65535),
+            ),
+            max_size=6,
+        )
+    )
+    def test_candidates_round_trip_property(self, specs):
+        candidates = [
+            IceCandidate.make(kind, Endpoint(f"10.0.0.{octet}", port))
+            for kind, octet, port in specs
+        ]
+        parsed = parse_sdp(render_sdp(make_description(candidates=candidates)))
+        assert parsed.candidates == candidates
+
+
+class TestSdpText:
+    def test_looks_like_sdp(self):
+        text = render_sdp(make_description())
+        assert text.startswith("v=0\r\n")
+        assert "m=application 9 UDP/DTLS/SCTP webrtc-datachannel" in text
+        assert "a=ice-ufrag:abcd1234" in text
+        assert "typ srflx" in text
+
+    def test_candidate_ips_view(self):
+        text = render_sdp(make_description())
+        assert candidate_ips(text) == ["192.168.1.5", "5.6.7.8"]
+
+
+class TestParseErrors:
+    def test_missing_credentials_rejected(self):
+        with pytest.raises(SdpError):
+            parse_sdp("v=0\r\na=fingerprint:sha-256 AA\r\n")
+
+    def test_malformed_candidate_rejected(self):
+        text = render_sdp(make_description(candidates=[]))
+        with pytest.raises(SdpError):
+            parse_sdp(text + "a=candidate:garbage\r\n")
+
+    def test_unknown_attributes_tolerated(self):
+        text = render_sdp(make_description()) + "a=rtcp-mux\r\na=extmap:1 something\r\n"
+        assert parse_sdp(text).ufrag == "abcd1234"

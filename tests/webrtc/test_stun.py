@@ -1,0 +1,212 @@
+"""Tests for the STUN codec and binding server."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import Endpoint, EventLoop, NatType, Network
+from repro.util.errors import StunDecodeError
+from repro.util.rand import DeterministicRandom
+from repro.webrtc.stun import (
+    MAGIC_COOKIE,
+    AttributeType,
+    StunClass,
+    StunMessage,
+    StunMethod,
+    StunServer,
+    decode_stun,
+    decode_xor_address,
+    encode_stun,
+    encode_xor_address,
+    is_stun_datagram,
+)
+
+TXN = bytes(range(12))
+
+
+class TestCodec:
+    def test_round_trip_basic(self):
+        msg = StunMessage(StunMethod.BINDING, StunClass.REQUEST, TXN)
+        msg.add(AttributeType.SOFTWARE, b"test")
+        decoded = decode_stun(encode_stun(msg))
+        assert decoded.method is StunMethod.BINDING
+        assert decoded.msg_class is StunClass.REQUEST
+        assert decoded.transaction_id == TXN
+        assert decoded.attr(AttributeType.SOFTWARE) == b"test"
+
+    def test_magic_cookie_on_wire(self):
+        wire = encode_stun(StunMessage(StunMethod.BINDING, StunClass.REQUEST, TXN))
+        assert int.from_bytes(wire[4:8], "big") == MAGIC_COOKIE
+
+    def test_attribute_padding(self):
+        msg = StunMessage(StunMethod.BINDING, StunClass.REQUEST, TXN)
+        msg.add(AttributeType.SOFTWARE, b"abc")  # 3 bytes -> padded to 4
+        wire = encode_stun(msg)
+        assert len(wire) == 20 + 4 + 4
+        assert decode_stun(wire).attr(AttributeType.SOFTWARE) == b"abc"
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from([int(a) for a in AttributeType]),
+                st.binary(max_size=64),
+            ),
+            max_size=8,
+        ),
+        st.binary(min_size=12, max_size=12),
+        st.sampled_from(list(StunMethod)),
+        st.sampled_from(list(StunClass)),
+    )
+    def test_round_trip_property(self, attrs, txn, method, msg_class):
+        msg = StunMessage(method, msg_class, txn)
+        for attr_type, value in attrs:
+            msg.add(attr_type, value)
+        decoded = decode_stun(encode_stun(msg))
+        assert decoded.method is method
+        assert decoded.msg_class is msg_class
+        assert decoded.transaction_id == txn
+        assert [(a.attr_type, a.value) for a in decoded.attributes] == [
+            (t, v) for t, v in attrs
+        ]
+
+    def test_bad_cookie_rejected(self):
+        wire = bytearray(encode_stun(StunMessage(StunMethod.BINDING, StunClass.REQUEST, TXN)))
+        wire[4] ^= 0xFF
+        with pytest.raises(StunDecodeError):
+            decode_stun(bytes(wire))
+
+    def test_truncated_rejected(self):
+        wire = encode_stun(StunMessage(StunMethod.BINDING, StunClass.REQUEST, TXN))
+        with pytest.raises(StunDecodeError):
+            decode_stun(wire[:10])
+
+    def test_length_mismatch_rejected(self):
+        wire = encode_stun(StunMessage(StunMethod.BINDING, StunClass.REQUEST, TXN))
+        with pytest.raises(StunDecodeError):
+            decode_stun(wire + b"extra")
+
+
+class TestXorAddress:
+    @given(
+        st.tuples(
+            st.integers(min_value=0, max_value=255),
+            st.integers(min_value=0, max_value=255),
+            st.integers(min_value=0, max_value=255),
+            st.integers(min_value=0, max_value=255),
+        ),
+        st.integers(min_value=0, max_value=65535),
+    )
+    def test_round_trip(self, octets, port):
+        ip = ".".join(str(o) for o in octets)
+        endpoint = Endpoint(ip, port)
+        assert decode_xor_address(encode_xor_address(endpoint, TXN), TXN) == endpoint
+
+    def test_address_is_obfuscated_on_wire(self):
+        raw = encode_xor_address(Endpoint("1.2.3.4", 80), TXN)
+        assert b"\x01\x02\x03\x04" not in raw
+
+
+class TestDemux:
+    def test_stun_datagram_detected(self):
+        wire = encode_stun(StunMessage(StunMethod.BINDING, StunClass.REQUEST, TXN))
+        assert is_stun_datagram(wire)
+
+    def test_dtls_like_bytes_not_stun(self):
+        assert not is_stun_datagram(b"\x16\xfe\xfd" + b"\x00" * 30)
+
+    def test_short_datagram_not_stun(self):
+        assert not is_stun_datagram(b"\x00\x01")
+
+
+class TestStunServer:
+    def test_binding_response_reflects_nat_address(self):
+        loop = EventLoop()
+        net = Network(loop, rand=DeterministicRandom(3))
+        server = StunServer(net.add_host("stun"))
+        nat = net.add_nat(NatType.PORT_RESTRICTED_CONE)
+        client = net.add_host("client", nat=nat)
+        responses = []
+
+        def on_dgram(data, src, sock):
+            responses.append(decode_stun(data).xor_mapped_address())
+
+        sock = client.bind_udp(5000, on_dgram)
+        request = StunMessage(StunMethod.BINDING, StunClass.REQUEST, TXN)
+        sock.send(server.endpoint, encode_stun(request))
+        loop.run(1.0)
+        assert len(responses) == 1
+        assert responses[0].ip == nat.external_ip
+        assert server.requests_served == 1
+
+    def test_non_stun_traffic_ignored(self):
+        loop = EventLoop()
+        net = Network(loop, rand=DeterministicRandom(3))
+        server = StunServer(net.add_host("stun"))
+        client = net.add_host("client")
+        client.bind_udp(5000).send(server.endpoint, b"garbage that is not stun")
+        loop.run(1.0)
+        assert server.requests_served == 0
+
+
+class TestMessageIntegrity:
+    def test_round_trip(self):
+        from repro.webrtc.stun import add_message_integrity, verify_message_integrity
+
+        msg = StunMessage(StunMethod.BINDING, StunClass.REQUEST, TXN)
+        msg.add(AttributeType.USERNAME, b"remote:local")
+        add_message_integrity(msg, b"ice-password")
+        decoded = decode_stun(encode_stun(msg))
+        assert verify_message_integrity(decoded, b"ice-password")
+
+    def test_wrong_key_rejected(self):
+        from repro.webrtc.stun import add_message_integrity, verify_message_integrity
+
+        msg = StunMessage(StunMethod.BINDING, StunClass.REQUEST, TXN)
+        add_message_integrity(msg, b"right-key")
+        assert not verify_message_integrity(msg, b"wrong-key")
+
+    def test_missing_attribute_rejected(self):
+        from repro.webrtc.stun import verify_message_integrity
+
+        msg = StunMessage(StunMethod.BINDING, StunClass.REQUEST, TXN)
+        assert not verify_message_integrity(msg, b"any")
+
+    def test_tampered_attribute_rejected(self):
+        from repro.webrtc.stun import add_message_integrity, verify_message_integrity
+
+        msg = StunMessage(StunMethod.BINDING, StunClass.REQUEST, TXN)
+        msg.add(AttributeType.USERNAME, b"remote:local")
+        add_message_integrity(msg, b"key")
+        # tamper with the username after signing
+        decoded = decode_stun(encode_stun(msg))
+        tampered = StunMessage(decoded.method, decoded.msg_class, decoded.transaction_id)
+        for attribute in decoded.attributes:
+            if attribute.attr_type == AttributeType.USERNAME:
+                tampered.add(AttributeType.USERNAME, b"evil:someone")
+            else:
+                tampered.add(attribute.attr_type, attribute.value)
+        assert not verify_message_integrity(tampered, b"key")
+
+    def test_forged_check_dropped_by_agent(self):
+        """An attacker who learned the victim's ufrag (it travels in
+        signaled SDP) still cannot forge a connectivity check without
+        the ICE password."""
+        from repro.net import EventLoop, Network
+        from repro.util.rand import DeterministicRandom
+        from repro.webrtc.ice import IceAgent
+
+        net = Network(EventLoop(), rand=DeterministicRandom(4))
+        host = net.add_host("victim")
+        sock = host.bind_udp(0)
+        agent = IceAgent(
+            net.loop, DeterministicRandom(5), host.ip, sock.port,
+            transport_send=lambda dst, payload: sock.send(dst, payload),
+        )
+        agent.remote_ufrag = "attacker-ufrag"
+        agent.remote_pwd = "unknown-to-attacker"
+        forged = StunMessage(StunMethod.BINDING, StunClass.REQUEST, TXN)
+        forged.add(AttributeType.USERNAME, f"{agent.ufrag}:attacker-ufrag".encode())
+        forged.add(AttributeType.USE_CANDIDATE, b"")
+        # no MESSAGE-INTEGRITY (attacker lacks the pwd)
+        agent.handle_stun(forged, Endpoint("6.6.6.6", 666))
+        assert agent.checks_received == 0
+        assert agent.nominated_remote is None

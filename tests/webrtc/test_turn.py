@@ -1,0 +1,107 @@
+"""Unit tests for the TURN server and client."""
+
+from repro.net import Endpoint, EventLoop, Network
+from repro.util.rand import DeterministicRandom
+from repro.webrtc.stun import decode_stun, is_stun_datagram
+from repro.webrtc.turn import TurnClient, TurnServer
+
+
+def make_world():
+    net = Network(EventLoop(), rand=DeterministicRandom(9))
+    server = TurnServer(net.add_host("turn"))
+    return net, server
+
+
+def make_client(net, server, name):
+    host = net.add_host(name)
+    sock = host.bind_udp(0)
+    received = []
+    client = TurnClient(
+        DeterministicRandom(3).fork(name),
+        server.endpoint,
+        raw_send=sock.send,
+        on_relayed_data=lambda payload, peer: received.append((payload, peer)),
+    )
+
+    def on_datagram(data, src, s):
+        if is_stun_datagram(data):
+            client.handle_stun(decode_stun(data), src)
+
+    sock.handler = on_datagram
+    return host, sock, client, received
+
+
+class TestAllocation:
+    def test_allocate_returns_relayed_endpoint(self):
+        net, server = make_world()
+        _, _, client, _ = make_client(net, server, "c")
+        allocated = []
+        client.allocate(allocated.append)
+        net.loop.run(1.0)
+        assert allocated
+        assert allocated[0].ip == server.host.public_ip
+        assert server.allocations_made == 1
+
+    def test_repeat_allocate_reuses(self):
+        net, server = make_world()
+        _, _, client, _ = make_client(net, server, "c")
+        results = []
+        client.allocate(results.append)
+        net.loop.run(1.0)
+        client.allocate(results.append)
+        net.loop.run(1.0)
+        assert server.allocations_made == 1
+        assert results[0] == results[1]
+
+
+class TestRelaying:
+    def test_send_indication_forwards_to_peer(self):
+        net, server = make_world()
+        _, _, client, _ = make_client(net, server, "c")
+        client.allocate(lambda ep: None)
+        peer_host = net.add_host("peer")
+        inbox = []
+        peer_sock = peer_host.bind_udp(7000, lambda data, src, s: inbox.append((data, src)))
+        net.loop.run(1.0)
+        client.send_via_relay(Endpoint(peer_host.ip, 7000), b"relayed-payload")
+        net.loop.run(1.0)
+        assert inbox
+        data, src = inbox[0]
+        assert data == b"relayed-payload"
+        assert src.ip == server.host.public_ip  # the peer sees the relay, not the client
+
+    def test_inbound_becomes_data_indication(self):
+        net, server = make_world()
+        _, _, client, received = make_client(net, server, "c")
+        allocated = []
+        client.allocate(allocated.append)
+        net.loop.run(1.0)
+        sender = net.add_host("sender")
+        sender.bind_udp(0).send(allocated[0], b"hello-through-relay")
+        net.loop.run(1.0)
+        assert received
+        payload, peer = received[0]
+        assert payload == b"hello-through-relay"
+        assert peer.ip == sender.ip
+
+    def test_relayed_bytes_accounted(self):
+        net, server = make_world()
+        _, _, client, _ = make_client(net, server, "c")
+        client.allocate(lambda ep: None)
+        peer_host = net.add_host("peer")
+        peer_host.bind_udp(7000, lambda *a: None)
+        net.loop.run(1.0)
+        client.send_via_relay(Endpoint(peer_host.ip, 7000), b"x" * 1000)
+        net.loop.run(1.0)
+        assert server.relayed_bytes == 1000
+        assert client.bytes_via_relay == 1000
+
+    def test_send_without_allocation_dropped(self):
+        net, server = make_world()
+        _, _, client, _ = make_client(net, server, "c")
+        peer_host = net.add_host("peer")
+        inbox = []
+        peer_host.bind_udp(7000, lambda data, src, s: inbox.append(data))
+        client.send_via_relay(Endpoint(peer_host.ip, 7000), b"never arrives")
+        net.loop.run(1.0)
+        assert inbox == []
