@@ -1,0 +1,39 @@
+"""reprolint — a determinism & simulation-safety linter for this codebase.
+
+The reproduction's core contract is that every experiment replays
+bit-identically from a seed: all randomness flows through
+:class:`repro.util.rand.DeterministicRandom` and all time through
+:class:`repro.net.clock.EventLoop`. Nothing in Python enforces that, so
+this package turns the paper's own idiom — the static signature scanner
+of §III-C — inward: an AST-based pass over ``src/`` that flags wall-clock
+reads, global randomness, order-nondeterministic iteration, float
+equality on simulated time, per-call regex compilation, and blocking
+I/O.
+
+Entry points::
+
+    python -m repro.analysis src/repro      # module form
+    repro-lint src/repro                    # console script
+    python -m repro lint                    # CLI subcommand
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue, the
+``# repro: allow[RULE]`` pragma syntax, and the ``[tool.reprolint]``
+configuration table.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.config import LintConfig, load_config
+from repro.analysis.engine import LintRun, lint_paths
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintConfig",
+    "LintRun",
+    "Severity",
+    "lint_paths",
+    "load_config",
+]

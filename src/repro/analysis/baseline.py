@@ -1,0 +1,54 @@
+"""Baseline files: grandfather existing findings, gate only new ones.
+
+A baseline is a JSON list of finding fingerprints (see
+:meth:`Finding.fingerprint` — line-number independent, so reformatting
+does not invalidate it). Findings whose fingerprint appears in the
+baseline are reported separately and never affect the exit code; the
+build fails only on findings *not* in the baseline. ``--write-baseline``
+regenerates the file from the current tree.
+
+This repository ships an empty baseline (``reprolint.baseline.json``):
+every historical violation was fixed in the change that introduced the
+linter, and the file exists so CI fails closed the moment one returns.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: pathlib.Path | None) -> set[str]:
+    """Fingerprints in the baseline file; empty set when absent."""
+    if path is None or not path.is_file():
+        return set()
+    data = json.loads(path.read_text())
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {data.get('version')!r} in {path}"
+        )
+    return set(data.get("fingerprints", []))
+
+
+def write_baseline(path: pathlib.Path, findings: list[Finding]) -> None:
+    """Write the fingerprints of ``findings`` as the new baseline."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "fingerprints": sorted({f.fingerprint() for f in findings}),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def split_baselined(
+    findings: list[Finding], fingerprints: set[str]
+) -> tuple[list[Finding], list[Finding]]:
+    """Partition findings into (new, baselined)."""
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in findings:
+        (baselined if finding.fingerprint() in fingerprints else new).append(finding)
+    return new, baselined

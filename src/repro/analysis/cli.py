@@ -1,0 +1,102 @@
+"""Linter command line: ``python -m repro.analysis`` / ``repro-lint``.
+
+Usage::
+
+    repro-lint src/repro                  # lint, exit 1 on new errors
+    repro-lint --format json src/repro    # machine-readable report
+    repro-lint --write-baseline src/repro # grandfather current findings
+    repro-lint --list-rules               # the rule catalogue
+    repro-lint --select DET001,PERF001 .  # subset of rules
+
+Also mounted as ``python -m repro lint`` in the main CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.analysis.baseline import write_baseline
+from repro.analysis.config import load_config
+from repro.analysis.engine import lint_paths
+from repro.analysis.reporting import render_json, render_text
+from repro.analysis.rules import ALL_RULES
+from repro.util.tables import render_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the linter's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Determinism & simulation-safety linter for the repro codebase.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to lint (default: src/repro)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format")
+    parser.add_argument("--select", default="",
+                        help="comma-separated rule IDs to run (default: all)")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline file (overrides [tool.reprolint].baseline)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write current findings to the baseline file and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="also list baselined and suppressed findings")
+    return parser
+
+
+def list_rules() -> str:
+    """The rule catalogue as a table."""
+    rows = [
+        [rule.rule_id, rule.severity.value, rule.title, rule.rationale]
+        for rule in ALL_RULES
+    ]
+    return render_table(["id", "severity", "title", "rationale"], rows)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(list_rules())
+        return 0
+
+    select = {rid.strip().upper() for rid in args.select.split(",") if rid.strip()} or None
+    config = load_config(pathlib.Path(args.paths[0]) if args.paths else None)
+    baseline_override = pathlib.Path(args.baseline) if args.baseline else None
+    try:
+        run = lint_paths(
+            [pathlib.Path(p) for p in args.paths],
+            config=config,
+            select=select,
+            baseline_override=baseline_override,
+        )
+    except ValueError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    if run.files_scanned == 0 and not run.parse_errors:
+        # A typo'd path must not read as a clean CI gate.
+        print(f"repro-lint: no Python files found under: {', '.join(args.paths)}",
+              file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = baseline_override or config.baseline_path
+        if target is None:
+            print("repro-lint: no baseline path configured (set [tool.reprolint].baseline "
+                  "or pass --baseline)", file=sys.stderr)
+            return 2
+        write_baseline(target, run.findings)
+        print(f"wrote {len(run.findings)} fingerprint(s) to {target}")
+        return 0
+
+    print(render_json(run) if args.format == "json" else render_text(run, verbose=args.verbose))
+    return run.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""Linter configuration from ``[tool.reprolint]`` in pyproject.toml.
+
+The shipped configuration is the contract for this repository::
+
+    [tool.reprolint]
+    baseline = "reprolint.baseline.json"
+    exclude = ["*/egg-info/*"]
+
+    [tool.reprolint.allow]
+    DET001 = ["src/repro/util/perf.py"]
+    DET002 = ["src/repro/util/rand.py"]
+
+``allow`` maps a rule ID to fnmatch-style path globs (relative to the
+directory containing pyproject.toml) where that rule is structurally
+exempt — the two modules above are the *implementations* of the
+deterministic clock/randomness facades and necessarily touch the real
+primitives. Per-line exceptions use pragmas instead; see
+``docs/STATIC_ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import tomllib
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+
+
+@dataclass
+class LintConfig:
+    """Resolved linter configuration."""
+
+    root: pathlib.Path
+    allow: dict[str, list[str]] = field(default_factory=dict)
+    exclude: list[str] = field(default_factory=list)
+    baseline_path: pathlib.Path | None = None
+
+    def is_allowlisted(self, rule_id: str, relpath: str) -> bool:
+        """True when ``relpath`` matches an allow glob for ``rule_id``."""
+        return any(
+            fnmatch(relpath, glob) or fnmatch(relpath, glob.lstrip("/"))
+            for glob in self.allow.get(rule_id.upper(), ())
+        )
+
+    def is_excluded(self, relpath: str) -> bool:
+        """True when the file is excluded from scanning entirely."""
+        return any(fnmatch(relpath, glob) for glob in self.exclude)
+
+
+def find_pyproject(start: pathlib.Path) -> pathlib.Path | None:
+    """Walk up from ``start`` to the first directory with a pyproject.toml."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate in [current, *current.parents]:
+        if (candidate / "pyproject.toml").is_file():
+            return candidate / "pyproject.toml"
+    return None
+
+
+def load_config(start: pathlib.Path | str | None = None) -> LintConfig:
+    """Load ``[tool.reprolint]`` from the nearest pyproject.toml.
+
+    Falls back to an empty config rooted at ``start`` (or the CWD) when
+    no pyproject.toml exists, so the linter works on bare trees.
+    """
+    start_path = pathlib.Path(start) if start is not None else pathlib.Path.cwd()
+    pyproject = find_pyproject(start_path)
+    if pyproject is None:
+        root = start_path if start_path.is_dir() else start_path.parent
+        return LintConfig(root=root.resolve())
+    data = tomllib.loads(pyproject.read_text())
+    section = data.get("tool", {}).get("reprolint", {})
+    root = pyproject.parent
+    baseline = section.get("baseline")
+    return LintConfig(
+        root=root,
+        allow={rule.upper(): list(globs) for rule, globs in section.get("allow", {}).items()},
+        exclude=list(section.get("exclude", [])),
+        baseline_path=(root / baseline) if baseline else None,
+    )

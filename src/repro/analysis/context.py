@@ -1,0 +1,123 @@
+"""Per-file analysis context: source, AST, imports, pragmas.
+
+Rules never touch the filesystem; the engine parses each file once into
+a :class:`FileContext` and hands it to every rule. The context also
+resolves local names back to the modules they were imported from, so a
+rule can ask "does this call reach ``time.time``?" without caring
+whether the file wrote ``import time``, ``import time as t``, or
+``from time import time``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.pragmas import is_allowed, parse_pragmas
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one source file."""
+
+    path: str  # posix-style, relative to the lint root
+    source: str
+    tree: ast.AST
+    lines: list[str] = field(default_factory=list)
+    module_aliases: dict[str, str] = field(default_factory=dict)
+    symbol_imports: dict[str, str] = field(default_factory=dict)
+    pragmas: dict[int, set[str]] = field(default_factory=dict)
+
+    def line_text(self, lineno: int) -> str:
+        """The physical source line (1-based), or '' past EOF."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def suppressed(self, lineno: int, rule_id: str) -> bool:
+        """True when a ``# repro: allow[...]`` pragma covers the finding."""
+        return is_allowed(self.pragmas, lineno, rule_id)
+
+    # -- name resolution -------------------------------------------------
+
+    def resolve(self, dotted: str) -> str | None:
+        """Resolve a local dotted name to its imported module path.
+
+        ``t.monotonic`` with ``import time as t`` -> ``time.monotonic``;
+        ``now()`` with ``from datetime import datetime as now`` ->
+        ``datetime.datetime``. Returns None for names that do not trace
+        back to an import (locals, attributes of ``self``, …).
+        """
+        head, _, rest = dotted.partition(".")
+        if head in self.symbol_imports:
+            base = self.symbol_imports[head]
+        elif head in self.module_aliases:
+            base = self.module_aliases[head]
+        else:
+            return None
+        return f"{base}.{rest}" if rest else base
+
+    def resolved_references(self) -> Iterator[tuple[ast.expr, str]]:
+        """Yield (node, resolved dotted path) for maximal name chains.
+
+        Only the outermost ``a.b.c`` chain of each attribute access is
+        yielded, so ``datetime.datetime.now`` appears once, not three
+        times.
+        """
+        claimed: set[int] = set()
+        for node in ast.walk(self.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            if id(node) in claimed:
+                continue
+            dotted = dotted_name(node)
+            if dotted is None:
+                continue
+            # Claim the whole chain so inner attributes are skipped.
+            inner = node
+            while isinstance(inner, ast.Attribute):
+                inner = inner.value
+                claimed.add(id(inner))
+            resolved = self.resolve(dotted)
+            if resolved is not None:
+                yield node, resolved
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a pure Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def build_context(path: str, source: str) -> FileContext:
+    """Parse ``source`` and collect imports + pragmas. Raises SyntaxError."""
+    tree = ast.parse(source, filename=path)
+    ctx = FileContext(
+        path=path,
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+        pragmas=parse_pragmas(source),
+    )
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    ctx.module_aliases[alias.asname] = alias.name
+                else:
+                    # ``import a.b`` binds ``a``; the chain resolves the rest.
+                    head = alias.name.partition(".")[0]
+                    ctx.module_aliases[head] = head
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                ctx.symbol_imports[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return ctx

@@ -1,0 +1,127 @@
+"""The lint engine: walk files, run rules, filter, decide the exit code.
+
+Pipeline per file: parse once into a :class:`FileContext`, run every
+selected rule, then filter findings through three layers —
+
+1. **pragmas** — ``# repro: allow[RULE]`` on the reported line,
+2. **allowlist** — ``[tool.reprolint.allow]`` path globs (structural
+   exemptions like ``util/rand.py``),
+3. **baseline** — grandfathered fingerprints from a previous run.
+
+Only what survives all three counts toward the exit code, and only at
+:attr:`Severity.ERROR`. The walk and the output are fully sorted — the
+linter holds itself to the determinism contract it enforces.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.analysis.baseline import load_baseline, split_baselined
+from repro.analysis.config import LintConfig, load_config
+from repro.analysis.context import build_context
+from repro.analysis.findings import Finding, Severity, assign_occurrences
+from repro.analysis.rules import ALL_RULES, RULES_BY_ID
+
+SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "build", "dist"}
+
+
+@dataclass
+class LintRun:
+    """Outcome of one engine invocation."""
+
+    findings: list[Finding] = field(default_factory=list)  # new, unsuppressed
+    suppressed: list[Finding] = field(default_factory=list)  # pragma/allowlist
+    baselined: list[Finding] = field(default_factory=list)
+    parse_errors: list[tuple[str, str]] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def errors(self) -> list[Finding]:
+        """New findings that gate the build."""
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def infos(self) -> list[Finding]:
+        """New soft findings (reported, never fatal)."""
+        return [f for f in self.findings if f.severity is Severity.INFO]
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean, 1 new error findings, 2 unparseable input."""
+        if self.parse_errors:
+            return 2
+        return 1 if self.errors else 0
+
+
+def iter_python_files(paths: list[pathlib.Path]) -> list[pathlib.Path]:
+    """Expand files/directories into a sorted list of .py files."""
+    files: set[pathlib.Path] = set()
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            files.add(path.resolve())
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not any(part in SKIP_DIRS or part.endswith(".egg-info") for part in candidate.parts):
+                    files.add(candidate.resolve())
+    return sorted(files)
+
+
+def _relpath(path: pathlib.Path, root: pathlib.Path) -> str:
+    try:
+        return path.relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_paths(
+    paths: list[pathlib.Path | str],
+    config: LintConfig | None = None,
+    select: set[str] | None = None,
+    baseline_override: pathlib.Path | None = None,
+) -> LintRun:
+    """Lint ``paths`` and return the filtered, sorted results.
+
+    ``select`` restricts to a set of rule IDs; ``baseline_override``
+    replaces the configured baseline file (pass a nonexistent path to
+    disable baselining).
+    """
+    resolved_paths = [pathlib.Path(p) for p in paths]
+    if config is None:
+        config = load_config(resolved_paths[0] if resolved_paths else None)
+    rule_ids = sorted(select) if select else sorted(RULES_BY_ID)
+    unknown = [rid for rid in rule_ids if rid not in RULES_BY_ID]
+    if unknown:
+        raise ValueError(f"unknown rule IDs: {', '.join(unknown)}")
+    rules = [RULES_BY_ID[rid]() for rid in rule_ids]
+
+    run = LintRun()
+    raw: list[Finding] = []
+    suppressed: list[Finding] = []
+    for file_path in iter_python_files(resolved_paths):
+        relpath = _relpath(file_path, config.root)
+        if config.is_excluded(relpath):
+            continue
+        source = file_path.read_text(encoding="utf-8", errors="replace")
+        try:
+            ctx = build_context(relpath, source)
+        except SyntaxError as exc:
+            run.parse_errors.append((relpath, f"line {exc.lineno}: {exc.msg}"))
+            continue
+        run.files_scanned += 1
+        for rule in rules:
+            for finding in rule.check(ctx):
+                if ctx.suppressed(finding.line, finding.rule_id):
+                    suppressed.append(finding)
+                elif config.is_allowlisted(finding.rule_id, relpath):
+                    suppressed.append(finding)
+                else:
+                    raw.append(finding)
+
+    numbered = assign_occurrences(raw)
+    baseline_path = baseline_override if baseline_override is not None else config.baseline_path
+    fingerprints = load_baseline(baseline_path)
+    run.findings, run.baselined = split_baselined(numbered, fingerprints)
+    run.suppressed = sorted(suppressed, key=lambda f: (f.path, f.line, f.rule_id))
+    return run

@@ -1,0 +1,89 @@
+"""Lint findings: what a rule reports and how a baseline identifies it.
+
+A finding pins a rule violation to ``path:line:col``. Its *fingerprint*
+deliberately ignores the line number — it hashes the rule ID, the file,
+the stripped source line, and an occurrence index — so baselines survive
+unrelated edits that merely shift code up or down.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How a finding affects the exit code.
+
+    ``ERROR`` findings gate CI (nonzero exit); ``INFO`` findings — the
+    soft rules, e.g. DOC001 stub docstrings — are reported but never
+    fail the build.
+    """
+
+    ERROR = "error"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    severity: Severity
+    path: str  # posix-style path relative to the lint root
+    line: int
+    col: int
+    message: str
+    source_line: str = ""
+    occurrence: int = field(default=0, compare=False)
+
+    @property
+    def location(self) -> str:
+        """``path:line:col`` — the clickable form used in text reports."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used for baseline matching."""
+        material = f"{self.path}::{self.rule_id}::{self.source_line.strip()}::{self.occurrence}"
+        return hashlib.sha256(material.encode()).hexdigest()[:16]
+
+    def to_dict(self) -> dict:
+        """JSON-report representation."""
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+def assign_occurrences(findings: list[Finding]) -> list[Finding]:
+    """Number duplicate (path, rule, source-line) findings in file order.
+
+    Two identical violations on identical source lines get occurrence
+    indices 0, 1, … so their fingerprints stay distinct and a baseline
+    entry suppresses exactly one of them.
+    """
+    counters: dict[tuple[str, str, str], int] = {}
+    numbered: list[Finding] = []
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule_id)):
+        key = (finding.path, finding.rule_id, finding.source_line.strip())
+        index = counters.get(key, 0)
+        counters[key] = index + 1
+        numbered.append(
+            Finding(
+                rule_id=finding.rule_id,
+                severity=finding.severity,
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                message=finding.message,
+                source_line=finding.source_line,
+                occurrence=index,
+            )
+        )
+    return numbered

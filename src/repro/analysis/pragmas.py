@@ -1,0 +1,40 @@
+"""``# repro: allow[RULE]`` line pragmas.
+
+A pragma on the physical line a finding is reported at suppresses that
+finding. Multiple IDs are comma-separated, ``*`` suppresses every rule,
+and anything after the closing bracket is free-form justification —
+which is encouraged, since a bare pragma tells a reviewer nothing::
+
+    start = time.perf_counter()  # repro: allow[DET001] harness wall time
+    for peer in peers:           # repro: allow[DET003,DET002] seeded upstream
+
+Pragmas are parsed textually (not from the AST) so they also work on
+lines that are part of a larger expression.
+"""
+
+from __future__ import annotations
+
+import re
+
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_*,\s]+)\]")
+
+
+def parse_pragmas(source: str) -> dict[int, set[str]]:
+    """Map 1-based line number -> set of allowed rule IDs (``*`` = all)."""
+    allowed: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(line)
+        if match:
+            ids = {part.strip().upper() if part.strip() != "*" else "*"
+                   for part in match.group(1).split(",") if part.strip()}
+            if ids:
+                allowed[lineno] = ids
+    return allowed
+
+
+def is_allowed(pragmas: dict[int, set[str]], line: int, rule_id: str) -> bool:
+    """True when a pragma on ``line`` suppresses ``rule_id``."""
+    ids = pragmas.get(line)
+    if not ids:
+        return False
+    return "*" in ids or rule_id.upper() in ids

@@ -1,0 +1,73 @@
+"""Render a :class:`LintRun` as text or JSON.
+
+Text output is the grep-able ``path:line:col RULE message`` form plus a
+per-rule summary table in the house ``util.tables`` style, so lint
+output diffs as cleanly as the benchmark tables do. JSON carries the
+same data for tooling.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import LintRun
+from repro.analysis.findings import Severity
+from repro.analysis.rules import RULES_BY_ID
+from repro.util.tables import render_kv, render_table
+
+
+def render_text(run: LintRun, verbose: bool = False) -> str:
+    """Human-readable report: findings, summary table, verdict line."""
+    lines: list[str] = []
+    for relpath, message in run.parse_errors:
+        lines.append(f"{relpath}: PARSE ERROR {message}")
+    for finding in run.findings:
+        marker = "" if finding.severity is Severity.ERROR else " (soft)"
+        lines.append(f"{finding.location} {finding.rule_id}{marker} {finding.message}")
+    if verbose:
+        for finding in run.baselined:
+            lines.append(f"{finding.location} {finding.rule_id} [baselined] {finding.message}")
+        for finding in run.suppressed:
+            lines.append(f"{finding.location} {finding.rule_id} [suppressed] {finding.message}")
+    if lines:
+        lines.append("")
+
+    per_rule: dict[str, list[int]] = {}
+    for bucket, index in ((run.findings, 0), (run.baselined, 1), (run.suppressed, 2)):
+        for finding in bucket:
+            per_rule.setdefault(finding.rule_id, [0, 0, 0])[index] += 1
+    if per_rule:
+        rows = [
+            [rule_id, RULES_BY_ID[rule_id].title, new, baselined, suppressed]
+            for rule_id, (new, baselined, suppressed) in sorted(per_rule.items())
+        ]
+        lines.append(render_table(["rule", "title", "new", "baselined", "suppressed"], rows))
+        lines.append("")
+
+    lines.append(
+        render_kv(
+            "reprolint",
+            [
+                ("files scanned", run.files_scanned),
+                ("new errors", len(run.errors)),
+                ("new soft findings", len(run.infos)),
+                ("baselined", len(run.baselined)),
+                ("suppressed", len(run.suppressed)),
+                ("verdict", "CLEAN" if run.exit_code == 0 else "FAIL"),
+            ],
+        )
+    )
+    return "\n".join(lines)
+
+
+def render_json(run: LintRun) -> str:
+    """Machine-readable report with the same content as the text form."""
+    payload = {
+        "files_scanned": run.files_scanned,
+        "exit_code": run.exit_code,
+        "findings": [f.to_dict() for f in run.findings],
+        "baselined": [f.to_dict() for f in run.baselined],
+        "suppressed": [f.to_dict() for f in run.suppressed],
+        "parse_errors": [{"path": p, "message": m} for p, m in run.parse_errors],
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,65 @@
+"""API001 — blocking or real-I/O calls inside the simulation.
+
+The whole point of the testbed is that "a week of harvesting" runs in
+seconds and touches no real network. A ``time.sleep`` stalls the
+process without advancing simulated time; a real socket, subprocess, or
+HTTP fetch makes the run depend on the outside world (and, for a
+security reproduction, might actually probe someone's infrastructure).
+Model delay with ``EventLoop.schedule`` and traffic with
+``repro.net.network``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "os.system",
+        "os.popen",
+        "input",
+    }
+)
+
+# Importing these modules at all is suspect inside src/repro/: the
+# simulator must never open a real socket or spawn a process.
+FORBIDDEN_MODULES = frozenset(
+    {"socket", "subprocess", "requests", "urllib.request", "http.client", "asyncio"}
+)
+
+
+class BlockingCallRule(Rule):
+    """Flag real-world I/O and blocking primitives."""
+
+    rule_id = "API001"
+    title = "blocking call or real I/O in simulation code"
+    rationale = "model delay via EventLoop.schedule and traffic via repro.net"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """API001 check: forbidden imports plus resolved blocking calls."""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in FORBIDDEN_MODULES or alias.name.split(".")[0] in ("subprocess", "socket"):
+                        yield self.finding(
+                            ctx, node, f"`import {alias.name}` pulls real I/O into the simulation"
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+                if node.module in FORBIDDEN_MODULES or node.module.split(".")[0] in ("subprocess", "socket"):
+                    yield self.finding(
+                        ctx, node, f"`from {node.module} import ...` pulls real I/O into the simulation"
+                    )
+        for ref, resolved in ctx.resolved_references():
+            if resolved in BLOCKING_CALLS or resolved.split(".")[0] in ("subprocess",):
+                yield self.finding(
+                    ctx,
+                    ref,
+                    f"`{resolved}` blocks the process or touches the real system; "
+                    "use the event loop / simulated network",
+                )

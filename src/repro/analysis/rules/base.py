@@ -1,0 +1,57 @@
+"""Rule base class and shared AST helpers.
+
+A rule is stateless: ``check(ctx)`` yields findings for one file. The
+engine owns pragma/allowlist/baseline filtering, so rules report every
+violation they see and nothing else.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.analysis.context import FileContext, dotted_name
+from repro.analysis.findings import Finding, Severity
+
+
+class Rule:
+    """One lint rule with a stable ID (DET001, PERF001, …)."""
+
+    rule_id: ClassVar[str]
+    title: ClassVar[str]
+    severity: ClassVar[Severity] = Severity.ERROR
+    rationale: ClassVar[str] = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield every violation in ``ctx``; the engine filters them."""
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at ``node``'s location."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            path=ctx.path,
+            line=line,
+            col=col,
+            message=message,
+            source_line=ctx.line_text(line),
+        )
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The dotted name a call targets (``loop.schedule`` -> "loop.schedule")."""
+    return dotted_name(node.func)
+
+
+def decorator_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    """Dotted names of all decorators, unwrapping calls like ``lru_cache()``."""
+    names = []
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        dotted = dotted_name(target)
+        if dotted:
+            names.append(dotted)
+    return names

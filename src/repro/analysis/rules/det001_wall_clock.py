@@ -1,0 +1,53 @@
+"""DET001 — no wall-clock reads outside the allowlist.
+
+Simulated components must take time from :attr:`EventLoop.now`; a
+``time.time()`` (or ``datetime.now()``) anywhere in the simulation makes
+results depend on when the experiment ran, silently breaking the
+replay-from-seed contract. The one sanctioned consumer of the process
+clock is ``repro/util/perf.py``, which measures *harness* wall time and
+carries the canonical ``# repro: allow[DET001]`` pragma.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+
+WALL_CLOCK_TARGETS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+class WallClockRule(Rule):
+    """Flag references that resolve to a process-clock read."""
+
+    rule_id = "DET001"
+    title = "wall-clock read in simulation code"
+    rationale = "sim code must take time from EventLoop.now, not the host clock"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """DET001 check: resolve name chains against the wall-clock set."""
+        for node, resolved in ctx.resolved_references():
+            if resolved in WALL_CLOCK_TARGETS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`{resolved}` reads the host clock; use EventLoop.now "
+                    "(or repro.util.perf for harness timing)",
+                )

@@ -1,0 +1,61 @@
+"""DET002 — no global :mod:`random` state outside ``util/rand.py``.
+
+Global ``random.*`` calls share one hidden stream: any new caller shifts
+the values every existing caller sees, so two runs of the same seed stop
+agreeing the moment anyone adds a feature. ``DeterministicRandom`` exists
+precisely to prevent that — every component forks a named sub-stream.
+An unseeded ``random.Random()`` is just as bad: it seeds from the OS.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import FileContext, dotted_name
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+
+# Module-level functions that mutate or read the shared global stream.
+GLOBAL_RANDOM_FNS = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gammavariate",
+        "gauss", "getrandbits", "getstate", "lognormvariate", "normalvariate",
+        "paretovariate", "randbytes", "randint", "random", "randrange",
+        "sample", "seed", "setstate", "shuffle", "triangular", "uniform",
+        "vonmisesvariate", "weibullvariate",
+    }
+)
+
+
+class GlobalRandomRule(Rule):
+    """Flag global-stream randomness and unseeded Random() construction."""
+
+    rule_id = "DET002"
+    title = "global/unseeded randomness"
+    rationale = "draw from DeterministicRandom.fork(name) so streams are independent"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """DET002 check: global random.* references and bare Random()."""
+        for node, resolved in ctx.resolved_references():
+            module, _, fn = resolved.rpartition(".")
+            if module == "random" and fn in GLOBAL_RANDOM_FNS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`{resolved}` uses the global random stream; draw from "
+                    "DeterministicRandom instead",
+                )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            if ctx.resolve(dotted) == "random.Random" and not node.args and not node.keywords:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "`random.Random()` without a seed is nondeterministic; "
+                    "pass an explicit seed or use DeterministicRandom",
+                )

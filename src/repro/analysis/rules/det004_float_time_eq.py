@@ -1,0 +1,62 @@
+"""DET004 — float equality comparison on simulated time.
+
+Simulated time is a float accumulated by repeated addition
+(``self.now + delay``), so two event times that are *conceptually* equal
+can differ by one ULP. ``loop.now == deadline`` then fires on one
+platform and not another — the worst kind of nondeterminism, invisible
+until an experiment is re-run elsewhere. Compare with ``<=`` /
+``>=`` bands or ``math.isclose`` instead.
+
+Heuristic: flag ``==`` / ``!=`` where either side mentions an attribute
+named ``now`` or a bare name that is conventionally a simulation
+timestamp (``now``, ``when``, ``deadline``, ``sim_time``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+
+TIME_NAMES = frozenset({"now", "when", "deadline", "sim_time"})
+
+
+def _mentions_sim_time(node: ast.expr) -> str | None:
+    """The time-ish name a subtree mentions, or None."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr == "now":
+            return "now"
+        if isinstance(sub, ast.Name) and sub.id in TIME_NAMES:
+            return sub.id
+    return None
+
+
+class FloatTimeEqualityRule(Rule):
+    """Flag ==/!= comparisons that involve simulated-time values."""
+
+    rule_id = "DET004"
+    title = "float equality on simulated time"
+    rationale = "event times accumulate float error; use <=/>= bands or math.isclose"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """DET004 check: equality comparisons touching time-named values."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                # ``x is None`` style guards use Is, never reach here.
+                name = _mentions_sim_time(left) or _mentions_sim_time(right)
+                if name:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"equality comparison on simulated time (`{name}`); "
+                        "floats accumulate error — use <=/>= or math.isclose",
+                    )
+                    break

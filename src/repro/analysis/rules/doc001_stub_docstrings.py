@@ -1,0 +1,53 @@
+"""DOC001 (soft) — placeholder one-word docstrings.
+
+The seed generator left stubs like ``\"\"\"Matches.\"\"\"`` — a docstring
+that restates the symbol's name carries no information and hides the
+fact that the symbol is undocumented. This rule is *soft* (severity
+INFO): it reports stubs without failing the build, so coverage can be
+paid down incrementally.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules.base import Rule
+
+
+def _is_stub(docstring: str, name: str) -> bool:
+    """A single word, or the symbol's own name re-punctuated."""
+    text = docstring.strip().rstrip(".").strip()
+    if not text:
+        return True
+    if len(text.split()) == 1:
+        return True
+    # "Is potential." for is_potential, "Signature kind." for SignatureKind.
+    normalized = "".join(c for c in text.lower() if c.isalnum())
+    name_normalized = "".join(c for c in name.lower() if c.isalnum())
+    return normalized == name_normalized
+
+
+class StubDocstringRule(Rule):
+    """Report docstrings that merely restate the symbol name."""
+
+    rule_id = "DOC001"
+    title = "placeholder docstring"
+    severity = Severity.INFO
+    rationale = "a docstring that restates the name documents nothing"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """DOC001 check: compare each docstring against its symbol name."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            docstring = ast.get_docstring(node, clean=True)
+            if docstring is not None and _is_stub(docstring, node.name):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"docstring of `{node.name}` is a placeholder "
+                    f'("""{docstring.strip()}"""); say what it does',
+                )

@@ -1,0 +1,75 @@
+"""PERF001 — regex compiled inside a loop or per-call hot path.
+
+``re.compile`` costs microseconds; a scanner that recompiles the same
+pattern for every page of every site pays it millions of times (this is
+exactly the bug ``Signature.compiled()`` shipped with — see
+``benchmarks/bench_signature_compile.py`` for the measured cost).
+Compile at module level, at construction, or behind
+``functools.lru_cache`` / ``cached_property``.
+
+Heuristic: a ``re.compile`` call is flagged when it sits inside a loop
+or comprehension, or inside any function body — except ``__init__`` /
+``__post_init__`` (per-instance, acceptable) and functions decorated
+with a caching decorator.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import FileContext, dotted_name
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule, decorator_names
+
+CACHE_DECORATORS = ("lru_cache", "cache", "cached_property")
+CONSTRUCTION_FNS = frozenset({"__init__", "__post_init__", "__init_subclass__"})
+
+_LOOPS = (ast.For, ast.AsyncFor, ast.While, ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+_FUNCS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _is_cached(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    return any(name.split(".")[-1] in CACHE_DECORATORS for name in decorator_names(func))
+
+
+class RegexCompileRule(Rule):
+    """Flag re.compile calls that re-run on a hot path."""
+
+    rule_id = "PERF001"
+    title = "regex compiled in a loop or per-call path"
+    rationale = "compile once (module level, construction, or lru_cache), match many"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """PERF001 check: walk with an ancestor stack of loops/functions."""
+        yield from self._walk(ctx, ctx.tree, stack=())
+
+    def _walk(self, ctx: FileContext, node: ast.AST, stack: tuple) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            child_stack = stack
+            if isinstance(child, _LOOPS + _FUNCS):
+                child_stack = stack + (child,)
+            if isinstance(child, ast.Call) and ctx.resolve(dotted_name(child.func) or "") == "re.compile":
+                finding = self._classify(ctx, child, stack)
+                if finding:
+                    yield finding
+            yield from self._walk(ctx, child, child_stack)
+
+    def _classify(self, ctx: FileContext, call: ast.Call, stack: tuple) -> Finding | None:
+        in_loop = any(isinstance(anc, _LOOPS) for anc in stack)
+        functions = [anc for anc in stack if isinstance(anc, _FUNCS)]
+        if in_loop:
+            return self.finding(
+                ctx, call, "re.compile inside a loop recompiles every iteration; hoist it"
+            )
+        if not functions:
+            return None  # module-level: compiled once at import
+        innermost = functions[-1]
+        if innermost.name in CONSTRUCTION_FNS or _is_cached(innermost):
+            return None
+        return self.finding(
+            ctx,
+            call,
+            f"re.compile in `{innermost.name}()` recompiles on every call; "
+            "compile at module level, in __init__, or behind lru_cache",
+        )

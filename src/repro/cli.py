@@ -12,13 +12,15 @@ Usage::
     python -m repro token-defense     # §V-A evaluation
     python -m repro ecdn              # §VI Microsoft eCDN discussion
     python -m repro all               # everything, in paper order
+    python -m repro lint              # reprolint the source tree
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
+
+from repro.util.perf import WallTimer
 
 
 def _run_detect(args) -> str:
@@ -131,19 +133,30 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--seed", type=int, default=2024, help="simulation seed")
         sub.add_argument("--full", action="store_true", help="paper-scale parameters")
         sub.add_argument("--days", type=float, default=1.0, help="ip-leak harvest days (without --full)")
+    lint = subparsers.add_parser(
+        "lint", help="run the determinism & simulation-safety linter (reprolint)"
+    )
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER,
+                      help="arguments forwarded to repro-lint (paths, --format, ...)")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["lint"]:
+        # Forwarded before argparse: REMAINDER mangles leading options.
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     commands = _ALL_ORDER if args.command == "all" else [args.command]
     for name in commands:
         fn, _ = _COMMANDS[name]
-        start = time.time()
         print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
-        print(fn(args))
-        print(f"[{name}: {time.time() - start:.1f}s]")
+        with WallTimer() as timer:
+            print(fn(args))
+        print(f"[{name}: {timer.elapsed:.1f}s]")
     return 0
 
 

@@ -35,12 +35,12 @@ class ScanResult:
 
     @property
     def is_potential(self) -> bool:
-        """Is potential."""
+        """Whether any signature fired — the paper's 'potential customer' stage."""
         return bool(self.matched)
 
     @property
     def providers(self) -> set[str]:
-        """Providers."""
+        """Names of every provider with at least one matching signature."""
         return {s.provider for s in self.matched}
 
     def provider(self) -> str | None:
@@ -127,7 +127,7 @@ class ApkScanner:
         self.apps_scanned = 0
 
     def scan(self, app: AndroidApp) -> ScanResult:
-        """Scan."""
+        """Match every version of ``app``; aggregate hits and extracted keys."""
         self.apps_scanned += 1
         result = ScanResult(target=app.package_name)
         result.total_apk_versions = len(app.versions)

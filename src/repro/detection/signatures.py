@@ -10,6 +10,7 @@ that surface private services.
 from __future__ import annotations
 
 import enum
+import functools
 import re
 from dataclasses import dataclass
 
@@ -17,11 +18,23 @@ from repro.pdn.provider import PUBLIC_PROVIDERS, ProviderProfile
 
 
 class SignatureKind(enum.Enum):
-    """SignatureKind."""
+    """Where a fingerprint lives: a URL, an Android namespace, a manifest
+    metadata key, or raw page/JS content."""
     URL_PATTERN = "url_pattern"
     NAMESPACE = "namespace"
     MANIFEST_KEY = "manifest_key"
     CONTENT = "content"  # generic string in page/JS source
+
+
+@functools.lru_cache(maxsize=None)
+def _compile_signature(kind: SignatureKind, pattern: str) -> re.Pattern:
+    """Compile once per distinct (kind, pattern); the scanner calls
+    ``matches()`` for every signature on every page, so recompiling here
+    dominated scan time (see benchmarks/bench_signature_compile.py)."""
+    if kind is SignatureKind.URL_PATTERN:
+        # '*' wildcards; everything else literal.
+        return re.compile(".*".join(re.escape(part) for part in pattern.split("*")))
+    return re.compile(re.escape(pattern))
 
 
 @dataclass(frozen=True)
@@ -33,16 +46,11 @@ class Signature:
     provider: str  # provider name, or "webrtc-generic"
 
     def compiled(self) -> re.Pattern:
-        """Compiled."""
-        if self.kind is SignatureKind.URL_PATTERN:
-            # '*' wildcards; everything else literal.
-            return re.compile(
-                ".*".join(re.escape(part) for part in self.pattern.split("*"))
-            )
-        return re.compile(re.escape(self.pattern))
+        """The compiled form of this signature's pattern (process-wide cache)."""
+        return _compile_signature(self.kind, self.pattern)
 
     def matches(self, text: str) -> bool:
-        """Matches."""
+        """True when the fingerprint occurs anywhere in ``text``."""
         return self.compiled().search(text) is not None
 
 

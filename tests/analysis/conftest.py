@@ -1,0 +1,46 @@
+"""Shared fixtures for the reprolint tests.
+
+``lint_snippet`` writes a code snippet into a tmp tree and lints it with
+an isolated empty config (no pyproject discovery, no allowlist, no
+baseline), so rule tests see exactly what the rule reports.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import LintRun, lint_paths
+
+
+@pytest.fixture
+def lint_snippet(tmp_path):
+    """Lint a dedented snippet; returns the LintRun."""
+
+    def _lint(
+        code: str,
+        select: set[str] | None = None,
+        filename: str = "snippet.py",
+        config: LintConfig | None = None,
+        baseline: pathlib.Path | None = None,
+    ) -> LintRun:
+        target = tmp_path / filename
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(code))
+        return lint_paths(
+            [target],
+            config=config or LintConfig(root=tmp_path),
+            select=select,
+            # A nonexistent override keeps any repo-level baseline out.
+            baseline_override=baseline or (tmp_path / "no-baseline.json"),
+        )
+
+    return _lint
+
+
+def rule_ids(run: LintRun) -> list[str]:
+    """The rule IDs of a run's new findings, in report order."""
+    return [finding.rule_id for finding in run.findings]

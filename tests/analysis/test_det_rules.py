@@ -1,0 +1,235 @@
+"""Determinism rules DET001-DET004: positive hits and pragma suppression."""
+
+from conftest import rule_ids
+
+
+class TestDet001WallClock:
+    def test_time_time_flagged(self, lint_snippet):
+        run = lint_snippet(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            select={"DET001"},
+        )
+        assert rule_ids(run) == ["DET001"]
+        assert run.findings[0].line == 5
+        assert "EventLoop.now" in run.findings[0].message
+
+    def test_aliased_and_from_imports_flagged(self, lint_snippet):
+        run = lint_snippet(
+            """
+            import time as t
+            from datetime import datetime
+
+            def stamps():
+                return t.monotonic(), datetime.now()
+            """,
+            select={"DET001"},
+        )
+        assert rule_ids(run) == ["DET001", "DET001"]
+
+    def test_eventloop_now_not_flagged(self, lint_snippet):
+        run = lint_snippet(
+            """
+            def tick(loop):
+                return loop.now
+            """,
+            select={"DET001"},
+        )
+        assert run.findings == []
+
+    def test_pragma_suppresses(self, lint_snippet):
+        run = lint_snippet(
+            """
+            import time
+
+            def harness_stamp():
+                return time.perf_counter()  # repro: allow[DET001] harness wall time
+            """,
+            select={"DET001"},
+        )
+        assert run.findings == []
+        assert [f.rule_id for f in run.suppressed] == ["DET001"]
+
+
+class TestDet002GlobalRandom:
+    def test_global_random_call_flagged(self, lint_snippet):
+        run = lint_snippet(
+            """
+            import random
+
+            def jitter():
+                return random.random() * 2
+            """,
+            select={"DET002"},
+        )
+        assert rule_ids(run) == ["DET002"]
+        assert "DeterministicRandom" in run.findings[0].message
+
+    def test_from_import_flagged(self, lint_snippet):
+        run = lint_snippet(
+            """
+            from random import choice
+
+            def pick(options):
+                return choice(options)
+            """,
+            select={"DET002"},
+        )
+        assert rule_ids(run) == ["DET002"]
+
+    def test_unseeded_random_instance_flagged(self, lint_snippet):
+        run = lint_snippet(
+            """
+            import random
+
+            RNG = random.Random()
+            """,
+            select={"DET002"},
+        )
+        assert rule_ids(run) == ["DET002"]
+
+    def test_seeded_random_instance_ok(self, lint_snippet):
+        run = lint_snippet(
+            """
+            import random
+
+            RNG = random.Random(2024)
+            """,
+            select={"DET002"},
+        )
+        assert run.findings == []
+
+    def test_pragma_suppresses(self, lint_snippet):
+        run = lint_snippet(
+            """
+            import random
+
+            def noise():
+                return random.random()  # repro: allow[DET002] test-only jitter
+            """,
+            select={"DET002"},
+        )
+        assert run.findings == []
+        assert [f.rule_id for f in run.suppressed] == ["DET002"]
+
+
+class TestDet003SetOrdering:
+    def test_set_iteration_into_schedule_flagged(self, lint_snippet):
+        run = lint_snippet(
+            """
+            def arm(loop, peers):
+                pending = set(peers)
+                for peer in pending:
+                    loop.schedule(1.0, peer.tick)
+            """,
+            select={"DET003"},
+        )
+        assert rule_ids(run) == ["DET003"]
+        assert "sorted" in run.findings[0].message
+
+    def test_keys_view_into_print_flagged(self, lint_snippet):
+        run = lint_snippet(
+            """
+            def report(stats):
+                for name in stats.keys():
+                    print(name, stats[name])
+            """,
+            select={"DET003"},
+        )
+        assert rule_ids(run) == ["DET003"]
+
+    def test_set_comprehension_feeding_render_flagged(self, lint_snippet):
+        run = lint_snippet(
+            """
+            def table(render_table, hosts):
+                seen = {h.ip for h in hosts}
+                return render_table(["ip"], [[ip] for ip in seen])
+            """,
+            select={"DET003"},
+        )
+        assert rule_ids(run) == ["DET003"]
+
+    def test_sorted_wrapper_ok(self, lint_snippet):
+        run = lint_snippet(
+            """
+            def arm(loop, peers):
+                pending = set(peers)
+                for peer in sorted(pending):
+                    loop.schedule(1.0, peer.tick)
+            """,
+            select={"DET003"},
+        )
+        assert run.findings == []
+
+    def test_set_iteration_without_sink_ok(self, lint_snippet):
+        run = lint_snippet(
+            """
+            def total(values):
+                acc = 0
+                for v in set(values):
+                    acc += v
+                return acc
+            """,
+            select={"DET003"},
+        )
+        assert run.findings == []
+
+    def test_pragma_suppresses(self, lint_snippet):
+        run = lint_snippet(
+            """
+            def arm(loop, peers):
+                for peer in set(peers):  # repro: allow[DET003] order-insensitive sink
+                    loop.schedule(1.0, peer.tick)
+            """,
+            select={"DET003"},
+        )
+        assert run.findings == []
+        assert [f.rule_id for f in run.suppressed] == ["DET003"]
+
+
+class TestDet004FloatTimeEquality:
+    def test_now_equality_flagged(self, lint_snippet):
+        run = lint_snippet(
+            """
+            def expired(loop, deadline):
+                return loop.now == deadline
+            """,
+            select={"DET004"},
+        )
+        assert rule_ids(run) == ["DET004"]
+        assert "isclose" in run.findings[0].message
+
+    def test_not_equal_flagged(self, lint_snippet):
+        run = lint_snippet(
+            """
+            def pending(when, target):
+                return when != target
+            """,
+            select={"DET004"},
+        )
+        assert rule_ids(run) == ["DET004"]
+
+    def test_band_comparison_ok(self, lint_snippet):
+        run = lint_snippet(
+            """
+            def expired(loop, deadline):
+                return loop.now >= deadline
+            """,
+            select={"DET004"},
+        )
+        assert run.findings == []
+
+    def test_pragma_suppresses(self, lint_snippet):
+        run = lint_snippet(
+            """
+            def at_origin(loop):
+                return loop.now == 0.0  # repro: allow[DET004] exact origin sentinel
+            """,
+            select={"DET004"},
+        )
+        assert run.findings == []
+        assert [f.rule_id for f in run.suppressed] == ["DET004"]

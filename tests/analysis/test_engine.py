@@ -1,0 +1,186 @@
+"""Engine behaviour: allowlist, baseline, selection, reports, CLI."""
+
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.cli import main as lint_main
+from repro.analysis.config import LintConfig, load_config
+from repro.analysis.engine import lint_paths
+from repro.analysis.reporting import render_json, render_text
+
+SNIPPET = """
+import time
+
+def stamp():
+    return time.time()
+"""
+
+
+def write_snippet(tmp_path: pathlib.Path, name: str = "mod.py") -> pathlib.Path:
+    target = tmp_path / name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(SNIPPET))
+    return target
+
+
+class TestAllowlist:
+    def test_allowlisted_file_suppressed(self, tmp_path):
+        target = write_snippet(tmp_path)
+        config = LintConfig(root=tmp_path, allow={"DET001": ["mod.py"]})
+        run = lint_paths([target], config=config, select={"DET001"})
+        assert run.findings == []
+        assert [f.rule_id for f in run.suppressed] == ["DET001"]
+        assert run.exit_code == 0
+
+    def test_allow_glob_matches_directories(self, tmp_path):
+        target = write_snippet(tmp_path, "pkg/inner/mod.py")
+        config = LintConfig(root=tmp_path, allow={"DET001": ["pkg/*"]})
+        run = lint_paths([target], config=config, select={"DET001"})
+        assert run.findings == []
+
+    def test_other_rules_unaffected(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("import time\nimport subprocess\n\nx = time.time()\n")
+        config = LintConfig(root=tmp_path, allow={"DET001": ["mod.py"]})
+        run = lint_paths([target], config=config, select={"DET001", "API001"})
+        assert [f.rule_id for f in run.findings] == ["API001"]
+
+
+class TestBaseline:
+    def test_baseline_roundtrip_filters_old_findings(self, tmp_path):
+        target = write_snippet(tmp_path)
+        config = LintConfig(root=tmp_path)
+        first = lint_paths([target], config=config, select={"DET001"})
+        assert first.exit_code == 1
+
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, first.findings)
+        assert load_baseline(baseline_file) == {f.fingerprint() for f in first.findings}
+
+        second = lint_paths(
+            [target], config=config, select={"DET001"}, baseline_override=baseline_file
+        )
+        assert second.findings == []
+        assert [f.rule_id for f in second.baselined] == ["DET001"]
+        assert second.exit_code == 0
+
+    def test_new_violation_still_fails_under_baseline(self, tmp_path):
+        target = write_snippet(tmp_path)
+        config = LintConfig(root=tmp_path)
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, lint_paths([target], config=config).findings)
+
+        target.write_text(target.read_text() + "\n\ndef other():\n    return time.monotonic()\n")
+        run = lint_paths(
+            [target], config=config, select={"DET001"}, baseline_override=baseline_file
+        )
+        assert [f.rule_id for f in run.findings] == ["DET001"]
+        assert "monotonic" in run.findings[0].message
+        assert run.exit_code == 1
+
+    def test_fingerprint_survives_line_shift(self, tmp_path):
+        target = write_snippet(tmp_path)
+        config = LintConfig(root=tmp_path)
+        before = lint_paths([target], config=config, select={"DET001"}).findings
+        target.write_text("# a new leading comment\n" + textwrap.dedent(SNIPPET))
+        after = lint_paths([target], config=config, select={"DET001"}).findings
+        assert [f.fingerprint() for f in before] == [f.fingerprint() for f in after]
+        assert after[0].line == before[0].line + 1
+
+    def test_duplicate_lines_get_distinct_fingerprints(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("import time\n\nx = time.time()\nprint(x)\nx = time.time()\n")
+        run = lint_paths([target], config=LintConfig(root=tmp_path), select={"DET001"})
+        prints = [f.fingerprint() for f in run.findings]
+        assert len(prints) == 2
+        # Identical source text on both lines — only the occurrence differs.
+        assert len(set(prints)) == 2
+
+
+class TestSelectionAndErrors:
+    def test_unknown_rule_id_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="NOPE999"):
+            lint_paths([write_snippet(tmp_path)], config=LintConfig(root=tmp_path),
+                       select={"NOPE999"})
+
+    def test_syntax_error_reported_as_parse_error(self, tmp_path):
+        target = tmp_path / "broken.py"
+        target.write_text("def broken(:\n")
+        run = lint_paths([target], config=LintConfig(root=tmp_path))
+        assert run.parse_errors and run.parse_errors[0][0] == "broken.py"
+        assert run.exit_code == 2
+
+
+class TestConfigLoading:
+    def test_loads_tool_reprolint_section(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(textwrap.dedent("""
+            [tool.reprolint]
+            baseline = "base.json"
+            exclude = ["gen/*"]
+
+            [tool.reprolint.allow]
+            det001 = ["a.py"]
+        """))
+        config = load_config(tmp_path / "sub")
+        assert config.root == tmp_path
+        assert config.baseline_path == tmp_path / "base.json"
+        assert config.is_allowlisted("DET001", "a.py")
+        assert config.is_excluded("gen/x.py")
+
+    def test_missing_pyproject_gives_empty_config(self, tmp_path):
+        config = load_config(tmp_path)
+        assert config.allow == {} and config.baseline_path is None
+
+
+class TestReports:
+    def test_text_report_has_location_and_verdict(self, tmp_path):
+        run = lint_paths([write_snippet(tmp_path)], config=LintConfig(root=tmp_path),
+                         select={"DET001"})
+        text = render_text(run)
+        assert "mod.py:5:11 DET001" in text
+        assert "verdict" in text and "FAIL" in text
+
+    def test_json_report_parses(self, tmp_path):
+        run = lint_paths([write_snippet(tmp_path)], config=LintConfig(root=tmp_path),
+                         select={"DET001"})
+        payload = json.loads(render_json(run))
+        assert payload["exit_code"] == 1
+        assert payload["findings"][0]["rule"] == "DET001"
+        assert payload["findings"][0]["path"] == "mod.py"
+
+
+class TestCli:
+    def test_exit_codes_and_output(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # keep the repo pyproject out of discovery
+        target = write_snippet(tmp_path)
+        assert lint_main([str(target), "--select", "DET001"]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out and "mod.py:5" in out
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        clean = tmp_path / "clean.py"
+        clean.write_text('"""A clean module."""\n\nVALUE = 1\n')
+        assert lint_main([str(clean)]) == 0
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DET001", "DET002", "DET003", "DET004", "PERF001", "API001", "DOC001"):
+            assert rule_id in out
+
+    def test_nonexistent_path_is_an_error_not_clean(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert lint_main([str(tmp_path / "no-such-dir")]) == 2
+        assert "no Python files found" in capsys.readouterr().err
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        target = write_snippet(tmp_path)
+        baseline = tmp_path / "base.json"
+        assert lint_main([str(target), "--baseline", str(baseline), "--write-baseline"]) == 0
+        assert lint_main([str(target), "--baseline", str(baseline)]) == 0

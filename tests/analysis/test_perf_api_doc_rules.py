@@ -1,0 +1,194 @@
+"""PERF001, API001, and the soft DOC001 rule."""
+
+from repro.analysis.findings import Severity
+
+from conftest import rule_ids
+
+
+class TestPerf001RegexCompile:
+    def test_compile_in_loop_flagged(self, lint_snippet):
+        run = lint_snippet(
+            """
+            import re
+
+            PATTERNS = ["a+", "b+"]
+
+            def scan(lines):
+                hits = 0
+                for line in lines:
+                    if re.compile("x+").search(line):
+                        hits += 1
+                return hits
+            """,
+            select={"PERF001"},
+        )
+        assert rule_ids(run) == ["PERF001"]
+        assert "loop" in run.findings[0].message
+
+    def test_compile_per_call_flagged(self, lint_snippet):
+        run = lint_snippet(
+            """
+            import re
+
+            class Signature:
+                def compiled(self):
+                    return re.compile("a+")
+            """,
+            select={"PERF001"},
+        )
+        assert rule_ids(run) == ["PERF001"]
+        assert "compiled" in run.findings[0].message
+
+    def test_module_level_compile_ok(self, lint_snippet):
+        run = lint_snippet(
+            """
+            import re
+
+            KEY_RE = re.compile("[0-9a-f]{8,}")
+            """,
+            select={"PERF001"},
+        )
+        assert run.findings == []
+
+    def test_init_and_lru_cache_ok(self, lint_snippet):
+        run = lint_snippet(
+            """
+            import functools
+            import re
+
+            class Scanner:
+                def __init__(self):
+                    self.pattern = re.compile("a+")
+
+            @functools.lru_cache(maxsize=None)
+            def compiled(pattern):
+                return re.compile(pattern)
+            """,
+            select={"PERF001"},
+        )
+        assert run.findings == []
+
+    def test_pragma_suppresses(self, lint_snippet):
+        run = lint_snippet(
+            """
+            import re
+
+            def one_shot(pattern, text):
+                return re.compile(pattern).search(text)  # repro: allow[PERF001] cold path
+            """,
+            select={"PERF001"},
+        )
+        assert run.findings == []
+        assert [f.rule_id for f in run.suppressed] == ["PERF001"]
+
+
+class TestApi001Blocking:
+    def test_time_sleep_flagged(self, lint_snippet):
+        run = lint_snippet(
+            """
+            import time
+
+            def wait():
+                time.sleep(1.0)
+            """,
+            select={"API001"},
+        )
+        assert rule_ids(run) == ["API001"]
+        assert "event loop" in run.findings[0].message
+
+    def test_socket_and_subprocess_imports_flagged(self, lint_snippet):
+        run = lint_snippet(
+            """
+            import socket
+            from subprocess import run
+            """,
+            select={"API001"},
+        )
+        assert rule_ids(run) == ["API001", "API001"]
+
+    def test_sim_socket_attribute_not_flagged(self, lint_snippet):
+        # `self.socket` is the simulated UDP socket, not the socket module.
+        run = lint_snippet(
+            """
+            class Host:
+                def address(self):
+                    return self.socket.port
+            """,
+            select={"API001"},
+        )
+        assert run.findings == []
+
+    def test_pragma_suppresses(self, lint_snippet):
+        run = lint_snippet(
+            """
+            import time
+
+            def settle():
+                time.sleep(0.1)  # repro: allow[API001] harness-only backoff
+            """,
+            select={"API001"},
+        )
+        assert run.findings == []
+        assert [f.rule_id for f in run.suppressed] == ["API001"]
+
+
+class TestDoc001StubDocstrings:
+    def test_stub_docstring_reported_as_info(self, lint_snippet):
+        run = lint_snippet(
+            '''
+            class Signature:
+                def matches(self, text):
+                    """Matches."""
+                    return True
+            ''',
+            select={"DOC001"},
+        )
+        assert rule_ids(run) == ["DOC001"]
+        assert run.findings[0].severity is Severity.INFO
+        # Soft rule: findings never gate the build.
+        assert run.exit_code == 0
+
+    def test_name_restated_with_spaces_reported(self, lint_snippet):
+        run = lint_snippet(
+            '''
+            def is_potential(self):
+                """Is potential."""
+                return True
+            ''',
+            select={"DOC001"},
+        )
+        assert rule_ids(run) == ["DOC001"]
+
+    def test_real_docstring_ok(self, lint_snippet):
+        run = lint_snippet(
+            '''
+            def matches(self, text):
+                """True when the fingerprint occurs anywhere in ``text``."""
+                return True
+            ''',
+            select={"DOC001"},
+        )
+        assert run.findings == []
+
+    def test_missing_docstring_not_reported(self, lint_snippet):
+        # DOC001 targets *placeholder* docstrings, not missing ones.
+        run = lint_snippet(
+            """
+            def helper(x):
+                return x + 1
+            """,
+            select={"DOC001"},
+        )
+        assert run.findings == []
+
+    def test_pragma_suppresses(self, lint_snippet):
+        run = lint_snippet(
+            '''
+            def fork(self):  # repro: allow[DOC001] name is the whole story
+                """Fork."""
+                return self
+            ''',
+            select={"DOC001"},
+        )
+        assert run.findings == []
+        assert [f.rule_id for f in run.suppressed] == ["DOC001"]

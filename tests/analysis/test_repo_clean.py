@@ -1,0 +1,75 @@
+"""Self-check: the shipped tree satisfies its own determinism linter.
+
+This is the CI gate the linter exists for — ``python -m pytest`` fails
+the moment a wall-clock read, global random draw, or blocking call
+lands in ``src/repro/`` — plus the acceptance check that a deliberately
+re-introduced ``time.time()`` in ``net/clock.py`` is caught with the
+right rule ID and location.
+"""
+
+import pathlib
+import shutil
+
+from repro.analysis.cli import main as lint_main
+from repro.analysis.config import load_config
+from repro.analysis.engine import lint_paths
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+
+
+class TestRepoIsClean:
+    def test_src_repro_has_no_error_findings(self):
+        config = load_config(SRC)
+        run = lint_paths([SRC], config=config)
+        locations = [f"{f.location} {f.rule_id} {f.message}" for f in run.errors]
+        assert run.parse_errors == []
+        assert locations == [], "new determinism violations:\n" + "\n".join(locations)
+        assert run.exit_code == 0
+
+    def test_cli_exits_zero_on_src(self, capsys):
+        assert lint_main([str(SRC)]) == 0
+
+    def test_sanctioned_wall_clock_is_suppressed_not_absent(self):
+        # util/perf.py really does read the host clock; the run must show
+        # it as suppressed (pragma/allowlist), proving DET001 saw it.
+        run = lint_paths([SRC], config=load_config(SRC), select={"DET001"})
+        suppressed_paths = {f.path for f in run.suppressed}
+        assert any(path.endswith("util/perf.py") for path in suppressed_paths)
+
+
+class TestReintroducedViolationFails:
+    def test_wall_clock_in_clock_py_fails_with_det001(self, tmp_path, capsys):
+        """Acceptance check: time.time() back in net/clock.py -> exit != 0."""
+        sabotaged = tmp_path / "net"
+        sabotaged.mkdir()
+        target = sabotaged / "clock.py"
+        shutil.copy(SRC / "net" / "clock.py", target)
+        original = target.read_text()
+        target.write_text(
+            original.replace(
+                "import heapq",
+                "import heapq\nimport time",
+            ).replace(
+                "        self.now: float = 0.0",
+                "        self.now: float = time.time()",
+            )
+        )
+        assert target.read_text() != original, "sabotage did not apply"
+
+        exit_code = lint_main([str(target)])
+        out = capsys.readouterr().out
+        assert exit_code != 0
+        assert "DET001" in out
+        assert "clock.py:" in out  # file:line location is reported
+
+    def test_unseeded_random_in_scheduler_fails_with_det002(self, tmp_path, capsys):
+        source = (
+            "import random\n\n\n"
+            "def pick_peer(peers):\n"
+            "    return peers[int(random.random() * len(peers))]\n"
+        )
+        target = tmp_path / "scheduler.py"
+        target.write_text(source)
+        assert lint_main([str(target)]) != 0
+        assert "DET002" in capsys.readouterr().out
