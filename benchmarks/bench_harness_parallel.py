@@ -1,0 +1,36 @@
+"""Harness pipeline: parallel `repro all` vs sequential, digests equal.
+
+Times the three fastest experiments through the Runner at ``--jobs 2``
+and asserts the parallel pipeline's content digests match a sequential
+reference run — the property that makes ``repro all --jobs N`` safe.
+"""
+
+from conftest import run_once
+
+from repro.harness import registry
+from repro.harness.runner import Runner, RunRequest
+
+NAMES = ["token-defense", "consent", "ecdn"]
+
+
+def _requests():
+    registry.load_all()
+    return [
+        RunRequest(name, registry.DEFAULT_SEED,
+                   registry.get(name).resolve_params(quick=True))
+        for name in NAMES
+    ]
+
+
+def test_parallel_runner_matches_sequential(benchmark, save_result):
+    sequential = Runner(jobs=1).run(_requests())
+    outcomes = run_once(benchmark, Runner(jobs=2).run, _requests())
+
+    assert [o.record.experiment for o in outcomes] == NAMES
+    assert all(o.record.ok for o in outcomes)
+    digests = {o.record.experiment: o.record.result_digest for o in outcomes}
+    reference = {o.record.experiment: o.record.result_digest for o in sequential}
+    assert digests == reference
+
+    lines = [f"{name}  {digests[name]}" for name in NAMES]
+    save_result("harness_parallel", "jobs=2 digests == jobs=1 digests\n" + "\n".join(lines))

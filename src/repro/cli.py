@@ -1,144 +1,177 @@
 """Command-line interface: regenerate any of the paper's results.
 
+Subcommands are built from the experiment registry
+(:mod:`repro.harness.registry`) — adding an experiment module with an
+``@experiment(...)`` registration is all it takes to appear here.
+
 Usage::
 
+    python -m repro list              # show every registered experiment
     python -m repro detect            # Tables I-IV
-    python -m repro risk-matrix       # Table V
-    python -m repro im-checking       # Table VI (pass --full for 600 s)
-    python -m repro resources         # Fig. 4
-    python -m repro bandwidth         # Fig. 5
-    python -m repro free-riding       # §IV-B in-the-wild key study
-    python -m repro ip-leak           # §IV-D week-long harvest
-    python -m repro token-defense     # §V-A evaluation
-    python -m repro ecdn              # §VI Microsoft eCDN discussion
-    python -m repro all               # everything, in paper order
+    python -m repro all --jobs 4      # everything, in paper order, parallel
+    python -m repro all --format json --out runs/   # manifests + JSON results
+    python -m repro verify --runs 2   # replay-from-seed determinism check
+    python -m repro bandwidth --profile   # event-loop callback-site profile
     python -m repro lint              # reprolint the source tree
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
+import json
 import sys
 
-from repro.util.perf import WallTimer
+from repro.harness import registry
+from repro.harness.runner import Runner, RunOutcome, RunRequest
 
 
-def _run_detect(args) -> str:
-    from repro.experiments import detection_tables
-
-    return detection_tables.run(seed=args.seed).render_all()
-
-
-def _run_risk_matrix(args) -> str:
-    from repro.experiments import risk_matrix
-
-    return risk_matrix.run(seed=args.seed, quick=not args.full).render()
-
-
-def _run_im_checking(args) -> str:
-    from repro.experiments import im_checking
-
-    duration = 600.0 if args.full else 200.0
-    return im_checking.run(seed=args.seed, duration=duration).render()
+def _parse_override(text: str) -> tuple[str, object]:
+    """Parse one ``--param key=value`` override; values via literal_eval."""
+    key, sep, raw = text.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(f"expected KEY=VALUE, got {text!r}")
+    try:
+        value = ast.literal_eval(raw)
+    except (ValueError, SyntaxError):
+        value = raw
+    return key, value
 
 
-def _run_resources(args) -> str:
-    from repro.experiments import resource_fig4
-
-    return resource_fig4.run(seed=args.seed).render()
-
-
-def _run_bandwidth(args) -> str:
-    from repro.experiments import bandwidth_fig5
-
-    return bandwidth_fig5.run(seed=args.seed).render()
-
-
-def _run_free_riding(args) -> str:
-    from repro.experiments import free_riding_wild
-
-    return free_riding_wild.run(seed=args.seed).render()
-
-
-def _run_ip_leak(args) -> str:
-    from repro.experiments import ip_leak_wild
-
-    days = 7.0 if args.full else args.days
-    return ip_leak_wild.run(seed=args.seed, days=days).render()
-
-
-def _run_token_defense(args) -> str:
-    from repro.experiments import token_defense
-
-    return token_defense.run(seed=args.seed).render()
-
-
-def _run_ecdn(args) -> str:
-    from repro.experiments import ecdn_discussion
-
-    return ecdn_discussion.run(seed=args.seed).render()
-
-
-def _run_propagation(args) -> str:
-    from repro.experiments import pollution_propagation
-
-    return pollution_propagation.run(seed=args.seed).render()
-
-
-def _run_consent(args) -> str:
-    from repro.experiments import consent_and_config
-
-    return consent_and_config.run(seed=args.seed).render()
-
-
-def _run_quality(args) -> str:
-    from repro.experiments import detection_quality
-
-    return detection_quality.run(seed=args.seed).render()
-
-
-_COMMANDS = {
-    "detect": (_run_detect, "Tables I-IV: the PDN customer detection pipeline"),
-    "risk-matrix": (_run_risk_matrix, "Table V: the security & privacy risk matrix"),
-    "im-checking": (_run_im_checking, "Table VI: IM-checking overhead"),
-    "resources": (_run_resources, "Fig. 4: PDN peer resource consumption"),
-    "bandwidth": (_run_bandwidth, "Fig. 5: upload growth with served peers"),
-    "free-riding": (_run_free_riding, "§IV-B: in-the-wild API-key study"),
-    "ip-leak": (_run_ip_leak, "§IV-D: in-the-wild IP harvest"),
-    "token-defense": (_run_token_defense, "§V-A: disposable video-binding tokens"),
-    "ecdn": (_run_ecdn, "§VI: Microsoft eCDN discussion"),
-    "propagation": (_run_propagation, "§IV-C: swarm-scale pollution propagation"),
-    "consent": (_run_consent, "§IV-D: consent audit + cellular configs"),
-    "detection-quality": (_run_quality, "detector precision/recall vs ground truth"),
-}
-
-_ALL_ORDER = [
-    "detect", "detection-quality", "free-riding", "risk-matrix", "resources",
-    "bandwidth", "ip-leak", "consent", "propagation", "token-defense",
-    "im-checking", "ecdn",
-]
+def _add_run_options(sub: argparse.ArgumentParser) -> None:
+    """The options shared by every experiment subcommand and ``all``."""
+    sub.add_argument("--seed", type=int, default=registry.DEFAULT_SEED, help="simulation seed")
+    sub.add_argument("--full", action="store_true", help="paper-scale parameters")
+    sub.add_argument("--quick", action="store_true", help="scaled-down smoke parameters")
+    sub.add_argument("--out", metavar="DIR", default=None,
+                     help="write a manifest + result JSON per experiment under DIR")
+    sub.add_argument("--format", choices=("text", "json"), default="text", dest="fmt",
+                     help="stdout format (default: text)")
+    sub.add_argument("--profile", action="store_true",
+                     help="profile event-loop callback sites during the run")
+    sub.add_argument("-p", "--param", action="append", default=[], type=_parse_override,
+                     metavar="KEY=VALUE", help="override one experiment parameter")
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the argument parser."""
+    """Construct the argument parser from the experiment registry."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce 'Stealthy Peers' (DSN 2024) results.",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
-    for name, (_fn, help_text) in list(_COMMANDS.items()) + [
-        ("all", (None, "run every experiment in paper order"))
-    ]:
-        sub = subparsers.add_parser(name, help=help_text)
-        sub.add_argument("--seed", type=int, default=2024, help="simulation seed")
-        sub.add_argument("--full", action="store_true", help="paper-scale parameters")
-        sub.add_argument("--days", type=float, default=1.0, help="ip-leak harvest days (without --full)")
+    for spec in registry.all_specs():
+        sub = subparsers.add_parser(spec.name, help=spec.help)
+        _add_run_options(sub)
+        for opt in spec.options:
+            sub.add_argument(opt.flag, dest=f"opt_{opt.param}", type=opt.type,
+                             default=None, help=opt.help)
+    all_sub = subparsers.add_parser("all", help="run every experiment in paper order")
+    _add_run_options(all_sub)
+    all_sub.add_argument("--jobs", type=int, default=1,
+                         help="run experiments in a process pool of this size")
+    verify = subparsers.add_parser(
+        "verify", help="re-run each experiment at the same seed; fail on digest mismatch"
+    )
+    verify.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
+                        help="experiments to verify (default: all)")
+    verify.add_argument("--seed", type=int, default=registry.DEFAULT_SEED, help="simulation seed")
+    verify.add_argument("--runs", type=int, default=2, help="executions per experiment")
+    verify.add_argument("--jobs", type=int, default=1, help="process-pool size")
+    verify.add_argument("--quick", action="store_true", help="scaled-down smoke parameters")
+    subparsers.add_parser("list", help="list every registered experiment")
     lint = subparsers.add_parser(
         "lint", help="run the determinism & simulation-safety linter (reprolint)"
     )
     lint.add_argument("lint_args", nargs=argparse.REMAINDER,
                       help="arguments forwarded to repro-lint (paths, --format, ...)")
     return parser
+
+
+def _resolved_params(spec, args) -> dict:
+    """Merge the spec's parameter layers with this invocation's flags."""
+    option_values = {}
+    for opt in spec.options:
+        value = getattr(args, f"opt_{opt.param}", None)
+        if value is not None:
+            option_values[opt.param] = value
+    return spec.resolve_params(
+        full=args.full,
+        quick=args.quick,
+        option_values=option_values,
+        overrides=dict(args.param),
+    )
+
+
+def _print_text(outcome: RunOutcome) -> None:
+    """The classic per-experiment text block: banner, result, timing."""
+    record = outcome.record
+    print(f"\n{'=' * 72}\n{record.experiment}\n{'=' * 72}")
+    if record.ok:
+        print(outcome.rendered)
+    else:
+        print(f"FAILED: {record.error}")
+    if outcome.profile:
+        from repro.harness.profile import SiteProfiler
+
+        profiler = SiteProfiler()
+        profiler.total = outcome.profile["total_events"]
+        profiler.sites = dict(outcome.profile["sites"])
+        print()
+        print(profiler.render())
+    print(
+        f"[{record.experiment}: {record.wall_seconds:.1f}s, "
+        f"{record.events_fired} events, digest {str(record.result_digest)[:12]}]"
+    )
+
+
+def _run_experiments(args, names: list[str]) -> int:
+    """Execute ``names`` through the runner and emit the chosen format."""
+    requests = []
+    for name in names:
+        spec = registry.get(name)
+        requests.append(RunRequest(name, args.seed, _resolved_params(spec, args)))
+    runner = Runner(jobs=getattr(args, "jobs", 1), out_dir=args.out, profile=args.profile)
+    outcomes = runner.run(requests)
+    if args.fmt == "json":
+        payload = {
+            "runs": [
+                {"manifest": o.record.to_dict(), **o.to_payload()} for o in outcomes
+            ]
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for outcome in outcomes:
+            _print_text(outcome)
+    return 0 if all(o.record.ok for o in outcomes) else 1
+
+
+def _run_verify(args) -> int:
+    """The ``repro verify`` subcommand: replay and compare digests."""
+    names = args.experiments or registry.names()
+    params_for = {}
+    for name in names:
+        spec = registry.get(name)  # validates unknown names early
+        params_for[name] = spec.resolve_params(quick=args.quick)
+    runner = Runner(jobs=args.jobs)
+    report = runner.verify(names, seed=args.seed, runs=args.runs, params_for=params_for)
+    print(report.render())
+    for name, error in sorted(report.errors.items()):
+        print(f"\n{name} failed:\n{error}")
+    return 0 if report.ok else 1
+
+
+def _run_list() -> int:
+    """The ``repro list`` subcommand: show the registry."""
+    from repro.util.tables import render_table
+
+    rows = [
+        [spec.name, spec.paper_ref or "-", spec.module.rsplit(".", 1)[-1], spec.help]
+        for spec in registry.all_specs()
+    ]
+    print(render_table(["experiment", "paper", "module", "description"], rows,
+                       title="registered experiments"))
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -150,14 +183,12 @@ def main(argv: list[str] | None = None) -> int:
 
         return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
-    commands = _ALL_ORDER if args.command == "all" else [args.command]
-    for name in commands:
-        fn, _ = _COMMANDS[name]
-        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
-        with WallTimer() as timer:
-            print(fn(args))
-        print(f"[{name}: {timer.elapsed:.1f}s]")
-    return 0
+    if args.command == "list":
+        return _run_list()
+    if args.command == "verify":
+        return _run_verify(args)
+    names = registry.names() if args.command == "all" else [args.command]
+    return _run_experiments(args, names)
 
 
 if __name__ == "__main__":  # pragma: no cover

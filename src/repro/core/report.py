@@ -18,6 +18,12 @@ class RiskVerdict:
         mark = "VULNERABLE" if self.triggered else "protected"
         return f"{self.risk}: {mark} {self.details}"
 
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise for harness result export."""
+        from repro.harness.result import to_jsonable
+
+        return {"risk": self.risk, "triggered": self.triggered, "details": to_jsonable(self.details)}
+
 
 @dataclass
 class TestReport:
@@ -52,3 +58,17 @@ class TestReport:
     def any_triggered(self) -> bool:
         """True if any recorded verdict triggered."""
         return any(v.triggered for v in self.verdicts)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise the whole report for harness result export."""
+        from repro.harness.result import to_jsonable
+
+        return {
+            "test_name": self.test_name,
+            "provider": self.provider,
+            "verdicts": [v.to_dict() for v in self.verdicts],
+            "logs": list(self.logs),
+            "artifacts": to_jsonable(self.artifacts),
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }

@@ -59,7 +59,7 @@ class Environment:
         name = name or self.ids.next("viewer")
         external_ip = self.geo.random_ip(self.rand.fork(f"ip:{name}"), country)
         attempts = 0
-        while external_ip in self.network.hosts or self.network._routable.get(external_ip):
+        while external_ip in self.network.hosts or self.network.is_routable(external_ip):
             external_ip = self.geo.random_ip(self.rand.fork(f"ip:{name}:{attempts}"), country)
             attempts += 1
         nat = self.network.add_nat(nat_type, external_ip=external_ip)

@@ -14,13 +14,15 @@ from dataclasses import dataclass
 from repro.core.analyzer import PdnAnalyzer
 from repro.core.testbed import build_test_bed
 from repro.environment import Environment
+from repro.harness.registry import experiment
+from repro.harness.result import ResultBase
 from repro.pdn.provider import PEER5, ProviderProfile
-from repro.util.tables import render_table
+from repro.util.tables import fmt_mb, render_table
 
 
 @dataclass
 class BandwidthPoint:
-    """BandwidthPoint."""
+    """The seeder's traffic and resources at one served-peer count."""
     neighbor_peers: int
     download_bytes: int
     upload_bytes: int
@@ -29,13 +31,13 @@ class BandwidthPoint:
 
     @property
     def upload_over_download(self) -> float:
-        """Upload over download."""
+        """Upload as a fraction of download (the paper's headline ratio)."""
         return self.upload_bytes / self.download_bytes if self.download_bytes else 0.0
 
 
 @dataclass
-class Fig5Result:
-    """Fig5Result."""
+class Fig5Result(ResultBase):
+    """Fig. 5: one BandwidthPoint per neighbor count."""
     points: list[BandwidthPoint]
 
     def rows(self) -> list[list]:
@@ -43,8 +45,8 @@ class Fig5Result:
         return [
             [
                 p.neighbor_peers,
-                f"{p.download_bytes / 1e6:.1f}MB",
-                f"{p.upload_bytes / 1e6:.1f}MB",
+                fmt_mb(p.download_bytes),
+                fmt_mb(p.upload_bytes),
                 f"{p.upload_over_download * 100:.0f}%",
                 f"{p.cpu_mean:.1f}%",
             ]
@@ -60,11 +62,18 @@ class Fig5Result:
         )
 
     def upload_monotone(self) -> bool:
-        """Upload monotone."""
+        """True when upload strictly grows with every added neighbor."""
         uploads = [p.upload_bytes for p in self.points]
         return all(a < b for a, b in zip(uploads, uploads[1:]))
 
 
+@experiment(
+    "bandwidth",
+    help="Fig. 5: upload growth with served peers",
+    paper_ref="Fig. 5",
+    order=60,
+    quick_params={"max_neighbors": 2, "segments": 6},
+)
 def run(
     seed: int = 55,
     profile: ProviderProfile = PEER5,

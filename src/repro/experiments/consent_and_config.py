@@ -21,9 +21,11 @@ from dataclasses import dataclass, field
 
 from repro.attacks.squatting import audit_consent
 from repro.environment import Environment
+from repro.harness.registry import experiment
+from repro.harness.result import ResultBase
 from repro.streaming.http import HttpClient
 from repro.util.tables import render_kv, render_table
-from repro.web.corpus import CELLULAR_FULL_APPS, Corpus, CorpusConfig, build_corpus
+from repro.web.corpus import CELLULAR_FULL_APPS, Corpus, CorpusConfig, build_corpus, quick_corpus_config
 
 PAPER = {
     "customers_checked": 134 + 38 + 10,
@@ -34,8 +36,8 @@ PAPER = {
 
 
 @dataclass
-class ConsentAndConfigResult:
-    """ConsentAndConfigResult."""
+class ConsentAndConfigResult(ResultBase):
+    """The consent-audit counters and the cellular-config read-out."""
     customers_checked: int = 0
     informing_viewers: int = 0
     allowing_disable: int = 0
@@ -71,6 +73,13 @@ class ConsentAndConfigResult:
         return "\n\n".join([consent, config, downloads])
 
 
+@experiment(
+    "consent",
+    help="§IV-D: consent audit + cellular configs",
+    paper_ref="§IV-D",
+    order=80,
+    quick_params={"config": quick_corpus_config()},
+)
 def run(seed: int = 909, config: CorpusConfig | None = None) -> ConsentAndConfigResult:
     """Audit the corpus for consent and cellular configuration."""
     env = Environment(seed=seed)

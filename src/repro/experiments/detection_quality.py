@@ -13,13 +13,15 @@ from dataclasses import dataclass
 
 from repro.detection.pipeline import DetectionPipeline
 from repro.environment import Environment
+from repro.harness.registry import experiment
+from repro.harness.result import ResultBase
 from repro.util.tables import render_table
-from repro.web.corpus import Corpus, CorpusConfig, build_corpus
+from repro.web.corpus import Corpus, CorpusConfig, build_corpus, quick_corpus_config
 
 
 @dataclass
 class QualityRow:
-    """QualityRow."""
+    """One pipeline stage scored against the corpus ground truth."""
     stage: str
     true_positives: int
     false_positives: int
@@ -27,24 +29,35 @@ class QualityRow:
 
     @property
     def precision(self) -> float:
-        """Precision."""
+        """TP / (TP + FP); 1.0 when the stage flagged nothing."""
         denominator = self.true_positives + self.false_positives
         return self.true_positives / denominator if denominator else 1.0
 
     @property
     def recall(self) -> float:
-        """Recall."""
+        """TP / (TP + FN); 1.0 when there was nothing to find."""
         denominator = self.true_positives + self.false_negatives
         return self.true_positives / denominator if denominator else 1.0
 
+    def to_dict(self) -> dict:
+        """The counts plus the derived precision/recall."""
+        return {
+            "stage": self.stage,
+            "true_positives": self.true_positives,
+            "false_positives": self.false_positives,
+            "false_negatives": self.false_negatives,
+            "precision": self.precision,
+            "recall": self.recall,
+        }
+
 
 @dataclass
-class DetectionQualityResult:
-    """DetectionQualityResult."""
+class DetectionQualityResult(ResultBase):
+    """Precision/recall per detection stage vs ground truth."""
     rows: list[QualityRow]
 
     def row(self, stage: str) -> QualityRow:
-        """Row."""
+        """Look up one stage's row by name (KeyError if absent)."""
         for row in self.rows:
             if row.stage == stage:
                 return row
@@ -63,6 +76,13 @@ class DetectionQualityResult:
         )
 
 
+@experiment(
+    "detection-quality",
+    help="detector precision/recall vs ground truth",
+    paper_ref="§III-C / §VI",
+    order=20,
+    quick_params={"config": quick_corpus_config()},
+)
 def run(seed: int = 1101, config: CorpusConfig | None = None) -> DetectionQualityResult:
     """Score the detector against the corpus ground truth."""
     env = Environment(seed=seed)

@@ -11,7 +11,9 @@ from dataclasses import dataclass
 
 from repro.detection.pipeline import DetectionPipeline, PipelineReport
 from repro.environment import Environment
-from repro.util.tables import render_table
+from repro.harness.registry import experiment
+from repro.harness.result import ResultBase
+from repro.util.tables import fmt_count, render_table
 from repro.web.corpus import (
     CONFIRMED_APPS,
     CONFIRMED_WEBSITES,
@@ -19,6 +21,7 @@ from repro.web.corpus import (
     Corpus,
     CorpusConfig,
     build_corpus,
+    quick_corpus_config,
 )
 
 PAPER_TABLE1 = {
@@ -29,15 +32,17 @@ PAPER_TABLE1 = {
 
 
 @dataclass
-class DetectionTablesResult:
-    """DetectionTablesResult."""
+class DetectionTablesResult(ResultBase):
+    """Tables I–IV plus the pipeline report and corpus they came from."""
     report: PipelineReport
     corpus: Corpus
+
+    _serialize_exclude = ("report", "corpus")
 
     # -- Table I ---------------------------------------------------------
 
     def table1_rows(self) -> list[list]:
-        """Table1 rows."""
+        """Table I rows: per-provider confirmed/potential counts + totals."""
         rows = []
         totals = [0] * 6
         for provider in ("peer5", "streamroot", "viblast"):
@@ -78,7 +83,7 @@ class DetectionTablesResult:
         return rows
 
     def render_table1(self) -> str:
-        """Render table1."""
+        """Table I as an aligned text table with the paper column."""
         return render_table(
             ["provider", "websites (conf/pot)", "apps", "APKs", "paper"],
             self.table1_rows(),
@@ -88,7 +93,7 @@ class DetectionTablesResult:
     # -- Table II --------------------------------------------------------
 
     def table2_rows(self) -> list[list]:
-        """Table2 rows."""
+        """Table II rows: every confirmed website's detection status."""
         confirmed = set(self.report.confirmed_sites())
         rows = []
         for domain, provider, visits in CONFIRMED_WEBSITES:
@@ -96,7 +101,7 @@ class DetectionTablesResult:
                 [
                     domain,
                     provider,
-                    _visits(visits),
+                    fmt_count(visits),
                     "confirmed" if domain in confirmed else "MISSED",
                 ]
             )
@@ -106,7 +111,7 @@ class DetectionTablesResult:
         return rows
 
     def render_table2(self) -> str:
-        """Render table2."""
+        """Table II as an aligned text table."""
         return render_table(
             ["PDN website", "provider", "monthly visits", "status"],
             self.table2_rows(),
@@ -116,7 +121,7 @@ class DetectionTablesResult:
     # -- Table III -------------------------------------------------------
 
     def table3_rows(self) -> list[list]:
-        """Table3 rows."""
+        """Table III rows: every confirmed app's detection status."""
         confirmed = set(self.report.confirmed_apps())
         rows = []
         for package, provider, downloads in CONFIRMED_APPS:
@@ -124,14 +129,14 @@ class DetectionTablesResult:
                 [
                     package,
                     provider,
-                    _visits(downloads),
+                    fmt_count(downloads),
                     "confirmed" if package in confirmed else "MISSED",
                 ]
             )
         return rows
 
     def render_table3(self) -> str:
-        """Render table3."""
+        """Table III as an aligned text table."""
         return render_table(
             ["PDN app", "provider", "downloads", "status"],
             self.table3_rows(),
@@ -141,7 +146,7 @@ class DetectionTablesResult:
     # -- Table IV --------------------------------------------------------
 
     def table4_rows(self) -> list[list]:
-        """Table4 rows."""
+        """Table IV rows: private PDN services and their status."""
         confirmed = set(self.report.confirmed_private())
         rows = []
         for domain, signaling, visits in PRIVATE_SERVICES:
@@ -149,14 +154,14 @@ class DetectionTablesResult:
                 [
                     domain,
                     signaling,
-                    _visits(visits),
+                    fmt_count(visits),
                     "confirmed" if domain in confirmed else "MISSED",
                 ]
             )
         return rows
 
     def render_table4(self) -> str:
-        """Render table4."""
+        """Table IV as an aligned text table."""
         return render_table(
             ["PDN website", "PDN server", "monthly visits", "status"],
             self.table4_rows(),
@@ -164,7 +169,7 @@ class DetectionTablesResult:
         )
 
     def render_all(self) -> str:
-        """Render all."""
+        """The corpus header plus all four tables, paper order."""
         header = (
             f"Corpus: {self.report.virtual_total_domains} domains "
             f"({self.report.virtual_video_related} video-related, virtual), "
@@ -176,15 +181,34 @@ class DetectionTablesResult:
             [header, self.render_table1(), self.render_table2(), self.render_table3(), self.render_table4()]
         )
 
+    def render(self) -> str:
+        """Alias for :meth:`render_all`, satisfying the Result protocol."""
+        return self.render_all()
 
-def _visits(value: int | None) -> str:
-    if value is None:
-        return "-"
-    if value >= 1_000_000:
-        return f"{value / 1_000_000:.0f}M"
-    return f"{value / 1_000:.0f}K"
+    def to_dict(self) -> dict:
+        """Export the corpus header figures and all four tables' rows."""
+        return {
+            "corpus": {
+                "virtual_total_domains": self.report.virtual_total_domains,
+                "virtual_video_related": self.report.virtual_video_related,
+                "video_related_scanned": self.report.video_related_scanned,
+                "extracted_keys": sorted(self.report.extracted_keys),
+                "relay_sites": list(self.report.relay_sites),
+            },
+            "table1": self.table1_rows(),
+            "table2": self.table2_rows(),
+            "table3": self.table3_rows(),
+            "table4": self.table4_rows(),
+        }
 
 
+@experiment(
+    "detect",
+    help="Tables I-IV: the PDN customer detection pipeline",
+    paper_ref="Tables I-IV",
+    order=10,
+    quick_params={"config": quick_corpus_config(), "watch_seconds": 25.0},
+)
 def run(
     seed: int = 2024,
     config: CorpusConfig | None = None,

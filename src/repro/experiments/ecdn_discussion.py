@@ -18,14 +18,16 @@ from repro.attacks.pollution import DirectContentPollutionTest, VideoSegmentPoll
 from repro.core.analyzer import PdnAnalyzer
 from repro.detection.signatures import extract_api_keys
 from repro.environment import Environment
+from repro.harness.registry import experiment
+from repro.harness.result import ResultBase
 from repro.pdn.ecdn import build_ecdn_test_bed, tenant_id_exposed
 from repro.streaming.http import HttpClient
 from repro.util.tables import render_kv
 
 
 @dataclass
-class EcdnResult:
-    """EcdnResult."""
+class EcdnResult(ResultBase):
+    """§VI: which PDN risks survive in Microsoft eCDN."""
     tenant_id_in_page: bool
     keys_scraped: int
     guessed_key_accepted: bool
@@ -35,7 +37,7 @@ class EcdnResult:
 
     @property
     def free_riding_prevented(self) -> bool:
-        """Free riding prevented."""
+        """True when nothing scrapes and guessed credentials are rejected."""
         return not self.tenant_id_in_page and self.keys_scraped == 0 and not self.guessed_key_accepted
 
     def render(self) -> str:
@@ -54,6 +56,12 @@ class EcdnResult:
         )
 
 
+@experiment(
+    "ecdn",
+    help="§VI: Microsoft eCDN discussion",
+    paper_ref="§VI",
+    order=120,
+)
 def run(seed: int = 606) -> EcdnResult:
     # Free-riding surface: scrape the page, then probe a guessed key.
     """Run the §VI eCDN checks and return the findings."""

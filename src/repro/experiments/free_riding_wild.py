@@ -15,8 +15,10 @@ from dataclasses import dataclass, field
 from repro.attacks.free_riding import ApiKeyProbe
 from repro.detection.pipeline import DetectionPipeline
 from repro.environment import Environment
+from repro.harness.registry import experiment
+from repro.harness.result import ResultBase
 from repro.util.tables import render_kv, render_table
-from repro.web.corpus import Corpus, CorpusConfig, build_corpus
+from repro.web.corpus import Corpus, CorpusConfig, build_corpus, quick_corpus_config
 
 PAPER = {
     "extracted": 44,
@@ -28,7 +30,7 @@ PAPER = {
 
 @dataclass
 class KeyProbeOutcome:
-    """KeyProbeOutcome."""
+    """One extracted API key's validity and attack susceptibility."""
     key: str
     provider: str
     owner_domain: str | None
@@ -38,32 +40,32 @@ class KeyProbeOutcome:
 
 
 @dataclass
-class FreeRidingWildResult:
-    """FreeRidingWildResult."""
+class FreeRidingWildResult(ResultBase):
+    """Every probed key's outcome, with the paper's summary views."""
     outcomes: list[KeyProbeOutcome] = field(default_factory=list)
 
     @property
     def extracted(self) -> int:
-        """Extracted."""
+        """How many API keys the corpus scan extracted."""
         return len(self.outcomes)
 
     @property
     def valid(self) -> int:
-        """Valid."""
+        """Keys the provider still accepts."""
         return sum(1 for o in self.outcomes if o.valid)
 
     @property
     def expired(self) -> int:
-        """Expired."""
+        """Keys the provider has expired or revoked."""
         return self.extracted - self.valid
 
     def cross_domain_vulnerable(self, provider: str) -> tuple[int, int]:
-        """Cross domain vulnerable."""
+        """(vulnerable, valid) cross-domain counts for one provider."""
         valid = [o for o in self.outcomes if o.provider == provider and o.valid]
         return sum(1 for o in valid if o.cross_domain_ok), len(valid)
 
     def spoofing_vulnerable(self) -> tuple[int, int]:
-        """Spoofing vulnerable."""
+        """(vulnerable, valid) counts under domain spoofing, all providers."""
         valid = [o for o in self.outcomes if o.valid]
         return sum(1 for o in valid if o.spoofing_ok), len(valid)
 
@@ -92,6 +94,13 @@ class FreeRidingWildResult:
         return summary + "\n\n" + table
 
 
+@experiment(
+    "free-riding",
+    help="§IV-B: in-the-wild API-key study",
+    paper_ref="§IV-B",
+    order=30,
+    quick_params={"config": quick_corpus_config()},
+)
 def run(seed: int = 77, config: CorpusConfig | None = None) -> FreeRidingWildResult:
     """Scan the corpus for keys, then probe each one (auth only)."""
     env = Environment(seed=seed)

@@ -23,6 +23,8 @@ from repro.core.analyzer import PdnAnalyzer
 from repro.core.testbed import build_test_bed
 from repro.defenses.integrity import ClientIntegrity, IntegrityCoordinator
 from repro.environment import Environment
+from repro.harness.registry import experiment
+from repro.harness.result import ResultBase
 from repro.pdn.provider import PEER5
 from repro.util.tables import render_table
 from repro.web.page import WebPage, Website
@@ -36,7 +38,7 @@ PAPER_ROWS = [
 
 @dataclass
 class GroupMeasurement:
-    """GroupMeasurement."""
+    """One control group's mean CPU/memory, delivery latency, and stalls."""
     label: str
     cpu: float
     memory: float
@@ -45,12 +47,12 @@ class GroupMeasurement:
 
 
 @dataclass
-class ImCheckingResult:
-    """ImCheckingResult."""
+class ImCheckingResult(ResultBase):
+    """Table VI: the three control groups' measurements."""
     groups: list[GroupMeasurement]
 
     def normalised_rows(self) -> list[list]:
-        """Normalised rows."""
+        """Rows normalised to the no-PDN group, with the paper column."""
         base_cpu = self.groups[0].cpu or 1.0
         base_mem = self.groups[0].memory or 1.0
         rows = []
@@ -75,7 +77,7 @@ class ImCheckingResult:
         )
 
     def latency_delta_ms(self) -> float | None:
-        """Latency delta ms."""
+        """IM checking's added delivery latency (group 3 minus group 2)."""
         with_im = self.groups[2].latency_ms
         without = self.groups[1].latency_ms
         if with_im is None or without is None:
@@ -83,6 +85,15 @@ class ImCheckingResult:
         return with_im - without
 
 
+@experiment(
+    "im-checking",
+    help="Table VI: IM-checking overhead",
+    paper_ref="Table VI",
+    order=110,
+    defaults={"duration": 200.0},
+    full_params={"duration": 600.0},
+    quick_params={"duration": 40.0},
+)
 def run(
     seed: int = 66,
     segment_bytes: int = 3_000_000,

@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 
 from repro.attacks.harvesting import GhostViewer, HarvestingPeer
 from repro.environment import Environment
+from repro.harness.registry import CliOption, experiment
+from repro.harness.result import ResultBase
 from repro.net.addresses import IpClass, classify_ip
 from repro.pdn.policy import ClientPolicy
 from repro.pdn.provider import STREAMROOT, PdnProvider, private_profile
@@ -55,22 +57,22 @@ PAPER = {
 
 @dataclass
 class PlatformLeak:
-    """PlatformLeak."""
+    """Every unique address one platform's harvest disclosed."""
     platform: str
     observer_country: str
     unique_ips: set[str] = field(default_factory=set)
 
     @property
     def total(self) -> int:
-        """Total."""
+        """Count of unique harvested addresses."""
         return len(self.unique_ips)
 
     def public_ips(self) -> list[str]:
-        """Public ips."""
+        """The harvested addresses that are publicly routable."""
         return [ip for ip in self.unique_ips if classify_ip(ip) is IpClass.PUBLIC]
 
     def bogon_breakdown(self) -> dict[str, int]:
-        """Bogon breakdown."""
+        """Non-public addresses split into private / shared-NAT / reserved."""
         out = {"private": 0, "shared_nat": 0, "reserved": 0}
         for ip in self.unique_ips:
             cls = classify_ip(ip)
@@ -83,7 +85,7 @@ class PlatformLeak:
         return out
 
     def country_distribution(self, geo) -> dict[str, float]:
-        """Country distribution."""
+        """Share of public addresses per country, largest first."""
         publics = self.public_ips()
         if not publics:
             return {}
@@ -93,7 +95,7 @@ class PlatformLeak:
         return {c: n / len(publics) for c, n in sorted(counts.items(), key=lambda kv: -kv[1])}
 
     def cities(self, geo) -> int:
-        """Cities."""
+        """How many distinct cities the public addresses geolocate to."""
         return len({geo.lookup(ip).city for ip in self.public_ips()})
 
     def same_country_share(self, geo) -> float:
@@ -106,15 +108,34 @@ class PlatformLeak:
 
 
 @dataclass
-class IpLeakWildResult:
-    """IpLeakWildResult."""
+class IpLeakWildResult(ResultBase):
+    """Per-platform harvests plus the geo database that locates them."""
     platforms: dict[str, PlatformLeak]
     geo: object
 
+    _serialize_exclude = ("geo",)
+
     @property
     def total_unique(self) -> int:
-        """Total unique."""
+        """Unique addresses across every platform."""
         return sum(p.total for p in self.platforms.values())
+
+    def to_dict(self) -> dict:
+        """Export each platform's addresses and derived geo statistics."""
+        platforms = {}
+        for name, leak in self.platforms.items():
+            platforms[name] = {
+                "platform": leak.platform,
+                "observer_country": leak.observer_country,
+                "unique_ips": sorted(leak.unique_ips),
+                "total": leak.total,
+                "public": len(leak.public_ips()),
+                "bogons": leak.bogon_breakdown(),
+                "country_distribution": leak.country_distribution(self.geo),
+                "cities": leak.cities(self.geo),
+                "same_country_share": leak.same_country_share(self.geo),
+            }
+        return {"total_unique": self.total_unique, "platforms": platforms}
 
     def render(self) -> str:
         """Render the result as the paper-style text block."""
@@ -159,6 +180,15 @@ class IpLeakWildResult:
         return "\n\n".join(blocks)
 
 
+@experiment(
+    "ip-leak",
+    help="§IV-D: in-the-wild IP harvest",
+    paper_ref="§IV-D",
+    order=70,
+    options=(CliOption("--days", "days", float, 1.0, "harvest days (without --full)"),),
+    full_params={"days": 7.0},
+    quick_params={"days": 0.05, "window_hours": 0.25},
+)
 def run(
     seed: int = 99,
     days: float = 7.0,
@@ -225,7 +255,7 @@ def _harvest_platform(
     )
 
     def on_arrival(descriptor):
-        """On arrival."""
+        """Spawn one ghost viewer for a churn arrival."""
         viewer_credential = (
             provider.issue_session_token(name, video_url) if is_private else credential
         )

@@ -16,6 +16,8 @@ from dataclasses import dataclass
 from repro.core.analyzer import PdnAnalyzer
 from repro.core.testbed import build_test_bed
 from repro.environment import Environment
+from repro.harness.registry import experiment
+from repro.harness.result import ResultBase
 from repro.pdn.provider import PEER5, ProviderProfile
 from repro.proxy.fake_cdn import FakeCdn, pollute_after_slow_start, pollute_bytes
 from repro.proxy.mitm import MitmProxy
@@ -25,8 +27,8 @@ import hashlib
 
 
 @dataclass
-class PropagationResult:
-    """PropagationResult."""
+class PropagationResult(ResultBase):
+    """How far one polluter's segments travelled through the swarm."""
     viewers: int
     infected: int
     polluted_segments_played: int
@@ -35,7 +37,7 @@ class PropagationResult:
 
     @property
     def infection_rate(self) -> float:
-        """Infection rate."""
+        """Fraction of benign viewers that played polluted content."""
         return self.infected / self.viewers if self.viewers else 0.0
 
     def render(self) -> str:
@@ -53,6 +55,13 @@ class PropagationResult:
         )
 
 
+@experiment(
+    "propagation",
+    help="§IV-C: swarm-scale pollution propagation",
+    paper_ref="§IV-C",
+    order=90,
+    quick_params={"viewers": 4},
+)
 def run(
     seed: int = 808,
     viewers: int = 12,

@@ -14,8 +14,10 @@ from dataclasses import dataclass
 from repro.core.analyzer import PdnAnalyzer
 from repro.core.testbed import build_test_bed
 from repro.environment import Environment
+from repro.harness.registry import experiment
+from repro.harness.result import ResultBase
 from repro.pdn.provider import PEER5, ProviderProfile
-from repro.util.tables import render_kv, render_table
+from repro.util.tables import fmt_mb, render_kv, render_table
 from repro.web.page import WebPage, Website
 
 PAPER = {"cpu_overhead": 0.15, "memory_overhead": 0.10}
@@ -23,7 +25,7 @@ PAPER = {"cpu_overhead": 0.15, "memory_overhead": 0.10}
 
 @dataclass
 class ViewerSeries:
-    """ViewerSeries."""
+    """One viewer's sampled resource series and I/O totals."""
     name: str
     cpu_mean: float
     memory_mean: float
@@ -34,20 +36,20 @@ class ViewerSeries:
 
 
 @dataclass
-class Fig4Result:
-    """Fig4Result."""
+class Fig4Result(ResultBase):
+    """Fig. 4: per-viewer resource series and the PDN overhead summary."""
     viewers: dict[str, ViewerSeries]
 
     @property
     def cpu_overhead(self) -> float:
-        """Cpu overhead."""
+        """Mean PDN-peer CPU relative to the no-peer baseline, minus 1."""
         base = self.viewers["no-peer"].cpu_mean
         pdn = (self.viewers["peer-a"].cpu_mean + self.viewers["peer-b"].cpu_mean) / 2
         return pdn / base - 1.0 if base else 0.0
 
     @property
     def memory_overhead(self) -> float:
-        """Memory overhead."""
+        """Mean PDN-peer memory relative to the no-peer baseline, minus 1."""
         base = self.viewers["no-peer"].memory_mean
         pdn = (self.viewers["peer-a"].memory_mean + self.viewers["peer-b"].memory_mean) / 2
         return pdn / base - 1.0 if base else 0.0
@@ -59,8 +61,8 @@ class Fig4Result:
                 v.name,
                 f"{v.cpu_mean:.1f}%",
                 f"{v.memory_mean:.0f}MB",
-                f"{v.downloaded_bytes / 1e6:.1f}MB",
-                f"{v.uploaded_bytes / 1e6:.1f}MB",
+                fmt_mb(v.downloaded_bytes),
+                fmt_mb(v.uploaded_bytes),
             ]
             for v in self.viewers.values()
         ]
@@ -82,6 +84,13 @@ class Fig4Result:
         return table + "\n\n" + summary
 
 
+@experiment(
+    "resources",
+    help="Fig. 4: PDN peer resource consumption",
+    paper_ref="Fig. 4",
+    order=50,
+    quick_params={"segments": 6},
+)
 def run(
     seed: int = 44,
     profile: ProviderProfile = PEER5,

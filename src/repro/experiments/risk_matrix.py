@@ -22,6 +22,8 @@ from repro.core.analyzer import PdnAnalyzer
 from repro.core.testbed import build_test_bed
 from repro.environment import Environment
 from repro.experiments import free_riding_wild
+from repro.harness.registry import experiment
+from repro.harness.result import ResultBase
 from repro.pdn.provider import PEER5, STREAMROOT, VIBLAST, private_profile
 from repro.util.tables import render_table
 
@@ -45,13 +47,13 @@ _RISK_LABELS = [
 
 
 @dataclass
-class RiskMatrixResult:
-    """RiskMatrixResult."""
+class RiskMatrixResult(ResultBase):
+    """Table V's cells (risk x provider) plus per-cell evidence details."""
     cells: dict[str, dict[str, str]] = field(default_factory=dict)
     details: dict[str, dict[str, dict]] = field(default_factory=dict)
 
     def set(self, risk: str, provider: str, value: str, detail: dict | None = None) -> None:
-        """Set."""
+        """Record one matrix cell, optionally with its evidence detail."""
         self.cells.setdefault(risk, {})[provider] = value
         if detail is not None:
             self.details.setdefault(risk, {})[provider] = detail
@@ -82,6 +84,14 @@ def _mark(triggered: bool) -> str:
     return "vuln" if triggered else "safe"
 
 
+@experiment(
+    "risk-matrix",
+    help="Table V: the security & privacy risk matrix",
+    paper_ref="Table V",
+    order=40,
+    defaults={"quick": True},
+    full_params={"quick": False},
+)
 def run(seed: int = 5150, quick: bool = False) -> RiskMatrixResult:
     """Run the whole matrix. ``quick`` shrinks watch times for tests."""
     result = RiskMatrixResult()

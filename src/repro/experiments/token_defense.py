@@ -18,6 +18,8 @@ from repro.core.testbed import build_test_bed
 from repro.defenses.tokens import TokenIssuer, TokenValidator, VideoToken
 from repro.defenses.jwtmin import jwt_encode
 from repro.environment import Environment
+from repro.harness.registry import experiment
+from repro.harness.result import ResultBase
 from repro.pdn.provider import PEER5
 from repro.streaming.http import HttpClient
 from repro.util.tables import render_kv
@@ -27,8 +29,8 @@ PAPER_TOKEN_BYTES = 283
 
 
 @dataclass
-class TokenDefenseResult:
-    """TokenDefenseResult."""
+class TokenDefenseResult(ResultBase):
+    """§V-A: what the token defense blocked, allowed, and cost."""
     listing1_bytes: int
     legit_join_ok: bool
     stolen_token_own_video_rejected: bool
@@ -39,7 +41,7 @@ class TokenDefenseResult:
 
     @property
     def defense_effective(self) -> bool:
-        """Defense effective."""
+        """All four properties hold: transparent, bound, single-use, expiring."""
         return (
             self.legit_join_ok
             and self.stolen_token_own_video_rejected
@@ -76,6 +78,12 @@ def listing1_token_bytes(secret: bytes = b"listing1-secret") -> int:
     return len(jwt_encode(token.to_payload(), secret).encode())
 
 
+@experiment(
+    "token-defense",
+    help="§V-A: disposable video-binding tokens",
+    paper_ref="§V-A",
+    order=100,
+)
 def run(seed: int = 33) -> TokenDefenseResult:
     """Evaluate the token defense end to end."""
     env = Environment(seed=seed)
@@ -96,7 +104,7 @@ def run(seed: int = 33) -> TokenDefenseResult:
     attacker_http = HttpClient(env.urlspace, client_ip="198.51.100.66")
 
     def join(credential: str, video_url: str) -> bool:
-        """Join."""
+        """POST a join to the signaling endpoint; True if accepted."""
         response = attacker_http.post(
             signaling_url,
             json.dumps({"credential": credential, "video_url": video_url}).encode(),

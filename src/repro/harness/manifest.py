@@ -1,0 +1,91 @@
+"""Run manifests: the provenance record written for every execution.
+
+A :class:`RunRecord` captures what would be needed to reproduce (and
+trust) one experiment execution: the experiment name, the seed, the
+fully-resolved parameters, how long it took on the host clock, how many
+simulated events fired, and the content digest of the structured
+result. ``repro all --out DIR`` writes one manifest per experiment;
+``repro verify`` compares the digests of repeated records.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.harness.result import to_jsonable
+
+#: Bump when the manifest layout changes incompatibly.
+MANIFEST_VERSION = 1
+
+
+@dataclass
+class RunRecord:
+    """Provenance for one experiment execution."""
+
+    experiment: str
+    seed: int | str
+    params: dict[str, Any] = field(default_factory=dict)
+    status: str = "ok"
+    error: str | None = None
+    wall_seconds: float = 0.0
+    events_fired: int = 0
+    result_digest: str | None = None
+    result_type: str | None = None
+    started_at_unix: float | None = None
+    version: int = MANIFEST_VERSION
+
+    @property
+    def ok(self) -> bool:
+        """True when the execution completed without an exception."""
+        return self.status == "ok"
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to plain JSON types (params via ``to_jsonable``)."""
+        return {
+            "version": self.version,
+            "experiment": self.experiment,
+            "seed": self.seed,
+            "params": to_jsonable(self.params),
+            "status": self.status,
+            "error": self.error,
+            "wall_seconds": self.wall_seconds,
+            "events_fired": self.events_fired,
+            "result_digest": self.result_digest,
+            "result_type": self.result_type,
+            "started_at_unix": self.started_at_unix,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(
+            experiment=data["experiment"],
+            seed=data["seed"],
+            params=dict(data.get("params", {})),
+            status=data.get("status", "ok"),
+            error=data.get("error"),
+            wall_seconds=data.get("wall_seconds", 0.0),
+            events_fired=data.get("events_fired", 0),
+            result_digest=data.get("result_digest"),
+            result_type=data.get("result_type"),
+            started_at_unix=data.get("started_at_unix"),
+            version=data.get("version", MANIFEST_VERSION),
+        )
+
+    def to_json(self) -> str:
+        """Pretty-printed JSON for the on-disk manifest."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def write(self, path: Path | str) -> Path:
+        """Write the manifest to ``path`` and return it."""
+        path = Path(path)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def read(cls, path: Path | str) -> "RunRecord":
+        """Load a manifest previously written with :meth:`write`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,104 @@
+"""Event-loop instrumentation sinks: the simulator's observability seam.
+
+:class:`~repro.net.clock.EventLoop` fires millions of callbacks per
+run but, until now, exposed only a total count. The sinks here attach
+through ``EventLoop.add_sink`` (class-wide, so every loop an experiment
+creates is covered — experiments routinely build several
+``Environment`` objects) and observe each fired event:
+
+- :class:`EventCounter` — total events, the figure recorded in every
+  :class:`~repro.harness.manifest.RunRecord`;
+- :class:`SiteProfiler` — events grouped by *callback site* (module +
+  qualified name), surfaced by ``repro <exp> --profile``;
+- :class:`TraceSink` — a bounded ``(when, site)`` trace for debugging.
+
+Sinks observe, never mutate: they must not schedule events or touch
+simulation state, or replay-from-seed breaks.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.net.clock import EventLoop, TimerHandle
+from repro.util.tables import render_table
+
+
+def callsite_of(callback) -> str:
+    """A stable label for a callback: ``module.qualname``."""
+    module = getattr(callback, "__module__", None) or "?"
+    name = getattr(callback, "__qualname__", None) or repr(type(callback).__name__)
+    return f"{module}.{name}"
+
+
+class EventCounter:
+    """Counts every event fired by every loop while installed."""
+
+    def __init__(self) -> None:
+        self.total = 0
+
+    def record(self, loop: EventLoop, handle: TimerHandle) -> None:
+        """Observe one fired event."""
+        self.total += 1
+
+
+class SiteProfiler(EventCounter):
+    """Per-callback-site event counts, for ``--profile``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.sites: dict[str, int] = {}
+
+    def record(self, loop: EventLoop, handle: TimerHandle) -> None:
+        """Observe one fired event and attribute it to its callback site."""
+        super().record(loop, handle)
+        site = callsite_of(handle.callback)
+        self.sites[site] = self.sites.get(site, 0) + 1
+
+    def top(self, n: int = 15) -> list[tuple[str, int]]:
+        """The ``n`` busiest callback sites, busiest first."""
+        ranked = sorted(self.sites.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:n]
+
+    def to_dict(self) -> dict:
+        """Serialise for the JSON output format."""
+        return {"total_events": self.total, "sites": dict(sorted(self.sites.items()))}
+
+    def render(self, n: int = 15) -> str:
+        """An aligned table of the busiest callback sites."""
+        rows = [
+            [site, count, f"{count / self.total * 100:.1f}%" if self.total else "-"]
+            for site, count in self.top(n)
+        ]
+        return render_table(
+            ["callback site", "events", "share"],
+            rows,
+            title=f"event-loop profile ({self.total} events, top {min(n, len(self.sites))} sites)",
+        )
+
+
+class TraceSink:
+    """A bounded trace of ``(when, site)`` pairs, oldest first."""
+
+    def __init__(self, limit: int = 100_000) -> None:
+        self.limit = limit
+        self.events: list[tuple[float, str]] = []
+        self.dropped = 0
+
+    def record(self, loop: EventLoop, handle: TimerHandle) -> None:
+        """Append one fired event to the trace, dropping past the limit."""
+        if len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        self.events.append((loop.now, callsite_of(handle.callback)))
+
+
+@contextmanager
+def capture_events(sink: EventCounter | TraceSink) -> Iterator[EventCounter | TraceSink]:
+    """Install ``sink`` on every :class:`EventLoop` for the block's duration."""
+    EventLoop.add_sink(sink)
+    try:
+        yield sink
+    finally:
+        EventLoop.remove_sink(sink)

@@ -1,0 +1,167 @@
+"""The experiment registry: ``@experiment(...)`` and spec discovery.
+
+Each module under :mod:`repro.experiments` registers its ``run()``
+callable with a decorator::
+
+    @experiment("bandwidth", help="Fig. 5: upload growth", order=60)
+    def run(seed: int = 55, ...) -> Fig5Result: ...
+
+That registration is the *only* wiring an experiment needs: the CLI
+builds its subcommands from :func:`all_specs`, ``repro all`` uses the
+spec ``order`` to reproduce the paper's presentation order, and the
+runner resolves names back to callables inside worker processes.
+Discovery is by import: :func:`load_all` imports every submodule of
+:mod:`repro.experiments`, so dropping a new decorated module into that
+package is sufficient.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.util.errors import ConfigurationError
+
+EXPERIMENTS_PACKAGE = "repro.experiments"
+
+#: The seed the CLI passes to every experiment unless ``--seed`` is given.
+DEFAULT_SEED = 2024
+
+
+@dataclass(frozen=True)
+class CliOption:
+    """One extra command-line option an experiment exposes (e.g. ``--days``)."""
+
+    flag: str
+    param: str
+    type: Callable[[str], Any]
+    default: Any
+    help: str
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment: identity, runner, and parameter sets."""
+
+    name: str
+    help: str
+    runner: Callable[..., Any]
+    paper_ref: str = ""
+    order: int = 1000
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    full_params: Mapping[str, Any] = field(default_factory=dict)
+    quick_params: Mapping[str, Any] = field(default_factory=dict)
+    options: tuple[CliOption, ...] = ()
+
+    @property
+    def module(self) -> str:
+        """The module that registered this spec (for provenance)."""
+        return self.runner.__module__
+
+    def resolve_params(
+        self,
+        *,
+        full: bool = False,
+        quick: bool = False,
+        option_values: Mapping[str, Any] | None = None,
+        overrides: Mapping[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """Merge the parameter layers into the kwargs for ``runner``.
+
+        Precedence (lowest to highest): spec defaults and declared
+        option defaults, quick params, explicitly-passed option values,
+        full params (``--full`` is paper scale and wins over a leftover
+        ``--days``), then ``--param`` overrides.
+        """
+        params: dict[str, Any] = dict(self.defaults)
+        params.update({opt.param: opt.default for opt in self.options})
+        if quick:
+            params.update(self.quick_params)
+        if option_values:
+            params.update(option_values)
+        if full:
+            params.update(self.full_params)
+        if overrides:
+            params.update(overrides)
+        return params
+
+
+_REGISTRY: dict[str, ExperimentSpec] = {}
+_LOADED = False
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    """Add ``spec`` to the registry; re-registration must be consistent."""
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None and existing.module != spec.module:
+        raise ConfigurationError(
+            f"experiment {spec.name!r} registered by both {existing.module} and {spec.module}"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def experiment(
+    name: str,
+    *,
+    help: str,
+    paper_ref: str = "",
+    order: int = 1000,
+    defaults: Mapping[str, Any] | None = None,
+    full_params: Mapping[str, Any] | None = None,
+    quick_params: Mapping[str, Any] | None = None,
+    options: tuple[CliOption, ...] = (),
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Register the decorated ``run()`` callable as a named experiment."""
+
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+        spec = ExperimentSpec(
+            name=name,
+            help=help,
+            runner=fn,
+            paper_ref=paper_ref,
+            order=order,
+            defaults=dict(defaults or {}),
+            full_params=dict(full_params or {}),
+            quick_params=dict(quick_params or {}),
+            options=tuple(options),
+        )
+        register(spec)
+        fn.spec = spec  # type: ignore[attr-defined]
+        return fn
+
+    return decorate
+
+
+def load_all() -> None:
+    """Import every :mod:`repro.experiments` submodule (idempotent)."""
+    global _LOADED
+    if _LOADED:
+        return
+    package = importlib.import_module(EXPERIMENTS_PACKAGE)
+    for info in sorted(pkgutil.iter_modules(package.__path__), key=lambda m: m.name):
+        importlib.import_module(f"{EXPERIMENTS_PACKAGE}.{info.name}")
+    _LOADED = True
+
+
+def all_specs() -> list[ExperimentSpec]:
+    """Every registered spec, in paper presentation order."""
+    load_all()
+    return sorted(_REGISTRY.values(), key=lambda s: (s.order, s.name))
+
+
+def names() -> list[str]:
+    """Registered experiment names, in paper presentation order."""
+    return [spec.name for spec in all_specs()]
+
+
+def get(name: str) -> ExperimentSpec:
+    """Look up one spec by CLI name."""
+    load_all()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(f"unknown experiment {name!r} (known: {known})") from None

@@ -1,0 +1,101 @@
+"""Structured experiment results: the protocol, JSON export, digests.
+
+Every experiment's result object keeps its hand-written ``render()``
+(the paper-style text block) and additionally serialises through
+``to_dict()`` to plain JSON types. The canonical JSON encoding of that
+dict — sorted keys, no whitespace — is hashed into a *content digest*,
+the quantity ``repro verify`` compares across same-seed runs and
+``repro all --jobs N`` compares across processes.
+
+:func:`to_jsonable` is deliberately strict about ordering: sets are
+sorted before they become lists, so a digest can never depend on hash
+iteration order (which varies across processes under PYTHONHASHSEED).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any, ClassVar, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Result(Protocol):
+    """What the harness requires of an experiment's return value."""
+
+    def render(self) -> str:
+        """The human-readable, paper-style text block."""
+        ...  # pragma: no cover - protocol
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable dict carrying every rendered quantity."""
+        ...  # pragma: no cover - protocol
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert ``value`` to plain JSON types, deterministically.
+
+    Dataclasses become dicts (field order), mappings keep insertion
+    order with stringified keys, sets are *sorted* into lists, enums
+    become their names, bytes hex-encode, and anything exposing
+    ``to_dict()`` is asked to serialise itself. Unknown objects fall
+    back to ``str()`` so serialisation never raises mid-run.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return value.name
+    if isinstance(value, bytes):
+        return value.hex()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        if hasattr(value, "to_dict"):
+            return to_jsonable(value.to_dict())
+        return {f.name: to_jsonable(getattr(value, f.name)) for f in dataclasses.fields(value)}
+    if hasattr(value, "to_dict"):
+        return to_jsonable(value.to_dict())
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (set, frozenset)):
+        converted = [to_jsonable(v) for v in value]
+        return sorted(converted, key=lambda item: json.dumps(item, sort_keys=True, default=str))
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    return str(value)
+
+
+def canonical_json(data: Any) -> str:
+    """The one true JSON encoding: sorted keys, compact separators."""
+    return json.dumps(to_jsonable(data), sort_keys=True, separators=(",", ":"), ensure_ascii=False)
+
+
+def content_digest(data: Any) -> str:
+    """SHA-256 over the canonical JSON encoding of ``data``."""
+    return hashlib.sha256(canonical_json(data).encode("utf-8")).hexdigest()
+
+
+class ResultBase:
+    """Mixin giving dataclass results ``to_dict()`` and a digest.
+
+    The default ``to_dict()`` walks the dataclass fields (minus
+    ``_serialize_exclude``) through :func:`to_jsonable`; results holding
+    non-serialisable infrastructure (a geo database, a pipeline report)
+    exclude those fields and override ``to_dict()`` to export the
+    derived quantities their ``render()`` prints instead.
+    """
+
+    _serialize_exclude: ClassVar[tuple[str, ...]] = ()
+
+    def to_dict(self) -> dict:
+        """Serialise the dataclass fields to plain JSON types."""
+        out: dict[str, Any] = {}
+        for field in dataclasses.fields(self):  # type: ignore[arg-type]
+            if field.name in self._serialize_exclude:
+                continue
+            out[field.name] = to_jsonable(getattr(self, field.name))
+        return out
+
+    def content_digest(self) -> str:
+        """The stable digest ``repro verify`` compares across runs."""
+        return content_digest(self.to_dict())

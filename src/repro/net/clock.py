@@ -5,13 +5,18 @@ ticks, resource-monitor sampling, viewer churn — is driven by one
 :class:`EventLoop`. Time is a float in seconds; events at equal times
 fire in scheduling order (a monotonically increasing sequence number
 breaks ties), which keeps runs deterministic.
+
+Observability: sinks registered via :meth:`EventLoop.add_sink` are
+notified after every fired event (see :mod:`repro.harness.profile`).
+Sinks are class-wide so a harness can observe every loop an experiment
+creates; they must only observe, never schedule.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable
+from typing import Any, Callable, ClassVar
 
 from repro.util.errors import ConfigurationError
 
@@ -28,18 +33,80 @@ class TimerHandle:
         self.cancelled = False
 
     def cancel(self) -> None:
-        """Cancel."""
+        """Mark the event cancelled; the loop skips it when it surfaces."""
         self.cancelled = True
+
+
+class RepeatingHandle(TimerHandle):
+    """Handle for one :meth:`EventLoop.call_every` chain.
+
+    Unlike a plain :class:`TimerHandle`, this handle *is* the entry in
+    the loop's heap: after each tick it re-inserts itself, advancing
+    :attr:`when` to the next occurrence. ``cancel()`` therefore stops
+    the chain directly, and the loop's ``pending`` count sees exactly
+    one entry per repeating timer.
+    """
+
+    __slots__ = ("interval", "until")
+
+    def __init__(
+        self,
+        when: float,
+        callback: Callable[..., Any],
+        args: tuple,
+        interval: float,
+        until: float | None,
+    ) -> None:
+        super().__init__(when, callback, args)
+        self.interval = interval
+        self.until = until
+
+    def _fire(self, loop: "EventLoop") -> None:
+        """Run one tick and reschedule the next occurrence."""
+        if self.until is not None and loop.now > self.until:
+            return
+        self.callback(*self.args)
+        if self.cancelled:  # the callback may cancel its own chain
+            return
+        self.when = loop.now + self.interval
+        heapq.heappush(loop._heap, (self.when, next(loop._seq), self))
 
 
 class EventLoop:
     """A heap-based discrete-event scheduler."""
+
+    #: Class-wide observer sinks (see :mod:`repro.harness.profile`). A
+    #: tuple so the hot-path emptiness check is a plain truthiness test.
+    _sinks: ClassVar[tuple] = ()
 
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, TimerHandle]] = []
         self._seq = itertools.count()
         self._events_fired = 0
+
+    # -- instrumentation -------------------------------------------------
+
+    @classmethod
+    def add_sink(cls, sink: Any) -> None:
+        """Register an observer notified as ``sink.record(loop, handle)``."""
+        cls._sinks = cls._sinks + (sink,)
+
+    @classmethod
+    def remove_sink(cls, sink: Any) -> None:
+        """Unregister a sink previously passed to :meth:`add_sink`."""
+        cls._sinks = tuple(s for s in cls._sinks if s is not sink)
+
+    def _dispatch(self, handle: TimerHandle) -> None:
+        """Fire one handle and notify any registered sinks."""
+        if isinstance(handle, RepeatingHandle):
+            handle._fire(self)
+        else:
+            handle.callback(*handle.args)
+        self._events_fired += 1
+        if EventLoop._sinks:
+            for sink in EventLoop._sinks:
+                sink.record(self, handle)
 
     # -- scheduling ------------------------------------------------------
 
@@ -63,27 +130,19 @@ class EventLoop:
         callback: Callable[..., Any],
         *args: Any,
         until: float | None = None,
-    ) -> TimerHandle:
+    ) -> RepeatingHandle:
         """Schedule a repeating callback every ``interval`` seconds.
 
-        Returns the handle of the *first* occurrence; cancelling it stops
-        the whole chain (each tick checks the shared cancelled flag).
+        Returns the :class:`RepeatingHandle` driving the chain: its
+        ``when`` always points at the next occurrence, and ``cancel()``
+        stops the repetition. A tick scheduled past ``until`` fires
+        nothing and ends the chain.
         """
         if interval <= 0:
             raise ConfigurationError("interval must be positive")
-        first = TimerHandle(self.now + interval, callback, args)
-
-        def tick() -> None:
-            """Tick."""
-            if first.cancelled:
-                return
-            if until is not None and self.now > until:
-                return
-            callback(*args)
-            self.schedule(interval, tick)
-
-        heapq.heappush(self._heap, (first.when, next(self._seq), TimerHandle(first.when, tick, ())))
-        return first
+        handle = RepeatingHandle(self.now + interval, callback, args, interval, until)
+        heapq.heappush(self._heap, (handle.when, next(self._seq), handle))
+        return handle
 
     # -- execution -------------------------------------------------------
 
@@ -94,8 +153,7 @@ class EventLoop:
             if handle.cancelled:
                 continue
             self.now = when
-            handle.callback(*handle.args)
-            self._events_fired += 1
+            self._dispatch(handle)
             return True
         return False
 
@@ -109,8 +167,7 @@ class EventLoop:
             if handle.cancelled:
                 continue
             self.now = when
-            handle.callback(*handle.args)
-            self._events_fired += 1
+            self._dispatch(handle)
         self.now = max(self.now, deadline)
 
     def run(self, duration: float) -> None:
@@ -132,5 +189,5 @@ class EventLoop:
 
     @property
     def events_fired(self) -> int:
-        """Events fired."""
+        """Total events this loop has fired since construction."""
         return self._events_fired

@@ -191,8 +191,19 @@ class Network:
         self._routable[external_ip] = nat
         return nat
 
+    def is_routable(self, ip: str) -> bool:
+        """True when ``ip`` is claimed in the public address space.
+
+        A routable address belongs either to a public :class:`Host` or
+        to a :class:`~repro.net.nat.NatBox`'s external side. Callers
+        allocating addresses (e.g. geo-located viewer hosts) use this
+        to avoid collisions instead of reaching into the private
+        routing table.
+        """
+        return ip in self._routable
+
     def add_capture(self, capture: TrafficCapture) -> TrafficCapture:
-        """Add capture."""
+        """Register a traffic capture observing every sent datagram."""
         self.captures.append(capture)
         return capture
 

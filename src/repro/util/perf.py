@@ -19,6 +19,15 @@ from __future__ import annotations
 import time
 
 
+def unix_now() -> float:
+    """The host's Unix timestamp, for harness manifests only.
+
+    Never use this inside the simulation — simulated time is
+    :attr:`repro.net.clock.EventLoop.now`.
+    """
+    return time.time()  # repro: allow[DET001] harness-side timestamp
+
+
 class WallTimer:
     """Context manager measuring elapsed host time, for harness reports.
 

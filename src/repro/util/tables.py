@@ -16,6 +16,24 @@ def _fmt(value: Any) -> str:
     return str(value)
 
 
+def fmt_count(value: int | None) -> str:
+    """Human-scale count: ``15M`` / ``120K`` / ``-`` for unknown.
+
+    >>> fmt_count(15_000_000), fmt_count(120_000), fmt_count(None)
+    ('15M', '120K', '-')
+    """
+    if value is None:
+        return "-"
+    if value >= 1_000_000:
+        return f"{value / 1_000_000:.0f}M"
+    return f"{value / 1_000:.0f}K"
+
+
+def fmt_mb(num_bytes: float) -> str:
+    """Bytes rendered as megabytes to one decimal, e.g. ``12.3MB``."""
+    return f"{num_bytes / 1e6:.1f}MB"
+
+
 def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
     """Render rows as an aligned ASCII table.
 

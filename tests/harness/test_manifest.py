@@ -1,0 +1,42 @@
+"""Tests for RunRecord manifests."""
+
+import json
+
+from repro.harness.manifest import MANIFEST_VERSION, RunRecord
+
+
+class TestRunRecord:
+    def make(self) -> RunRecord:
+        return RunRecord(
+            experiment="token-defense",
+            seed=2024,
+            params={"ttl": 30},
+            wall_seconds=0.5,
+            events_fired=8,
+            result_digest="abc123",
+            result_type="TokenDefenseResult",
+            started_at_unix=1_700_000_000.0,
+        )
+
+    def test_ok_property(self):
+        assert self.make().ok
+        assert not RunRecord(experiment="x", seed=0, status="error").ok
+
+    def test_dict_round_trip(self):
+        record = self.make()
+        clone = RunRecord.from_dict(record.to_dict())
+        assert clone == record
+
+    def test_to_json_is_valid_json(self):
+        data = json.loads(self.make().to_json())
+        assert data["experiment"] == "token-defense"
+        assert data["version"] == MANIFEST_VERSION
+
+    def test_write_and_read(self, tmp_path):
+        record = self.make()
+        path = record.write(tmp_path / "m.json")
+        assert RunRecord.read(path) == record
+
+    def test_params_serialised_jsonably(self):
+        record = RunRecord(experiment="x", seed=0, params={"tags": {"b", "a"}})
+        assert record.to_dict()["params"] == {"tags": ["a", "b"]}

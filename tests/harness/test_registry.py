@@ -1,0 +1,99 @@
+"""Tests for the experiment registry and spec parameter resolution."""
+
+import pytest
+
+from repro.cli import build_parser
+from repro.harness import registry
+from repro.harness.registry import CliOption, ExperimentSpec, register
+from repro.util.errors import ConfigurationError
+
+EXPECTED = [
+    "detect", "detection-quality", "free-riding", "risk-matrix", "resources",
+    "bandwidth", "ip-leak", "consent", "propagation", "token-defense",
+    "im-checking", "ecdn",
+]
+
+
+class TestDiscovery:
+    def test_all_experiments_registered_in_paper_order(self):
+        assert registry.names() == EXPECTED
+
+    def test_every_spec_resolves_by_name(self):
+        for name in EXPECTED:
+            spec = registry.get(name)
+            assert spec.name == name
+            assert callable(spec.runner)
+            assert spec.help
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown experiment"):
+            registry.get("nope")
+
+    def test_spec_attached_to_runner(self):
+        from repro.experiments import token_defense
+
+        assert token_defense.run.spec is registry.get("token-defense")
+
+    def test_module_provenance(self):
+        assert registry.get("detect").module == "repro.experiments.detection_tables"
+
+
+class TestCliRoundTrip:
+    """Every CLI command resolves to a registered spec and vice versa."""
+
+    def test_registry_to_parser(self):
+        parser = build_parser()
+        for name in registry.names():
+            args = parser.parse_args([name])
+            assert args.command == name
+
+    def test_parser_to_registry(self):
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions if isinstance(a, type(parser._actions[-1]))
+            and hasattr(a, "choices") and a.choices
+        )
+        commands = set(subparsers.choices) - {"all", "lint", "verify", "list"}
+        assert commands == set(registry.names())
+
+
+class TestResolveParams:
+    def spec(self, **kwargs) -> ExperimentSpec:
+        return ExperimentSpec(name="x", help="x", runner=lambda **kw: None, **kwargs)
+
+    def test_defaults_layer(self):
+        spec = self.spec(defaults={"quick": True})
+        assert spec.resolve_params() == {"quick": True}
+
+    def test_full_beats_defaults_and_options(self):
+        spec = self.spec(
+            defaults={"days": 0.5},
+            full_params={"days": 7.0},
+            options=(CliOption("--days", "days", float, 1.0, "d"),),
+        )
+        assert spec.resolve_params() == {"days": 1.0}
+        assert spec.resolve_params(option_values={"days": 3.0}) == {"days": 3.0}
+        assert spec.resolve_params(full=True, option_values={"days": 3.0}) == {"days": 7.0}
+
+    def test_overrides_beat_everything(self):
+        spec = self.spec(defaults={"a": 1}, full_params={"a": 2})
+        assert spec.resolve_params(full=True, overrides={"a": 9}) == {"a": 9}
+
+    def test_quick_layer(self):
+        spec = self.spec(defaults={"n": 10}, quick_params={"n": 2})
+        assert spec.resolve_params(quick=True) == {"n": 2}
+
+
+class TestRegister:
+    def test_conflicting_module_rejected(self):
+        def other_run(**kwargs):
+            return None
+
+        other_run.__module__ = "somewhere.else"
+        spec = ExperimentSpec(name="detect", help="dup", runner=other_run)
+        with pytest.raises(ConfigurationError, match="registered by both"):
+            register(spec)
+
+    def test_same_module_reregistration_allowed(self):
+        spec = registry.get("detect")
+        assert register(spec) is spec

@@ -1,0 +1,112 @@
+"""Tests for structured-result serialisation and content digests."""
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+from repro.harness.result import (
+    Result,
+    ResultBase,
+    canonical_json,
+    content_digest,
+    to_jsonable,
+)
+
+
+class Color(enum.Enum):
+    RED = 1
+    BLUE = 2
+
+
+@dataclass
+class Inner:
+    x: int
+    tags: set = field(default_factory=set)
+
+
+@dataclass
+class Sample(ResultBase):
+    name: str
+    values: list
+    inner: Inner
+    secret: object = None
+
+    _serialize_exclude = ("secret",)
+
+    def render(self) -> str:
+        return f"sample {self.name}"
+
+
+class TestToJsonable:
+    def test_scalars_pass_through(self):
+        assert to_jsonable(None) is None
+        assert to_jsonable(True) is True
+        assert to_jsonable(3) == 3
+        assert to_jsonable(2.5) == 2.5
+        assert to_jsonable("s") == "s"
+
+    def test_sets_are_sorted(self):
+        assert to_jsonable({"b", "a", "c"}) == ["a", "b", "c"]
+
+    def test_mixed_type_sets_do_not_raise(self):
+        out = to_jsonable({1, "a"})
+        assert sorted(map(str, out)) == sorted(["1", "a"])
+
+    def test_enum_becomes_name(self):
+        assert to_jsonable(Color.RED) == "RED"
+
+    def test_bytes_hex_encode(self):
+        assert to_jsonable(b"\x00\xff") == "00ff"
+
+    def test_dataclass_recurses(self):
+        assert to_jsonable(Inner(1, {"b", "a"})) == {"x": 1, "tags": ["a", "b"]}
+
+    def test_tuple_becomes_list(self):
+        assert to_jsonable((1, (2, 3))) == [1, [2, 3]]
+
+    def test_unknown_object_stringifies(self):
+        class Weird:
+            def __repr__(self):
+                return "weird"
+
+        assert isinstance(to_jsonable(Weird()), str)
+
+    def test_to_dict_is_preferred(self):
+        class Custom:
+            def to_dict(self):
+                return {"k": {"z", "y"}}
+
+        assert to_jsonable(Custom()) == {"k": ["y", "z"]}
+
+
+class TestCanonicalJson:
+    def test_sorted_compact(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_digest_stable_under_key_order(self):
+        assert content_digest({"a": 1, "b": 2}) == content_digest({"b": 2, "a": 1})
+
+    def test_digest_stable_under_set_order(self):
+        assert content_digest({"s": {"x", "y", "z"}}) == content_digest({"s": {"z", "y", "x"}})
+
+    def test_digest_differs_on_content(self):
+        assert content_digest({"a": 1}) != content_digest({"a": 2})
+
+
+class TestResultBase:
+    def make(self):
+        return Sample(name="n", values=[1, 2], inner=Inner(5, {"t"}), secret=object())
+
+    def test_satisfies_protocol(self):
+        assert isinstance(self.make(), Result)
+
+    def test_default_to_dict_excludes(self):
+        d = self.make().to_dict()
+        assert d == {"name": "n", "values": [1, 2], "inner": {"x": 5, "tags": ["t"]}}
+
+    def test_round_trips_through_json(self):
+        d = self.make().to_dict()
+        assert json.loads(json.dumps(d)) == d
+
+    def test_content_digest_stable(self):
+        assert self.make().content_digest() == self.make().content_digest()

@@ -1,0 +1,44 @@
+"""Every registered experiment's result must survive JSON round-trips.
+
+Acceptance check for the structured-result layer: run each experiment
+once at its quick parameters, then assert the result satisfies the
+:class:`Result` protocol, serialises to a JSON document and back without
+loss, renders non-empty text, and digests stably.
+"""
+
+import json
+
+import pytest
+
+from repro.harness import registry
+from repro.harness.result import Result, canonical_json, content_digest
+
+_CACHE: dict[str, object] = {}
+
+
+def run_quick(name: str):
+    if name not in _CACHE:
+        spec = registry.get(name)
+        params = spec.resolve_params(quick=True)
+        _CACHE[name] = spec.runner(seed=registry.DEFAULT_SEED, **params)
+    return _CACHE[name]
+
+
+@pytest.mark.parametrize("name", registry.names())
+class TestResultRoundTrip:
+    def test_satisfies_result_protocol(self, name):
+        result = run_quick(name)
+        assert isinstance(result, Result)
+
+    def test_to_dict_survives_json(self, name):
+        data = run_quick(name).to_dict()
+        assert isinstance(data, dict) and data
+        restored = json.loads(canonical_json(data))
+        assert canonical_json(restored) == canonical_json(data)
+
+    def test_renders_text(self, name):
+        assert run_quick(name).render().strip()
+
+    def test_digest_stable_for_one_result(self, name):
+        data = run_quick(name).to_dict()
+        assert content_digest(data) == content_digest(data)

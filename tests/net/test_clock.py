@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.net.clock import EventLoop
+from repro.net.clock import EventLoop, RepeatingHandle
 from repro.util.errors import ConfigurationError
 
 
@@ -85,6 +85,53 @@ class TestCallEvery:
         loop = EventLoop()
         with pytest.raises(ConfigurationError):
             loop.call_every(0, lambda: None)
+
+    def test_returns_repeating_handle_tracking_next_occurrence(self):
+        loop = EventLoop()
+        handle = loop.call_every(1.0, lambda: None)
+        assert isinstance(handle, RepeatingHandle)
+        assert handle.when == 1.0
+        loop.run_until(2.5)
+        assert handle.when == 3.0  # advanced past each fired tick
+
+    def test_cancel_stops_the_chain(self):
+        loop = EventLoop()
+        ticks = []
+        handle = loop.call_every(1.0, lambda: ticks.append(loop.now))
+        loop.run_until(2.5)
+        handle.cancel()
+        loop.run_until(10.0)
+        assert ticks == [1.0, 2.0]
+        assert loop.pending == 0
+
+    def test_callback_may_cancel_its_own_chain(self):
+        loop = EventLoop()
+        ticks = []
+
+        def tick():
+            ticks.append(loop.now)
+            if len(ticks) == 2:
+                handle.cancel()
+
+        handle = loop.call_every(1.0, tick)
+        loop.run_until(10.0)
+        assert ticks == [1.0, 2.0]
+        assert loop.pending == 0
+
+    def test_pending_counts_one_entry_per_repeating_timer(self):
+        loop = EventLoop()
+        loop.call_every(1.0, lambda: None)
+        assert loop.pending == 1
+        loop.run_until(4.5)  # four ticks later, still a single heap entry
+        assert loop.pending == 1
+
+    def test_until_bounds_the_chain(self):
+        loop = EventLoop()
+        ticks = []
+        loop.call_every(1.0, lambda: ticks.append(loop.now), until=2.5)
+        loop.run_until(10.0)
+        assert ticks == [1.0, 2.0]
+        assert loop.pending == 0
 
     def test_runaway_guard(self):
         loop = EventLoop()

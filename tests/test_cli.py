@@ -1,16 +1,23 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.harness import registry
 
 
 class TestParser:
-    def test_all_commands_registered(self):
+    def test_all_registered_experiments_are_commands(self):
         parser = build_parser()
-        for command in ("detect", "risk-matrix", "im-checking", "resources",
-                        "bandwidth", "free-riding", "ip-leak", "token-defense",
-                        "ecdn", "propagation", "consent", "detection-quality", "all"):
+        for command in registry.names():
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_harness_commands_present(self):
+        parser = build_parser()
+        for command in ("all", "verify", "list", "lint"):
             args = parser.parse_args([command])
             assert args.command == command
 
@@ -21,6 +28,18 @@ class TestParser:
     def test_seed_option(self):
         args = build_parser().parse_args(["detect", "--seed", "7"])
         assert args.seed == 7
+
+    def test_spec_option_surfaces(self):
+        args = build_parser().parse_args(["ip-leak", "--days", "2.5"])
+        assert args.opt_days == 2.5
+
+    def test_param_overrides_parse_to_typed_pairs(self):
+        args = build_parser().parse_args(["detect", "-p", "watch_seconds=5", "-p", "x=y"])
+        assert args.param == [("watch_seconds", 5), ("x", "y")]
+
+    def test_jobs_option(self):
+        args = build_parser().parse_args(["all", "--jobs", "4"])
+        assert args.jobs == 4
 
 
 class TestExecution:
@@ -40,3 +59,46 @@ class TestExecution:
         assert main(["ecdn"]) == 0
         out = capsys.readouterr().out
         assert "Microsoft eCDN" in out
+
+    def test_json_format_emits_payload(self, capsys):
+        assert main(["token-defense", "--format", "json"]) == 0
+        runs = json.loads(capsys.readouterr().out)["runs"]
+        assert len(runs) == 1
+        assert runs[0]["experiment"] == "token-defense"
+        assert runs[0]["result_digest"]
+        assert runs[0]["result"]["listing1_bytes"] == 283
+        assert runs[0]["manifest"]["status"] == "ok"
+
+    def test_profile_prints_site_table(self, capsys):
+        assert main(["token-defense", "--profile"]) == 0
+        assert "event-loop profile" in capsys.readouterr().out
+
+    def test_list_shows_registry(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in registry.names():
+            assert name in out
+
+
+class TestAllSmoke:
+    def test_all_jobs2_json_quick(self, capsys, tmp_path):
+        assert main([
+            "all", "--quick", "--jobs", "2", "--format", "json",
+            "--out", str(tmp_path),
+        ]) == 0
+        payloads = json.loads(capsys.readouterr().out)["runs"]
+        assert [p["experiment"] for p in payloads] == registry.names()
+        assert all(p["result_digest"] for p in payloads)
+        for name in registry.names():
+            manifest = json.loads((tmp_path / f"{name}.manifest.json").read_text())
+            assert manifest["status"] == "ok"
+            result = json.loads((tmp_path / f"{name}.result.json").read_text())
+            assert result["result_digest"] == manifest["result_digest"]
+
+
+class TestVerify:
+    def test_verify_fast_experiments(self, capsys):
+        assert main([
+            "verify", "--quick", "--runs", "2", "token-defense", "consent", "ecdn",
+        ]) == 0
+        assert "verdict: deterministic" in capsys.readouterr().out
