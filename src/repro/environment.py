@@ -75,6 +75,21 @@ class Environment:
         """Http client."""
         return HttpClient(self.urlspace, client_ip=host.public_ip, proxy=proxy)
 
+    def inject_faults(self, plan=None):
+        """Attach a :class:`~repro.net.faults.FaultInjector`, arming ``plan``.
+
+        Idempotent on the injector: repeated calls reuse the one attached
+        to the network, so several plans can be armed on one environment.
+        """
+        from repro.net.faults import FaultInjector
+
+        injector = self.network.faults
+        if injector is None:
+            injector = FaultInjector(self.network, urlspace=self.urlspace)
+        if plan is not None:
+            injector.arm(plan)
+        return injector
+
     def run(self, seconds: float) -> None:
         """Advance the simulated clock by ``seconds``."""
         self.loop.run(seconds)

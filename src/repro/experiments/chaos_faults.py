@@ -1,0 +1,193 @@
+"""Chaos run: a PDN swarm streaming through injected faults.
+
+The paper's resilience story — CDN fallback when P2P delivery dies
+(§IV-B), pollution containment under integrity checking, IP exposure
+under churn — only exercises when the network misbehaves. This
+experiment arms a :class:`~repro.net.faults.FaultPlan` (a named preset
+or an explicit JSON file via ``--faults``) against a swarm of viewers
+split across two regions, then checks the invariants that must hold no
+matter what the plan did: datagram conservation, every player finishing
+or degrading gracefully, and a manifest that records the exact plan
+digest so the chaos is as reproducible as the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.analyzer import PdnAnalyzer
+from repro.core.testbed import build_test_bed
+from repro.environment import Environment
+from repro.harness.registry import DEFAULT_SEED, CliOption, experiment
+from repro.harness.result import ResultBase
+from repro.net.faults import RandomFaultPlanner, bind_viewer, load_plan
+from repro.pdn.provider import PEER5, ProviderProfile
+from repro.util.tables import render_kv
+
+#: Regions the swarm is spread over (also the partition fault domain).
+CHAOS_REGIONS = ("US", "DE")
+
+
+@dataclass
+class ChaosResult(ResultBase):
+    """What one chaos run did to the network and to the viewers."""
+
+    viewers: int
+    plan_name: str
+    plan_digest: str
+    fault_events_applied: int
+    datagrams_sent: int
+    datagrams_delivered: int
+    datagrams_dropped: int
+    datagrams_in_flight: int
+    drops_by_reason: dict = field(default_factory=dict)
+    p2p_fetches: int = 0
+    p2p_fallbacks: int = 0
+    peer_churn_evictions: int = 0
+    neighbors_banned: int = 0
+    players_finished: int = 0
+    players_stalled: int = 0
+    segments_skipped: int = 0
+    stalls: int = 0
+
+    @property
+    def conservation_ok(self) -> bool:
+        """The core invariant: sent = delivered + dropped + in flight."""
+        return self.datagrams_sent == (
+            self.datagrams_delivered + self.datagrams_dropped + self.datagrams_in_flight
+        )
+
+    def manifest_extra(self) -> dict:
+        """Provenance for the run manifest: which chaos, exactly."""
+        return {"plan_name": self.plan_name, "plan_digest": self.plan_digest}
+
+    def to_dict(self) -> dict:
+        """Dataclass fields plus the derived conservation verdict."""
+        out = super().to_dict()
+        out["conservation_ok"] = self.conservation_ok
+        return out
+
+    def render(self) -> str:
+        """Render the result as the paper-style text block."""
+        drops = ", ".join(f"{k}={v}" for k, v in sorted(self.drops_by_reason.items())) or "none"
+        return render_kv(
+            f"Chaos run — plan {self.plan_name!r} ({self.plan_digest[:12]})",
+            [
+                ("viewers", self.viewers),
+                ("fault events applied", self.fault_events_applied),
+                ("datagrams sent", self.datagrams_sent),
+                ("datagrams delivered", self.datagrams_delivered),
+                ("datagrams dropped", self.datagrams_dropped),
+                ("drops by reason", drops),
+                ("conservation (sent = delivered + dropped + in flight)",
+                 "ok" if self.conservation_ok else "VIOLATED"),
+                ("p2p fetches / fallbacks", f"{self.p2p_fetches} / {self.p2p_fallbacks}"),
+                ("neighbors evicted by churn", self.peer_churn_evictions),
+                ("neighbors banned (integrity)", self.neighbors_banned),
+                ("players finished / stalled-out", f"{self.players_finished} / {self.players_stalled}"),
+                ("segments skipped", self.segments_skipped),
+                ("stall events", self.stalls),
+            ],
+        )
+
+
+@experiment(
+    "chaos",
+    help="fault-injected swarm run: churn, flaky links, partitions, outages",
+    paper_ref="§IV-B",
+    order=95,
+    quick_params={"viewers": 3, "segments": 6},
+    options=(
+        CliOption(
+            "--faults",
+            "faults",
+            str,
+            "chaos-mix",
+            "fault plan: preset name (calm, churn, flaky, partition, blackout, "
+            "chaos-mix) or a JSON plan file",
+        ),
+    ),
+)
+def run(
+    seed: int = DEFAULT_SEED,
+    viewers: int = 6,
+    faults: str = "chaos-mix",
+    profile: ProviderProfile = PEER5,
+    segments: int = 10,
+    segment_seconds: float = 4.0,
+    segment_bytes: int = 60_000,
+    join_stagger: float = 2.0,
+) -> ChaosResult:
+    """Stream through a fault plan and measure what survived."""
+    env = Environment(seed=seed)
+    bed = build_test_bed(
+        env,
+        profile,
+        video_segments=segments,
+        segment_seconds=segment_seconds,
+        segment_bytes=segment_bytes,
+    )
+    analyzer = PdnAnalyzer(env)
+
+    sessions = []
+    for i in range(viewers):
+        peer = analyzer.create_peer(
+            name=f"chaos-viewer-{i}", country=CHAOS_REGIONS[i % len(CHAOS_REGIONS)]
+        )
+        sessions.append((peer, peer.watch_test_stream(bed)))
+        analyzer.run(join_stagger)
+
+    horizon = segments * segment_seconds + 30.0
+    planner = RandomFaultPlanner(env.rand.fork("fault-plan"))
+    plan = load_plan(
+        faults,
+        planner=planner,
+        hosts=[peer.browser.host.name for peer, _ in sessions],
+        horizon=horizon,
+        regions=CHAOS_REGIONS,
+        hostnames=[bed.cdn.hostname],
+    )
+    injector = env.inject_faults(plan)
+    for peer, session in sessions:
+        bind_viewer(injector, peer.browser.host, sdk=session.sdk, player=session.player)
+
+    analyzer.run(horizon)
+
+    network = env.network
+    p2p_fetches = p2p_fallbacks = evictions = banned = 0
+    finished = stalled = skipped = stalls = 0
+    for _, session in sessions:
+        if session.sdk is not None:
+            stats = session.sdk.stats
+            p2p_fetches += stats.p2p_fetches
+            p2p_fallbacks += stats.p2p_fallbacks
+            evictions += stats.peer_churn_evictions
+            banned += stats.neighbors_banned
+        if session.player is not None:
+            if session.player.finished:
+                finished += 1
+            else:
+                stalled += 1
+            skipped += session.player.stats.segments_skipped
+            stalls += session.player.stats.stalls
+    analyzer.teardown()
+
+    return ChaosResult(
+        viewers=viewers,
+        plan_name=plan.name,
+        plan_digest=plan.digest(),
+        fault_events_applied=injector.events_applied,
+        datagrams_sent=network.datagrams_sent,
+        datagrams_delivered=network.datagrams_delivered,
+        datagrams_dropped=network.datagrams_dropped,
+        datagrams_in_flight=network.datagrams_in_flight,
+        drops_by_reason=dict(sorted(network.drops_by_reason.items())),
+        p2p_fetches=p2p_fetches,
+        p2p_fallbacks=p2p_fallbacks,
+        peer_churn_evictions=evictions,
+        neighbors_banned=banned,
+        players_finished=finished,
+        players_stalled=stalled,
+        segments_skipped=skipped,
+        stalls=stalls,
+    )

@@ -35,6 +35,9 @@ class RunRecord:
     result_digest: str | None = None
     result_type: str | None = None
     started_at_unix: float | None = None
+    #: Experiment-declared provenance (e.g. the chaos fault-plan digest),
+    #: collected from the result's ``manifest_extra()`` hook.
+    extra: dict[str, Any] = field(default_factory=dict)
     version: int = MANIFEST_VERSION
 
     @property
@@ -56,6 +59,7 @@ class RunRecord:
             "result_digest": self.result_digest,
             "result_type": self.result_type,
             "started_at_unix": self.started_at_unix,
+            "extra": to_jsonable(self.extra),
         }
 
     @classmethod
@@ -72,6 +76,7 @@ class RunRecord:
             result_digest=data.get("result_digest"),
             result_type=data.get("result_type"),
             started_at_unix=data.get("started_at_unix"),
+            extra=dict(data.get("extra", {})),
             version=data.get("version", MANIFEST_VERSION),
         )
 

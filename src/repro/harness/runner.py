@@ -83,6 +83,9 @@ def execute_spec(
             result_dict = result.to_dict()
             record.result_digest = content_digest(result_dict)
             record.result_type = type(result).__qualname__
+            extra_hook = getattr(result, "manifest_extra", None)
+            if callable(extra_hook):
+                record.extra = dict(extra_hook())
             rendered = result.render()
         except Exception as exc:  # noqa: BLE001 - converted into the record
             record.status = "error"

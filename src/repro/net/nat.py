@@ -119,6 +119,23 @@ class NatBox:
             return internal if remote in permitted else None
         raise ConfigurationError(f"unknown NAT type {self.nat_type}")  # pragma: no cover
 
+    def rebind(self, new_external_ip: str) -> str:
+        """Take a fresh external address and void every active mapping.
+
+        Models a DHCP lease expiry or carrier-grade renumbering: the
+        translation state real flows depended on is simply gone, so
+        established WebRTC paths break until the peers re-punch (a new
+        outbound datagram creates a new mapping at the new address).
+        Returns the previous external IP.
+        """
+        old_ip, self.external_ip = self.external_ip, new_external_ip
+        self._cone_map.clear()
+        self._cone_reverse.clear()
+        self._permissions.clear()
+        self._sym_map.clear()
+        self._sym_reverse.clear()
+        return old_ip
+
     def mapping_count(self) -> int:
         """Number of active port mappings (diagnostics)."""
         return len(self._cone_map) + len(self._sym_map)

@@ -142,6 +142,11 @@ class Network:
         self._next_nat_subnet = itertools.count(1)
         self.datagrams_sent = 0
         self.datagrams_dropped = 0
+        self.datagrams_delivered = 0
+        self.datagrams_in_flight = 0
+        self.drops_by_reason: dict[str, int] = {}
+        # Installed by repro.net.faults.FaultInjector; None = no chaos.
+        self.faults = None
 
     # -- topology --------------------------------------------------------
 
@@ -191,6 +196,26 @@ class Network:
         self._routable[external_ip] = nat
         return nat
 
+    def rebind_nat(self, nat: NatBox, new_external_ip: str | None = None) -> tuple[str, str]:
+        """Give a NAT box a fresh public mapping (lease expiry / renumber).
+
+        Returns ``(old_ip, new_ip)``. The old external address leaves
+        the public address space, every existing port mapping is voided
+        (established flows must re-punch), and the box reappears at the
+        new address — the churn event the paper's ICE layer must survive.
+        """
+        if self._routable.get(nat.external_ip) is not nat:
+            raise ConfigurationError(f"NAT {nat.external_ip} is not attached to this network")
+        if new_external_ip is None:
+            new_external_ip = self.allocate_public_ip()
+        if new_external_ip in self._routable or new_external_ip in self.hosts:
+            raise ConfigurationError(f"address {new_external_ip} already in use")
+        old_ip = nat.external_ip
+        del self._routable[old_ip]
+        nat.rebind(new_external_ip)
+        self._routable[new_external_ip] = nat
+        return old_ip, new_external_ip
+
     def is_routable(self, ip: str) -> bool:
         """True when ``ip`` is claimed in the public address space.
 
@@ -218,6 +243,38 @@ class Network:
         )
         return max(0.001, base + self.rand.uniform(-self.jitter, self.jitter))
 
+    def _drop(self, reason: str) -> None:
+        """Count one dropped datagram, under exactly one reason.
+
+        Every drop path funnels through here, so ``datagrams_dropped ==
+        sum(drops_by_reason.values())`` holds by construction — the
+        conservation invariant the chaos suite pins.
+        """
+        self.datagrams_dropped += 1
+        self.drops_by_reason[reason] = self.drops_by_reason.get(reason, 0) + 1
+
+    def _resolve_destination(
+        self, dst: Endpoint, wire_src: Endpoint
+    ) -> tuple[Host | None, int, str | None]:
+        """Route a wire destination to ``(host, port, drop_reason)``.
+
+        Read-only (NAT ``inbound`` never mutates), so it is safe to call
+        before the loss decision without perturbing the seeded stream.
+        """
+        target = self._routable.get(dst.ip)
+        if target is None:
+            # Unroutable destination (e.g. a bogon candidate): black-hole.
+            return None, 0, "unroutable"
+        if isinstance(target, NatBox):
+            internal = target.inbound(dst.port, wire_src)
+            if internal is None:
+                return None, 0, "nat_filtered"
+            dest_host = self.hosts.get(internal.ip)
+            if dest_host is None:
+                return None, 0, "no_host"
+            return dest_host, internal.port, None
+        return target, dst.port, None
+
     def send_datagram(self, src_host: Host, src_port: int, dst: Endpoint, payload: bytes) -> None:
         """Send one datagram. NAT-translates, captures, drops, delivers."""
         self.datagrams_sent += 1
@@ -226,36 +283,47 @@ class Network:
         else:
             wire_src = Endpoint(src_host.ip, src_port)
 
-        dropped = self.loss_rate > 0 and self.rand.random() < self.loss_rate
-        packet = CapturedPacket(self.loop.now, wire_src, dst, payload, dropped=dropped)
+        dest_host, dest_port, route_fail = self._resolve_destination(dst, wire_src)
+
+        # The global loss trial draws first (and only when loss_rate is
+        # set), exactly as before faults existed, so legacy seeded runs
+        # replay unchanged. Fault-layer trials draw from the injector's
+        # own forked stream.
+        reason: str | None = None
+        if self.loss_rate > 0 and self.rand.random() < self.loss_rate:
+            reason = "loss"
+        conditions = None
+        if reason is None and self.faults is not None:
+            if self.faults.host_is_down(src_host):
+                reason = "host_down"
+            elif dest_host is not None and self.faults.host_is_down(dest_host):
+                reason = "host_down"
+            else:
+                conditions = self.faults.conditions_for(src_host, dest_host)
+                if conditions is not None:
+                    if conditions.blocked:
+                        reason = "link_down"
+                    elif conditions.loss > 0 and self.faults.rand.random() < conditions.loss:
+                        reason = "fault_loss"
+
+        packet = CapturedPacket(self.loop.now, wire_src, dst, payload,
+                                dropped=reason is not None)
         for capture in self.captures:
             capture.record(packet)
-        if dropped:
-            self.datagrams_dropped += 1
+        if reason is not None:
+            self._drop(reason)
             return
-
-        target = self._routable.get(dst.ip)
-        if target is None:
-            # Unroutable destination (e.g. a bogon candidate): black-hole.
-            self.datagrams_dropped += 1
+        if route_fail is not None:
+            self._drop(route_fail)
             return
-
-        if isinstance(target, NatBox):
-            internal = target.inbound(dst.port, wire_src)
-            if internal is None:
-                self.datagrams_dropped += 1
-                return
-            dest_host = self.hosts.get(internal.ip)
-            dest_port = internal.port
-        else:
-            dest_host = target
-            dest_port = dst.port
-        if dest_host is None:
-            self.datagrams_dropped += 1
-            return
+        assert dest_host is not None
 
         delay = self.latency_between(src_host, dest_host.region)
         delay += self._uplink_queue_delay(src_host, len(payload))
+        if conditions is not None:
+            delay += conditions.extra_latency
+            delay += self.faults.link_queue_delay(src_host, dest_host, len(payload), conditions)
+        self.datagrams_in_flight += 1
         self.loop.schedule(delay, self._deliver, dest_host, dest_port, payload, wire_src)
 
     def _uplink_queue_delay(self, src_host: Host, size: int) -> float:
@@ -272,8 +340,17 @@ class Network:
         return src_host._uplink_busy_until - self.loop.now
 
     def _deliver(self, host: Host, port: int, payload: bytes, src: Endpoint) -> None:
+        self.datagrams_in_flight -= 1
+        if self.faults is not None and self.faults.host_is_down(host):
+            # The host crashed while the datagram was in flight.
+            self._drop("host_down")
+            return
         sock = host.sockets.get(port)
         if sock is None:
-            self.datagrams_dropped += 1
+            self._drop("no_socket")
             return
+        if sock.closed:
+            self._drop("socket_closed")
+            return
+        self.datagrams_delivered += 1
         sock.deliver(payload, src)

@@ -66,12 +66,47 @@ class SdkStats:
     p2p_fetches: int = 0
     p2p_fallbacks: int = 0
     neighbors_banned: int = 0
+    peer_churn_evictions: int = 0  # neighbors dropped because their host churned
     p2p_latencies: list = field(default_factory=list)  # request -> delivery seconds
 
     @property
     def p2p_total(self) -> int:
-        """P2p total."""
+        """Total P2P bytes moved in either direction."""
         return self.bytes_p2p_down + self.bytes_p2p_up
+
+    def to_dict(self) -> dict:
+        """Every counter as plain JSON types, for chaos-run digests."""
+        return {
+            "bytes_cdn": self.bytes_cdn,
+            "bytes_p2p_down": self.bytes_p2p_down,
+            "bytes_p2p_up": self.bytes_p2p_up,
+            "bytes_p2p_total": self.p2p_total,
+            "hash_bytes": self.hash_bytes,
+            "p2p_requests_served": self.p2p_requests_served,
+            "p2p_requests_failed": self.p2p_requests_failed,
+            "p2p_fetches": self.p2p_fetches,
+            "p2p_fallbacks": self.p2p_fallbacks,
+            "neighbors_banned": self.neighbors_banned,
+            "peer_churn_evictions": self.peer_churn_evictions,
+            "p2p_latencies": [round(lat, 9) for lat in self.p2p_latencies],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SdkStats":
+        """Rebuild from :meth:`to_dict` output (JSON round-trip)."""
+        return cls(
+            bytes_cdn=int(data.get("bytes_cdn", 0)),
+            bytes_p2p_down=int(data.get("bytes_p2p_down", 0)),
+            bytes_p2p_up=int(data.get("bytes_p2p_up", 0)),
+            hash_bytes=int(data.get("hash_bytes", 0)),
+            p2p_requests_served=int(data.get("p2p_requests_served", 0)),
+            p2p_requests_failed=int(data.get("p2p_requests_failed", 0)),
+            p2p_fetches=int(data.get("p2p_fetches", 0)),
+            p2p_fallbacks=int(data.get("p2p_fallbacks", 0)),
+            neighbors_banned=int(data.get("neighbors_banned", 0)),
+            peer_churn_evictions=int(data.get("peer_churn_evictions", 0)),
+            p2p_latencies=list(data.get("p2p_latencies", [])),
+        )
 
 
 class NeighborLink:
@@ -250,6 +285,53 @@ class PdnClient:
             # The tracker lost our session (restart): recover.
             self._rejoin()
         return payload
+
+    # -- fault/churn notifications -------------------------------------------
+
+    def attach_faults(self, injector) -> None:
+        """Subscribe to a fault injector's churn notifications.
+
+        Real SDKs see churn through ICE consent timeouts and data-channel
+        closures; the injector's notices are the simulator's equivalent
+        signal, letting the SDK exercise the exact fallback machinery
+        (`_p2p_timeout`, neighbor eviction, topology refill) that a
+        misbehaving network triggers in the wild.
+        """
+        injector.add_listener(self._on_network_fault)
+
+    def _on_network_fault(self, notice) -> None:
+        """React to one churn notice (host_down / nat_rebind)."""
+        if self.stopped or not self.started:
+            return
+        if notice.kind == "nat_rebind" and notice.host == self.host.name:
+            # Our own mapping changed: re-validate every association so
+            # neighbors follow us to the fresh external address.
+            for link in list(self.neighbors.values()):
+                if link.connected:
+                    link.pc.refresh_connectivity()
+        elif notice.kind == "host_down" and notice.host != self.host.name:
+            for link in list(self.neighbors.values()):
+                remote = link.pc.remote_endpoint
+                if remote is not None and remote.ip in notice.public_ips:
+                    self._evict_neighbor(link)
+
+    def _evict_neighbor(self, link: NeighborLink) -> None:
+        """Drop a churned neighbor — gone, not malicious (no ban).
+
+        Pending fetches aimed at it fail over to the CDN immediately
+        instead of waiting out the full ``_P2P_TIMEOUT``, and removing
+        the entry (rather than banning) lets the next topology refresh
+        recruit a replacement.
+        """
+        self.neighbors.pop(link.peer_id, None)
+        self.stats.peer_churn_evictions += 1
+        if not link.pc.closed:
+            link.pc.close()
+        for key, pending in list(self._pending.items()):
+            if pending.neighbor_id == link.peer_id:
+                if pending.timer is not None:
+                    pending.timer.cancel()
+                self._p2p_timeout(key)
 
     # -- topology maintenance ----------------------------------------------------
 

@@ -100,6 +100,19 @@ class UrlSpace:
 
     def __init__(self) -> None:
         self._servers: dict[str, HttpServer] = {}
+        # Interceptors run before name resolution; the first to return a
+        # response wins. The fault injector uses this to 503 requests
+        # into an outage window (repro.net.faults.ServiceOutage).
+        self._interceptors: list = []
+
+    def add_interceptor(self, interceptor) -> None:
+        """Register ``interceptor(request) -> HttpResponse | None``."""
+        self._interceptors.append(interceptor)
+
+    def remove_interceptor(self, interceptor) -> None:
+        """Unregister an interceptor previously added."""
+        if interceptor in self._interceptors:
+            self._interceptors.remove(interceptor)
 
     def register(self, hostname: str, server: HttpServer) -> None:
         """Register."""
@@ -114,7 +127,11 @@ class UrlSpace:
         return self._servers.get(hostname.lower())
 
     def dispatch(self, request: HttpRequest) -> HttpResponse:
-        """Dispatch."""
+        """Route one request: interceptors first, then the named server."""
+        for interceptor in self._interceptors:
+            response = interceptor(request)
+            if response is not None:
+                return response
         server = self.resolve(request.host)
         if server is None:
             return HttpResponse(502, b"bad gateway: unknown host " + request.host.encode())

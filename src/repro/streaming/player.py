@@ -266,6 +266,20 @@ class VideoPlayer:
     def _first_index(self) -> int:
         return min(self._entries) if self._entries else 0
 
+    def nudge(self) -> None:
+        """Churn notification: re-drive fetching after a fault heals.
+
+        Retries pending in `_fetch_retries` already have backoff timers;
+        nudging retries them now (the timer's later firing no-ops via the
+        ``_inflight`` guard) and tops the buffer back up — what a real
+        player's network-change listener does when connectivity returns.
+        """
+        if self._stopped or self.finished:
+            return
+        for index in sorted(self._fetch_retries):
+            self._retry_fetch(index)
+        self._fill_buffer()
+
     def _retry_fetch(self, index: int) -> None:
         if self._stopped or self.finished or index in self._buffer or index in self._inflight:
             return

@@ -234,6 +234,7 @@ class IceAgent:
         if expected is not None and username != expected:
             return  # not for us (stale or cross-session); drop silently
         # A check bearing a username must prove knowledge of our pwd.
+        authenticated = username is not None and username == expected
         if username is not None and not verify_message_integrity(message, self.pwd.encode()):
             return
         self.checks_received += 1
@@ -246,6 +247,33 @@ class IceAgent:
                 self.nominated_remote = src
                 if self._on_nominated is not None:
                     self._on_nominated(src)
+                return
+        if authenticated and self.nominated_remote is not None and src != self.nominated_remote:
+            # Peer-reflexive switch: an *authenticated* check from a new
+            # transport address means the remote's mapping changed (NAT
+            # rebind). Follow it, or every reply keeps black-holing at
+            # the stale address. Unauthenticated traffic never switches.
+            self.nominated_remote = src
+            if self._on_nominated is not None:
+                self._on_nominated(src)
+
+    def refresh(self) -> None:
+        """Send one authenticated check to the nominated remote.
+
+        The RFC 7675-style consent/keepalive: after a local NAT rebind
+        the first outbound datagram re-punches a fresh mapping, and the
+        authenticated check lets the remote's agent switch its nominated
+        address to the new mapping (see :meth:`handle_stun`).
+        """
+        if self.nominated_remote is None or self.remote_ufrag is None:
+            return
+        transaction_id = self.rand.bytes(12)
+        request = StunMessage(StunMethod.BINDING, StunClass.REQUEST, transaction_id)
+        request.add(AttributeType.USERNAME, f"{self.remote_ufrag}:{self.ufrag}".encode())
+        if self.remote_pwd:
+            add_message_integrity(request, self.remote_pwd.encode())
+        self.checks_sent += 1
+        self._send(self.nominated_remote, encode_stun(request))
 
     def wait_nominated(self, on_nominated: Callable[[Endpoint], None]) -> None:
         """Controlled side: register the nomination callback."""

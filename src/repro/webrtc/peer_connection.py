@@ -279,6 +279,17 @@ class PeerConnection:
         else:
             self.channels.send(channel_id, payload)
 
+    def refresh_connectivity(self) -> None:
+        """Re-validate the peer path after a local network change.
+
+        Called by the PDN SDK when its NAT rebinds: the authenticated
+        ICE check re-punches a mapping at the fresh external address and
+        lets the remote agent follow us there, so the association
+        either survives the rebind or times out into CDN fallback.
+        """
+        if not self.closed:
+            self.ice.refresh()
+
     def close(self) -> None:
         """Close and release resources."""
         self.closed = True

@@ -1,0 +1,1 @@
+"""Seed-driven property-based invariant suite for the fault-injection layer."""

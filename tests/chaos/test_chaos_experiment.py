@@ -1,0 +1,85 @@
+"""The ``repro chaos`` subcommand: registration, CLI, manifests, verify."""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.experiments.chaos_faults import run as chaos_run
+from repro.harness import registry
+from repro.harness.manifest import RunRecord
+from repro.harness.runner import Runner, RunRequest
+from repro.util.errors import ConfigurationError
+
+QUICK = {"viewers": 3, "segments": 5, "segment_seconds": 3.0,
+         "segment_bytes": 30_000, "join_stagger": 1.5}
+
+
+class TestRegistration:
+    def test_chaos_registered_with_faults_option(self):
+        spec = registry.get("chaos")
+        assert spec.module == "repro.experiments.chaos_faults"
+        flags = {opt.flag: opt for opt in spec.options}
+        assert "--faults" in flags
+        assert flags["--faults"].default == "chaos-mix"
+        assert spec.quick_params  # has a cheap CI shape
+
+    def test_cli_subcommand_runs(self, capsys):
+        assert cli.main(["chaos", "--quick", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "Chaos run — plan 'chaos-mix'" in out
+        assert "conservation (sent = delivered + dropped + in flight)" in out
+
+
+class TestManifest:
+    def test_manifest_records_plan_digest(self, tmp_path):
+        runner = Runner(jobs=1, out_dir=tmp_path)
+        outcome = runner.run([RunRequest("chaos", 7, dict(QUICK))])[0]
+        assert outcome.record.ok
+        manifest = json.loads((tmp_path / "chaos.manifest.json").read_text())
+        assert manifest["extra"]["plan_name"] == "chaos-mix"
+        assert manifest["extra"]["plan_digest"] == outcome.result_dict["plan_digest"]
+
+    def test_manifest_round_trips_extra(self, tmp_path):
+        runner = Runner(jobs=1, out_dir=tmp_path)
+        runner.run([RunRequest("chaos", 7, dict(QUICK))])
+        record = RunRecord.from_dict(
+            json.loads((tmp_path / "chaos.manifest.json").read_text())
+        )
+        assert set(record.extra) == {"plan_name", "plan_digest"}
+
+
+class TestVerifyDeterminism:
+    def test_two_runs_same_digest(self):
+        report = Runner(jobs=1).verify(["chaos"], seed=11, runs=2,
+                                       params_for={"chaos": QUICK})
+        assert report.ok
+        first, second = report.digests["chaos"]
+        assert first == second
+
+    def test_serial_and_parallel_agree(self):
+        serial = Runner(jobs=1).verify(["chaos"], seed=11, runs=1,
+                                       params_for={"chaos": QUICK})
+        parallel = Runner(jobs=4).verify(["chaos"], seed=11, runs=2,
+                                         params_for={"chaos": QUICK})
+        assert parallel.ok
+        assert set(parallel.digests["chaos"]) == set(serial.digests["chaos"])
+
+
+class TestPlanInputs:
+    def test_faults_accepts_json_plan_file(self, tmp_path):
+        plan_path = tmp_path / "two-crashes.json"
+        plan_path.write_text(json.dumps({"events": [
+            {"kind": "host_crash", "at": 3.0, "host": "chaos-viewer-0",
+             "down_for": 4.0},
+            {"kind": "host_crash", "at": 9.0, "host": "chaos-viewer-1",
+             "down_for": 4.0},
+        ]}))
+        result = chaos_run(seed=5, faults=str(plan_path), **QUICK)
+        assert result.plan_name == "two-crashes"  # named from the file stem
+        assert result.fault_events_applied == 2
+        assert result.conservation_ok
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault plan"):
+            chaos_run(seed=5, faults="definitely-not-a-preset", **QUICK)

@@ -1,0 +1,253 @@
+"""Datagram conservation: sent = delivered + dropped + in-flight, always.
+
+One regression test per drop path pins that each path counts exactly
+once (the satellite audit: loss, unroutable, nat_filtered, no_host,
+no_socket, socket_closed, host_down on both sides, link_down,
+fault_loss, partition), then seed-driven properties check the invariant
+over whole random topologies under whole random fault plans.
+"""
+
+import pytest
+
+from repro.net.addresses import Endpoint
+from repro.net.clock import EventLoop
+from repro.net.faults import (
+    Degrade,
+    FaultInjector,
+    FaultPlan,
+    HostCrash,
+    LinkConditions,
+    LinkFlap,
+    Partition,
+)
+from repro.net.nat import NatType
+from repro.net.network import Network
+from repro.util.rand import DeterministicRandom
+
+from tests.chaos.gen import (
+    TRAFFIC_PORT,
+    assert_conserved,
+    chaos_rand,
+    chaos_seeds,
+    pump_random_traffic,
+    random_plan,
+    random_topology,
+)
+
+
+def make_net(loss_rate: float = 0.0, seed: int = 99) -> Network:
+    return Network(EventLoop(), rand=DeterministicRandom(seed), loss_rate=loss_rate)
+
+
+def drops(network: Network, reason: str) -> int:
+    return network.drops_by_reason.get(reason, 0)
+
+
+class TestDropPathsCountOnce:
+    """Each drop path increments datagrams_dropped exactly once."""
+
+    def test_global_loss(self):
+        network = make_net(loss_rate=1.0)
+        a = network.add_host("a")
+        b = network.add_host("b")
+        b.bind_udp(TRAFFIC_PORT)
+        network.send_datagram(a, 1, Endpoint(b.ip, TRAFFIC_PORT), b"x")
+        assert network.datagrams_dropped == 1
+        assert drops(network, "loss") == 1
+        assert_conserved(network)
+
+    def test_unroutable_destination(self):
+        network = make_net()
+        a = network.add_host("a")
+        network.send_datagram(a, 1, Endpoint("198.51.100.1", 9), b"x")
+        assert drops(network, "unroutable") == 1
+        assert network.datagrams_dropped == 1
+        assert_conserved(network)
+
+    def test_nat_filtered(self):
+        network = make_net()
+        a = network.add_host("a")
+        nat = network.add_nat(NatType.PORT_RESTRICTED_CONE)
+        behind = network.add_host("b", nat=nat)
+        behind.bind_udp(TRAFFIC_PORT)
+        # No outbound mapping exists, so the inbound datagram is filtered.
+        network.send_datagram(a, 1, Endpoint(nat.external_ip, 40_000), b"x")
+        assert drops(network, "nat_filtered") == 1
+        assert network.datagrams_dropped == 1
+        assert_conserved(network)
+
+    def test_no_host_behind_mapping(self):
+        network = make_net()
+        a = network.add_host("a")
+        nat = network.add_nat(NatType.FULL_CONE)
+        # Forge a mapping whose internal address has no Host object.
+        internal = Endpoint(nat.allocate_internal_ip(), 7)
+        wire = nat.outbound(internal, Endpoint(a.ip, 1))
+        network.send_datagram(a, 1, Endpoint(nat.external_ip, wire.port), b"x")
+        assert drops(network, "no_host") == 1
+        assert_conserved(network)
+
+    def test_no_socket(self):
+        network = make_net()
+        a = network.add_host("a")
+        network.add_host("b")
+        network.send_datagram(a, 1, Endpoint("5.0.0.2", 1234), b"x")
+        network.loop.run_all()
+        assert drops(network, "no_socket") == 1
+        assert network.datagrams_delivered == 0
+        assert_conserved(network)
+
+    def test_socket_closed_in_flight(self):
+        network = make_net()
+        a = network.add_host("a")
+        b = network.add_host("b")
+        sock = b.bind_udp(TRAFFIC_PORT)
+        network.send_datagram(a, 1, Endpoint(b.ip, TRAFFIC_PORT), b"x")
+        # Mark closed without releasing the port: the socket is still
+        # registered when the datagram lands, exercising the closed path
+        # (close() releases the port, which is the no_socket path instead).
+        sock.closed = True
+        network.loop.run_all()
+        assert drops(network, "socket_closed") == 1
+        assert network.datagrams_delivered == 0
+        assert_conserved(network)
+
+    def test_host_down_sender_side(self):
+        network = make_net()
+        a = network.add_host("a")
+        b = network.add_host("b")
+        b.bind_udp(TRAFFIC_PORT)
+        FaultInjector(network).arm(FaultPlan((HostCrash(at=0.0, host="a"),)))
+        network.loop.run(0.1)
+        network.send_datagram(a, 1, Endpoint(b.ip, TRAFFIC_PORT), b"x")
+        assert drops(network, "host_down") == 1
+        assert_conserved(network)
+
+    def test_host_down_receiver_side(self):
+        network = make_net()
+        a = network.add_host("a")
+        b = network.add_host("b")
+        b.bind_udp(TRAFFIC_PORT)
+        FaultInjector(network).arm(FaultPlan((HostCrash(at=0.0, host="b"),)))
+        network.loop.run(0.1)
+        network.send_datagram(a, 1, Endpoint(b.ip, TRAFFIC_PORT), b"x")
+        assert drops(network, "host_down") == 1
+        assert_conserved(network)
+
+    def test_host_crashes_while_datagram_in_flight(self):
+        network = make_net()
+        a = network.add_host("a")
+        b = network.add_host("b")
+        b.bind_udp(TRAFFIC_PORT)
+        injector = FaultInjector(network)
+        network.send_datagram(a, 1, Endpoint(b.ip, TRAFFIC_PORT), b"x")
+        assert network.datagrams_in_flight == 1
+        # The crash fires before the ~20ms delivery latency elapses.
+        injector.arm(FaultPlan((HostCrash(at=0.001, host="b"),)))
+        network.loop.run_all()
+        assert drops(network, "host_down") == 1
+        assert network.datagrams_in_flight == 0
+        assert_conserved(network)
+
+    def test_link_down(self):
+        network = make_net()
+        a = network.add_host("a")
+        b = network.add_host("b")
+        b.bind_udp(TRAFFIC_PORT)
+        FaultInjector(network).arm(FaultPlan((LinkFlap(at=0.0, a="a", b="b",
+                                                       duration=10.0),)))
+        network.loop.run(0.1)
+        network.send_datagram(a, 1, Endpoint(b.ip, TRAFFIC_PORT), b"x")
+        assert drops(network, "link_down") == 1
+        assert_conserved(network)
+
+    def test_fault_loss(self):
+        network = make_net()
+        a = network.add_host("a")
+        b = network.add_host("b")
+        b.bind_udp(TRAFFIC_PORT)
+        FaultInjector(network).arm(FaultPlan((
+            Degrade(at=0.0, a="a", b="b", duration=10.0,
+                    conditions=LinkConditions(loss=1.0)),
+        )))
+        network.loop.run(0.1)
+        network.send_datagram(a, 1, Endpoint(b.ip, TRAFFIC_PORT), b"x")
+        assert drops(network, "fault_loss") == 1
+        assert_conserved(network)
+
+    def test_partition_drop(self):
+        network = make_net()
+        a = network.add_host("a", region="US")
+        b = network.add_host("b", region="DE")
+        b.bind_udp(TRAFFIC_PORT)
+        FaultInjector(network).arm(FaultPlan((Partition(at=0.0, region_a="US",
+                                                        region_b="DE", duration=10.0),)))
+        network.loop.run(0.1)
+        network.send_datagram(a, 1, Endpoint(b.ip, TRAFFIC_PORT), b"x")
+        assert drops(network, "link_down") == 1  # partitions block links
+        assert_conserved(network)
+
+    def test_successful_delivery_counts_delivered(self):
+        network = make_net()
+        a = network.add_host("a")
+        b = network.add_host("b")
+        b.bind_udp(TRAFFIC_PORT)
+        network.send_datagram(a, 1, Endpoint(b.ip, TRAFFIC_PORT), b"x")
+        assert network.datagrams_in_flight == 1
+        assert_conserved(network)  # holds mid-flight too
+        network.loop.run_all()
+        assert network.datagrams_delivered == 1
+        assert network.datagrams_dropped == 0
+        assert_conserved(network)
+
+
+class TestConservationProperties:
+    """Seed-driven: random topology x random plan x random traffic."""
+
+    @pytest.mark.parametrize("seed", chaos_seeds(5, "conservation"))
+    def test_conserved_under_chaos_mix(self, seed):
+        rand = DeterministicRandom(seed)
+        network = Network(EventLoop(), rand=rand.fork("net"),
+                          loss_rate=rand.uniform(0.0, 0.2))
+        hosts = random_topology(rand.fork("topo"), network)
+        injector = FaultInjector(network)
+        injector.arm(random_plan(rand.fork("faults"), hosts, horizon=30.0))
+        pump_random_traffic(rand.fork("traffic"), network, hosts,
+                            count=250, horizon=25.0)
+        # The invariant holds at every intermediate point, not just at the end.
+        for _ in range(40):
+            network.loop.run(1.0)
+            assert_conserved(network)
+        network.loop.run_all()
+        assert network.datagrams_in_flight == 0
+        assert_conserved(network)
+        assert network.datagrams_sent == 250
+
+    @pytest.mark.parametrize("seed", chaos_seeds(3, "conservation-calm"))
+    def test_conserved_without_faults(self, seed):
+        rand = DeterministicRandom(seed)
+        network = Network(EventLoop(), rand=rand.fork("net"))
+        hosts = random_topology(rand.fork("topo"), network)
+        pump_random_traffic(rand.fork("traffic"), network, hosts,
+                            count=150, horizon=10.0)
+        network.loop.run_all()
+        assert network.datagrams_in_flight == 0
+        assert_conserved(network)
+
+    @pytest.mark.parametrize("seed", chaos_seeds(3, "conservation-replay"))
+    def test_chaos_run_replays_identically(self, seed):
+        def one_run():
+            rand = DeterministicRandom(seed)
+            network = Network(EventLoop(), rand=rand.fork("net"), loss_rate=0.1)
+            hosts = random_topology(rand.fork("topo"), network)
+            FaultInjector(network).arm(random_plan(rand.fork("faults"), hosts))
+            pump_random_traffic(rand.fork("traffic"), network, hosts, count=200)
+            network.loop.run_all()
+            return (
+                network.datagrams_sent,
+                network.datagrams_delivered,
+                network.datagrams_dropped,
+                dict(network.drops_by_reason),
+            )
+
+        assert one_run() == one_run()

@@ -1,0 +1,106 @@
+"""EventLoop edge cases the fault layer leans on.
+
+Fault callbacks cancel timers belonging to *other* subsystems (a churn
+eviction cancels a pending P2P timeout; a heal cancels a retry), and
+heal events are frequently scheduled at the exact current instant, so
+cancellation-from-inside-a-callback and at-now ordering must be exact.
+"""
+
+import pytest
+
+from repro.net.clock import EventLoop
+from repro.util.errors import ConfigurationError
+
+
+class TestCancelFromCallback:
+    def test_fault_callback_cancels_repeating_handle(self):
+        """Cancelling someone else's RepeatingHandle from inside a
+        callback stops the chain even when its next tick is already due."""
+        loop = EventLoop()
+        ticks = []
+        repeating = loop.call_every(1.0, lambda: ticks.append(loop.now))
+        # The "fault" fires at the same instant as the 3rd tick but was
+        # scheduled earlier, so it runs first and must suppress that tick.
+        loop.schedule(3.0, repeating.cancel)
+        loop.run(10.0)
+        assert ticks == [1.0, 2.0]
+        assert loop.pending == 0
+
+    def test_repeating_handle_cancels_its_own_chain(self):
+        loop = EventLoop()
+        ticks = []
+
+        def tick():
+            ticks.append(loop.now)
+            if len(ticks) == 2:
+                handle.cancel()
+
+        handle = loop.call_every(1.0, tick)
+        loop.run(10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_cancelling_plain_timer_from_sibling_callback(self):
+        loop = EventLoop()
+        fired = []
+        victim = loop.schedule(5.0, lambda: fired.append("victim"))
+        loop.schedule(1.0, victim.cancel)
+        loop.run(10.0)
+        assert fired == []
+        assert loop.pending == 0
+
+    def test_cancel_after_fire_is_harmless(self):
+        loop = EventLoop()
+        fired = []
+        handle = loop.schedule(1.0, lambda: fired.append(1))
+        loop.run(2.0)
+        handle.cancel()  # already fired; must not blow up
+        assert fired == [1]
+
+
+class TestAtNowOrdering:
+    def test_zero_delay_events_fire_in_scheduling_order(self):
+        """Heals scheduled at the current instant (duration=0 faults)
+        run after already-queued same-time events, FIFO by sequence."""
+        loop = EventLoop()
+        order = []
+
+        def first():
+            order.append("first")
+            # Scheduled mid-callback at delay 0: runs after 'second',
+            # which was queued earlier at the same timestamp.
+            loop.schedule(0.0, lambda: order.append("third"))
+
+        loop.schedule(1.0, first)
+        loop.schedule(1.0, lambda: order.append("second"))
+        loop.run(1.0)
+        assert order == ["first", "second", "third"]
+
+    def test_schedule_at_now_is_allowed(self):
+        loop = EventLoop()
+        loop.run(5.0)
+        fired = []
+        loop.schedule_at(loop.now, lambda: fired.append(loop.now))
+        loop.run(0.0)
+        assert fired == [5.0]
+
+    def test_schedule_in_the_past_raises(self):
+        loop = EventLoop()
+        loop.run(5.0)
+        with pytest.raises(ConfigurationError, match="cannot schedule"):
+            loop.schedule_at(4.9, lambda: None)
+        with pytest.raises(ConfigurationError, match="cannot schedule"):
+            loop.schedule(-0.1, lambda: None)
+
+    def test_now_never_goes_backwards_across_zero_delay_cascade(self):
+        loop = EventLoop()
+        seen = []
+
+        def cascade(depth):
+            seen.append(loop.now)
+            if depth:
+                loop.schedule(0.0, cascade, depth - 1)
+
+        loop.schedule(2.0, cascade, 5)
+        loop.run(3.0)
+        assert seen == [2.0] * 6
+        assert loop.now == 3.0

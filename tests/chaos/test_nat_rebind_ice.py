@@ -1,0 +1,196 @@
+"""NAT rebind churn: mappings void, ICE re-punches or falls back.
+
+The satellite invariant: after a peer's NAT rebinds, the association
+either survives (the authenticated refresh re-punches a mapping and the
+remote agent follows the peer-reflexive switch) or the SDK's pending
+fetches fall back to the CDN within ``_P2P_TIMEOUT`` — and all of it
+replays exactly at a fixed seed.
+"""
+
+import pytest
+
+from repro.net.addresses import Endpoint
+from repro.net.clock import EventLoop
+from repro.net.faults import FaultInjector, FaultPlan, NatRebind, bind_viewer
+from repro.net.nat import NatBox, NatType
+from repro.net.network import Network
+from repro.util.errors import ConfigurationError
+from repro.util.rand import DeterministicRandom
+from repro.webrtc import PeerConnection, RtcConfig, StunServer
+from repro.webrtc.stun import StunMessage, StunClass, StunMethod
+
+
+class TestNatBoxRebind:
+    def test_rebind_swaps_ip_and_voids_mappings(self):
+        nat = NatBox("5.9.9.9", NatType.FULL_CONE)
+        internal = Endpoint(nat.allocate_internal_ip(), 10)
+        wire = nat.outbound(internal, Endpoint("5.0.0.1", 20))
+        assert nat.inbound(wire.port, Endpoint("5.0.0.1", 20)) == internal
+        old = nat.rebind("5.8.8.8")
+        assert old == "5.9.9.9"
+        assert nat.external_ip == "5.8.8.8"
+        assert nat.inbound(wire.port, Endpoint("5.0.0.1", 20)) is None
+        assert nat.mapping_count() == 0
+
+    def test_network_rebind_moves_routability(self):
+        network = Network(EventLoop(), rand=DeterministicRandom(3))
+        nat = network.add_nat(NatType.FULL_CONE)
+        old_ip = nat.external_ip
+        returned_old, new_ip = network.rebind_nat(nat)
+        assert returned_old == old_ip
+        assert not network.is_routable(old_ip)
+        assert network.is_routable(new_ip)
+        assert nat.external_ip == new_ip
+
+    def test_rebind_detached_nat_rejected(self):
+        network = Network(EventLoop(), rand=DeterministicRandom(3))
+        stray = NatBox("5.7.7.7", NatType.FULL_CONE)
+        with pytest.raises(ConfigurationError, match="not attached"):
+            network.rebind_nat(stray)
+
+    def test_rebind_to_taken_address_rejected(self):
+        network = Network(EventLoop(), rand=DeterministicRandom(3))
+        nat = network.add_nat(NatType.FULL_CONE)
+        host = network.add_host("pub")
+        with pytest.raises(ConfigurationError, match="already in use"):
+            network.rebind_nat(nat, new_external_ip=host.ip)
+
+
+class _Pair:
+    """Two NATed PeerConnections wired through STUN, connected."""
+
+    def __init__(self, seed=42):
+        self.loop = EventLoop()
+        self.net = Network(self.loop, rand=DeterministicRandom(seed))
+        self.stun = StunServer(self.net.add_host("stun", region="US"))
+        self.nat_a = self.net.add_nat(NatType.FULL_CONE)
+        self.nat_b = self.net.add_nat(NatType.FULL_CONE)
+        self.host_a = self.net.add_host("alice", nat=self.nat_a, region="US")
+        self.host_b = self.net.add_host("bob", nat=self.nat_b, region="US")
+        config = RtcConfig(stun_servers=[self.stun.endpoint])
+        rand = DeterministicRandom(seed + 1)
+        self.pa = PeerConnection(self.host_a, self.loop, rand, config, name="alice")
+        self.pb = PeerConnection(self.host_b, self.loop, rand, config, name="bob")
+        self.got_a, self.got_b = [], []
+        self.pa.on_message = lambda ch, d: self.got_a.append(d)
+        self.pb.on_message = lambda ch, d: self.got_b.append(d)
+
+    def connect(self):
+        self.pa.create_offer(
+            lambda offer: self.pb.accept_offer(offer, lambda ans: self.pa.set_answer(ans))
+        )
+        self.loop.run(10.0)
+        return self.pa.connected and self.pb.connected
+
+
+class TestIceSurvivesRebind:
+    def test_refresh_repunches_after_rebind(self):
+        pair = _Pair()
+        assert pair.connect()
+        old_external = pair.nat_a.external_ip
+        _, new_external = pair.net.rebind_nat(pair.nat_a)
+        pair.pa.refresh_connectivity()
+        pair.loop.run(3.0)
+        # The remote agent followed the authenticated peer-reflexive switch.
+        assert pair.pb.ice.nominated_remote.ip == new_external
+        assert pair.pb.ice.nominated_remote.ip != old_external
+        pair.pa.send(1, b"after-rebind")
+        pair.pb.send(1, b"reverse-path")
+        pair.loop.run(5.0)
+        assert pair.got_b == [b"after-rebind"]
+        assert pair.got_a == [b"reverse-path"]
+
+    def test_without_refresh_reverse_path_black_holes(self):
+        pair = _Pair()
+        assert pair.connect()
+        pair.net.rebind_nat(pair.nat_a)
+        pair.pb.send(1, b"to-stale-address")
+        pair.loop.run(5.0)
+        assert pair.got_a == []  # stale mapping: nothing arrives
+
+    def test_unauthenticated_request_never_switches(self):
+        pair = _Pair()
+        assert pair.connect()
+        nominated = pair.pb.ice.nominated_remote
+        forged = StunMessage(StunMethod.BINDING, StunClass.REQUEST, b"f" * 12)
+        pair.pb.ice.handle_stun(forged, Endpoint("5.6.6.6", 4242))
+        assert pair.pb.ice.nominated_remote == nominated
+
+    def test_rebind_deterministic_at_fixed_seed(self):
+        def one_run():
+            pair = _Pair(seed=77)
+            assert pair.connect()
+            _, new_ip = pair.net.rebind_nat(pair.nat_a)
+            pair.pa.refresh_connectivity()
+            pair.loop.run(3.0)
+            pair.pa.send(1, b"ping")
+            pair.loop.run(3.0)
+            return (new_ip, pair.pb.ice.nominated_remote, tuple(pair.got_b))
+
+        assert one_run() == one_run()
+
+
+class TestSdkFallbackUnderRebind:
+    def test_viewers_finish_despite_mid_stream_rebind(self):
+        """A NatRebind fault mid-stream: the SDK refreshes connectivity
+        and playback still completes with authentic content, within the
+        P2P timeout budget (CDN fallback covers anything that died)."""
+        from repro.core.analyzer import PdnAnalyzer
+        from repro.core.testbed import build_test_bed
+        from repro.environment import Environment
+        from repro.pdn.provider import PEER5
+
+        env = Environment(seed=1711)
+        bed = build_test_bed(env, PEER5, video_segments=8, segment_seconds=3.0,
+                             segment_bytes=40_000)
+        analyzer = PdnAnalyzer(env)
+        seeder = analyzer.create_peer(name="seeder")
+        seeder_session = seeder.watch_test_stream(bed)
+        analyzer.run(8.0)
+        leecher = analyzer.create_peer(name="leecher")
+        leecher_session = leecher.watch_test_stream(bed)
+        analyzer.run(4.0)
+
+        plan = FaultPlan((NatRebind(at=2.0, host="leecher"),), name="rebind")
+        injector = env.inject_faults(plan)
+        for peer, session in ((seeder, seeder_session), (leecher, leecher_session)):
+            bind_viewer(injector, peer.browser.host, sdk=session.sdk,
+                        player=session.player)
+        analyzer.run(90.0)
+
+        assert injector.events_applied == 1
+        assert [n.kind for n in injector.log] == ["nat_rebind"]
+        assert leecher_session.player.finished
+        assert leecher_session.player.stats.played_digests() == [
+            s.digest for s in bed.video.segments
+        ]
+        analyzer.teardown()
+
+    def test_rebind_swarm_deterministic_at_fixed_seed(self):
+        from repro.core.analyzer import PdnAnalyzer
+        from repro.core.testbed import build_test_bed
+        from repro.environment import Environment
+        from repro.pdn.provider import PEER5
+
+        def one_run():
+            env = Environment(seed=1712)
+            bed = build_test_bed(env, PEER5, video_segments=6, segment_seconds=3.0,
+                                 segment_bytes=30_000)
+            analyzer = PdnAnalyzer(env)
+            a = analyzer.create_peer(name="a")
+            session_a = a.watch_test_stream(bed)
+            analyzer.run(6.0)
+            b = analyzer.create_peer(name="b")
+            session_b = b.watch_test_stream(bed)
+            injector = env.inject_faults(
+                FaultPlan((NatRebind(at=5.0, host="b"),), name="rebind")
+            )
+            bind_viewer(injector, b.browser.host, sdk=session_b.sdk,
+                        player=session_b.player)
+            analyzer.run(60.0)
+            digests = tuple(session_b.player.stats.played_digests())
+            stats = session_b.sdk.stats.to_dict() if session_b.sdk else {}
+            analyzer.teardown()
+            return digests, stats
+
+        assert one_run() == one_run()

@@ -1,0 +1,57 @@
+"""SdkStats serialisation: the counters chaos runs digest and compare."""
+
+import json
+
+from repro.harness.result import content_digest
+from repro.pdn.sdk import SdkStats
+
+
+class TestToDict:
+    def test_surfaces_fallback_and_churn_counters(self):
+        stats = SdkStats(p2p_fallbacks=3, peer_churn_evictions=2)
+        data = stats.to_dict()
+        assert data["p2p_fallbacks"] == 3
+        assert data["peer_churn_evictions"] == 2
+
+    def test_every_counter_field_exported(self):
+        import dataclasses
+
+        data = SdkStats().to_dict()
+        for field in dataclasses.fields(SdkStats):
+            assert field.name in data, f"to_dict misses {field.name}"
+
+    def test_derived_total_included(self):
+        stats = SdkStats(bytes_p2p_down=10, bytes_p2p_up=5)
+        assert stats.to_dict()["bytes_p2p_total"] == 15
+
+    def test_is_json_serialisable(self):
+        stats = SdkStats(bytes_cdn=1, p2p_latencies=[0.123456789123])
+        text = json.dumps(stats.to_dict(), sort_keys=True)
+        assert json.loads(text)["bytes_cdn"] == 1
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self):
+        stats = SdkStats(
+            bytes_cdn=100,
+            bytes_p2p_down=200,
+            bytes_p2p_up=50,
+            hash_bytes=10,
+            p2p_requests_served=4,
+            p2p_requests_failed=1,
+            p2p_fetches=6,
+            p2p_fallbacks=2,
+            neighbors_banned=1,
+            peer_churn_evictions=3,
+            p2p_latencies=[0.5, 0.75],
+        )
+        rebuilt = SdkStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+        assert rebuilt == stats
+
+    def test_round_trip_preserves_digest(self):
+        stats = SdkStats(p2p_fetches=9, p2p_fallbacks=4, p2p_latencies=[0.25])
+        rebuilt = SdkStats.from_dict(stats.to_dict())
+        assert content_digest(rebuilt.to_dict()) == content_digest(stats.to_dict())
+
+    def test_from_empty_dict_is_defaults(self):
+        assert SdkStats.from_dict({}) == SdkStats()

@@ -9,7 +9,7 @@ from repro.util.errors import ConfigurationError
 
 EXPECTED = [
     "detect", "detection-quality", "free-riding", "risk-matrix", "resources",
-    "bandwidth", "ip-leak", "consent", "propagation", "token-defense",
+    "bandwidth", "ip-leak", "consent", "propagation", "chaos", "token-defense",
     "im-checking", "ecdn",
 ]
 
