@@ -1,0 +1,255 @@
+"""Core hot-path benchmark: EventLoop scheduling + the datagram plane.
+
+Unlike the other benchmarks (which regenerate one of the paper's tables),
+this one measures the *simulator core itself* at swarm scale: raw
+events/sec through :class:`~repro.net.clock.EventLoop` and datagrams/sec
+through :meth:`~repro.net.network.Network.send_datagram`, at 1k/10k/100k
+synthetic viewers, plus peak RSS. Results are written to
+``benchmarks/results/BENCH_core.json`` so the perf-regression CI job can
+compare a fresh smoke run against the committed baseline.
+
+Run as a script (this is what CI does)::
+
+    PYTHONPATH=src python benchmarks/bench_core_hotpath.py --smoke \
+        --check benchmarks/results/BENCH_core.json --no-write
+
+or under pytest-benchmark along with the other benches::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_core_hotpath.py
+
+The traffic pattern is fully seeded (DeterministicRandom), so two runs
+on the same tree do identical work — only the wall clock differs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+
+if __name__ == "__main__":  # allow running without PYTHONPATH=src
+    _src = pathlib.Path(__file__).resolve().parent.parent / "src"
+    if _src.is_dir() and str(_src) not in sys.path:
+        sys.path.insert(0, str(_src))
+
+from repro.net.capture import TrafficCapture
+from repro.net.clock import EventLoop
+from repro.net.network import Network
+from repro.util.perf import WallTimer, peak_rss_kb
+from repro.util.rand import DeterministicRandom
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+DEFAULT_OUT = RESULTS_DIR / "BENCH_core.json"
+
+#: Scenario definitions: (viewers, datagrams) per swarm scenario. The
+#: 100k swarm pushes one million datagrams through the data plane.
+SWARM_SCENARIOS = {
+    "swarm_1k": (1_000, 50_000),
+    "swarm_10k": (10_000, 200_000),
+    "swarm_100k": (100_000, 1_000_000),
+}
+SMOKE_SCENARIOS = ("events_loop", "swarm_1k")
+REGIONS = ("us", "eu", "asia", "sa")
+
+_PAYLOAD = b"\x00" * 200  # one shared segment-chunk-sized datagram body
+
+
+# ---------------------------------------------------------------------------
+# scenarios
+# ---------------------------------------------------------------------------
+
+
+def bench_event_loop(n_events: int = 100_000) -> dict:
+    """Pure scheduler throughput: schedule, cancel 10%, drain.
+
+    The delay pattern is drawn outside the timed section so the wall
+    clock covers only schedule/cancel/dispatch, not the generator.
+    """
+    loop = EventLoop()
+    rand = DeterministicRandom("bench-loop")
+    delays = [rand.uniform(0.0, 60.0) for _ in range(n_events)]
+    sink: list[float] = []
+    with WallTimer() as timer:
+        handles = [loop.schedule(delay, sink.append, 0.0) for delay in delays]
+        for handle in handles[:: 10]:  # every 10th timer is cancelled
+            handle.cancel()
+        loop.run_all(max_events=n_events + 1)
+    fired = loop.events_fired
+    return {
+        "events_fired": fired,
+        "wall_seconds": timer.elapsed,
+        "events_per_sec": fired / timer.elapsed if timer.elapsed else 0.0,
+    }
+
+
+def build_swarm(viewers: int) -> tuple[Network, list]:
+    """A synthetic swarm: ``viewers`` public hosts, one bound socket each."""
+    net = Network(rand=DeterministicRandom("bench-swarm"))
+    hosts = []
+    for i in range(viewers):
+        host = net.add_host(f"v{i}", region=REGIONS[i % len(REGIONS)])
+        host.bind_udp(4000)
+        hosts.append(host)
+    return net, hosts
+
+
+def bench_swarm(viewers: int, datagrams: int, capture: bool = False) -> dict:
+    """Datagram-plane throughput across a ``viewers``-host swarm.
+
+    Each host sends to a seeded pseudo-random neighbor; the loop drains
+    in waves so the heap stays at realistic in-flight depths instead of
+    holding every datagram at once.
+    """
+    net, hosts = build_swarm(viewers)
+    if capture:
+        net.add_capture(TrafficCapture("bench-tap"))
+    rand = DeterministicRandom("bench-traffic")
+    n = len(hosts)
+    # Traffic pattern fully materialised outside the timer — sender and
+    # destination per datagram — so the wall clock covers the
+    # simulator's send/deliver path, not the generator or index math.
+    sockets = [host.sockets[4000] for host in hosts]
+    endpoints = [sock.endpoint for sock in sockets]
+    senders = [sockets[k % n] for k in range(datagrams)]
+    dests = [endpoints[rand.randint(0, n - 1)] for _ in range(datagrams)]
+    wave = max(1, min(datagrams, 10 * n))
+    sent = 0
+    payload = _PAYLOAD
+    with WallTimer() as timer:
+        while sent < datagrams:
+            batch = min(wave, datagrams - sent)
+            for sock, dst in zip(senders[sent:sent + batch],
+                                 dests[sent:sent + batch]):
+                sock.send(dst, payload)
+            sent += batch
+            net.loop.run_all(max_events=batch + 1)
+    fired = net.loop.events_fired
+    return {
+        "datagrams": sent,
+        "delivered": net.datagrams_delivered,
+        "events_fired": fired,
+        "wall_seconds": timer.elapsed,
+        "events_per_sec": fired / timer.elapsed if timer.elapsed else 0.0,
+        "datagrams_per_sec": sent / timer.elapsed if timer.elapsed else 0.0,
+        "peak_rss_kb": peak_rss_kb(),
+    }
+
+
+def run_suite(smoke: bool = False) -> dict:
+    """Run every scenario (or the smoke subset) and package the report."""
+    scenarios: dict[str, dict] = {}
+    scenarios["events_loop"] = bench_event_loop(20_000 if smoke else 100_000)
+    for name, (viewers, datagrams) in SWARM_SCENARIOS.items():
+        if smoke and name not in SMOKE_SCENARIOS:
+            continue
+        scenarios[name] = bench_swarm(viewers, datagrams)
+    # Capture-attached variant of the mid-size swarm: the cost of the
+    # wire tap relative to the no-capture fast path.
+    if not smoke:
+        scenarios["swarm_10k_capture"] = bench_swarm(*SWARM_SCENARIOS["swarm_10k"],
+                                                     capture=True)
+    return {
+        "version": 1,
+        "mode": "smoke" if smoke else "full",
+        "python": platform.python_version(),
+        "scenarios": scenarios,
+        "peak_rss_kb": peak_rss_kb(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# baseline comparison (the CI regression gate)
+# ---------------------------------------------------------------------------
+
+
+def compare(report: dict, baseline: dict, threshold: float = 0.30) -> list[str]:
+    """Regressions >``threshold`` in events/sec vs the baseline, per scenario.
+
+    Only scenarios present in both reports are compared, so a smoke run
+    checks against a committed full-run baseline.
+    """
+    failures = []
+    for name, current in report["scenarios"].items():
+        base = baseline.get("scenarios", {}).get(name)
+        if base is None:
+            continue
+        base_rate = base.get("events_per_sec", 0.0)
+        rate = current.get("events_per_sec", 0.0)
+        if base_rate > 0 and rate < base_rate * (1.0 - threshold):
+            failures.append(
+                f"{name}: {rate:,.0f} events/sec is "
+                f"{(1 - rate / base_rate) * 100:.0f}% below baseline {base_rate:,.0f}"
+            )
+    return failures
+
+
+def render(report: dict) -> str:
+    """Human-readable scenario table for the bench log."""
+    lines = [f"core hot-path bench ({report['mode']}, python {report['python']})"]
+    for name, s in report["scenarios"].items():
+        parts = [f"{s['events_per_sec']:>12,.0f} events/sec"]
+        if "datagrams_per_sec" in s:
+            parts.append(f"{s['datagrams_per_sec']:>12,.0f} datagrams/sec")
+        if "peak_rss_kb" in s:
+            parts.append(f"rss {s['peak_rss_kb'] / 1024:,.0f} MiB")
+        lines.append(f"  {name:<18} " + "  ".join(parts))
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small-swarm subset for CI")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+                        help="where to write the JSON report")
+    parser.add_argument("--no-write", action="store_true",
+                        help="measure and compare only; leave the baseline alone")
+    parser.add_argument("--check", type=pathlib.Path, default=None,
+                        help="baseline BENCH_core.json to compare against")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="fractional events/sec regression that fails the check")
+    args = parser.parse_args(argv)
+
+    report = run_suite(smoke=args.smoke)
+    print(render(report))
+
+    status = 0
+    if args.check is not None:
+        baseline = json.loads(args.check.read_text())
+        failures = compare(report, baseline, args.threshold)
+        if failures:
+            print("\nPERF REGRESSION vs " + str(args.check))
+            for failure in failures:
+                print("  " + failure)
+            status = 1
+        else:
+            print(f"\nno regression vs {args.check} (threshold {args.threshold:.0%})")
+    if not args.no_write:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+    return status
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark wrappers (collected with the rest of benchmarks/)
+# ---------------------------------------------------------------------------
+
+
+def bench_smoke_suite(save_result) -> dict:
+    report = run_suite(smoke=True)
+    save_result("core_hotpath_smoke", render(report))
+    return report
+
+
+def test_core_hotpath_smoke(benchmark, save_result):
+    """Smoke-scale core bench under the pytest-benchmark timer."""
+    report = benchmark.pedantic(bench_smoke_suite, args=(save_result,),
+                                rounds=1, iterations=1)
+    assert report["scenarios"]["swarm_1k"]["delivered"] > 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,6 +32,7 @@ class RunRecord:
     error: str | None = None
     wall_seconds: float = 0.0
     events_fired: int = 0
+    peak_rss_kb: int = 0
     result_digest: str | None = None
     result_type: str | None = None
     started_at_unix: float | None = None
@@ -56,6 +57,7 @@ class RunRecord:
             "error": self.error,
             "wall_seconds": self.wall_seconds,
             "events_fired": self.events_fired,
+            "peak_rss_kb": self.peak_rss_kb,
             "result_digest": self.result_digest,
             "result_type": self.result_type,
             "started_at_unix": self.started_at_unix,
@@ -73,6 +75,7 @@ class RunRecord:
             error=data.get("error"),
             wall_seconds=data.get("wall_seconds", 0.0),
             events_fired=data.get("events_fired", 0),
+            peak_rss_kb=data.get("peak_rss_kb", 0),
             result_digest=data.get("result_digest"),
             result_type=data.get("result_type"),
             started_at_unix=data.get("started_at_unix"),

@@ -32,6 +32,16 @@ def callsite_of(callback) -> str:
     return f"{module}.{name}"
 
 
+def callback_of(handle) -> object:
+    """The fired callback behind a sink's ``handle`` argument.
+
+    Sinks see either a :class:`~repro.net.clock.TimerHandle` or the
+    anonymous ``(when, seq, callback, args)`` heap entry
+    ``EventLoop.schedule_fast`` pushes for the datagram fast path.
+    """
+    return handle[2] if type(handle) is tuple else handle.callback
+
+
 class EventCounter:
     """Counts every event fired by every loop while installed."""
 
@@ -53,7 +63,7 @@ class SiteProfiler(EventCounter):
     def record(self, loop: EventLoop, handle: TimerHandle) -> None:
         """Observe one fired event and attribute it to its callback site."""
         super().record(loop, handle)
-        site = callsite_of(handle.callback)
+        site = callsite_of(callback_of(handle))
         self.sites[site] = self.sites.get(site, 0) + 1
 
     def top(self, n: int = 15) -> list[tuple[str, int]]:
@@ -91,7 +101,7 @@ class TraceSink:
         if len(self.events) >= self.limit:
             self.dropped += 1
             return
-        self.events.append((loop.now, callsite_of(handle.callback)))
+        self.events.append((loop.now, callsite_of(callback_of(handle))))
 
 
 @contextmanager

@@ -23,7 +23,7 @@ from repro.harness import registry
 from repro.harness.manifest import RunRecord
 from repro.harness.profile import EventCounter, SiteProfiler, capture_events
 from repro.harness.result import canonical_json, content_digest
-from repro.util.perf import WallTimer, unix_now
+from repro.util.perf import WallTimer, peak_rss_kb, unix_now
 from repro.util.tables import render_table
 
 
@@ -92,6 +92,7 @@ def execute_spec(
             record.error = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
     record.wall_seconds = timer.elapsed
     record.events_fired = counter.total
+    record.peak_rss_kb = peak_rss_kb()
     profile_data = counter.to_dict() if isinstance(counter, SiteProfiler) else None
     return RunOutcome(record=record, rendered=rendered, result_dict=result_dict, profile=profile_data)
 

@@ -14,15 +14,19 @@ from typing import Callable, Iterable
 from repro.net.addresses import Endpoint
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CapturedPacket:
-    """One on-the-wire datagram as seen by the capture point."""
+    """One on-the-wire datagram as seen by the capture point.
+
+    Slotted: captures at swarm scale hold millions of these, and the
+    network allocates one per datagram whenever any capture is live.
+    """
 
     time: float
     src: Endpoint
     dst: Endpoint
     payload: bytes
-    dropped: bool = False  # True if the network dropped it after capture
+    dropped: bool = False  # True if the network dropped it (loss, faults, or routing)
 
     @property
     def size(self) -> int:

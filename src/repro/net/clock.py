@@ -6,6 +6,12 @@ ticks, resource-monitor sampling, viewer churn — is driven by one
 fire in scheduling order (a monotonically increasing sequence number
 breaks ties), which keeps runs deterministic.
 
+The loop is the hottest code in the simulator (million-datagram swarms
+fire one event per delivery), so the dispatch path is deliberately
+flat: ``step``/``run_until`` pop and fire inline rather than through
+helper calls, and :attr:`EventLoop.pending` is an O(1) counter
+maintained by ``schedule``/``cancel``/dispatch instead of a heap scan.
+
 Observability: sinks registered via :meth:`EventLoop.add_sink` are
 notified after every fired event (see :mod:`repro.harness.profile`).
 Sinks are class-wide so a harness can observe every loop an experiment
@@ -14,8 +20,8 @@ creates; they must only observe, never schedule.
 
 from __future__ import annotations
 
-import heapq
 import itertools
+from heapq import heappop, heappush
 from typing import Any, Callable, ClassVar
 
 from repro.util.errors import ConfigurationError
@@ -24,17 +30,30 @@ from repro.util.errors import ConfigurationError
 class TimerHandle:
     """Handle returned by :meth:`EventLoop.schedule`; supports cancel()."""
 
-    __slots__ = ("when", "callback", "args", "cancelled")
+    __slots__ = ("when", "callback", "args", "cancelled", "_loop")
+
+    #: Class flag the dispatch path branches on instead of isinstance().
+    _repeating = False
 
     def __init__(self, when: float, callback: Callable[..., Any], args: tuple) -> None:
         self.when = when
         self.callback = callback
         self.args = args
         self.cancelled = False
+        # The loop whose heap currently holds this handle; None once the
+        # handle is popped (or never queued). Lets cancel() keep the
+        # loop's live-event counter exact without a heap scan.
+        self._loop: "EventLoop | None" = None
 
     def cancel(self) -> None:
         """Mark the event cancelled; the loop skips it when it surfaces."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        loop = self._loop
+        if loop is not None:
+            loop._live -= 1
+            self._loop = None
 
 
 class RepeatingHandle(TimerHandle):
@@ -48,6 +67,8 @@ class RepeatingHandle(TimerHandle):
     """
 
     __slots__ = ("interval", "until")
+
+    _repeating = True
 
     def __init__(
         self,
@@ -69,7 +90,9 @@ class RepeatingHandle(TimerHandle):
         if self.cancelled:  # the callback may cancel its own chain
             return
         self.when = loop.now + self.interval
-        heapq.heappush(loop._heap, (self.when, next(loop._seq), self))
+        self._loop = loop
+        loop._live += 1
+        heappush(loop._heap, (self.when, next(loop._seq), self))
 
 
 class EventLoop:
@@ -84,6 +107,9 @@ class EventLoop:
         self._heap: list[tuple[float, int, TimerHandle]] = []
         self._seq = itertools.count()
         self._events_fired = 0
+        #: Not-yet-cancelled entries in the heap — the O(1) source of
+        #: :attr:`pending`, maintained by push/cancel/pop.
+        self._live = 0
 
     # -- instrumentation -------------------------------------------------
 
@@ -97,31 +123,44 @@ class EventLoop:
         """Unregister a sink previously passed to :meth:`add_sink`."""
         cls._sinks = tuple(s for s in cls._sinks if s is not sink)
 
-    def _dispatch(self, handle: TimerHandle) -> None:
-        """Fire one handle and notify any registered sinks."""
-        if isinstance(handle, RepeatingHandle):
-            handle._fire(self)
-        else:
-            handle.callback(*handle.args)
-        self._events_fired += 1
-        if EventLoop._sinks:
-            for sink in EventLoop._sinks:
-                sink.record(self, handle)
-
     # -- scheduling ------------------------------------------------------
+
+    def _push(self, handle: TimerHandle) -> None:
+        """Queue ``handle`` and account for it in the live counter."""
+        handle._loop = self
+        self._live += 1
+        heappush(self._heap, (handle.when, next(self._seq), handle))
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> TimerHandle:
         """Run ``callback(*args)`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise ConfigurationError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self.now + delay, callback, *args)
+        handle = TimerHandle(self.now + delay, callback, args)
+        self._push(handle)
+        return handle
+
+    def schedule_fast(self, when: float, callback: Callable[..., Any], args: tuple) -> None:
+        """Trusted fast path for hot callers: anonymous, not cancellable.
+
+        The network data plane schedules one delivery per datagram; this
+        skips :meth:`schedule`'s bounds check and the whole
+        :class:`TimerHandle` allocation — the heap entry itself becomes
+        a ``(when, seq, callback, args)`` 4-tuple the dispatch paths
+        special-case by length (one container allocation per event
+        instead of two, which also halves this path's GC pressure). The
+        caller guarantees ``when >= now`` and gets no handle back, so
+        the event cannot be cancelled (in-flight datagrams never are;
+        faults drop at delivery time instead).
+        """
+        self._live += 1
+        heappush(self._heap, (when, next(self._seq), callback, args))
 
     def schedule_at(self, when: float, callback: Callable[..., Any], *args: Any) -> TimerHandle:
         """Run ``callback(*args)`` at absolute time ``when``."""
         if when < self.now:
             raise ConfigurationError(f"cannot schedule at {when} < now {self.now}")
         handle = TimerHandle(when, callback, args)
-        heapq.heappush(self._heap, (when, next(self._seq), handle))
+        self._push(handle)
         return handle
 
     def call_every(
@@ -141,33 +180,81 @@ class EventLoop:
         if interval <= 0:
             raise ConfigurationError("interval must be positive")
         handle = RepeatingHandle(self.now + interval, callback, args, interval, until)
-        heapq.heappush(self._heap, (handle.when, next(self._seq), handle))
+        self._push(handle)
         return handle
 
     # -- execution -------------------------------------------------------
 
+    # step(), run_until() and run_all() intentionally duplicate the fire
+    # sequence (anonymous-vs-handle branch, live-counter bookkeeping,
+    # repeating-vs-plain branch, sink notification): one event is one
+    # pass through this code, and the extra call frames of a shared
+    # helper are measurable at swarm scale. Anonymous events — the
+    # ``(when, seq, callback, args)`` 4-tuples pushed by
+    # :meth:`schedule_fast` — take the first branch: no cancelled check,
+    # no handle bookkeeping. Sinks receive the raw 4-tuple for those
+    # (see ``repro.harness.profile.callback_of``). run_until() and
+    # run_all() accumulate the fired count in a local and flush it in a
+    # ``finally``, so ``events_fired`` is only guaranteed current
+    # *between* drain calls — no in-tree callback reads it mid-drain.
+
     def step(self) -> bool:
         """Fire the next event. Returns False when the queue is empty."""
-        while self._heap:
-            when, _, handle = heapq.heappop(self._heap)
-            if handle.cancelled:
-                continue
-            self.now = when
-            self._dispatch(handle)
+        heap = self._heap
+        while heap:
+            entry = heappop(heap)
+            if len(entry) == 4:
+                self._live -= 1
+                self.now = entry[0]
+                entry[2](*entry[3])
+                handle: Any = entry
+            else:
+                when, _, handle = entry
+                if handle.cancelled:
+                    continue
+                self._live -= 1
+                handle._loop = None
+                self.now = when
+                if handle._repeating:
+                    handle._fire(self)
+                else:
+                    handle.callback(*handle.args)
+            self._events_fired += 1
+            if EventLoop._sinks:
+                for sink in EventLoop._sinks:
+                    sink.record(self, handle)
             return True
         return False
 
     def run_until(self, deadline: float) -> None:
         """Fire all events scheduled at or before ``deadline``."""
-        while self._heap:
-            when, _, handle = self._heap[0]
-            if when > deadline:
-                break
-            heapq.heappop(self._heap)
-            if handle.cancelled:
-                continue
-            self.now = when
-            self._dispatch(handle)
+        heap = self._heap
+        fired = 0
+        try:
+            while heap and heap[0][0] <= deadline:
+                entry = heappop(heap)
+                if len(entry) == 4:
+                    self._live -= 1
+                    self.now = entry[0]
+                    entry[2](*entry[3])
+                    handle: Any = entry
+                else:
+                    when, _, handle = entry
+                    if handle.cancelled:
+                        continue
+                    self._live -= 1
+                    handle._loop = None
+                    self.now = when
+                    if handle._repeating:
+                        handle._fire(self)
+                    else:
+                        handle.callback(*handle.args)
+                fired += 1
+                if EventLoop._sinks:
+                    for sink in EventLoop._sinks:
+                        sink.record(self, handle)
+        finally:
+            self._events_fired += fired
         self.now = max(self.now, deadline)
 
     def run(self, duration: float) -> None:
@@ -175,17 +262,48 @@ class EventLoop:
         self.run_until(self.now + duration)
 
     def run_all(self, max_events: int = 1_000_000) -> None:
-        """Drain the queue completely (bounded to catch runaway loops)."""
+        """Drain the queue completely (bounded to catch runaway loops).
+
+        Fires at most ``max_events`` events: the bound is exact — if
+        live events remain once it is reached, the loop raises without
+        firing a ``max_events + 1``-th event.
+        """
+        heap = self._heap
         fired = 0
-        while self.step():
-            fired += 1
-            if fired > max_events:
-                raise RuntimeError(f"event loop exceeded {max_events} events; likely a livelock")
+        try:
+            while heap:
+                entry = heappop(heap)
+                if len(entry) == 4:
+                    self._live -= 1
+                    self.now = entry[0]
+                    entry[2](*entry[3])
+                    handle: Any = entry
+                else:
+                    when, _, handle = entry
+                    if handle.cancelled:
+                        continue
+                    self._live -= 1
+                    handle._loop = None
+                    self.now = when
+                    if handle._repeating:
+                        handle._fire(self)
+                    else:
+                        handle.callback(*handle.args)
+                fired += 1
+                if EventLoop._sinks:
+                    for sink in EventLoop._sinks:
+                        sink.record(self, handle)
+                if fired >= max_events and self._live:
+                    raise RuntimeError(
+                        f"event loop exceeded {max_events} events; likely a livelock"
+                    )
+        finally:
+            self._events_fired += fired
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for _, _, h in self._heap if not h.cancelled)
+        """Number of not-yet-cancelled events in the queue (O(1))."""
+        return self._live
 
     @property
     def events_fired(self) -> int:

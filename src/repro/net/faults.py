@@ -407,6 +407,10 @@ class FaultInjector:
             return
         self._down_hosts.add(host.name)
         self._down_ips.add(host.public_ip)
+        # A crashed box loses its queued uplink backlog: without this, a
+        # rejoining host would inherit phantom serialisation delay from
+        # datagrams queued before it died.
+        host._uplink_busy_until = 0.0
         self._emit("host_down", host=host.name, public_ips=(host.public_ip,))
         if event.down_for is not None:
             self.loop.schedule(event.down_for, self._rejoin_host, host.name)

@@ -7,11 +7,18 @@ performs NAT translation, captures the wire-level packet for every
 interested :class:`~repro.net.capture.TrafficCapture`, applies loss,
 and schedules delivery on the event loop after a latency drawn from the
 region-aware latency model.
+
+This is the simulator's data plane and must stay fast and
+memory-bounded at million-datagram scale: wire capture objects are only
+built when a capture is registered, per-region-pair base latencies are
+cached, per-packet classes use ``__slots__``, and socket inboxes are
+ring buffers (see ``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
 
 import itertools
+from heapq import heappush
 from typing import Callable
 
 from repro.net.addresses import Endpoint, int_to_ip, ip_to_int
@@ -23,23 +30,45 @@ from repro.util.rand import DeterministicRandom
 
 DatagramHandler = Callable[[bytes, Endpoint, "UdpSocket"], None]
 
+#: Default :attr:`UdpSocket.inbox` ring-buffer capacity. Handlers are the
+#: production delivery path; the inbox exists so tests can poll without
+#: wiring callbacks, and a bounded ring keeps long swarm runs from
+#: accumulating every datagram ever delivered. Pass ``inbox_limit=None``
+#: to :meth:`Host.bind_udp` for an unbounded inbox.
+DEFAULT_INBOX_LIMIT = 4096
+
 
 class UdpSocket:
     """A bound UDP port on a host.
 
     Incoming datagrams are passed to ``handler(payload, src, socket)``
     when one is set, and always appended to :attr:`inbox` so tests can
-    poll without wiring callbacks.
+    poll without wiring callbacks. The inbox is bounded at
+    ``inbox_limit`` entries — once full, the oldest half is evicted in
+    one batch (amortised O(1), and a plain list stays ~10x smaller per
+    idle socket than a deque ring). ``None`` disables the cap.
     """
 
-    def __init__(self, host: "Host", port: int, handler: DatagramHandler | None = None) -> None:
+    __slots__ = ("host", "port", "handler", "inbox", "closed",
+                 "bytes_sent", "bytes_received", "inbox_limit", "_net_send")
+
+    def __init__(
+        self,
+        host: "Host",
+        port: int,
+        handler: DatagramHandler | None = None,
+        inbox_limit: int | None = DEFAULT_INBOX_LIMIT,
+    ) -> None:
         self.host = host
         self.port = port
         self.handler = handler
         self.inbox: list[tuple[bytes, Endpoint]] = []
+        self.inbox_limit = inbox_limit
         self.closed = False
         self.bytes_sent = 0
         self.bytes_received = 0
+        # Pre-bound data-plane entry point: send() is per-datagram hot.
+        self._net_send = host.network.send_datagram
 
     @property
     def endpoint(self) -> Endpoint:
@@ -51,14 +80,18 @@ class UdpSocket:
         if self.closed:
             raise NetworkError(f"socket {self.endpoint} is closed")
         self.bytes_sent += len(payload)
-        self.host.network.send_datagram(self.host, self.port, dst, payload)
+        self._net_send(self.host, self.port, dst, payload)
 
     def deliver(self, payload: bytes, src: Endpoint) -> None:
         """Push a message to the attached client, if any."""
         if self.closed:
             return
         self.bytes_received += len(payload)
-        self.inbox.append((payload, src))
+        inbox = self.inbox
+        inbox.append((payload, src))
+        limit = self.inbox_limit
+        if limit is not None and len(inbox) > limit:
+            del inbox[: len(inbox) - limit // 2]
         if self.handler is not None:
             self.handler(payload, src, self)
 
@@ -70,6 +103,10 @@ class UdpSocket:
 
 class Host:
     """A machine on the network, optionally behind a NAT."""
+
+    __slots__ = ("network", "name", "ip", "nat", "region",
+                 "uplink_bytes_per_sec", "_uplink_busy_until",
+                 "sockets", "_ephemeral", "_wire_endpoints")
 
     def __init__(
         self,
@@ -91,13 +128,22 @@ class Host:
         self._uplink_busy_until = 0.0
         self.sockets: dict[int, UdpSocket] = {}
         self._ephemeral = itertools.count(10000)
+        # port -> wire-source Endpoint, for non-NATed sends. A host's own
+        # ip never changes (NAT rebinds move the *external* address), so
+        # entries stay valid across rebinds and never need invalidation.
+        self._wire_endpoints: dict[int, Endpoint] = {}
 
     @property
     def public_ip(self) -> str:
         """The address the rest of the Internet sees for this host."""
         return self.nat.external_ip if self.nat else self.ip
 
-    def bind_udp(self, port: int = 0, handler: DatagramHandler | None = None) -> UdpSocket:
+    def bind_udp(
+        self,
+        port: int = 0,
+        handler: DatagramHandler | None = None,
+        inbox_limit: int | None = DEFAULT_INBOX_LIMIT,
+    ) -> UdpSocket:
         """Bind a UDP socket; port 0 picks a free ephemeral port."""
         if port == 0:
             port = next(self._ephemeral)
@@ -105,7 +151,7 @@ class Host:
                 port = next(self._ephemeral)
         if port in self.sockets:
             raise AddressInUseError(f"{self.name}: port {port} already bound")
-        sock = UdpSocket(self, port, handler)
+        sock = UdpSocket(self, port, handler, inbox_limit=inbox_limit)
         self.sockets[port] = sock
         return sock
 
@@ -131,6 +177,9 @@ class Network:
     ) -> None:
         self.loop = loop or EventLoop()
         self.rand = (rand or DeterministicRandom(0)).fork("network")
+        # (src_region, dst_region) -> base one-way latency; cleared when
+        # either latency knob is assigned (see the property setters).
+        self._latency_base: dict[tuple[str | None, str | None], float] = {}
         self.base_latency = base_latency
         self.cross_region_latency = cross_region_latency
         self.jitter = jitter
@@ -147,6 +196,37 @@ class Network:
         self.drops_by_reason: dict[str, int] = {}
         # Installed by repro.net.faults.FaultInjector; None = no chaos.
         self.faults = None
+        # Pre-bound delivery callback: send_datagram schedules one of
+        # these per datagram, and a cached bound method avoids a fresh
+        # method object per send. _rand_random is the raw C-level draw
+        # behind self.rand, for the inline jitter computation.
+        self._deliver_cb = self._deliver
+        self._rand_random = self.rand.random
+
+    # -- latency model knobs ---------------------------------------------
+
+    # Both knobs are settable mid-run (experiments tune them after
+    # construction), so the setters invalidate the region-pair cache.
+
+    @property
+    def base_latency(self) -> float:
+        """Same-region one-way base latency in seconds."""
+        return self._base_latency
+
+    @base_latency.setter
+    def base_latency(self, value: float) -> None:
+        self._base_latency = value
+        self._latency_base.clear()
+
+    @property
+    def cross_region_latency(self) -> float:
+        """Cross-region one-way base latency in seconds."""
+        return self._cross_region_latency
+
+    @cross_region_latency.setter
+    def cross_region_latency(self, value: float) -> None:
+        self._cross_region_latency = value
+        self._latency_base.clear()
 
     # -- topology --------------------------------------------------------
 
@@ -235,13 +315,19 @@ class Network:
     # -- data plane ------------------------------------------------------
 
     def latency_between(self, src: Host, dst_region: str | None) -> float:
-        """Latency between."""
-        base = (
-            self.base_latency
-            if src.region == dst_region or src.region is None or dst_region is None
-            else self.cross_region_latency
-        )
-        return max(0.001, base + self.rand.uniform(-self.jitter, self.jitter))
+        """One-way latency from ``src`` to a destination region."""
+        key = (src.region, dst_region)
+        base = self._latency_base.get(key)
+        if base is None:
+            src_region = src.region
+            base = (
+                self._base_latency
+                if src_region == dst_region or src_region is None or dst_region is None
+                else self._cross_region_latency
+            )
+            self._latency_base[key] = base
+        latency = base + self.rand.uniform(-self.jitter, self.jitter)
+        return latency if latency > 0.001 else 0.001
 
     def _drop(self, reason: str) -> None:
         """Count one dropped datagram, under exactly one reason.
@@ -266,24 +352,45 @@ class Network:
             # Unroutable destination (e.g. a bogon candidate): black-hole.
             return None, 0, "unroutable"
         if isinstance(target, NatBox):
-            internal = target.inbound(dst.port, wire_src)
-            if internal is None:
-                return None, 0, "nat_filtered"
-            dest_host = self.hosts.get(internal.ip)
-            if dest_host is None:
-                return None, 0, "no_host"
-            return dest_host, internal.port, None
+            return self._resolve_nat(target, dst, wire_src)
         return target, dst.port, None
+
+    def _resolve_nat(
+        self, nat: NatBox, dst: Endpoint, wire_src: Endpoint
+    ) -> tuple[Host | None, int, str | None]:
+        """The NAT half of :meth:`_resolve_destination`."""
+        internal = nat.inbound(dst.port, wire_src)
+        if internal is None:
+            return None, 0, "nat_filtered"
+        dest_host = self.hosts.get(internal.ip)
+        if dest_host is None:
+            return None, 0, "no_host"
+        return dest_host, internal.port, None
 
     def send_datagram(self, src_host: Host, src_port: int, dst: Endpoint, payload: bytes) -> None:
         """Send one datagram. NAT-translates, captures, drops, delivers."""
         self.datagrams_sent += 1
-        if src_host.nat is not None:
-            wire_src = src_host.nat.outbound(Endpoint(src_host.ip, src_port), dst)
+        nat = src_host.nat
+        if nat is not None:
+            wire_src = nat.outbound(Endpoint(src_host.ip, src_port), dst)
         else:
-            wire_src = Endpoint(src_host.ip, src_port)
+            wire_src = src_host._wire_endpoints.get(src_port)
+            if wire_src is None:
+                wire_src = Endpoint(src_host.ip, src_port)
+                src_host._wire_endpoints[src_port] = wire_src
 
-        dest_host, dest_port, route_fail = self._resolve_destination(dst, wire_src)
+        # Inline of _resolve_destination: public-host targets (the vast
+        # majority at swarm scale) resolve without a helper call.
+        route_fail: str | None = None
+        target = self._routable.get(dst.ip)
+        if target is None:
+            dest_host: Host | None = None
+            dest_port = 0
+            route_fail = "unroutable"
+        elif isinstance(target, NatBox):
+            dest_host, dest_port, route_fail = self._resolve_nat(target, dst, wire_src)
+        else:
+            dest_host, dest_port = target, dst.port
 
         # The global loss trial draws first (and only when loss_rate is
         # set), exactly as before faults existed, so legacy seeded runs
@@ -293,38 +400,66 @@ class Network:
         if self.loss_rate > 0 and self.rand.random() < self.loss_rate:
             reason = "loss"
         conditions = None
-        if reason is None and self.faults is not None:
-            if self.faults.host_is_down(src_host):
+        faults = self.faults
+        if reason is None and faults is not None:
+            if faults.host_is_down(src_host):
                 reason = "host_down"
-            elif dest_host is not None and self.faults.host_is_down(dest_host):
+            elif dest_host is not None and faults.host_is_down(dest_host):
                 reason = "host_down"
             else:
-                conditions = self.faults.conditions_for(src_host, dest_host)
+                conditions = faults.conditions_for(src_host, dest_host)
                 if conditions is not None:
                     if conditions.blocked:
                         reason = "link_down"
-                    elif conditions.loss > 0 and self.faults.rand.random() < conditions.loss:
+                    elif conditions.loss > 0 and faults.rand.random() < conditions.loss:
                         reason = "fault_loss"
 
-        packet = CapturedPacket(self.loop.now, wire_src, dst, payload,
-                                dropped=reason is not None)
-        for capture in self.captures:
-            capture.record(packet)
+        if self.captures:
+            # dropped reflects the *final* outcome, route failures
+            # included — a capture must never show an unroutable or
+            # NAT-filtered datagram as delivered.
+            packet = CapturedPacket(self.loop.now, wire_src, dst, payload,
+                                    dropped=reason is not None or route_fail is not None)
+            for capture in self.captures:
+                capture.record(packet)
         if reason is not None:
             self._drop(reason)
             return
         if route_fail is not None:
             self._drop(route_fail)
             return
-        assert dest_host is not None
 
-        delay = self.latency_between(src_host, dest_host.region)
-        delay += self._uplink_queue_delay(src_host, len(payload))
+        # Inline of latency_between: one cache hit plus the jitter draw.
+        # The jitter expression is bit-exact with uniform(-j, j) — it is
+        # random.Random.uniform's ``a + (b - a) * random()`` with the
+        # constants folded — and consumes exactly one draw, so replays
+        # are unchanged.
+        key = (src_host.region, dest_host.region)
+        base = self._latency_base.get(key)
+        if base is None:
+            src_region, dst_region = key
+            base = (
+                self._base_latency
+                if src_region == dst_region or src_region is None or dst_region is None
+                else self._cross_region_latency
+            )
+            self._latency_base[key] = base
+        jitter = self.jitter
+        delay = base + ((jitter + jitter) * self._rand_random() - jitter)
+        if delay <= 0.001:
+            delay = 0.001
+        if src_host.uplink_bytes_per_sec is not None:
+            delay += self._uplink_queue_delay(src_host, len(payload))
         if conditions is not None:
             delay += conditions.extra_latency
-            delay += self.faults.link_queue_delay(src_host, dest_host, len(payload), conditions)
+            delay += faults.link_queue_delay(src_host, dest_host, len(payload), conditions)
+        # Inline of loop.schedule_fast: the push is two statements, and a
+        # call frame per datagram is measurable at swarm scale.
         self.datagrams_in_flight += 1
-        self.loop.schedule(delay, self._deliver, dest_host, dest_port, payload, wire_src)
+        loop = self.loop
+        loop._live += 1
+        heappush(loop._heap, (loop.now + delay, next(loop._seq),
+                              self._deliver_cb, (dest_host, dest_port, payload, wire_src)))
 
     def _uplink_queue_delay(self, src_host: Host, size: int) -> float:
         """Serialisation + queueing on a capacity-limited uplink.
@@ -353,4 +488,14 @@ class Network:
             self._drop("socket_closed")
             return
         self.datagrams_delivered += 1
-        sock.deliver(payload, src)
+        # Inline of sock.deliver (closed already checked above); keep the
+        # two in sync — UdpSocket.deliver stays the API for loop-free
+        # local handoff (e.g. the signaling server).
+        sock.bytes_received += len(payload)
+        inbox = sock.inbox
+        inbox.append((payload, src))
+        limit = sock.inbox_limit
+        if limit is not None and len(inbox) > limit:
+            del inbox[: len(inbox) - limit // 2]
+        if sock.handler is not None:
+            sock.handler(payload, src, sock)

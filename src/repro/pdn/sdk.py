@@ -27,7 +27,7 @@ import hashlib
 import json
 import struct
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, ClassVar
 
 from repro.net.clock import EventLoop
 from repro.net.network import Host
@@ -53,9 +53,22 @@ _STATS_INTERVAL = 5.0
 _TOPOLOGY_INTERVAL = 10.0
 
 
+#: Cap on the latency sample reservoir a client keeps for percentile
+#: estimates. Long swarm runs record millions of P2P deliveries; the
+#: streaming count/sum/min/max summary is exact, and p50/p95 come from
+#: this bounded, seeded reservoir instead of an ever-growing list.
+LATENCY_RESERVOIR_CAP = 256
+
+
 @dataclass
 class SdkStats:
-    """Cumulative counters the resource monitor samples."""
+    """Cumulative counters the resource monitor samples.
+
+    P2P delivery latencies are summarised streamingly: exact
+    ``count/sum/min/max`` plus a bounded sample reservoir
+    (:attr:`p2p_latencies`, Algorithm R over the SDK's seeded stream)
+    from which ``to_dict`` derives deterministic p50/p95 digests.
+    """
 
     bytes_cdn: int = 0
     bytes_p2p_down: int = 0
@@ -67,7 +80,60 @@ class SdkStats:
     p2p_fallbacks: int = 0
     neighbors_banned: int = 0
     peer_churn_evictions: int = 0  # neighbors dropped because their host churned
-    p2p_latencies: list = field(default_factory=list)  # request -> delivery seconds
+    p2p_latencies: list = field(default_factory=list)  # bounded sample reservoir
+    p2p_latency_count: int = 0
+    p2p_latency_sum: float = 0.0
+    p2p_latency_min: float = 0.0
+    p2p_latency_max: float = 0.0
+
+    #: Class-level so it is not a dataclass field (and not serialised).
+    RESERVOIR_CAP: ClassVar[int] = LATENCY_RESERVOIR_CAP
+
+    def __post_init__(self) -> None:
+        # Seeded stream for reservoir eviction, attached by the SDK via
+        # attach_rand(); bare stats objects fall back to keep-first.
+        self._latency_rand: DeterministicRandom | None = None
+        if self.p2p_latencies and self.p2p_latency_count == 0:
+            # Directly-constructed with raw samples (tests, old dicts):
+            # derive the streaming summary from the list.
+            samples = [float(x) for x in self.p2p_latencies]
+            self.p2p_latencies = samples
+            self.p2p_latency_count = len(samples)
+            self.p2p_latency_sum = sum(samples)
+            self.p2p_latency_min = min(samples)
+            self.p2p_latency_max = max(samples)
+
+    def attach_rand(self, rand: DeterministicRandom) -> None:
+        """Wire the seeded stream the latency reservoir evicts with."""
+        self._latency_rand = rand
+
+    def record_latency(self, seconds: float) -> None:
+        """Fold one request→delivery latency into the bounded summary."""
+        count = self.p2p_latency_count = self.p2p_latency_count + 1
+        self.p2p_latency_sum += seconds
+        if count == 1:
+            self.p2p_latency_min = self.p2p_latency_max = seconds
+        else:
+            if seconds < self.p2p_latency_min:
+                self.p2p_latency_min = seconds
+            if seconds > self.p2p_latency_max:
+                self.p2p_latency_max = seconds
+        reservoir = self.p2p_latencies
+        if len(reservoir) < self.RESERVOIR_CAP:
+            reservoir.append(seconds)
+        elif self._latency_rand is not None:
+            # Algorithm R: sample i survives with probability cap/i.
+            slot = self._latency_rand.randint(0, count - 1)
+            if slot < self.RESERVOIR_CAP:
+                reservoir[slot] = seconds
+
+    def _latency_percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile over the reservoir (0.0 when empty)."""
+        if not self.p2p_latencies:
+            return 0.0
+        ordered = sorted(self.p2p_latencies)
+        rank = int(fraction * (len(ordered) - 1) + 0.5)
+        return ordered[min(rank, len(ordered) - 1)]
 
     @property
     def p2p_total(self) -> int:
@@ -89,11 +155,22 @@ class SdkStats:
             "neighbors_banned": self.neighbors_banned,
             "peer_churn_evictions": self.peer_churn_evictions,
             "p2p_latencies": [round(lat, 9) for lat in self.p2p_latencies],
+            "p2p_latency_count": self.p2p_latency_count,
+            "p2p_latency_sum": round(self.p2p_latency_sum, 9),
+            "p2p_latency_min": round(self.p2p_latency_min, 9),
+            "p2p_latency_max": round(self.p2p_latency_max, 9),
+            "p2p_latency_p50": round(self._latency_percentile(0.50), 9),
+            "p2p_latency_p95": round(self._latency_percentile(0.95), 9),
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "SdkStats":
-        """Rebuild from :meth:`to_dict` output (JSON round-trip)."""
+        """Rebuild from :meth:`to_dict` output (JSON round-trip).
+
+        Latencies are coerced to ``float`` on load so that
+        ``to_dict → from_dict → to_dict`` is a fixed point even when the
+        JSON layer hands back ints (e.g. a rounded ``0``).
+        """
         return cls(
             bytes_cdn=int(data.get("bytes_cdn", 0)),
             bytes_p2p_down=int(data.get("bytes_p2p_down", 0)),
@@ -105,7 +182,11 @@ class SdkStats:
             p2p_fallbacks=int(data.get("p2p_fallbacks", 0)),
             neighbors_banned=int(data.get("neighbors_banned", 0)),
             peer_churn_evictions=int(data.get("peer_churn_evictions", 0)),
-            p2p_latencies=list(data.get("p2p_latencies", [])),
+            p2p_latencies=[float(x) for x in data.get("p2p_latencies", [])],
+            p2p_latency_count=int(data.get("p2p_latency_count", 0)),
+            p2p_latency_sum=float(data.get("p2p_latency_sum", 0.0)),
+            p2p_latency_min=float(data.get("p2p_latency_min", 0.0)),
+            p2p_latency_max=float(data.get("p2p_latency_max", 0.0)),
         )
 
 
@@ -182,6 +263,7 @@ class PdnClient:
         )
 
         self.stats = SdkStats()
+        self.stats.attach_rand(self.rand.fork("latency-reservoir"))
         self.session_id: str | None = None
         self.peer_id: str | None = None
         self.rejoins = 0
@@ -539,7 +621,7 @@ class PdnClient:
                 self.stats.p2p_fallbacks += 1
                 self._fetch_from_cdn(pending.base_url, pending.uri, index, pending.on_done)
                 return
-            self.stats.p2p_latencies.append(self.loop.now - pending.requested_at)
+            self.stats.record_latency(self.loop.now - pending.requested_at)
             self._store(key, data)
             pending.on_done(data, "p2p")
 

@@ -28,6 +28,20 @@ def unix_now() -> float:
     return time.time()  # repro: allow[DET001] harness-side timestamp
 
 
+def peak_rss_kb() -> int:
+    """This process's peak resident set size in KiB (0 if unavailable).
+
+    Harness-side observability only (run manifests, the core hot-path
+    bench): like wall time, memory footprint is a property of the host,
+    never an input to the simulation.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return 0
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
 class WallTimer:
     """Context manager measuring elapsed host time, for harness reports.
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Iterable, Sequence, TypeVar
+from typing import Any, Callable, Iterable, TypeVar
 
 T = TypeVar("T")
 
@@ -23,55 +23,41 @@ class DeterministicRandom:
     never shifts the values seen by existing consumers.
     """
 
+    #: Draw methods bound per-instance in ``__init__`` straight to the
+    #: underlying :class:`random.Random` — the declarations here give the
+    #: class its typed surface without adding a wrapper frame per draw
+    #: (the per-datagram jitter draw is hot at swarm scale).
+    random: Callable[[], float]
+    uniform: Callable[[float, float], float]
+    randint: Callable[[int, int], int]
+    gauss: Callable[[float, float], float]
+    expovariate: Callable[[float], float]
+    choice: Callable[..., Any]
+    choices: Callable[..., list]
+    sample: Callable[..., list]
+    shuffle: Callable[[list], None]
+
     def __init__(self, seed: int | str = 0) -> None:
         if isinstance(seed, str):
             seed = int.from_bytes(hashlib.sha256(seed.encode()).digest()[:8], "big")
         self.seed = int(seed)
-        self._rng = random.Random(self.seed)
+        rng = random.Random(self.seed)
+        self._rng = rng
+        self.random = rng.random
+        self.uniform = rng.uniform
+        self.randint = rng.randint
+        self.gauss = rng.gauss
+        self.expovariate = rng.expovariate
+        self.choice = rng.choice
+        self.choices = rng.choices
+        self.sample = rng.sample
+        self.shuffle = rng.shuffle
 
     def fork(self, name: str) -> "DeterministicRandom":
         """Derive an independent stream keyed by ``name``."""
         material = f"{self.seed}:{name}".encode()
         child_seed = int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
         return DeterministicRandom(child_seed)
-
-    # -- thin wrappers over random.Random -------------------------------
-
-    def random(self) -> float:
-        """Random."""
-        return self._rng.random()
-
-    def uniform(self, a: float, b: float) -> float:
-        """Uniform."""
-        return self._rng.uniform(a, b)
-
-    def randint(self, a: int, b: int) -> int:
-        """Randint."""
-        return self._rng.randint(a, b)
-
-    def gauss(self, mu: float, sigma: float) -> float:
-        """Gauss."""
-        return self._rng.gauss(mu, sigma)
-
-    def expovariate(self, lambd: float) -> float:
-        """Expovariate."""
-        return self._rng.expovariate(lambd)
-
-    def choice(self, seq: Sequence[T]) -> T:
-        """Choice."""
-        return self._rng.choice(seq)
-
-    def choices(self, population: Sequence[T], weights: Sequence[float], k: int = 1) -> list[T]:
-        """Choices."""
-        return self._rng.choices(population, weights=weights, k=k)
-
-    def sample(self, population: Sequence[T], k: int) -> list[T]:
-        """Sample."""
-        return self._rng.sample(population, k)
-
-    def shuffle(self, seq: list) -> None:
-        """Shuffle."""
-        self._rng.shuffle(seq)
 
     def bytes(self, n: int) -> bytes:
         """Bytes."""

@@ -48,8 +48,8 @@ class TestReintroducedViolationFails:
         original = target.read_text()
         target.write_text(
             original.replace(
-                "import heapq",
-                "import heapq\nimport time",
+                "import itertools",
+                "import itertools\nimport time",
             ).replace(
                 "        self.now: float = 0.0",
                 "        self.now: float = time.time()",

@@ -104,3 +104,124 @@ class TestAtNowOrdering:
         loop.run(3.0)
         assert seen == [2.0] * 6
         assert loop.now == 3.0
+
+
+class TestRunAllExactBound:
+    def test_bound_is_exact_not_off_by_one(self):
+        """run_all(max_events=N) with a livelock fires exactly N events —
+        never the N+1-th — before raising (the seed fired N+1)."""
+        loop = EventLoop()
+        fired = []
+
+        def rescheduling():
+            fired.append(loop.now)
+            loop.schedule(0.0, rescheduling)
+
+        loop.schedule(0.0, rescheduling)
+        with pytest.raises(RuntimeError, match="exceeded 10 events"):
+            loop.run_all(max_events=10)
+        assert len(fired) == 10
+
+    def test_draining_exactly_max_events_does_not_raise(self):
+        """A queue of exactly max_events drains cleanly: the bound only
+        trips when live events remain past it."""
+        loop = EventLoop()
+        fired = []
+        for i in range(10):
+            loop.schedule(float(i), fired.append, i)
+        loop.run_all(max_events=10)
+        assert fired == list(range(10))
+        assert loop.pending == 0
+
+    def test_bound_counts_fast_events_too(self):
+        loop = EventLoop()
+
+        def rescheduling():
+            loop.schedule_fast(loop.now, rescheduling, ())
+
+        loop.schedule_fast(0.0, rescheduling, ())
+        with pytest.raises(RuntimeError, match="exceeded 5 events"):
+            loop.run_all(max_events=5)
+
+
+class TestPendingCounter:
+    """pending is an O(1) live counter; every transition must keep it exact."""
+
+    def test_cancel_decrements_exactly_once(self):
+        loop = EventLoop()
+        handle = loop.schedule(1.0, lambda: None)
+        assert loop.pending == 1
+        handle.cancel()
+        assert loop.pending == 0
+        handle.cancel()  # double-cancel must not decrement again
+        assert loop.pending == 0
+        loop.run_all()
+        assert loop.pending == 0
+
+    def test_cancel_after_fire_does_not_decrement(self):
+        loop = EventLoop()
+        handle = loop.schedule(1.0, lambda: None)
+        other = loop.schedule(2.0, lambda: None)
+        loop.run(1.5)
+        assert loop.pending == 1  # only `other` remains
+        handle.cancel()
+        assert loop.pending == 1
+        assert other is not None
+
+    def test_repeating_handle_counts_as_one_pending(self):
+        loop = EventLoop()
+        repeating = loop.call_every(1.0, lambda: None)
+        loop.schedule(0.5, lambda: None)
+        assert loop.pending == 2
+        loop.run(3.2)
+        assert loop.pending == 1  # the repeating chain's next tick
+        repeating.cancel()
+        assert loop.pending == 0
+
+    def test_pending_matches_heap_scan_across_mixed_churn(self):
+        """Counter == brute-force scan after a seeded mix of schedule,
+        schedule_fast, cancel and dispatch."""
+        from repro.net.clock import TimerHandle
+        from repro.util.rand import DeterministicRandom
+
+        loop = EventLoop()
+        rand = DeterministicRandom("pending-churn")
+        handles = []
+        for _ in range(500):
+            roll = rand.random()
+            if roll < 0.4:
+                handles.append(loop.schedule(rand.uniform(0, 5), lambda: None))
+            elif roll < 0.6:
+                loop.schedule_fast(loop.now + rand.uniform(0, 5), lambda: None, ())
+            elif roll < 0.8 and handles:
+                handles.pop(rand.randint(0, len(handles) - 1)).cancel()
+            else:
+                loop.run(rand.uniform(0, 0.5))
+        live_in_heap = sum(
+            1 for entry in loop._heap
+            if len(entry) == 4 or not entry[2].cancelled
+        )
+        assert loop.pending == live_in_heap
+        loop.run_all()
+        assert loop.pending == 0
+        assert isinstance(handles[0], TimerHandle)
+
+
+class TestScheduleFast:
+    def test_fires_in_when_seq_order_with_plain_timers(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(1.0, order.append, "plain")
+        loop.schedule_fast(1.0, order.append, ("fast-second",))
+        loop.schedule_fast(0.5, order.append, ("fast-first",))
+        loop.run_all()
+        assert order == ["fast-first", "plain", "fast-second"]
+        assert loop.now == 1.0
+
+    def test_fast_events_drive_the_clock(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule_fast(2.5, lambda: seen.append(loop.now), ())
+        loop.run_all()
+        assert seen == [2.5]
+        assert loop.events_fired == 1

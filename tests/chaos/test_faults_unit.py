@@ -314,3 +314,48 @@ class TestHttpInterception:
         assert env.http_client(server).get("https://web.test/").status == 200
         env.run(10.0)
         assert env.http_client(viewer).get("https://web.test/").status == 200
+
+
+class TestCrashClearsUplinkBacklog:
+    """Regression: a crash clears the host's queued-uplink backlog.
+
+    ``Host._uplink_busy_until`` used to survive a HostCrash, so a host
+    that died with a deep send queue and rejoined would serialise its
+    first post-rejoin datagram behind phantom pre-crash traffic.
+    """
+
+    def test_rejoined_host_does_not_inherit_queued_uplink(self):
+        from repro.net import Endpoint
+
+        loop = EventLoop()
+        net = Network(loop, rand=DeterministicRandom(7), jitter=0.0)
+        sender = net.add_host("s", uplink_bytes_per_sec=1000.0)
+        receiver = net.add_host("r")
+        times = []
+        receiver.bind_udp(2000, lambda d, src, sock: times.append(loop.now))
+        sock = sender.bind_udp(1000)
+        injector = FaultInjector(net)
+        # 10 x 1000B at 1000 B/s: ~10 simulated seconds of uplink backlog.
+        for _ in range(10):
+            sock.send(Endpoint(receiver.ip, 2000), b"x" * 1000)
+        assert sender._uplink_busy_until >= 9.0
+        injector.arm(FaultPlan(events=[HostCrash(at=0.5, host="s", down_for=1.0)]))
+        loop.run(2.0)  # crash at 0.5, rejoin at 1.5
+        assert not injector.host_is_down(sender)
+        assert sender._uplink_busy_until == 0.0
+
+        times.clear()
+        t0 = loop.now
+        sock.send(Endpoint(receiver.ip, 2000), b"y" * 10)
+        loop.run(1.0)
+        # Without the reset this delivery queues ~8s behind dead traffic.
+        assert times and times[0] - t0 < 0.5
+
+    def test_crash_while_idle_is_a_no_op_for_uplink(self):
+        loop = EventLoop()
+        net = Network(loop, rand=DeterministicRandom(7), jitter=0.0)
+        host = net.add_host("h", uplink_bytes_per_sec=1000.0)
+        injector = FaultInjector(net)
+        injector.arm(FaultPlan(events=[HostCrash(at=0.1, host="h", down_for=0.5)]))
+        loop.run(1.0)
+        assert host._uplink_busy_until == 0.0

@@ -55,3 +55,70 @@ class TestRoundTrip:
 
     def test_from_empty_dict_is_defaults(self):
         assert SdkStats.from_dict({}) == SdkStats()
+
+
+class TestSerialisationFixedPoint:
+    def test_to_dict_from_dict_to_dict_is_a_fixed_point(self):
+        """Regression: from_dict left p2p_latencies as whatever JSON gave
+        it (ints survive a round trip of e.g. [1, 2]), so a second
+        to_dict could differ from the first and shift digests."""
+        stats = SdkStats(bytes_cdn=7, p2p_latencies=[1, 2, 0.25])
+        first = stats.to_dict()
+        second = SdkStats.from_dict(json.loads(json.dumps(first))).to_dict()
+        assert first == second
+        assert content_digest(first) == content_digest(second)
+
+    def test_from_dict_coerces_latencies_to_float(self):
+        rebuilt = SdkStats.from_dict({"p2p_latencies": [1, 2]})
+        assert all(isinstance(x, float) for x in rebuilt.p2p_latencies)
+        assert rebuilt.p2p_latency_count == 2
+        assert rebuilt.p2p_latency_min == 1.0
+        assert rebuilt.p2p_latency_max == 2.0
+
+
+class TestLatencySummary:
+    def test_streaming_summary_matches_samples(self):
+        from repro.util.rand import DeterministicRandom
+
+        stats = SdkStats()
+        stats.attach_rand(DeterministicRandom("latency-test"))
+        samples = [0.05, 0.20, 0.10, 0.35, 0.15]
+        for s in samples:
+            stats.record_latency(s)
+        data = stats.to_dict()
+        assert data["p2p_latency_count"] == 5
+        assert data["p2p_latency_sum"] == round(sum(samples), 9)
+        assert data["p2p_latency_min"] == 0.05
+        assert data["p2p_latency_max"] == 0.35
+        assert data["p2p_latency_p50"] == 0.15
+
+    def test_reservoir_is_capped_but_summary_is_exact(self):
+        from repro.pdn.sdk import LATENCY_RESERVOIR_CAP
+        from repro.util.rand import DeterministicRandom
+
+        stats = SdkStats()
+        stats.attach_rand(DeterministicRandom("latency-cap"))
+        n = 4 * LATENCY_RESERVOIR_CAP
+        for i in range(n):
+            stats.record_latency(0.001 * (i + 1))
+        assert len(stats.p2p_latencies) == LATENCY_RESERVOIR_CAP
+        assert stats.p2p_latency_count == n
+        assert stats.p2p_latency_min == 0.001
+        assert stats.p2p_latency_max == round(0.001 * n, 9) or \
+            stats.p2p_latency_max == 0.001 * n
+        # Percentiles come from the reservoir: bounded by the true range.
+        p95 = stats.to_dict()["p2p_latency_p95"]
+        assert 0.001 <= p95 <= 0.001 * n
+
+    def test_reservoir_replay_is_deterministic(self):
+        from repro.pdn.sdk import LATENCY_RESERVOIR_CAP
+        from repro.util.rand import DeterministicRandom
+
+        def run():
+            stats = SdkStats()
+            stats.attach_rand(DeterministicRandom("latency-replay"))
+            for i in range(3 * LATENCY_RESERVOIR_CAP):
+                stats.record_latency(0.0001 * (i % 97))
+            return content_digest(stats.to_dict())
+
+        assert run() == run()

@@ -33,7 +33,10 @@ class _MonotonicNowSink:
         from repro.net.clock import RepeatingHandle
 
         assert loop.now >= self.last, f"time ran backwards: {loop.now} < {self.last}"
-        if not isinstance(handle, RepeatingHandle):
+        if isinstance(handle, tuple):
+            # Anonymous fast event: (when, seq, callback, args).
+            assert handle[0] <= loop.now
+        elif not isinstance(handle, RepeatingHandle):
             # Plain timers never fire before their due time. (A repeating
             # handle's .when already points at its *next* occurrence.)
             assert handle.when <= loop.now

@@ -1,0 +1,52 @@
+"""Pinned result digests: the replay-from-seed contract, frozen.
+
+``repro verify`` proves an experiment replays to *some* stable digest;
+these pins prove it replays to *the* digest recorded when this tree was
+committed. Any change to simulation order, RNG stream consumption, or
+result serialisation shows up here as a diff — which is the point: such
+changes must be deliberate, and updating the constants below is the
+explicit act of accepting them.
+
+The pins run the registry's quick parameterisations at the default seed
+(2024), exactly like ``repro <name> --quick``.
+"""
+
+import pytest
+
+import repro.experiments  # noqa: F401  - triggers @experiment registration
+from repro.harness import registry
+from repro.harness.runner import execute_spec
+
+#: name -> digest of ``result.to_dict()`` at seed 2024 with quick params.
+#: Recorded with the million-datagram fast-path PR; re-record with
+#:   PYTHONPATH=src python -c "from tests.harness.test_digest_pins import \
+#:       current_digests; print(current_digests())"
+EXPECTED_DIGESTS = {
+    "bandwidth": "bf6e25fb8235109c0dd3c76bc45b162a319010a4b5ae675ec4e3dd6e1332c456",
+    "chaos": "9a6263c61366eb2f218951774b52abe7d3d99cc838dd0e84d2c8453f4a6061ae",
+}
+
+PIN_SEED = 2024
+
+
+def current_digests() -> dict:
+    """Recompute the pinned digests on the current tree."""
+    out = {}
+    for name in EXPECTED_DIGESTS:
+        params = registry.get(name).resolve_params(quick=True)
+        outcome = execute_spec(name, PIN_SEED, params)
+        assert outcome.record.ok, outcome.record.error
+        out[name] = outcome.record.result_digest
+    return out
+
+
+class TestDigestPins:
+    @pytest.mark.parametrize("name", sorted(EXPECTED_DIGESTS))
+    def test_quick_run_matches_pinned_digest(self, name):
+        params = registry.get(name).resolve_params(quick=True)
+        outcome = execute_spec(name, PIN_SEED, params)
+        assert outcome.record.ok, outcome.record.error
+        assert outcome.record.result_digest == EXPECTED_DIGESTS[name], (
+            f"{name} drifted from its pinned digest — if the simulation "
+            f"change is intentional, update EXPECTED_DIGESTS"
+        )

@@ -220,3 +220,131 @@ class TestUplinkCapacity:
         sender.bind_udp(1000).send(Endpoint(receiver.ip, 2000), b"x" * 10000)
         net.loop.run(5.0)
         assert times and times[0] < 1.0  # downloads unaffected
+
+
+class TestCaptureDroppedFlag:
+    """Regression: a capture must show the datagram's *final* outcome.
+
+    Route-failed packets (unroutable / nat_filtered / no_host) used to be
+    recorded with ``dropped=False``, so a wire trace disagreed with
+    ``drops_by_reason``. Only in-flight drops — decided after the packet
+    was already on the wire, like an unbound destination port — may
+    legitimately stay ``dropped=False``.
+    """
+
+    def _tap(self, net):
+        return net.add_capture(TrafficCapture("tap"))
+
+    def test_unroutable_marked_dropped(self):
+        net = make_network()
+        a = net.add_host("a")
+        cap = self._tap(net)
+        a.bind_udp(1000).send(Endpoint("203.0.113.7", 9999), b"x")
+        net.loop.run_all()
+        assert net.drops_by_reason == {"unroutable": 1}
+        assert [p.dropped for p in cap.packets] == [True]
+
+    def test_nat_filtered_marked_dropped(self):
+        net = make_network()
+        a = net.add_host("a")
+        nat = net.add_nat(NatType.PORT_RESTRICTED_CONE)
+        net.add_host("h", nat=nat).bind_udp(2000)
+        cap = self._tap(net)
+        # Unsolicited inbound to the NAT's external side: filtered.
+        a.bind_udp(1000).send(Endpoint(nat.external_ip, 4000), b"x")
+        net.loop.run_all()
+        assert net.drops_by_reason == {"nat_filtered": 1}
+        assert [p.dropped for p in cap.packets] == [True]
+
+    def test_loss_marked_dropped(self):
+        net = make_network(loss_rate=1.0)
+        a = net.add_host("a")
+        b = net.add_host("b")
+        b.bind_udp(2000)
+        cap = self._tap(net)
+        a.bind_udp(1000).send(Endpoint(b.ip, 2000), b"x")
+        net.loop.run_all()
+        assert net.drops_by_reason == {"loss": 1}
+        assert [p.dropped for p in cap.packets] == [True]
+
+    def test_delivered_marked_not_dropped(self):
+        net = make_network()
+        a = net.add_host("a")
+        b = net.add_host("b")
+        b.bind_udp(2000)
+        cap = self._tap(net)
+        a.bind_udp(1000).send(Endpoint(b.ip, 2000), b"x")
+        net.loop.run_all()
+        assert net.datagrams_delivered == 1
+        assert [p.dropped for p in cap.packets] == [False]
+
+    def test_in_flight_drop_stays_not_dropped(self):
+        """No socket on the destination port: the packet really was on
+        the wire when captured, so the capture says dropped=False and the
+        drop is visible only in drops_by_reason."""
+        net = make_network()
+        a = net.add_host("a")
+        b = net.add_host("b")  # no socket bound
+        cap = self._tap(net)
+        a.bind_udp(1000).send(Endpoint(b.ip, 4000), b"x")
+        net.loop.run_all()
+        assert net.drops_by_reason == {"no_socket": 1}
+        assert [p.dropped for p in cap.packets] == [False]
+
+    def test_capture_agrees_with_drop_accounting(self):
+        """Across a mixed workload, pre-flight drops in the capture equal
+        the pre-flight entries of drops_by_reason."""
+        net = make_network(loss_rate=0.5)
+        hosts = [net.add_host(f"h{i}") for i in range(4)]
+        for host in hosts:
+            host.bind_udp(2000)
+        cap = self._tap(net)
+        for i, src in enumerate(hosts):
+            for j, dst in enumerate(hosts):
+                if i != j:
+                    src.sockets[2000].send(Endpoint(dst.ip, 2000), b"x")
+            src.sockets[2000].send(Endpoint("203.0.113.9", 1), b"x")
+        net.loop.run_all()
+        preflight = sum(
+            count for reason, count in net.drops_by_reason.items()
+            if reason in {"unroutable", "nat_filtered", "no_host", "loss"}
+        )
+        assert sum(1 for p in cap.packets if p.dropped) == preflight
+        assert preflight >= 4  # at least the four unroutable sends
+
+
+class TestInboxBounds:
+    def test_inbox_is_bounded_by_default(self):
+        from repro.net.network import DEFAULT_INBOX_LIMIT
+
+        net = make_network()
+        a = net.add_host("a")
+        b = net.add_host("b")
+        sock = b.bind_udp(2000)
+        assert sock.inbox_limit == DEFAULT_INBOX_LIMIT
+        src = a.bind_udp(1000)
+        for i in range(3 * 16):
+            src.send(Endpoint(b.ip, 2000), b"x")
+        net.loop.run_all()
+        assert len(sock.inbox) <= DEFAULT_INBOX_LIMIT
+
+    def test_eviction_keeps_newest(self):
+        net = make_network()
+        host = net.add_host("h")
+        sock = host.bind_udp(2000, inbox_limit=8)
+        src = Endpoint("5.0.0.99", 1)
+        for i in range(9):
+            sock.deliver(b"%d" % i, src)
+        # One batched eviction at 9 > 8: the oldest go, newest half stay.
+        kept = [payload for payload, _ in sock.inbox]
+        assert kept == [b"5", b"6", b"7", b"8"]
+        assert sock.bytes_received == 9  # accounting unaffected by eviction
+
+    def test_inbox_limit_none_is_unbounded(self):
+        net = make_network()
+        host = net.add_host("h")
+        sock = host.bind_udp(2000, inbox_limit=None)
+        src = Endpoint("5.0.0.99", 1)
+        for i in range(10_000):
+            sock.deliver(b"x", src)
+        assert len(sock.inbox) == 10_000
