@@ -51,6 +51,10 @@ SWARM_SCENARIOS = {
     "swarm_100k": (100_000, 1_000_000),
 }
 SMOKE_SCENARIOS = ("events_loop", "swarm_1k")
+#: Every runnable scenario, in report order — the vocabulary for
+#: ``--scenarios`` (e.g. the CI perf job's targeted swarm_100k run).
+ALL_SCENARIOS = ("events_loop", "swarm_1k", "swarm_10k", "swarm_100k",
+                 "swarm_10k_capture")
 REGIONS = ("us", "eu", "asia", "sa")
 
 _PAYLOAD = b"\x00" * 200  # one shared segment-chunk-sized datagram body
@@ -134,27 +138,47 @@ def bench_swarm(viewers: int, datagrams: int, capture: bool = False) -> dict:
         "events_per_sec": fired / timer.elapsed if timer.elapsed else 0.0,
         "datagrams_per_sec": sent / timer.elapsed if timer.elapsed else 0.0,
         "peak_rss_kb": peak_rss_kb(),
+        # Timing-wheel counters: in a healthy run nearly every delivery
+        # is in-band (scheduled >> overflow); a collapsing ratio means
+        # the wheel geometry no longer matches the latency band.
+        "wheel": net.loop.wheel_stats(),
     }
 
 
-def run_suite(smoke: bool = False) -> dict:
-    """Run every scenario (or the smoke subset) and package the report."""
-    scenarios: dict[str, dict] = {}
-    scenarios["events_loop"] = bench_event_loop(20_000 if smoke else 100_000)
+def run_suite(smoke: bool = False, scenarios: list[str] | None = None) -> dict:
+    """Run the selected scenarios (default: all, or the smoke subset).
+
+    ``scenarios`` takes precedence over ``smoke`` for selection (smoke
+    still shrinks the events_loop workload), which is how CI targets
+    ``swarm_100k`` alone without paying for the full suite.
+    """
+    if scenarios is None:
+        selected = SMOKE_SCENARIOS if smoke else ALL_SCENARIOS
+    else:
+        unknown = sorted(set(scenarios) - set(ALL_SCENARIOS))
+        if unknown:
+            raise SystemExit(
+                f"unknown scenario(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(ALL_SCENARIOS)}"
+            )
+        selected = tuple(scenarios)
+    report: dict[str, dict] = {}
+    if "events_loop" in selected:
+        report["events_loop"] = bench_event_loop(20_000 if smoke else 100_000)
     for name, (viewers, datagrams) in SWARM_SCENARIOS.items():
-        if smoke and name not in SMOKE_SCENARIOS:
-            continue
-        scenarios[name] = bench_swarm(viewers, datagrams)
+        if name in selected:
+            report[name] = bench_swarm(viewers, datagrams)
     # Capture-attached variant of the mid-size swarm: the cost of the
     # wire tap relative to the no-capture fast path.
-    if not smoke:
-        scenarios["swarm_10k_capture"] = bench_swarm(*SWARM_SCENARIOS["swarm_10k"],
-                                                     capture=True)
+    if "swarm_10k_capture" in selected:
+        report["swarm_10k_capture"] = bench_swarm(*SWARM_SCENARIOS["swarm_10k"],
+                                                  capture=True)
+    mode = "smoke" if smoke else "full"
     return {
         "version": 1,
-        "mode": "smoke" if smoke else "full",
+        "mode": mode if scenarios is None else "select",
         "python": platform.python_version(),
-        "scenarios": scenarios,
+        "scenarios": report,
         "peak_rss_kb": peak_rss_kb(),
     }
 
@@ -194,6 +218,10 @@ def render(report: dict) -> str:
             parts.append(f"{s['datagrams_per_sec']:>12,.0f} datagrams/sec")
         if "peak_rss_kb" in s:
             parts.append(f"rss {s['peak_rss_kb'] / 1024:,.0f} MiB")
+        if "wheel" in s:
+            wheel = s["wheel"]
+            parts.append(f"wheel {wheel['scheduled']:,} in-band / "
+                         f"{wheel['overflow']:,} overflow")
         lines.append(f"  {name:<18} " + "  ".join(parts))
     return "\n".join(lines)
 
@@ -202,6 +230,10 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="small-swarm subset for CI")
+    parser.add_argument("--scenarios", type=lambda s: s.split(","), default=None,
+                        metavar="A,B,...",
+                        help="comma-separated scenario names to run "
+                             f"(from: {', '.join(ALL_SCENARIOS)})")
     parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
                         help="where to write the JSON report")
     parser.add_argument("--no-write", action="store_true",
@@ -211,8 +243,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--threshold", type=float, default=0.30,
                         help="fractional events/sec regression that fails the check")
     args = parser.parse_args(argv)
+    if args.scenarios is not None and not args.no_write and args.out == DEFAULT_OUT:
+        parser.error("--scenarios produces a partial report; committing it as the "
+                     "baseline would blind the regression gate — add --no-write "
+                     "or point --out elsewhere")
 
-    report = run_suite(smoke=args.smoke)
+    report = run_suite(smoke=args.smoke, scenarios=args.scenarios)
     print(render(report))
 
     status = 0

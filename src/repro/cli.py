@@ -112,13 +112,16 @@ def _print_text(outcome: RunOutcome) -> None:
     else:
         print(f"FAILED: {record.error}")
     if outcome.profile:
-        from repro.harness.profile import SiteProfiler
+        from repro.harness.profile import SiteProfiler, render_wheel_summary
 
         profiler = SiteProfiler()
         profiler.total = outcome.profile["total_events"]
         profiler.sites = dict(outcome.profile["sites"])
         print()
         print(profiler.render())
+        wheel = outcome.profile.get("wheel")
+        if wheel:
+            print(render_wheel_summary(wheel))
     print(
         f"[{record.experiment}: {record.wall_seconds:.1f}s, "
         f"{record.events_fired} events, digest {str(record.result_digest)[:12]}]"

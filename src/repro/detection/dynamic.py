@@ -76,8 +76,7 @@ class DynamicConfirmer:
                 if session.skip_reason:
                     hints.append(session.skip_reason)
                 session.close()
-        capture.stop()
-        self.env.network.captures.remove(capture)
+        capture.stop()  # deregisters from the network's tap list
         result = self._classify(site.domain, capture, {probe_a.host.public_ip, probe_b.host.public_ip})
         result.pages_tested = len(video_pages)
         result.failure_hints = sorted(set(hints))
@@ -101,8 +100,7 @@ class DynamicConfirmer:
         hints = [s.skip_reason for s in (session_a, session_b) if s.skip_reason]
         session_a.close()
         session_b.close()
-        capture.stop()
-        self.env.network.captures.remove(capture)
+        capture.stop()  # deregisters from the network's tap list
         result = self._classify(
             app.package_name, capture, {probe_a.host.public_ip, probe_b.host.public_ip}
         )

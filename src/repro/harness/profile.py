@@ -9,7 +9,10 @@ creates is covered — experiments routinely build several
 - :class:`EventCounter` — total events, the figure recorded in every
   :class:`~repro.harness.manifest.RunRecord`;
 - :class:`SiteProfiler` — events grouped by *callback site* (module +
-  qualified name), surfaced by ``repro <exp> --profile``;
+  qualified name), surfaced by ``repro <exp> --profile``, with timing-
+  wheel counters folded in;
+- :class:`WheelStats` — the timing wheel's in-band/overflow totals and
+  peak occupancy across every observed loop;
 - :class:`TraceSink` — a bounded ``(when, site)`` trace for debugging.
 
 Sinks observe, never mutate: they must not schedule events or touch
@@ -53,18 +56,68 @@ class EventCounter:
         self.total += 1
 
 
+class WheelStats:
+    """Timing-wheel counters sampled per fired event, across every loop.
+
+    Reads :meth:`EventLoop.wheel_occupancy` and the loop's cumulative
+    ``wheel_scheduled`` / ``wheel_overflow`` counters; per-loop last
+    snapshots are summed so several loops (experiments routinely build
+    more than one ``Environment``) aggregate correctly.
+    """
+
+    def __init__(self) -> None:
+        self.max_occupancy = 0
+        self._loops: dict[EventLoop, tuple[int, int]] = {}
+
+    def record(self, loop: EventLoop, handle: TimerHandle) -> None:
+        """Sample the wheel gauges of the loop that just fired."""
+        occupancy = loop.wheel_occupancy
+        if occupancy > self.max_occupancy:
+            self.max_occupancy = occupancy
+        self._loops[loop] = (loop.wheel_scheduled, loop.wheel_overflow)
+
+    @property
+    def scheduled(self) -> int:
+        """Total events that took the wheel's in-band bucket path."""
+        return sum(s for s, _ in self._loops.values())
+
+    @property
+    def overflow(self) -> int:
+        """Total events that fell through to the heap."""
+        return sum(o for _, o in self._loops.values())
+
+    def to_dict(self) -> dict:
+        """Serialise for the JSON output format."""
+        return {
+            "scheduled": self.scheduled,
+            "overflow": self.overflow,
+            "max_occupancy": self.max_occupancy,
+        }
+
+
+def render_wheel_summary(wheel: dict) -> str:
+    """One line summarising a :meth:`WheelStats.to_dict` payload."""
+    return (
+        f"timing wheel: {wheel['scheduled']:,} in-band, "
+        f"{wheel['overflow']:,} heap overflow, "
+        f"peak occupancy {wheel['max_occupancy']:,}"
+    )
+
+
 class SiteProfiler(EventCounter):
     """Per-callback-site event counts, for ``--profile``."""
 
     def __init__(self) -> None:
         super().__init__()
         self.sites: dict[str, int] = {}
+        self.wheel = WheelStats()
 
     def record(self, loop: EventLoop, handle: TimerHandle) -> None:
         """Observe one fired event and attribute it to its callback site."""
         super().record(loop, handle)
         site = callsite_of(callback_of(handle))
         self.sites[site] = self.sites.get(site, 0) + 1
+        self.wheel.record(loop, handle)
 
     def top(self, n: int = 15) -> list[tuple[str, int]]:
         """The ``n`` busiest callback sites, busiest first."""
@@ -73,7 +126,11 @@ class SiteProfiler(EventCounter):
 
     def to_dict(self) -> dict:
         """Serialise for the JSON output format."""
-        return {"total_events": self.total, "sites": dict(sorted(self.sites.items()))}
+        return {
+            "total_events": self.total,
+            "sites": dict(sorted(self.sites.items())),
+            "wheel": self.wheel.to_dict(),
+        }
 
     def render(self, n: int = 15) -> str:
         """An aligned table of the busiest callback sites."""
@@ -81,11 +138,14 @@ class SiteProfiler(EventCounter):
             [site, count, f"{count / self.total * 100:.1f}%" if self.total else "-"]
             for site, count in self.top(n)
         ]
-        return render_table(
+        table = render_table(
             ["callback site", "events", "share"],
             rows,
             title=f"event-loop profile ({self.total} events, top {min(n, len(self.sites))} sites)",
         )
+        if self.wheel._loops:
+            table = f"{table}\n{render_wheel_summary(self.wheel.to_dict())}"
+        return table
 
 
 class TraceSink:

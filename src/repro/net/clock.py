@@ -7,15 +7,29 @@ fire in scheduling order (a monotonically increasing sequence number
 breaks ties), which keeps runs deterministic.
 
 The loop is the hottest code in the simulator (million-datagram swarms
-fire one event per delivery), so the dispatch path is deliberately
-flat: ``step``/``run_until`` pop and fire inline rather than through
-helper calls, and :attr:`EventLoop.pending` is an O(1) counter
-maintained by ``schedule``/``cancel``/dispatch instead of a heap scan.
+fire one event per delivery), so the scheduler is two-tier:
+
+- a **timing wheel** (calendar queue) of fixed-width buckets covering
+  the narrow in-flight-datagram delay band — O(1) append on schedule,
+  one small Timsort per bucket at dispatch time — holds the short-delay
+  timer class that dominates at swarm depth;
+- the classic **binary heap** holds everything out of band: long fault
+  timers, repeating :meth:`EventLoop.call_every` handles, and wheel
+  overflow.
+
+Dispatch merges the two tiers by ``(when, seq)``, so event order — and
+therefore every seed-pinned digest — is bit-identical to a pure-heap
+loop (``tests/chaos/test_timing_wheel.py`` proves the equivalence
+property). The dispatch path is deliberately flat: ``step``/``run_until``
+pop and fire inline rather than through helper calls, and
+:attr:`EventLoop.pending` is an O(1) counter maintained by
+``schedule``/``cancel``/dispatch instead of a queue scan.
 
 Observability: sinks registered via :meth:`EventLoop.add_sink` are
-notified after every fired event (see :mod:`repro.harness.profile`).
-Sinks are class-wide so a harness can observe every loop an experiment
-creates; they must only observe, never schedule.
+notified after every fired event (see :mod:`repro.harness.profile`);
+:meth:`EventLoop.wheel_stats` exposes the wheel's occupancy and
+overflow counters. Sinks are class-wide so a harness can observe every
+loop an experiment creates; they must only observe, never schedule.
 """
 
 from __future__ import annotations
@@ -25,6 +39,19 @@ from heapq import heappop, heappush
 from typing import Any, Callable, ClassVar
 
 from repro.util.errors import ConfigurationError
+
+#: Default timing-wheel geometry: 512 buckets of 0.5 ms cover a 256 ms
+#: horizon — wide enough for the default latency model's delay band
+#: (20 ms same-region / 120 ms cross-region base plus jitter) with slack
+#: for the wheel origin trailing ``now``. :class:`~repro.net.network.
+#: Network` retunes its loop from the latency model's actual band via
+#: :meth:`EventLoop.configure_wheel_for_band`.
+DEFAULT_WHEEL_SLOTS = 512
+DEFAULT_WHEEL_WIDTH = 0.0005
+
+#: Floor for a derived bucket width — a degenerate band (all-zero
+#: latencies) must not produce zero-width buckets.
+MIN_WHEEL_WIDTH = 1e-5
 
 
 class TimerHandle:
@@ -40,9 +67,9 @@ class TimerHandle:
         self.callback = callback
         self.args = args
         self.cancelled = False
-        # The loop whose heap currently holds this handle; None once the
+        # The loop whose queue currently holds this handle; None once the
         # handle is popped (or never queued). Lets cancel() keep the
-        # loop's live-event counter exact without a heap scan.
+        # loop's live-event counter exact without a queue scan.
         self._loop: "EventLoop | None" = None
 
     def cancel(self) -> None:
@@ -60,10 +87,12 @@ class RepeatingHandle(TimerHandle):
     """Handle for one :meth:`EventLoop.call_every` chain.
 
     Unlike a plain :class:`TimerHandle`, this handle *is* the entry in
-    the loop's heap: after each tick it re-inserts itself, advancing
+    the loop's queue: after each tick it re-inserts itself, advancing
     :attr:`when` to the next occurrence. ``cancel()`` therefore stops
     the chain directly, and the loop's ``pending`` count sees exactly
-    one entry per repeating timer.
+    one entry per repeating timer. Repeating timers are a heap-class
+    timer by design — they span arbitrary intervals, so they bypass the
+    wheel entirely (see the module docstring).
     """
 
     __slots__ = ("interval", "until")
@@ -96,20 +125,62 @@ class RepeatingHandle(TimerHandle):
 
 
 class EventLoop:
-    """A heap-based discrete-event scheduler."""
+    """A two-tier (timing wheel + binary heap) discrete-event scheduler.
+
+    The wheel covers ``[_wheel_tick * width, (_wheel_tick + slots) *
+    width)``: an entry whose bucket index (``int(when / width)``) falls
+    in that window is appended to its bucket in O(1); everything else —
+    including every entry while the wheel is disabled — goes to the
+    heap. At dispatch time the next due bucket is *collected*: sorted
+    descending by ``(when, seq)`` into ``_cursor`` so ``cursor.pop()``
+    yields events in ascending order, then merged entry-by-entry
+    against the heap top. Buckets partition time, so every uncollected
+    wheel entry is strictly later than every cursor entry, and the
+    global minimum is always ``min(cursor[-1], heap[0])``.
+    """
+
+    #: Slotted for the same reason the per-packet classes are: the
+    #: dispatch and schedule paths touch half a dozen loop attributes
+    #: per event, and slot access skips the instance-dict indirection.
+    __slots__ = (
+        "now", "_heap", "_seq", "_events_fired", "_live",
+        "_wheel", "_cursor", "_wheel_tick", "_wheel_count",
+        "_wheel_width", "_wheel_inv", "_wheel_slots",
+        "wheel_scheduled", "wheel_overflow",
+    )
 
     #: Class-wide observer sinks (see :mod:`repro.harness.profile`). A
     #: tuple so the hot-path emptiness check is a plain truthiness test.
     _sinks: ClassVar[tuple] = ()
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        wheel_width: float | None = None,
+        wheel_slots: int | None = None,
+    ) -> None:
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, TimerHandle]] = []
+        self._heap: list[tuple] = []
         self._seq = itertools.count()
         self._events_fired = 0
-        #: Not-yet-cancelled entries in the heap — the O(1) source of
-        #: :attr:`pending`, maintained by push/cancel/pop.
+        #: Not-yet-cancelled entries queued (heap + wheel + cursor) — the
+        #: O(1) source of :attr:`pending`, maintained by push/cancel/pop.
         self._live = 0
+        # -- timing wheel state (geometry set by configure_wheel) ------
+        self._wheel: list[list] = []
+        self._cursor: list = []  # collected bucket, sorted descending
+        self._wheel_tick = 0  # next bucket index not yet collected
+        self._wheel_count = 0  # entries resident in buckets (not cursor)
+        self._wheel_width = 0.0
+        self._wheel_inv = 0.0
+        self._wheel_slots = 0
+        #: Cumulative wheel counters, surfaced by :meth:`wheel_stats`.
+        self.wheel_scheduled = 0
+        self.wheel_overflow = 0
+        if wheel_slots is None:
+            wheel_slots = DEFAULT_WHEEL_SLOTS
+        if wheel_width is None:
+            wheel_width = DEFAULT_WHEEL_WIDTH
+        self.configure_wheel(wheel_width if wheel_slots else None, wheel_slots)
 
     # -- instrumentation -------------------------------------------------
 
@@ -123,13 +194,121 @@ class EventLoop:
         """Unregister a sink previously passed to :meth:`add_sink`."""
         cls._sinks = tuple(s for s in cls._sinks if s is not sink)
 
+    @property
+    def wheel_occupancy(self) -> int:
+        """Entries currently wheel-resident (buckets plus cursor)."""
+        return self._wheel_count + len(self._cursor)
+
+    def wheel_stats(self) -> dict:
+        """The wheel's geometry and counters, for profile sinks/benches."""
+        return {
+            "slots": self._wheel_slots,
+            "bucket_width": self._wheel_width,
+            "scheduled": self.wheel_scheduled,
+            "overflow": self.wheel_overflow,
+            "occupancy": self.wheel_occupancy,
+        }
+
+    def _iter_queued(self):
+        """Yield every queued entry across both tiers (tests/debug only)."""
+        yield from self._heap
+        yield from self._cursor
+        for bucket in self._wheel:
+            yield from bucket
+
+    # -- wheel geometry --------------------------------------------------
+
+    def configure_wheel(
+        self,
+        bucket_width: float | None,
+        slots: int = DEFAULT_WHEEL_SLOTS,
+    ) -> None:
+        """Resize the wheel; ``bucket_width=None`` or ``slots=0`` disables it.
+
+        Safe mid-run: bucket-resident entries are flushed to the heap
+        and dispatch merges the tiers by ``(when, seq)``, so event order
+        is unchanged. The already-collected cursor is left in place for
+        the same reason. Counters survive reconfiguration.
+        """
+        if bucket_width is not None and bucket_width <= 0:
+            raise ConfigurationError(f"bucket width must be positive (got {bucket_width})")
+        heap = self._heap
+        for bucket in self._wheel:
+            for entry in bucket:
+                heappush(heap, entry)
+        if bucket_width is None or slots <= 0:
+            self._wheel = []
+            self._wheel_width = 0.0
+            self._wheel_inv = 0.0
+            self._wheel_slots = 0
+            self._wheel_tick = 0
+        else:
+            self._wheel = [[] for _ in range(slots)]
+            self._wheel_width = bucket_width
+            self._wheel_inv = 1.0 / bucket_width
+            self._wheel_slots = slots
+            self._wheel_tick = int(self.now * self._wheel_inv)
+        self._wheel_count = 0
+
+    def configure_wheel_for_band(
+        self,
+        max_delay: float,
+        slots: int = DEFAULT_WHEEL_SLOTS,
+    ) -> None:
+        """Pick a bucket width so delays up to ``max_delay`` stay in-band.
+
+        The horizon is 2x the band: the wheel origin trails ``now`` by
+        up to one collected bucket plus scheduling slack, and anything
+        past the horizon (fault impairments, uplink queueing spikes)
+        overflows to the heap, which is exactly where rare long timers
+        belong.
+        """
+        if slots <= 0:
+            self.configure_wheel(None, 0)
+            return
+        width = (2.0 * max_delay) / slots
+        if width < MIN_WHEEL_WIDTH:
+            width = MIN_WHEEL_WIDTH
+        self.configure_wheel(width, slots)
+
     # -- scheduling ------------------------------------------------------
+
+    def _enqueue(self, entry: tuple) -> None:
+        """Route one ``(when, seq, …)`` entry to the wheel or the heap.
+
+        Kept in sync with the inline copy in
+        :meth:`repro.net.network.Network.send_datagram` (a call frame
+        per datagram is measurable at swarm scale).
+        """
+        tick = int(entry[0] * self._wheel_inv)
+        if 0 <= tick - self._wheel_tick < self._wheel_slots:
+            self._wheel[tick % self._wheel_slots].append(entry)
+            self._wheel_count += 1
+            self.wheel_scheduled += 1
+        else:
+            self._overflow(entry, tick)
+
+    def _overflow(self, entry: tuple, tick: int) -> None:
+        """Heap fallback for out-of-band entries (resyncs an idle wheel)."""
+        if self._wheel_slots and not self._wheel_count and not self._cursor:
+            base = int(self.now * self._wheel_inv)
+            if base > self._wheel_tick:
+                # The wheel sat idle while heap events advanced the
+                # clock; drag the origin forward and re-test the band.
+                self._wheel_tick = base
+                if 0 <= tick - base < self._wheel_slots:
+                    self._wheel[tick % self._wheel_slots].append(entry)
+                    self._wheel_count += 1
+                    self.wheel_scheduled += 1
+                    return
+        self.wheel_overflow += 1
+        heappush(self._heap, entry)
 
     def _push(self, handle: TimerHandle) -> None:
         """Queue ``handle`` and account for it in the live counter."""
         handle._loop = self
         self._live += 1
-        heappush(self._heap, (handle.when, next(self._seq), handle))
+        self._enqueue((handle.when, next(self._seq), handle))
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> TimerHandle:
         """Run ``callback(*args)`` after ``delay`` simulated seconds."""
@@ -144,16 +323,18 @@ class EventLoop:
 
         The network data plane schedules one delivery per datagram; this
         skips :meth:`schedule`'s bounds check and the whole
-        :class:`TimerHandle` allocation — the heap entry itself becomes
+        :class:`TimerHandle` allocation — the queue entry itself becomes
         a ``(when, seq, callback, args)`` 4-tuple the dispatch paths
         special-case by length (one container allocation per event
         instead of two, which also halves this path's GC pressure). The
         caller guarantees ``when >= now`` and gets no handle back, so
         the event cannot be cancelled (in-flight datagrams never are;
-        faults drop at delivery time instead).
+        faults drop at delivery time instead). This is the timer class
+        the wheel was built for: in-band entries take an O(1) bucket
+        append instead of an O(log n) heap sift.
         """
         self._live += 1
-        heappush(self._heap, (when, next(self._seq), callback, args))
+        self._enqueue((when, next(self._seq), callback, args))
 
     def schedule_at(self, when: float, callback: Callable[..., Any], *args: Any) -> TimerHandle:
         """Run ``callback(*args)`` at absolute time ``when``."""
@@ -175,34 +356,78 @@ class EventLoop:
         Returns the :class:`RepeatingHandle` driving the chain: its
         ``when`` always points at the next occurrence, and ``cancel()``
         stops the repetition. A tick scheduled past ``until`` fires
-        nothing and ends the chain.
+        nothing and ends the chain. Repeating handles live on the heap,
+        never the wheel, matching :meth:`RepeatingHandle._fire`'s
+        re-insertion.
         """
         if interval <= 0:
             raise ConfigurationError("interval must be positive")
         handle = RepeatingHandle(self.now + interval, callback, args, interval, until)
-        self._push(handle)
+        handle._loop = self
+        self._live += 1
+        heappush(self._heap, (handle.when, next(self._seq), handle))
         return handle
 
     # -- execution -------------------------------------------------------
 
     # step(), run_until() and run_all() intentionally duplicate the fire
-    # sequence (anonymous-vs-handle branch, live-counter bookkeeping,
-    # repeating-vs-plain branch, sink notification): one event is one
-    # pass through this code, and the extra call frames of a shared
-    # helper are measurable at swarm scale. Anonymous events — the
-    # ``(when, seq, callback, args)`` 4-tuples pushed by
-    # :meth:`schedule_fast` — take the first branch: no cancelled check,
-    # no handle bookkeeping. Sinks receive the raw 4-tuple for those
-    # (see ``repro.harness.profile.callback_of``). run_until() and
-    # run_all() accumulate the fired count in a local and flush it in a
-    # ``finally``, so ``events_fired`` is only guaranteed current
-    # *between* drain calls — no in-tree callback reads it mid-drain.
+    # sequence (two-tier selection, anonymous-vs-handle branch,
+    # live-counter bookkeeping, repeating-vs-plain branch, sink
+    # notification): one event is one pass through this code, and the
+    # extra call frames of a shared helper are measurable at swarm
+    # scale. Selection invariant: _collect() is called whenever the
+    # cursor is empty and buckets are not, so the wheel's minimum entry
+    # is always cursor[-1] and the global minimum is the smaller of
+    # cursor[-1] and heap[0] by (when, seq) tuple comparison (seq is
+    # unique, so the comparison never reaches the callback element).
+    # Anonymous events — the ``(when, seq, callback, args)`` 4-tuples
+    # pushed by :meth:`schedule_fast` — take the first fire branch: no
+    # cancelled check, no handle bookkeeping. Sinks receive the raw
+    # 4-tuple for those (see ``repro.harness.profile.callback_of``).
+    # run_until() and run_all() accumulate the fired count in a local
+    # and flush it in a ``finally``, so ``events_fired`` is only
+    # guaranteed current *between* drain calls — no in-tree callback
+    # reads it mid-drain.
+
+    def _collect(self) -> None:
+        """Move the next nonempty bucket into the sorted cursor.
+
+        Only called when the cursor is empty and ``_wheel_count > 0``;
+        every resident entry lies within one lap ahead of
+        ``_wheel_tick`` (the enqueue band check guarantees it), so the
+        scan terminates within ``slots`` probes. The bucket is sorted
+        descending so ``cursor.pop()`` yields ``(when, seq)`` ascending.
+        """
+        wheel = self._wheel
+        n = self._wheel_slots
+        tick = self._wheel_tick
+        bucket = wheel[tick % n]
+        while not bucket:
+            tick += 1
+            bucket = wheel[tick % n]
+        wheel[tick % n] = []
+        self._wheel_tick = tick + 1
+        self._wheel_count -= len(bucket)
+        bucket.sort(reverse=True)
+        self._cursor = bucket
 
     def step(self) -> bool:
         """Fire the next event. Returns False when the queue is empty."""
         heap = self._heap
-        while heap:
-            entry = heappop(heap)
+        while True:
+            cursor = self._cursor
+            if not cursor and self._wheel_count:
+                self._collect()
+                cursor = self._cursor
+            if cursor:
+                if heap and heap[0] < cursor[-1]:
+                    entry = heappop(heap)
+                else:
+                    entry = cursor.pop()
+            elif heap:
+                entry = heappop(heap)
+            else:
+                return False
             if len(entry) == 4:
                 self._live -= 1
                 self.now = entry[0]
@@ -224,15 +449,34 @@ class EventLoop:
                 for sink in EventLoop._sinks:
                     sink.record(self, handle)
             return True
-        return False
 
     def run_until(self, deadline: float) -> None:
         """Fire all events scheduled at or before ``deadline``."""
         heap = self._heap
         fired = 0
         try:
-            while heap and heap[0][0] <= deadline:
-                entry = heappop(heap)
+            while True:
+                # Re-read per iteration: _collect() replaces the cursor
+                # object, and a callback may nest another drain call.
+                cursor = self._cursor
+                if not cursor and self._wheel_count:
+                    self._collect()
+                    cursor = self._cursor
+                if cursor:
+                    if heap and heap[0] < cursor[-1]:
+                        if heap[0][0] > deadline:
+                            break
+                        entry = heappop(heap)
+                    else:
+                        if cursor[-1][0] > deadline:
+                            break
+                        entry = cursor.pop()
+                elif heap:
+                    if heap[0][0] > deadline:
+                        break
+                    entry = heappop(heap)
+                else:
+                    break
                 if len(entry) == 4:
                     self._live -= 1
                     self.now = entry[0]
@@ -271,8 +515,22 @@ class EventLoop:
         heap = self._heap
         fired = 0
         try:
-            while heap:
-                entry = heappop(heap)
+            while True:
+                # Re-read per iteration: _collect() replaces the cursor
+                # object, and a callback may nest another drain call.
+                cursor = self._cursor
+                if not cursor and self._wheel_count:
+                    self._collect()
+                    cursor = self._cursor
+                if cursor:
+                    if heap and heap[0] < cursor[-1]:
+                        entry = heappop(heap)
+                    else:
+                        entry = cursor.pop()
+                elif heap:
+                    entry = heappop(heap)
+                else:
+                    break
                 if len(entry) == 4:
                     self._live -= 1
                     self.now = entry[0]

@@ -18,7 +18,6 @@ ring buffers (see ``docs/PERFORMANCE.md``).
 from __future__ import annotations
 
 import itertools
-from heapq import heappush
 from typing import Callable
 
 from repro.net.addresses import Endpoint, int_to_ip, ip_to_int
@@ -50,7 +49,8 @@ class UdpSocket:
     """
 
     __slots__ = ("host", "port", "handler", "inbox", "closed",
-                 "bytes_sent", "bytes_received", "inbox_limit", "_net_send")
+                 "bytes_sent", "bytes_received", "inbox_limit", "_net_send",
+                 "_wire_src")
 
     def __init__(
         self,
@@ -69,6 +69,18 @@ class UdpSocket:
         self.bytes_received = 0
         # Pre-bound data-plane entry point: send() is per-datagram hot.
         self._net_send = host.network.send_datagram
+        # Public hosts have one fixed wire-source endpoint per port, so
+        # the socket resolves it once at bind time and send() skips the
+        # per-datagram lookup. NATed sockets pass None: their wire
+        # source depends on the destination (NAT outbound mapping).
+        if host.nat is None:
+            wire = host._wire_endpoints.get(port)
+            if wire is None:
+                wire = Endpoint(host.ip, port)
+                host._wire_endpoints[port] = wire
+            self._wire_src: Endpoint | None = wire
+        else:
+            self._wire_src = None
 
     @property
     def endpoint(self) -> Endpoint:
@@ -80,7 +92,7 @@ class UdpSocket:
         if self.closed:
             raise NetworkError(f"socket {self.endpoint} is closed")
         self.bytes_sent += len(payload)
-        self._net_send(self.host, self.port, dst, payload)
+        self._net_send(self.host, self.port, dst, payload, self._wire_src)
 
     def deliver(self, payload: bytes, src: Endpoint) -> None:
         """Push a message to the attached client, if any."""
@@ -179,9 +191,16 @@ class Network:
         self.rand = (rand or DeterministicRandom(0)).fork("network")
         # (src_region, dst_region) -> base one-way latency; cleared when
         # either latency knob is assigned (see the property setters).
+        # The hot send path bypasses this cache (a direct region compare
+        # is cheaper than the key tuple it would allocate) and records
+        # the band it observed in _saw_cross_region instead.
         self._latency_base: dict[tuple[str | None, str | None], float] = {}
-        self.base_latency = base_latency
-        self.cross_region_latency = cross_region_latency
+        self._saw_cross_region = False
+        # Direct assignment (not the property setters): the setters
+        # retune the loop's timing wheel, which wants every latency knob
+        # in place first — one _tune_wheel() call below covers them all.
+        self._base_latency = base_latency
+        self._cross_region_latency = cross_region_latency
         self.jitter = jitter
         self.loss_rate = loss_rate
         self.hosts: dict[str, Host] = {}  # keyed by the host's own ip
@@ -202,11 +221,13 @@ class Network:
         # behind self.rand, for the inline jitter computation.
         self._deliver_cb = self._deliver
         self._rand_random = self.rand.random
+        self._tune_wheel()
 
     # -- latency model knobs ---------------------------------------------
 
     # Both knobs are settable mid-run (experiments tune them after
-    # construction), so the setters invalidate the region-pair cache.
+    # construction), so the setters invalidate the region-pair cache and
+    # re-derive the timing wheel's bucket geometry from the new band.
 
     @property
     def base_latency(self) -> float:
@@ -217,6 +238,7 @@ class Network:
     def base_latency(self, value: float) -> None:
         self._base_latency = value
         self._latency_base.clear()
+        self._tune_wheel()
 
     @property
     def cross_region_latency(self) -> float:
@@ -227,6 +249,40 @@ class Network:
     def cross_region_latency(self, value: float) -> None:
         self._cross_region_latency = value
         self._latency_base.clear()
+        self._tune_wheel()
+
+    def _tune_wheel(self) -> None:
+        """Size the loop's timing wheel from the latency model's band.
+
+        The in-flight-datagram delay band runs from the 1 ms floor up to
+        the largest per-region base latency plus folded jitter. Observed
+        traffic narrows it: once any datagram has been scheduled, the
+        band covers only the latency classes actually used — the
+        region-pair cache (filled by :meth:`latency_between`) and the
+        send path's cross-region flag — so an all-same-region swarm gets
+        same-region-sized buckets. Before any traffic the knobs bound
+        the band. Reconfiguring mid-run is order-safe (see
+        :meth:`~repro.net.clock.EventLoop.configure_wheel`).
+        """
+        observed = self._latency_base
+        if self._saw_cross_region:
+            band = max(self._base_latency, self._cross_region_latency)
+        elif self.datagrams_sent or observed:
+            band = max(self._base_latency,
+                       max(observed.values()) if observed else 0.0)
+        else:
+            band = max(self._base_latency, self._cross_region_latency)
+        self.loop.configure_wheel_for_band(band + self.jitter)
+
+    def retune_wheel(self) -> None:
+        """Re-derive the wheel geometry from the observed latency band.
+
+        Call after warm-up traffic to tighten the bucket width to the
+        delay band this topology actually uses (an all-same-region
+        swarm gets ~6x finer buckets than the cross-region worst case
+        the constructor assumes).
+        """
+        self._tune_wheel()
 
     # -- topology --------------------------------------------------------
 
@@ -308,8 +364,14 @@ class Network:
         return ip in self._routable
 
     def add_capture(self, capture: TrafficCapture) -> TrafficCapture:
-        """Register a traffic capture observing every sent datagram."""
+        """Register a traffic capture observing every sent datagram.
+
+        The capture remembers this network as a tap point, so
+        :meth:`TrafficCapture.stop` deregisters it here and the no-tap
+        fast branch in :meth:`send_datagram` re-engages.
+        """
         self.captures.append(capture)
+        capture._taps.append(self)
         return capture
 
     # -- data plane ------------------------------------------------------
@@ -367,17 +429,30 @@ class Network:
             return None, 0, "no_host"
         return dest_host, internal.port, None
 
-    def send_datagram(self, src_host: Host, src_port: int, dst: Endpoint, payload: bytes) -> None:
-        """Send one datagram. NAT-translates, captures, drops, delivers."""
+    def send_datagram(
+        self,
+        src_host: Host,
+        src_port: int,
+        dst: Endpoint,
+        payload: bytes,
+        wire_src: Endpoint | None = None,
+    ) -> None:
+        """Send one datagram. NAT-translates, captures, drops, delivers.
+
+        ``wire_src`` lets a :class:`UdpSocket` on a public host pass its
+        bind-time wire endpoint and skip the per-datagram resolution;
+        NATed sockets and direct callers pass ``None``.
+        """
         self.datagrams_sent += 1
-        nat = src_host.nat
-        if nat is not None:
-            wire_src = nat.outbound(Endpoint(src_host.ip, src_port), dst)
-        else:
-            wire_src = src_host._wire_endpoints.get(src_port)
-            if wire_src is None:
-                wire_src = Endpoint(src_host.ip, src_port)
-                src_host._wire_endpoints[src_port] = wire_src
+        if wire_src is None:
+            nat = src_host.nat
+            if nat is not None:
+                wire_src = nat.outbound(Endpoint(src_host.ip, src_port), dst)
+            else:
+                wire_src = src_host._wire_endpoints.get(src_port)
+                if wire_src is None:
+                    wire_src = Endpoint(src_host.ip, src_port)
+                    src_host._wire_endpoints[src_port] = wire_src
 
         # Inline of _resolve_destination: public-host targets (the vast
         # majority at swarm scale) resolve without a helper call.
@@ -429,21 +504,21 @@ class Network:
             self._drop(route_fail)
             return
 
-        # Inline of latency_between: one cache hit plus the jitter draw.
+        # Inline of latency_between's region rule, allocation-free: no
+        # (src, dst) key tuple is built per send (every container
+        # allocated here advances the gen-0 GC counter), and the region
+        # strings are shared objects so == takes the pointer fast path.
         # The jitter expression is bit-exact with uniform(-j, j) — it is
         # random.Random.uniform's ``a + (b - a) * random()`` with the
         # constants folded — and consumes exactly one draw, so replays
         # are unchanged.
-        key = (src_host.region, dest_host.region)
-        base = self._latency_base.get(key)
-        if base is None:
-            src_region, dst_region = key
-            base = (
-                self._base_latency
-                if src_region == dst_region or src_region is None or dst_region is None
-                else self._cross_region_latency
-            )
-            self._latency_base[key] = base
+        src_region = src_host.region
+        dst_region = dest_host.region
+        if src_region == dst_region or src_region is None or dst_region is None:
+            base = self._base_latency
+        else:
+            base = self._cross_region_latency
+            self._saw_cross_region = True
         jitter = self.jitter
         delay = base + ((jitter + jitter) * self._rand_random() - jitter)
         if delay <= 0.001:
@@ -453,13 +528,25 @@ class Network:
         if conditions is not None:
             delay += conditions.extra_latency
             delay += faults.link_queue_delay(src_host, dest_host, len(payload), conditions)
-        # Inline of loop.schedule_fast: the push is two statements, and a
-        # call frame per datagram is measurable at swarm scale.
+        # Inline of loop.schedule_fast / EventLoop._enqueue (keep the two
+        # in sync): a call frame per datagram is measurable at swarm
+        # scale. In-band deliveries — the overwhelming majority, since
+        # the wheel is sized off this network's own latency band — take
+        # an O(1) bucket append; everything else (fault impairments,
+        # uplink queueing spikes) falls through to the heap.
         self.datagrams_in_flight += 1
         loop = self.loop
         loop._live += 1
-        heappush(loop._heap, (loop.now + delay, next(loop._seq),
-                              self._deliver_cb, (dest_host, dest_port, payload, wire_src)))
+        when = loop.now + delay
+        entry = (when, next(loop._seq),
+                 self._deliver_cb, (dest_host, dest_port, payload, wire_src))
+        tick = int(when * loop._wheel_inv)
+        if 0 <= tick - loop._wheel_tick < loop._wheel_slots:
+            loop._wheel[tick % loop._wheel_slots].append(entry)
+            loop._wheel_count += 1
+            loop.wheel_scheduled += 1
+        else:
+            loop._overflow(entry, tick)
 
     def _uplink_queue_delay(self, src_host: Host, size: int) -> float:
         """Serialisation + queueing on a capacity-limited uplink.

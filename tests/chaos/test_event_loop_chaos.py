@@ -178,9 +178,9 @@ class TestPendingCounter:
         repeating.cancel()
         assert loop.pending == 0
 
-    def test_pending_matches_heap_scan_across_mixed_churn(self):
-        """Counter == brute-force scan after a seeded mix of schedule,
-        schedule_fast, cancel and dispatch."""
+    def test_pending_matches_queue_scan_across_mixed_churn(self):
+        """Counter == brute-force scan (heap + wheel buckets + cursor)
+        after a seeded mix of schedule, schedule_fast, cancel, dispatch."""
         from repro.net.clock import TimerHandle
         from repro.util.rand import DeterministicRandom
 
@@ -197,11 +197,11 @@ class TestPendingCounter:
                 handles.pop(rand.randint(0, len(handles) - 1)).cancel()
             else:
                 loop.run(rand.uniform(0, 0.5))
-        live_in_heap = sum(
-            1 for entry in loop._heap
+        live_queued = sum(
+            1 for entry in loop._iter_queued()
             if len(entry) == 4 or not entry[2].cancelled
         )
-        assert loop.pending == live_in_heap
+        assert loop.pending == live_queued
         loop.run_all()
         assert loop.pending == 0
         assert isinstance(handles[0], TimerHandle)

@@ -1,0 +1,214 @@
+"""Timing-wheel equivalence: the two-tier scheduler is order-invisible.
+
+The wheel is a pure performance structure — dispatch merges it with the
+heap by ``(when, seq)``, so a wheel-enabled loop must fire the *exact*
+same event sequence as a pure-heap loop, seed for seed, fault plan for
+fault plan. The property tests here run whole chaos scenarios twice
+(wheel on / wheel off) and compare the full dispatch trace and every
+network counter; the experiment-level test proves the pinned result
+digests are reproduced with the wheel disabled outright.
+
+The boundary tests pin the wheel mechanics the property can miss:
+bucket rollover across many laps, far-future overflow to the heap,
+cancellation of wheel-resident handles, the idle-wheel origin resync,
+and mid-run geometry changes.
+"""
+
+import pytest
+
+import repro.experiments  # noqa: F401  - triggers @experiment registration
+from repro.harness import registry
+from repro.harness.runner import execute_spec
+from repro.net import clock
+from repro.net.clock import EventLoop
+from repro.net.faults import FaultInjector
+from repro.net.network import Network
+from repro.util.rand import DeterministicRandom
+
+from tests.chaos.gen import (
+    assert_conserved,
+    chaos_seeds,
+    pump_random_traffic,
+    random_plan,
+    random_topology,
+)
+
+
+class OrderTrace:
+    """A sink recording the exact dispatch sequence, seq numbers included.
+
+    Anonymous fast-path entries expose their ``(when, seq)`` directly;
+    handle-based timers contribute ``when`` plus their kind. Two runs
+    that schedule in the same order produce identical seq streams, so
+    list equality is a bit-exact order comparison.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[tuple] = []
+
+    def record(self, loop: EventLoop, handle) -> None:
+        if type(handle) is tuple:
+            self.events.append((handle[0], handle[1], "fast"))
+        else:
+            self.events.append((handle.when, None, type(handle).__name__))
+
+
+def run_chaos_scenario(seed: int, wheel: bool, faults: bool) -> tuple[list, dict]:
+    """One full seeded chaos run; returns (dispatch trace, counters)."""
+    net = Network(rand=DeterministicRandom(seed))
+    if not wheel:
+        # Disable after construction: Network's own tuner sizes the
+        # wheel, so a pure-heap control run must switch it off here.
+        net.loop.configure_wheel(None, 0)
+    rand = DeterministicRandom(f"wheel-eq:{seed}")
+    hosts = random_topology(rand.fork("topo"), net)
+    if faults:
+        FaultInjector(net).arm(random_plan(rand.fork("faults"), hosts, horizon=30.0))
+    pump_random_traffic(rand.fork("traffic"), net, hosts, count=300, horizon=25.0)
+    trace = OrderTrace()
+    EventLoop.add_sink(trace)
+    try:
+        net.loop.run_until(40.0)
+    finally:
+        EventLoop.remove_sink(trace)
+    assert_conserved(net)
+    if not wheel:
+        assert net.loop.wheel_scheduled == 0  # control run truly heap-only
+    counters = {
+        "sent": net.datagrams_sent,
+        "delivered": net.datagrams_delivered,
+        "dropped": net.datagrams_dropped,
+        "by_reason": dict(net.drops_by_reason),
+        "events": net.loop.events_fired,
+    }
+    return trace.events, counters
+
+
+class TestWheelHeapEquivalence:
+    """Same seed, same plan => same dispatch order, wheel on or off."""
+
+    @pytest.mark.parametrize("seed", chaos_seeds(3, "timing-wheel"))
+    @pytest.mark.parametrize("faults", [False, True], ids=["calm", "chaos-mix"])
+    def test_dispatch_trace_is_bit_identical(self, seed, faults):
+        wheel_trace, wheel_counts = run_chaos_scenario(seed, wheel=True, faults=faults)
+        heap_trace, heap_counts = run_chaos_scenario(seed, wheel=False, faults=faults)
+        assert wheel_trace == heap_trace
+        assert wheel_counts == heap_counts
+        assert len(wheel_trace) == wheel_counts["events"]
+
+    @pytest.mark.parametrize("name", ["bandwidth", "chaos"])
+    def test_experiment_digest_survives_wheel_removal(self, name, monkeypatch):
+        """The pinned digests do not depend on the wheel existing at all."""
+        params = registry.get(name).resolve_params(quick=True)
+        with_wheel = execute_spec(name, 2024, params)
+        assert with_wheel.record.ok, with_wheel.record.error
+        monkeypatch.setattr(clock, "DEFAULT_WHEEL_SLOTS", 0)
+        monkeypatch.setattr(Network, "_tune_wheel", lambda self: None)
+        without_wheel = execute_spec(name, 2024, params)
+        assert without_wheel.record.ok, without_wheel.record.error
+        assert with_wheel.record.result_digest == without_wheel.record.result_digest
+
+
+class TestBucketBoundaries:
+    def test_rollover_across_many_laps(self):
+        """A self-rescheduling chain walks 25 laps of an 8-slot wheel."""
+        loop = EventLoop(wheel_width=0.01, wheel_slots=8)
+        fired = []
+
+        def chain(i):
+            fired.append((i, loop.now))
+            if i < 40:
+                loop.schedule_fast(loop.now + 0.05, chain, (i + 1,))
+
+        loop.schedule_fast(0.05, chain, (1,))
+        loop.run_all()
+        assert [i for i, _ in fired] == list(range(1, 41))
+        for i, when in fired:
+            assert when == pytest.approx(0.05 * i)
+        assert loop.wheel_scheduled == 40
+        assert loop.wheel_overflow == 0
+        assert loop.pending == 0
+
+    def test_exact_bucket_edge_keeps_seq_order(self):
+        """Entries landing exactly on a bucket edge stay FIFO by seq."""
+        loop = EventLoop(wheel_width=0.01, wheel_slots=8)
+        order = []
+        loop.schedule_fast(0.02, order.append, ("a",))
+        loop.schedule_fast(0.02, order.append, ("b",))
+        loop.schedule_fast(0.01, order.append, ("c",))
+        loop.run_all()
+        assert order == ["c", "a", "b"]
+
+    def test_far_future_overflows_to_heap(self):
+        loop = EventLoop(wheel_width=0.01, wheel_slots=8)  # 80 ms horizon
+        order = []
+        loop.schedule_fast(1.0, order.append, ("far",))
+        loop.schedule_fast(0.03, order.append, ("near",))
+        assert loop.wheel_overflow == 1
+        assert loop.wheel_scheduled == 1
+        assert loop.pending == 2
+        loop.run_all()
+        assert order == ["near", "far"]
+        assert loop.pending == 0
+        assert loop.now == 1.0
+
+    def test_cancel_wheel_resident_timer(self):
+        loop = EventLoop()  # default geometry: 10/20 ms are in-band
+        fired = []
+        victim = loop.schedule(0.01, fired.append, "victim")
+        loop.schedule(0.02, fired.append, "keeper")
+        assert loop.wheel_occupancy == 2
+        victim.cancel()
+        assert loop.pending == 1
+        loop.run_all()
+        assert fired == ["keeper"]
+        assert loop.pending == 0
+
+    def test_cancel_wheel_sibling_from_callback_in_same_bucket(self):
+        loop = EventLoop(wheel_width=0.01, wheel_slots=8)
+        fired = []
+        victim = loop.schedule_at(0.0152, fired.append, "victim")
+        loop.schedule_at(0.0151, victim.cancel)  # same bucket, earlier seq... and when
+        loop.schedule_at(0.0153, fired.append, "survivor")
+        loop.run_all()
+        assert fired == ["survivor"]
+        assert loop.pending == 0
+
+    def test_idle_wheel_resyncs_origin_to_now(self):
+        """Heap-only progress far past the horizon drags the origin along."""
+        loop = EventLoop(wheel_width=0.01, wheel_slots=8)
+        loop.schedule(1.0, lambda: None)  # way out of band: heap
+        assert loop.wheel_overflow == 1
+        loop.run_all()
+        assert loop.now == 1.0
+        fired = []
+        loop.schedule(0.03, fired.append, "late")  # in-band again, relative to now
+        assert loop.wheel_scheduled == 1  # resync re-opened the wheel window
+        loop.run_all()
+        assert fired == ["late"]
+        assert loop.now == pytest.approx(1.03)
+
+    def test_run_until_leaves_later_bucket_entries_queued(self):
+        """A deadline mid-bucket fires only the due half of the bucket."""
+        loop = EventLoop(wheel_width=0.01, wheel_slots=8)
+        fired = []
+        loop.schedule_fast(0.011, fired.append, ("early",))
+        loop.schedule_fast(0.019, fired.append, ("late",))  # same bucket
+        loop.run_until(0.015)
+        assert fired == ["early"]
+        assert loop.pending == 1
+        loop.run_until(0.02)
+        assert fired == ["early", "late"]
+
+    def test_configure_wheel_mid_run_preserves_order(self):
+        loop = EventLoop(wheel_width=0.01, wheel_slots=8)
+        fired = []
+        for when in (0.011, 0.034, 0.052):
+            loop.schedule_fast(when, fired.append, (when,))
+        loop.configure_wheel(0.002, 16)  # flushes residents to the heap
+        for when in (0.005, 0.04):
+            loop.schedule_fast(when, fired.append, (when,))
+        loop.run_all()
+        assert fired == sorted(fired)
+        assert len(fired) == 5
+        assert loop.pending == 0

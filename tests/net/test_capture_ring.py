@@ -1,0 +1,142 @@
+"""TrafficCapture memory bounds and tap-list lifecycle.
+
+Ring-buffer mode mirrors the socket ``inbox_limit`` design: past
+``max_packets`` the oldest half is batch-evicted, counted in
+``dropped_records``, while ``total_bytes()`` keeps streaming over every
+packet ever recorded. ``stop()`` must *deregister* the capture from the
+network's tap list — a stopped-but-registered capture would keep the
+data plane building a CapturedPacket per datagram just to refuse it, so
+the regression test below pins that post-stop traffic runs the exact
+no-capture code path (compared by event counts, not wall time).
+"""
+
+from repro.net.addresses import Endpoint
+from repro.net.capture import TrafficCapture
+from repro.net.clock import EventLoop
+from repro.net.network import Network
+from repro.util.rand import DeterministicRandom
+
+PORT = 700
+
+
+def make_net(seed: int = 7) -> Network:
+    return Network(EventLoop(), rand=DeterministicRandom(seed))
+
+
+def pump(net: Network, hosts, count: int, payload: bytes = b"x" * 20) -> None:
+    """``count`` seeded sends between the hosts, drained to completion."""
+    rand = DeterministicRandom(f"capture-ring:{count}")
+    sockets = [h.sockets[PORT] for h in hosts]
+    endpoints = [s.endpoint for s in sockets]
+    for i in range(count):
+        dst = endpoints[rand.randint(0, len(endpoints) - 1)]
+        sockets[i % len(sockets)].send(dst, payload)
+    net.loop.run_all()
+
+
+class TestRingBuffer:
+    def test_default_is_append_only(self):
+        cap = TrafficCapture("tap")
+        assert cap.max_packets is None
+        net = make_net()
+        hosts = [net.add_host(f"h{i}") for i in range(2)]
+        for h in hosts:
+            h.bind_udp(PORT)
+        net.add_capture(cap)
+        pump(net, hosts, 300)
+        assert len(cap) == 300
+        assert cap.dropped_records == 0
+
+    def test_ring_evicts_oldest_half_and_counts(self):
+        net = make_net()
+        hosts = [net.add_host(f"h{i}") for i in range(2)]
+        for h in hosts:
+            h.bind_udp(PORT)
+        cap = net.add_capture(TrafficCapture("tap", max_packets=100))
+        pump(net, hosts, 101)
+        # One batched eviction at packet 101: down to limit//2 survivors.
+        assert len(cap) == 50
+        assert cap.dropped_records == 51
+        assert len(cap) + cap.dropped_records == 101
+        # Survivors are the *newest* packets, in arrival order.
+        times = [p.time for p in cap.packets]
+        assert times == sorted(times)
+
+    def test_bounded_memory_over_long_run(self):
+        net = make_net()
+        hosts = [net.add_host(f"h{i}") for i in range(2)]
+        for h in hosts:
+            h.bind_udp(PORT)
+        cap = net.add_capture(TrafficCapture("tap", max_packets=64))
+        pump(net, hosts, 1000)
+        assert len(cap) <= 64
+        assert len(cap) + cap.dropped_records == 1000
+
+    def test_total_bytes_streams_past_eviction(self):
+        net = make_net()
+        hosts = [net.add_host(f"h{i}") for i in range(2)]
+        for h in hosts:
+            h.bind_udp(PORT)
+        cap = net.add_capture(TrafficCapture("tap", max_packets=64))
+        pump(net, hosts, 500, payload=b"y" * 32)
+        assert cap.total_bytes() == 500 * 32
+        # The unbounded invariant: counter == sum over retained packets.
+        unbounded = make_net()
+        hosts2 = [unbounded.add_host(f"g{i}") for i in range(2)]
+        for h in hosts2:
+            h.bind_udp(PORT)
+        cap2 = unbounded.add_capture(TrafficCapture("tap2"))
+        pump(unbounded, hosts2, 50, payload=b"z" * 10)
+        assert cap2.total_bytes() == sum(p.size for p in cap2.packets) == 500
+
+
+class TestStopDeregisters:
+    def test_stop_removes_capture_from_tap_list(self):
+        net = make_net()
+        cap = net.add_capture(TrafficCapture("tap"))
+        assert net.captures == [cap]
+        cap.stop()
+        assert net.captures == []
+        cap.stop()  # idempotent: second stop is a no-op, not a ValueError
+        assert net.captures == []
+
+    def test_stop_deregisters_from_every_tapped_network(self):
+        net_a, net_b = make_net(1), make_net(2)
+        cap = TrafficCapture("shared")
+        net_a.add_capture(cap)
+        net_b.add_capture(cap)
+        cap.stop()
+        assert net_a.captures == [] and net_b.captures == []
+
+    def test_post_stop_throughput_matches_never_captured(self):
+        """Regression: after stop(), the no-tap fast branch re-engages.
+
+        Compared via deterministic event/packet counts — wall time would
+        flake — by running identical seeded traffic on a never-captured
+        network and on one whose capture was stopped first: the stopped
+        capture must record nothing new and both networks must do
+        identical work.
+        """
+
+        def run(with_stopped_capture: bool):
+            net = make_net(seed=11)
+            hosts = [net.add_host(f"h{i}", region="us") for i in range(4)]
+            for h in hosts:
+                h.bind_udp(PORT)
+            cap = None
+            if with_stopped_capture:
+                cap = net.add_capture(TrafficCapture("tap"))
+                pump(net, hosts, 10)  # records while live
+                cap.stop()
+            pump(net, hosts, 200)
+            return net, cap
+
+        plain, _ = run(with_stopped_capture=False)
+        stopped, cap = run(with_stopped_capture=True)
+        assert len(cap) == 10  # nothing recorded after stop()
+        assert stopped.captures == []
+        # Identical post-stop work: the 200-send phase fired the same
+        # events and delivered the same datagrams on both networks.
+        assert stopped.datagrams_sent - 10 == plain.datagrams_sent == 200
+        assert stopped.datagrams_delivered - 10 == plain.datagrams_delivered
+        assert stopped.loop.events_fired - 10 == plain.loop.events_fired
