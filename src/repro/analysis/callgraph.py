@@ -1,0 +1,375 @@
+"""Whole-program symbol table and call graph for reprolint v2.
+
+PR 1's rules are deliberately file-local: DET001 can say "this line
+reads the wall clock" without knowing anything about the rest of the
+tree. The cross-module rules (DET005 digest-path taint, DET006 RNG
+escape, SHARD001 shared module state, API002 cross-call blocking) need
+the opposite view — *who can reach what* — so this module builds a
+:class:`ProjectGraph` over every parsed :class:`FileContext` in one
+lint invocation:
+
+- a **symbol table** mapping qualified names (``repro.net.clock.
+  EventLoop.step``) to their defining AST nodes,
+- a **call graph** whose edges are resolved call sites between project
+  functions, and
+- per-function **external references** (``time.sleep``,
+  ``random.random``) resolved through each file's import table.
+
+Resolution is intentionally conservative and documented in
+``docs/STATIC_ANALYSIS.md``: it follows direct names, imported symbols,
+``self.method()`` / ``cls.method()`` (including project base classes),
+``self.attr.method()`` where ``attr`` was assigned a project class in
+``__init__``, and local ``var = ProjectClass(...)`` instantiations.
+Calls through arbitrary objects, containers, or higher-order functions
+are *not* resolved — the graph under-approximates edges and the rules
+built on it over-approximate taint within the edges it has. Nested
+``def``s are attributed to their enclosing top-level function or
+method, which over-approximates reachability (a chain through a nested
+closure counts as a chain through its host).
+
+Everything is ordered: modules, functions, and edge sets sort by name,
+so whole-program findings are as deterministic as the per-file ones.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.context import FileContext, dotted_name
+
+#: Constructors whose module-level result is shared mutable state when
+#: written from simulation code (see SHARD001).
+MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "bytearray", "deque", "defaultdict", "Counter", "OrderedDict"}
+)
+
+
+def module_name_for(relpath: str) -> str:
+    """Dotted module name for a lint-root-relative path.
+
+    ``src/repro/net/clock.py`` -> ``repro.net.clock`` (a leading ``src``
+    component is a layout convention, not a package), ``pkg/__init__.py``
+    -> ``pkg``. Single files lint as their bare stem.
+    """
+    parts = list(pathlib.PurePosixPath(relpath).with_suffix("").parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or "__root__"
+
+
+@dataclass
+class CallSite:
+    """One resolved project-internal call: caller AST node -> callee."""
+
+    node: ast.AST
+    callee: str  # qualified name of the resolved project function
+
+
+@dataclass
+class FunctionInfo:
+    """One project function or method in the symbol table."""
+
+    qname: str  # e.g. "repro.net.clock.EventLoop.step"
+    module: str
+    path: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    cls: "ClassInfo | None" = None
+    calls: list[CallSite] = field(default_factory=list)
+    #: (node, resolved dotted path) for references that resolve through
+    #: imports but not to a project symbol — stdlib and third-party.
+    external_refs: list[tuple[ast.AST, str]] = field(default_factory=list)
+
+    @property
+    def short(self) -> str:
+        """``Class.method`` / ``function`` — the name used in messages."""
+        prefix = f"{self.module}."
+        return self.qname[len(prefix):] if self.qname.startswith(prefix) else self.qname
+
+
+@dataclass
+class ClassInfo:
+    """One project class: methods, resolvable bases, typed attributes."""
+
+    qname: str
+    module: str
+    path: str
+    node: ast.ClassDef
+    bases: list[str] = field(default_factory=list)  # project class qnames only
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: ``self.attr = ProjectClass(...)`` assignments seen in any method.
+    attr_types: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleState:
+    """One module-level mutable binding (SHARD001's subject)."""
+
+    qname: str  # "repro.harness.registry._REGISTRY"
+    module: str
+    path: str
+    node: ast.AST
+    kind: str  # "list", "dict", ...
+
+
+class ProjectGraph:
+    """The whole-program view: symbols, call edges, external references."""
+
+    def __init__(self) -> None:
+        self.contexts: dict[str, FileContext] = {}  # module name -> ctx
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.module_state: dict[str, ModuleState] = {}
+        #: caller qname -> sorted callee qnames (derived from calls).
+        self.edges: dict[str, list[str]] = {}
+
+    # -- queries ---------------------------------------------------------
+
+    def context_for(self, fn: FunctionInfo) -> FileContext:
+        """The file context the function was parsed from."""
+        return self.contexts[fn.module]
+
+    def callers_of(self, qname: str) -> list[str]:
+        """Sorted qnames of functions with an edge into ``qname``."""
+        return sorted(c for c, callees in self.edges.items() if qname in callees)
+
+    def sorted_functions(self) -> list[FunctionInfo]:
+        """Every function, sorted by qualified name (deterministic walks)."""
+        return [self.functions[q] for q in sorted(self.functions)]
+
+    def resolve_method(self, class_qname: str, name: str) -> FunctionInfo | None:
+        """Look ``name`` up on a class, walking project base classes."""
+        seen: set[str] = set()
+        queue = [class_qname]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            cls = self.classes.get(current)
+            if cls is None:
+                continue
+            if name in cls.methods:
+                return cls.methods[name]
+            queue.extend(cls.bases)
+        return None
+
+
+def _mutable_kind(value: ast.expr) -> str | None:
+    """The constructor kind when ``value`` builds a mutable container."""
+    if isinstance(value, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(value, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+        if value.func.id in MUTABLE_CONSTRUCTORS:
+            return value.func.id
+    return None
+
+
+def iter_resolved(ctx: FileContext, root: ast.AST) -> Iterator[tuple[ast.AST, str]]:
+    """Yield (node, resolved dotted path) for name chains under ``root``.
+
+    The per-node version of :meth:`FileContext.resolved_references`,
+    scoped to one function body instead of the whole file.
+    """
+    claimed: set[int] = set()
+    for node in ast.walk(root):
+        if not isinstance(node, (ast.Attribute, ast.Name)):
+            continue
+        if id(node) in claimed:
+            continue
+        dotted = dotted_name(node)
+        if dotted is None:
+            continue
+        inner = node
+        while isinstance(inner, ast.Attribute):
+            inner = inner.value
+            claimed.add(id(inner))
+        resolved = ctx.resolve(dotted)
+        if resolved is not None:
+            yield node, resolved
+
+
+def build_project(contexts: dict[str, FileContext]) -> ProjectGraph:
+    """Build the graph from ``{relpath: FileContext}`` in three passes.
+
+    Pass 1 declares every module-level function, class, method, and
+    mutable binding. Pass 2 collects ``self.attr = ProjectClass(...)``
+    attribute types. Pass 3 links call sites and external references.
+    """
+    graph = ProjectGraph()
+    by_module: list[tuple[str, str, FileContext]] = sorted(
+        (module_name_for(relpath), relpath, ctx) for relpath, ctx in contexts.items()
+    )
+
+    # -- pass 1: declarations --------------------------------------------
+    for module, relpath, ctx in by_module:
+        graph.contexts[module] = ctx
+        for stmt in ctx.tree.body:  # type: ignore[attr-defined]
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qname = f"{module}.{stmt.name}"
+                graph.functions[qname] = FunctionInfo(qname, module, relpath, stmt)
+            elif isinstance(stmt, ast.ClassDef):
+                cls_qname = f"{module}.{stmt.name}"
+                cls = ClassInfo(cls_qname, module, relpath, stmt)
+                graph.classes[cls_qname] = cls
+                for sub in stmt.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        qname = f"{cls_qname}.{sub.name}"
+                        info = FunctionInfo(qname, module, relpath, sub, cls=cls)
+                        graph.functions[qname] = info
+                        cls.methods[sub.name] = info
+            else:
+                targets: list[ast.Name] = []
+                value: ast.expr | None = None
+                if isinstance(stmt, ast.Assign):
+                    targets = [t for t in stmt.targets if isinstance(t, ast.Name)]
+                    value = stmt.value
+                elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                    targets = [stmt.target]
+                    value = stmt.value
+                if value is None:
+                    continue
+                kind = _mutable_kind(value)
+                if kind is None:
+                    continue
+                for target in targets:
+                    qname = f"{module}.{target.id}"
+                    graph.module_state[qname] = ModuleState(qname, module, relpath, stmt, kind)
+
+    # Resolve class bases now that every class is declared.
+    for cls in graph.classes.values():
+        ctx = graph.contexts[cls.module]
+        for base in cls.node.bases:
+            dotted = dotted_name(base)
+            if dotted is None:
+                continue
+            resolved = ctx.resolve(dotted) or f"{cls.module}.{dotted}"
+            if resolved in graph.classes:
+                cls.bases.append(resolved)
+
+    # -- pass 2: attribute types (self.attr = ProjectClass(...)) ---------
+    for fn in graph.sorted_functions():
+        if fn.cls is None:
+            continue
+        ctx = graph.contexts[fn.module]
+        for node in ast.walk(fn.node):
+            if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+                continue
+            callee_cls = _resolve_class(graph, ctx, fn.module, node.value.func)
+            if callee_cls is None:
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    fn.cls.attr_types.setdefault(target.attr, callee_cls)
+
+    # -- pass 3: call sites and external references -----------------------
+    for fn in graph.sorted_functions():
+        _link_function(graph, fn)
+    graph.edges = {
+        qname: sorted({site.callee for site in fn.calls})
+        for qname, fn in graph.functions.items()
+    }
+    return graph
+
+
+def _resolve_class(
+    graph: ProjectGraph, ctx: FileContext, module: str, func: ast.expr
+) -> str | None:
+    """The project class qname a constructor expression refers to."""
+    dotted = dotted_name(func)
+    if dotted is None:
+        return None
+    resolved = ctx.resolve(dotted)
+    for candidate in (resolved, f"{module}.{dotted}"):
+        if candidate is not None and candidate in graph.classes:
+            return candidate
+    return None
+
+
+def _project_target(graph: ProjectGraph, resolved: str) -> str | None:
+    """Map a resolved dotted path to a project function, if it is one.
+
+    A class resolves to its ``__init__`` when present (constructing is
+    calling), otherwise to a synthetic edge on the class qname so
+    reachability still sees the instantiation.
+    """
+    if resolved in graph.functions:
+        return resolved
+    if resolved in graph.classes:
+        init = graph.resolve_method(resolved, "__init__")
+        return init.qname if init is not None else resolved
+    # "pkg.mod.Class.method" referenced as an attribute chain.
+    head, _, meth = resolved.rpartition(".")
+    if head in graph.classes:
+        found = graph.resolve_method(head, meth)
+        if found is not None:
+            return found.qname
+    return None
+
+
+def _link_function(graph: ProjectGraph, fn: FunctionInfo) -> None:
+    """Populate one function's call sites and external references."""
+    ctx = graph.contexts[fn.module]
+    module = fn.module
+
+    # Local instantiation types: var = ProjectClass(...).
+    local_types: dict[str, str] = {}
+    for node in ast.walk(fn.node):
+        if (
+            isinstance(node, ast.Assign)
+            and isinstance(node.value, ast.Call)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ):
+            cls_qname = _resolve_class(graph, ctx, module, node.value.func)
+            if cls_qname is not None:
+                local_types[node.targets[0].id] = cls_qname
+
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            continue
+        parts = dotted.split(".")
+        target: str | None = None
+
+        if parts[0] in ("self", "cls") and fn.cls is not None:
+            if len(parts) == 2:
+                found = graph.resolve_method(fn.cls.qname, parts[1])
+                target = found.qname if found is not None else None
+            elif len(parts) == 3:
+                attr_cls = fn.cls.attr_types.get(parts[1])
+                if attr_cls is not None:
+                    found = graph.resolve_method(attr_cls, parts[2])
+                    target = found.qname if found is not None else None
+        elif parts[0] in local_types:
+            if len(parts) == 2:
+                found = graph.resolve_method(local_types[parts[0]], parts[1])
+                target = found.qname if found is not None else None
+        else:
+            resolved = ctx.resolve(dotted)
+            if resolved is not None:
+                target = _project_target(graph, resolved)
+            if target is None and len(parts) <= 2:
+                # Same-module reference: bare function or Class.method.
+                target = _project_target(graph, f"{module}.{dotted}")
+
+        if target is not None:
+            fn.calls.append(CallSite(node, target))
+
+    for ref_node, resolved in iter_resolved(ctx, fn.node):
+        if _project_target(graph, resolved) is None:
+            fn.external_refs.append((ref_node, resolved))

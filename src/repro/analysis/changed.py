@@ -1,0 +1,72 @@
+"""``lint --changed``: scope reporting to files touched vs a git ref.
+
+Pre-commit lint on a growing tree should cost what the *change* costs,
+not what the tree costs. This module asks git which paths differ from a
+ref (default ``HEAD``; the working tree and index both count, plus
+untracked ``.py`` files), and the engine then restricts *reporting* to
+those files while still parsing everything — whole-program rules need
+the full symbol table to see a chain that merely passes through a
+changed file.
+
+This module shells out to git and therefore lives outside the
+simulation domain on purpose: the analysis tooling runs on real I/O,
+the simulation never does, and API002 enforces exactly that boundary.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess  # repro: allow[API001] lint tooling queries git; not simulation code
+
+
+class ChangedFilesError(RuntimeError):
+    """Raised when git cannot answer (not a repo, bad ref, no git)."""
+
+
+def _git_lines(args: list[str], cwd: pathlib.Path) -> list[str]:
+    """Run one git command and return its non-empty output lines."""
+    try:
+        proc = subprocess.run(  # repro: allow[API001] lint tooling queries git
+            ["git", *args],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        raise ChangedFilesError(f"git {' '.join(args)}: {exc}") from exc
+    if proc.returncode != 0:
+        detail = proc.stderr.strip() or f"exit code {proc.returncode}"
+        raise ChangedFilesError(f"git {' '.join(args)}: {detail}")
+    return [line for line in proc.stdout.splitlines() if line.strip()]
+
+
+def changed_python_files(root: pathlib.Path, ref: str = "HEAD") -> set[str]:
+    """Root-relative posix paths of ``.py`` files changed vs ``ref``.
+
+    The union of ``git diff --name-only <ref>`` (committed + staged +
+    working-tree edits relative to the ref) and untracked files, so a
+    brand-new module is linted before its first ``git add``. Deleted
+    files drop out naturally later: the engine only reports on files it
+    can parse.
+    """
+    toplevel = _git_lines(["rev-parse", "--show-toplevel"], cwd=root)
+    repo_root = pathlib.Path(toplevel[0])
+    names = _git_lines(["diff", "--name-only", ref, "--"], cwd=root)
+    # --full-name: diff prints toplevel-relative paths but ls-files
+    # prints cwd-relative ones; force both onto the same base.
+    names += _git_lines(
+        ["ls-files", "--others", "--exclude-standard", "--full-name"], cwd=root
+    )
+    out: set[str] = set()
+    for name in names:
+        if not name.endswith(".py"):
+            continue
+        absolute = repo_root / name
+        try:
+            out.add(absolute.relative_to(root.resolve()).as_posix())
+        except ValueError:
+            # Changed file outside the lint root (e.g. tests/ when
+            # linting src/): not in scope, skip it.
+            continue
+    return out

@@ -5,6 +5,9 @@ Usage::
     repro-lint src/repro                  # lint, exit 1 on new errors
     repro-lint --format json src/repro    # machine-readable report
     repro-lint --write-baseline src/repro # grandfather current findings
+    repro-lint --changed src/repro        # report only files changed vs HEAD
+    repro-lint --changed main src/repro   # ... vs a branch/ref
+    repro-lint --prune src/repro          # drop stale baseline entries
     repro-lint --list-rules               # the rule catalogue
     repro-lint --select DET001,PERF001 .  # subset of rules
 
@@ -18,6 +21,7 @@ import pathlib
 import sys
 
 from repro.analysis.baseline import write_baseline
+from repro.analysis.changed import ChangedFilesError, changed_python_files
 from repro.analysis.config import load_config
 from repro.analysis.engine import lint_paths
 from repro.analysis.reporting import render_json, render_text
@@ -41,6 +45,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="baseline file (overrides [tool.reprolint].baseline)")
     parser.add_argument("--write-baseline", action="store_true",
                         help="write current findings to the baseline file and exit 0")
+    parser.add_argument("--changed", nargs="?", const="HEAD", default=None, metavar="REF",
+                        help="report only files changed vs a git ref (default HEAD); "
+                             "whole-program rules still analyse the full tree")
+    parser.add_argument("--prune", action="store_true",
+                        help="rewrite the baseline without stale fingerprints and exit 0")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     parser.add_argument("-v", "--verbose", action="store_true",
@@ -67,31 +76,62 @@ def main(argv: list[str] | None = None) -> int:
     select = {rid.strip().upper() for rid in args.select.split(",") if rid.strip()} or None
     config = load_config(pathlib.Path(args.paths[0]) if args.paths else None)
     baseline_override = pathlib.Path(args.baseline) if args.baseline else None
+
+    report_only: set[str] | None = None
+    if args.changed is not None:
+        if args.prune:
+            # Staleness is only decidable on a full run: an unmatched
+            # fingerprint may belong to a file outside the change set.
+            print("repro-lint: --prune cannot be combined with --changed",
+                  file=sys.stderr)
+            return 2
+        try:
+            report_only = changed_python_files(config.root, args.changed)
+        except ChangedFilesError as exc:
+            print(f"repro-lint: --changed: {exc}", file=sys.stderr)
+            return 2
+        if not report_only:
+            print(f"repro-lint: no Python files changed vs {args.changed}; nothing to report")
+            return 0
+
     try:
         run = lint_paths(
             [pathlib.Path(p) for p in args.paths],
             config=config,
             select=select,
             baseline_override=baseline_override,
+            report_only=report_only,
         )
     except ValueError as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
 
     if run.files_scanned == 0 and not run.parse_errors:
+        if report_only is not None:
+            # Every changed file sits outside the lint paths (or was
+            # deleted); an empty scope is a clean result, not a typo.
+            print(f"repro-lint: no changed files under: {', '.join(args.paths)}")
+            return 0
         # A typo'd path must not read as a clean CI gate.
         print(f"repro-lint: no Python files found under: {', '.join(args.paths)}",
               file=sys.stderr)
         return 2
 
-    if args.write_baseline:
+    if args.write_baseline or args.prune:
         target = baseline_override or config.baseline_path
         if target is None:
             print("repro-lint: no baseline path configured (set [tool.reprolint].baseline "
                   "or pass --baseline)", file=sys.stderr)
             return 2
-        write_baseline(target, run.findings)
-        print(f"wrote {len(run.findings)} fingerprint(s) to {target}")
+        if args.prune:
+            # Keep only fingerprints that still match a finding; new
+            # findings stay new — pruning never grandfathers anything.
+            write_baseline(target, run.baselined)
+            print(f"pruned {len(run.stale_fingerprints)} stale fingerprint(s); "
+                  f"{len(run.baselined)} kept in {target}")
+        else:
+            write_baseline(target, run.findings + run.baselined)
+            print(f"wrote {len(run.findings) + len(run.baselined)} fingerprint(s) to {target}")
         return 0
 
     print(render_json(run) if args.format == "json" else render_text(run, verbose=args.verbose))

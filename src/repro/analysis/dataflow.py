@@ -1,0 +1,91 @@
+"""Reachability and taint helpers over the project call graph.
+
+The whole-program rules all reduce to the same two questions about the
+:class:`~repro.analysis.callgraph.ProjectGraph`:
+
+1. *Forward* — which functions can a set of roots reach? (DET005:
+   everything a ``to_dict`` can call is digest-tainted.)
+2. *Backward* — which domain functions can reach a set of sinks?
+   (DET006/API002: an experiment function whose call chain ends in
+   ``random.random`` or ``time.sleep``.)
+
+Both are plain BFS with parent pointers, so every finding can print the
+actual chain (``run -> _churn -> jitter``) rather than just its two
+endpoints. Traversal order is sorted and the BFS is deterministic — the
+linter holds itself to the contract it enforces.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.callgraph import ProjectGraph
+
+
+def reachable_from(graph: ProjectGraph, roots: list[str]) -> dict[str, str | None]:
+    """Forward closure: ``{qname: parent}`` for all functions roots reach.
+
+    Roots map to ``None``; every other reached function maps to the
+    caller it was first discovered through, so :func:`chain` can
+    reconstruct a shortest call path back to a root.
+    """
+    parents: dict[str, str | None] = {}
+    queue: list[str] = []
+    for root in sorted(roots):
+        if root in graph.functions and root not in parents:
+            parents[root] = None
+            queue.append(root)
+    while queue:
+        current = queue.pop(0)
+        for callee in graph.edges.get(current, ()):
+            if callee in graph.functions and callee not in parents:
+                parents[callee] = current
+                queue.append(callee)
+    return parents
+
+
+def reaches(graph: ProjectGraph, sinks: set[str]) -> dict[str, str | None]:
+    """Backward closure: ``{qname: next-hop}`` for functions reaching a sink.
+
+    Sinks map to ``None``; every other entry maps to the callee one step
+    *closer* to a sink, so following the pointers walks the chain
+    forward: ``chain(result, start)`` ends at a sink.
+    """
+    callers: dict[str, list[str]] = {}
+    for caller, callees in sorted(graph.edges.items()):
+        for callee in callees:
+            callers.setdefault(callee, []).append(caller)
+    parents: dict[str, str | None] = {}
+    queue: list[str] = []
+    for sink in sorted(sinks):
+        if sink in graph.functions and sink not in parents:
+            parents[sink] = None
+            queue.append(sink)
+    while queue:
+        current = queue.pop(0)
+        for caller in sorted(callers.get(current, ())):
+            if caller not in parents:
+                parents[caller] = current
+                queue.append(caller)
+    return parents
+
+
+def chain(parents: dict[str, str | None], start: str) -> list[str]:
+    """The qname path from ``start`` following parent pointers to a root."""
+    path = [start]
+    seen = {start}
+    current: str | None = start
+    while current is not None:
+        current = parents.get(current)
+        if current is None or current in seen:
+            break
+        path.append(current)
+        seen.add(current)
+    return path
+
+
+def render_chain(graph: ProjectGraph, qnames: list[str]) -> str:
+    """``EventLoop.step -> Network._deliver`` — short names for messages."""
+    shorts = []
+    for qname in qnames:
+        fn = graph.functions.get(qname)
+        shorts.append(fn.short if fn is not None else qname)
+    return " -> ".join(shorts)

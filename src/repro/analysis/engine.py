@@ -1,7 +1,10 @@
 """The lint engine: walk files, run rules, filter, decide the exit code.
 
-Pipeline per file: parse once into a :class:`FileContext`, run every
-selected rule, then filter findings through three layers —
+The pipeline has two phases. Phase 1 parses every file once into a
+:class:`FileContext` and runs the per-file rules. Phase 2 builds one
+:class:`~repro.analysis.callgraph.ProjectGraph` over *all* parsed files
+and runs the whole-program rules (:class:`ProjectRule`) against it.
+Findings from both phases then pass the same three filters —
 
 1. **pragmas** — ``# repro: allow[RULE]`` on the reported line,
 2. **allowlist** — ``[tool.reprolint.allow]`` path globs (structural
@@ -9,8 +12,17 @@ selected rule, then filter findings through three layers —
 3. **baseline** — grandfathered fingerprints from a previous run.
 
 Only what survives all three counts toward the exit code, and only at
-:attr:`Severity.ERROR`. The walk and the output are fully sorted — the
-linter holds itself to the determinism contract it enforces.
+:attr:`Severity.ERROR`. A ``report_only`` scope (``lint --changed``)
+restricts which files *report* findings; the whole-program graph is
+always built over everything so cross-module chains stay visible.
+
+On full (unscoped) runs the engine also cross-checks the baseline:
+fingerprints that no longer match any finding are **stale** and fail
+the run — a baseline entry that outlives its violation is a latent
+hole that would silently mask the next regression at that line.
+
+The walk and the output are fully sorted — the linter holds itself to
+the determinism contract it enforces.
 """
 
 from __future__ import annotations
@@ -19,8 +31,9 @@ import pathlib
 from dataclasses import dataclass, field
 
 from repro.analysis.baseline import load_baseline, split_baselined
+from repro.analysis.callgraph import build_project
 from repro.analysis.config import LintConfig, load_config
-from repro.analysis.context import build_context
+from repro.analysis.context import FileContext, build_context
 from repro.analysis.findings import Finding, Severity, assign_occurrences
 from repro.analysis.rules import ALL_RULES, RULES_BY_ID
 
@@ -35,6 +48,8 @@ class LintRun:
     suppressed: list[Finding] = field(default_factory=list)  # pragma/allowlist
     baselined: list[Finding] = field(default_factory=list)
     parse_errors: list[tuple[str, str]] = field(default_factory=list)
+    #: Baseline fingerprints that matched nothing (full runs only).
+    stale_fingerprints: list[str] = field(default_factory=list)
     files_scanned: int = 0
 
     @property
@@ -49,10 +64,10 @@ class LintRun:
 
     @property
     def exit_code(self) -> int:
-        """0 clean, 1 new error findings, 2 unparseable input."""
+        """0 clean, 1 new errors or stale baseline entries, 2 parse failure."""
         if self.parse_errors:
             return 2
-        return 1 if self.errors else 0
+        return 1 if (self.errors or self.stale_fingerprints) else 0
 
 
 def iter_python_files(paths: list[pathlib.Path]) -> list[pathlib.Path]:
@@ -80,12 +95,17 @@ def lint_paths(
     config: LintConfig | None = None,
     select: set[str] | None = None,
     baseline_override: pathlib.Path | None = None,
+    report_only: set[str] | None = None,
 ) -> LintRun:
     """Lint ``paths`` and return the filtered, sorted results.
 
     ``select`` restricts to a set of rule IDs; ``baseline_override``
     replaces the configured baseline file (pass a nonexistent path to
-    disable baselining).
+    disable baselining). ``report_only`` — a set of root-relative paths
+    — scopes *reporting* to those files while still parsing everything
+    under ``paths`` for the whole-program graph; staleness checking is
+    skipped on scoped runs (an unmatched fingerprint may belong to an
+    unreported file).
     """
     resolved_paths = [pathlib.Path(p) for p in paths]
     if config is None:
@@ -95,10 +115,15 @@ def lint_paths(
     if unknown:
         raise ValueError(f"unknown rule IDs: {', '.join(unknown)}")
     rules = [RULES_BY_ID[rid]() for rid in rule_ids]
+    file_rules = [r for r in rules if not r.whole_program]
+    project_rules = [r for r in rules if r.whole_program]
 
     run = LintRun()
     raw: list[Finding] = []
     suppressed: list[Finding] = []
+
+    # -- phase 1: parse everything, run per-file rules on the report set --
+    contexts: dict[str, FileContext] = {}
     for file_path in iter_python_files(resolved_paths):
         relpath = _relpath(file_path, config.root)
         if config.is_excluded(relpath):
@@ -109,12 +134,30 @@ def lint_paths(
         except SyntaxError as exc:
             run.parse_errors.append((relpath, f"line {exc.lineno}: {exc.msg}"))
             continue
+        contexts[relpath] = ctx
+        if report_only is not None and relpath not in report_only:
+            continue
         run.files_scanned += 1
-        for rule in rules:
+        for rule in file_rules:
             for finding in rule.check(ctx):
                 if ctx.suppressed(finding.line, finding.rule_id):
                     suppressed.append(finding)
                 elif config.is_allowlisted(finding.rule_id, relpath):
+                    suppressed.append(finding)
+                else:
+                    raw.append(finding)
+
+    # -- phase 2: whole-program rules over every parsed file --------------
+    if project_rules and contexts:
+        graph = build_project(contexts)
+        for rule in project_rules:
+            for finding in rule.check_project(graph):
+                if report_only is not None and finding.path not in report_only:
+                    continue
+                ctx = contexts.get(finding.path)
+                if ctx is not None and ctx.suppressed(finding.line, finding.rule_id):
+                    suppressed.append(finding)
+                elif config.is_allowlisted(finding.rule_id, finding.path):
                     suppressed.append(finding)
                 else:
                     raw.append(finding)
@@ -124,4 +167,7 @@ def lint_paths(
     fingerprints = load_baseline(baseline_path)
     run.findings, run.baselined = split_baselined(numbered, fingerprints)
     run.suppressed = sorted(suppressed, key=lambda f: (f.path, f.line, f.rule_id))
+    if report_only is None and fingerprints:
+        matched = {f.fingerprint() for f in numbered}
+        run.stale_fingerprints = sorted(fingerprints - matched)
     return run

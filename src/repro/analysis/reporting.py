@@ -24,6 +24,11 @@ def render_text(run: LintRun, verbose: bool = False) -> str:
     for finding in run.findings:
         marker = "" if finding.severity is Severity.ERROR else " (soft)"
         lines.append(f"{finding.location} {finding.rule_id}{marker} {finding.message}")
+    for fingerprint in run.stale_fingerprints:
+        lines.append(
+            f"baseline: STALE fingerprint {fingerprint} matches no finding; "
+            "run --prune to rewrite the baseline"
+        )
     if verbose:
         for finding in run.baselined:
             lines.append(f"{finding.location} {finding.rule_id} [baselined] {finding.message}")
@@ -52,6 +57,7 @@ def render_text(run: LintRun, verbose: bool = False) -> str:
                 ("new errors", len(run.errors)),
                 ("new soft findings", len(run.infos)),
                 ("baselined", len(run.baselined)),
+                ("stale baseline", len(run.stale_fingerprints)),
                 ("suppressed", len(run.suppressed)),
                 ("verdict", "CLEAN" if run.exit_code == 0 else "FAIL"),
             ],
@@ -68,6 +74,7 @@ def render_json(run: LintRun) -> str:
         "findings": [f.to_dict() for f in run.findings],
         "baselined": [f.to_dict() for f in run.baselined],
         "suppressed": [f.to_dict() for f in run.suppressed],
+        "stale_fingerprints": list(run.stale_fingerprints),
         "parse_errors": [{"path": p, "message": m} for p, m in run.parse_errors],
     }
     return json.dumps(payload, indent=2)

@@ -4,30 +4,42 @@ Adding a rule = adding a module with a ``Rule`` subclass and listing it
 here; everything else (pragmas, allowlist, baseline, reports, exit
 codes) comes from the engine for free. Rule IDs are namespaced by what
 they protect: DET* determinism, PERF* hot paths, API* simulation
-boundaries, DOC* documentation (soft).
+boundaries, DOC* documentation (soft), SHARD* process-sharding safety.
+
+Per-file rules subclass ``Rule``; whole-program rules subclass
+``ProjectRule`` and run once over the project call graph after every
+file is parsed.
 """
 
 from __future__ import annotations
 
 from repro.analysis.rules.api001_blocking import BlockingCallRule
-from repro.analysis.rules.base import Rule
+from repro.analysis.rules.api002_blocking_chain import BlockingChainRule
+from repro.analysis.rules.base import ProjectRule, Rule
 from repro.analysis.rules.det001_wall_clock import WallClockRule
 from repro.analysis.rules.det002_global_random import GlobalRandomRule
 from repro.analysis.rules.det003_set_ordering import SetOrderingRule
 from repro.analysis.rules.det004_float_time_eq import FloatTimeEqualityRule
+from repro.analysis.rules.det005_digest_taint import DigestTaintRule
+from repro.analysis.rules.det006_rng_escape import RngEscapeRule
 from repro.analysis.rules.doc001_stub_docstrings import StubDocstringRule
 from repro.analysis.rules.perf001_regex_compile import RegexCompileRule
+from repro.analysis.rules.shard001_shared_state import SharedStateRule
 
 ALL_RULES: tuple[type[Rule], ...] = (
     WallClockRule,
     GlobalRandomRule,
     SetOrderingRule,
     FloatTimeEqualityRule,
+    DigestTaintRule,
+    RngEscapeRule,
     RegexCompileRule,
     BlockingCallRule,
+    BlockingChainRule,
     StubDocstringRule,
+    SharedStateRule,
 )
 
 RULES_BY_ID: dict[str, type[Rule]] = {rule.rule_id: rule for rule in ALL_RULES}
 
-__all__ = ["ALL_RULES", "RULES_BY_ID", "Rule"]
+__all__ = ["ALL_RULES", "RULES_BY_ID", "ProjectRule", "Rule"]

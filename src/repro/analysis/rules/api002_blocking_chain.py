@@ -1,0 +1,70 @@
+"""API002 — blocking primitives reachable from the simulation domain.
+
+API001 flags a ``time.sleep`` or ``subprocess`` reference in the file
+that makes it. API002 lifts the same contract to call chains: no
+function in the sim domain (``repro.experiments``, ``repro.net``,
+``repro.webrtc``) may *reach* a blocking primitive, even through
+helpers defined in modules where the primitive itself is sanctioned.
+
+That last clause is the point of the rule and is deliberate: a pragma
+or allowlist entry on the blocking *source* (say, a harness utility
+that shells out to git) sanctions the source module using it — it does
+**not** license experiment code to call through it. The sim domain is a
+hard boundary: virtual time only. So API002 taint ignores per-line
+pragmas and allowlist entries on intermediate links; suppressing a
+finding requires a pragma at the *domain function* that starts the
+chain, which is exactly the line a reviewer should see.
+
+Sinks are API001's vocabulary: ``time.sleep``, ``os.system``,
+``os.popen``, ``input``, and any reference into the forbidden modules
+(``socket``, ``subprocess``, ``requests``, ``urllib.request``,
+``http.client``, ``asyncio``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.callgraph import FunctionInfo, ProjectGraph
+from repro.analysis.dataflow import chain, reaches, render_chain
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import ProjectRule
+from repro.analysis.rules.api001_blocking import BLOCKING_CALLS, FORBIDDEN_MODULES
+from repro.analysis.rules.det006_rng_escape import _module_in_domain
+
+
+def _is_blocking_sink(fn: FunctionInfo) -> bool:
+    """Does the function body reference a blocking primitive directly?"""
+    for _node, ref in fn.external_refs:
+        if ref in BLOCKING_CALLS:
+            return True
+        root = ref.split(".", 1)[0]
+        if root in FORBIDDEN_MODULES or ref.rsplit(".", 1)[0] in FORBIDDEN_MODULES:
+            return True
+    return False
+
+
+class BlockingChainRule(ProjectRule):
+    """Flag sim-domain chains that reach a blocking primitive."""
+
+    rule_id = "API002"
+    title = "sim-domain call chain reaches a blocking primitive"
+    rationale = "simulation code runs on virtual time; blocking calls stall every peer at once"
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Finding]:
+        """API002 check: backward closure from blocking sinks."""
+        sinks = {fn.qname for fn in graph.sorted_functions() if _is_blocking_sink(fn)}
+        parents = reaches(graph, sinks)
+        for qname in sorted(parents):
+            fn = graph.functions[qname]
+            if not _module_in_domain(fn.module):
+                continue
+            via = render_chain(graph, chain(parents, qname))
+            if qname in sinks:
+                message = f"{fn.short} calls a blocking primitive directly"
+            else:
+                message = f"{fn.short} reaches a blocking primitive via {via}"
+            yield self.finding_at(
+                graph.context_for(fn), fn.node,
+                message + "; simulation code must stay on virtual time",
+            )

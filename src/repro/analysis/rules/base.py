@@ -1,17 +1,26 @@
-"""Rule base class and shared AST helpers.
+"""Rule base classes and shared AST helpers.
 
 A rule is stateless: ``check(ctx)`` yields findings for one file. The
 engine owns pragma/allowlist/baseline filtering, so rules report every
 violation they see and nothing else.
+
+Whole-program rules subclass :class:`ProjectRule` instead: the engine
+parses every file first, builds one
+:class:`~repro.analysis.callgraph.ProjectGraph`, and calls
+``check_project(graph)`` once per rule. Their findings go through the
+same pragma/allowlist/baseline filters as per-file findings.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import ClassVar, Iterator
+from typing import TYPE_CHECKING, ClassVar, Iterator
 
 from repro.analysis.context import FileContext, dotted_name
 from repro.analysis.findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.analysis.callgraph import ProjectGraph
 
 
 class Rule:
@@ -21,6 +30,8 @@ class Rule:
     title: ClassVar[str]
     severity: ClassVar[Severity] = Severity.ERROR
     rationale: ClassVar[str] = ""
+    #: True for :class:`ProjectRule` subclasses (engine dispatch flag).
+    whole_program: ClassVar[bool] = False
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         """Yield every violation in ``ctx``; the engine filters them."""
@@ -39,6 +50,29 @@ class Rule:
             message=message,
             source_line=ctx.line_text(line),
         )
+
+
+class ProjectRule(Rule):
+    """A rule that analyses the whole program instead of one file.
+
+    ``check`` is a per-file no-op; the engine calls ``check_project``
+    once with the graph built over every parsed file. Findings are
+    anchored with :meth:`finding_at` since there is no single ``ctx``.
+    """
+
+    whole_program: ClassVar[bool] = True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Per-file pass: nothing to do for a whole-program rule."""
+        return iter(())
+
+    def check_project(self, graph: "ProjectGraph") -> Iterator[Finding]:
+        """Yield every violation visible in the whole-program graph."""
+        raise NotImplementedError
+
+    def finding_at(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        """Build a finding in an explicitly-supplied file context."""
+        return self.finding(ctx, node, message)
 
 
 def call_name(node: ast.Call) -> str | None:

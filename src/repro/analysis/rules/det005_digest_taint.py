@@ -1,0 +1,164 @@
+"""DET005 — digest-path taint: nondeterminism reachable from a digest.
+
+Every experiment result is hashed into a content digest through
+``to_dict()`` / ``canonical_json`` (see :mod:`repro.harness.result`),
+and ``repro verify`` compares those digests across runs and processes.
+A value that depends on set iteration order, ``id()``, or an object's
+default ``repr`` poisons the digest *silently*: the run "works", the
+digest just stops replaying — usually only under a different
+``PYTHONHASHSEED`` or process count, which is the worst possible time
+to find out.
+
+DET003 already flags unordered iteration per file, but only when the
+sink is visible in the same function. DET005 closes the cross-module
+gap: it computes the forward closure of every digest root (``to_dict``,
+``manifest_extra``, ``canonical_json``, ``to_jsonable``,
+``content_digest``) over the project call graph and flags, *anywhere in
+that closure*:
+
+- iteration over a statically-known ``set`` (loop or comprehension)
+  that is not immediately ``sorted(...)``,
+- ``id(...)`` — process-address-dependent by definition,
+- ``repr(...)`` or an f-string ``!r`` conversion outside a ``raise``
+  statement (error text never reaches a digest; default object reprs
+  embed addresses).
+
+Known over-approximations: being *reachable* from ``to_dict`` does not
+prove the flagged value flows into the returned dict, and sorting later
+through a temporary is not recognised. Both directions are documented
+in ``docs/STATIC_ANALYSIS.md``; a pragma with justification is the
+escape hatch.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.callgraph import ProjectGraph
+from repro.analysis.dataflow import chain, reachable_from, render_chain
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import ProjectRule
+
+#: Function/method names that start a digest path.
+DIGEST_ROOT_NAMES = frozenset(
+    {"to_dict", "manifest_extra", "canonical_json", "to_jsonable", "content_digest"}
+)
+
+
+def _is_set_expr(node: ast.expr, set_names: set[str]) -> bool:
+    """Statically set-typed, true sets only (no ``.keys()`` views).
+
+    Unlike DET003's helper, dict views are excluded: dict iteration is
+    insertion-ordered and therefore digest-stable when the insertions
+    are; only genuine sets have hash-order iteration.
+    """
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "union", "intersection", "difference", "symmetric_difference", "copy",
+        ):
+            return _is_set_expr(node.func.value, set_names)
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, set_names) or _is_set_expr(node.right, set_names)
+    return False
+
+
+def _local_set_names(fn_node: ast.AST) -> set[str]:
+    """Names assigned a set-typed expression anywhere in the function."""
+    names: set[str] = set()
+    # Two passes so ``a = {...}; b = a | other`` resolves.
+    for _ in range(2):
+        for node in ast.walk(fn_node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and _is_set_expr(node.value, names):
+                    names.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                annotated = isinstance(node.annotation, ast.Subscript) and isinstance(
+                    node.annotation.value, ast.Name
+                ) and node.annotation.value.id in ("set", "frozenset")
+                if annotated or (node.value is not None and _is_set_expr(node.value, names)):
+                    names.add(node.target.id)
+    return names
+
+
+def _nodes_under_raise(fn_node: ast.AST) -> set[int]:
+    """ids of AST nodes inside ``raise`` statements (error-path text)."""
+    under: set[int] = set()
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Raise):
+            for sub in ast.walk(node):
+                under.add(id(sub))
+    return under
+
+
+class DigestTaintRule(ProjectRule):
+    """Flag order- and address-dependence in digest-reachable code."""
+
+    rule_id = "DET005"
+    title = "nondeterministic value in a digest-reachable function"
+    rationale = "digest paths must be hash-order- and address-independent across processes"
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Finding]:
+        """DET005 check: forward closure of digest roots, then local scan."""
+        roots = [
+            fn.qname
+            for fn in graph.sorted_functions()
+            if fn.qname.rsplit(".", 1)[-1] in DIGEST_ROOT_NAMES
+        ]
+        parents = reachable_from(graph, roots)
+        for qname in sorted(parents):
+            fn = graph.functions[qname]
+            ctx = graph.context_for(fn)
+            via = render_chain(graph, list(reversed(chain(parents, qname))))
+            set_names = _local_set_names(fn.node)
+            raised = _nodes_under_raise(fn.node)
+            for node in ast.walk(fn.node):
+                if isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expr(
+                    node.iter, set_names
+                ):
+                    yield self.finding_at(
+                        ctx, node.iter,
+                        "iteration over a set on a digest path "
+                        f"(reached via {via}); wrap in sorted(...)",
+                    )
+                elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                    for gen in node.generators:
+                        if _is_set_expr(gen.iter, set_names):
+                            yield self.finding_at(
+                                ctx, gen.iter,
+                                "comprehension over a set on a digest path "
+                                f"(reached via {via}); wrap in sorted(...)",
+                            )
+                elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                    if node.func.id == "id" and len(node.args) == 1:
+                        yield self.finding_at(
+                            ctx, node,
+                            "`id()` on a digest path is a process address "
+                            f"(reached via {via}); use a stable key",
+                        )
+                    elif node.func.id == "repr" and id(node) not in raised:
+                        yield self.finding_at(
+                            ctx, node,
+                            "`repr()` on a digest path may embed an object address "
+                            f"(reached via {via}); serialise explicit fields",
+                        )
+                elif (
+                    isinstance(node, ast.FormattedValue)
+                    and node.conversion == ord("r")
+                    and id(node) not in raised
+                ):
+                    yield self.finding_at(
+                        ctx, node,
+                        "f-string `!r` on a digest path may embed an object address "
+                        f"(reached via {via}); format explicit fields",
+                    )

@@ -1,0 +1,97 @@
+"""DET006 — RNG escape: sim-domain call chains reaching the global RNG.
+
+DET002 flags a ``random.random()`` call in the file that makes it.
+DET006 answers the harder question: can *experiment or net code* reach
+one — possibly through several layers of helpers in other modules?
+Those domains must draw exclusively from a seeded
+:class:`~repro.util.rand.DeterministicRandom` (usually a named
+``fork``); a chain that bottoms out in the process-global RNG ties the
+run to interpreter state that ``repro verify`` cannot replay.
+
+Mechanics: every function whose *direct* body references a
+``random.<draw>`` module function (or instantiates ``random.Random()``
+with no seed argument) is a sink. The backward closure of those sinks
+over the project call graph is intersected with the sim domain
+(``repro.experiments``, ``repro.net``, ``repro.webrtc``); each domain
+function in the closure gets one finding at its definition, with the
+chain to the sink rendered in the message. Functions that only *take* a
+``DeterministicRandom`` are untouched — the rule keys on global-RNG
+references, not on randomness per se.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.callgraph import FunctionInfo, ProjectGraph
+from repro.analysis.context import dotted_name
+from repro.analysis.dataflow import chain, reaches, render_chain
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import ProjectRule
+from repro.analysis.rules.det002_global_random import GLOBAL_RANDOM_FNS
+
+#: Module prefixes that form the deterministic simulation domain.
+SIM_DOMAIN_PREFIXES = ("repro.experiments", "repro.net", "repro.webrtc")
+
+
+def _module_in_domain(module: str) -> bool:
+    """_module_in_domain check: is ``module`` inside the sim domain?"""
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in SIM_DOMAIN_PREFIXES
+    )
+
+
+def _is_global_rng_sink(graph: ProjectGraph, fn: "FunctionInfo") -> bool:
+    """Does the function body reference the global RNG directly?
+
+    True for ``random.<draw>`` module functions and for an unseeded
+    ``random.Random()`` construction (which seeds from the OS).
+    """
+    for _node, ref in fn.external_refs:
+        module, _, name = ref.rpartition(".")
+        if module == "random" and name in GLOBAL_RANDOM_FNS:
+            return True
+    ctx = graph.context_for(fn)
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            continue
+        if ctx.resolve(dotted) == "random.Random" and not node.args and not node.keywords:
+            return True
+    return False
+
+
+class RngEscapeRule(ProjectRule):
+    """Flag sim-domain chains that bottom out in the global RNG."""
+
+    rule_id = "DET006"
+    title = "sim-domain call chain reaches the process-global RNG"
+    rationale = "experiment and net code must draw from a seeded DeterministicRandom"
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Finding]:
+        """DET006 check: backward closure from global-RNG sinks."""
+        sinks: set[str] = set()
+        for fn in graph.sorted_functions():
+            if _is_global_rng_sink(graph, fn):
+                sinks.add(fn.qname)
+        parents = reaches(graph, sinks)
+        for qname in sorted(parents):
+            fn = graph.functions[qname]
+            if not _module_in_domain(fn.module):
+                continue
+            via = render_chain(graph, chain(parents, qname))
+            if qname in sinks:
+                message = (
+                    f"{fn.short} uses the process-global RNG; "
+                    "draw from a seeded DeterministicRandom fork instead"
+                )
+            else:
+                message = (
+                    f"{fn.short} reaches the process-global RNG via {via}; "
+                    "thread a seeded DeterministicRandom through the chain"
+                )
+            yield self.finding_at(graph.context_for(fn), fn.node, message)

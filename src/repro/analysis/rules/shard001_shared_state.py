@@ -1,0 +1,232 @@
+"""SHARD001 — shared mutable module state written from simulation code.
+
+The sharded-swarm plan (ROADMAP) splits one simulation across worker
+processes. Module-level mutable objects — a module dict a ``Network``
+method appends to, a class attribute an experiment rebinds — are
+invisible coupling under that split: each worker gets its own copy, the
+copies silently diverge, and the digests stop agreeing with nothing to
+point at. The same state is also why two sequential runs in one process
+can differ (run 2 starts with run 1's leftovers).
+
+This rule flags, from within the sim domain (``repro.experiments``,
+``repro.net``, ``repro.webrtc``) **plus** anything those modules can
+reach through the call graph:
+
+- writes to a module-level mutable binding (augmented assignment,
+  rebinding, or a mutating method call like ``.append``/``.update``
+  on it), whether the binding lives in the writer's module or is
+  imported from another project module;
+- rebinding a class attribute through ``cls.name = ...`` or
+  ``SomeClass.name = ...`` at runtime.
+
+Definition-time hooks (``__init_subclass__``, ``__set_name__``) are
+exempt — they run at class creation, before any simulation starts, so
+every process observes the same result. Reads are never flagged:
+module-level *constants* (even mutable ones that are never written) are
+fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.callgraph import FunctionInfo, ProjectGraph
+from repro.analysis.context import dotted_name
+from repro.analysis.dataflow import reachable_from
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import ProjectRule
+from repro.analysis.rules.det006_rng_escape import _module_in_domain
+
+#: Method names that mutate their receiver in place.
+MUTATING_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "clear", "sort",
+        "reverse", "add", "discard", "update", "setdefault", "popitem",
+        "appendleft", "extendleft", "popleft", "rotate",
+    }
+)
+
+#: Class-creation hooks that run at definition time, not simulation time.
+DEFINITION_TIME_HOOKS = frozenset({"__init_subclass__", "__set_name__"})
+
+
+def _state_target(graph: ProjectGraph, fn: FunctionInfo, name: str) -> str | None:
+    """Resolve a bare name in ``fn`` to a module-state qname, if any.
+
+    Checks the writer's own module first, then the import table (state
+    imported from another project module is still shared).
+    """
+    own = f"{fn.module}.{name}"
+    if own in graph.module_state:
+        return own
+    resolved = graph.context_for(fn).resolve(name)
+    if resolved is not None and resolved in graph.module_state:
+        return resolved
+    return None
+
+
+def _is_local(fn: FunctionInfo, name: str, locals_: set[str]) -> bool:
+    """_is_local check: name is a parameter or assigned locally first."""
+    return name in locals_
+
+
+def _bound_names(target: ast.expr) -> Iterator[str]:
+    """Names a target expression *binds* — ``x``, ``(a, b)``, ``*rest``.
+
+    ``d[k] = v`` and ``obj.attr = v`` bind nothing: they mutate the
+    base, which is exactly what SHARD001 is looking for, so the base
+    name must not be collected as a local.
+    """
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _bound_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _bound_names(target.value)
+
+
+def _collect_locals(fn: FunctionInfo) -> set[str]:
+    """Parameter names plus every name the function binds itself."""
+    names: set[str] = set()
+    args = fn.node.args
+    for arg in (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    ):
+        names.add(arg.arg)
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                names.update(_bound_names(target))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            names.update(_bound_names(node.target))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            names.update(_bound_names(node.target))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    names.update(_bound_names(item.optional_vars))
+        elif isinstance(node, ast.comprehension):
+            names.update(_bound_names(node.target))
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested defs are attributed to this host function; their
+            # parameters are locals from the host's point of view.
+            sub_args = node.args
+            for arg in (
+                list(sub_args.posonlyargs) + list(sub_args.args) + list(sub_args.kwonlyargs)
+            ):
+                names.add(arg.arg)
+            if sub_args.vararg:
+                names.add(sub_args.vararg.arg)
+            if sub_args.kwarg:
+                names.add(sub_args.kwarg.arg)
+            names.add(node.name)
+    # `global X` makes X a module binding, never a local.
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Global):
+            names.difference_update(node.names)
+    return names
+
+
+class SharedStateRule(ProjectRule):
+    """Flag runtime writes to module-level/class-level shared state."""
+
+    rule_id = "SHARD001"
+    title = "shared mutable module state written from simulation code"
+    rationale = "module/class state diverges per process under sharding; pass state explicitly"
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Finding]:
+        """SHARD001 check: sim domain + its forward closure, write sites."""
+        domain_roots = [
+            fn.qname for fn in graph.sorted_functions() if _module_in_domain(fn.module)
+        ]
+        in_scope = set(reachable_from(graph, domain_roots))
+        for qname in sorted(in_scope):
+            fn = graph.functions[qname]
+            if fn.node.name in DEFINITION_TIME_HOOKS:
+                continue
+            yield from self._check_function(graph, fn)
+
+    def _check_function(
+        self, graph: ProjectGraph, fn: FunctionInfo
+    ) -> Iterator[Finding]:
+        """Scan one in-scope function for shared-state write sites."""
+        ctx = graph.context_for(fn)
+        locals_ = _collect_locals(fn)
+
+        def state_of(name: str) -> str | None:
+            if _is_local(fn, name, locals_):
+                return None
+            return _state_target(graph, fn, name)
+
+        for node in ast.walk(fn.node):
+            # global-X rebinding / augmented assignment.
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        state = _state_target(graph, fn, target.id)
+                        has_global = any(
+                            isinstance(sub, ast.Global) and target.id in sub.names
+                            for sub in ast.walk(fn.node)
+                        )
+                        if state is not None and has_global:
+                            yield self.finding_at(
+                                ctx, node,
+                                f"{fn.short} rebinds module state `{state}`; "
+                                "pass state explicitly instead of sharing it",
+                            )
+                    elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                        base = target.value
+                        if isinstance(base, ast.Name):
+                            state = state_of(base.id)
+                            if state is not None:
+                                yield self.finding_at(
+                                    ctx, node,
+                                    f"{fn.short} writes into module state `{state}`; "
+                                    "shared containers diverge per process",
+                                )
+                # cls.attr = ... / SomeClass.attr = ... rebinding.
+                for target in targets:
+                    if not isinstance(target, ast.Attribute):
+                        continue
+                    base_name = dotted_name(target.value)
+                    if base_name is None:
+                        continue
+                    is_cls = base_name == "cls" and fn.cls is not None
+                    if is_cls or self._is_project_class(graph, ctx, fn, base_name):
+                        yield self.finding_at(
+                            ctx, node,
+                            f"{fn.short} rebinds class attribute "
+                            f"`{base_name}.{target.attr}` at runtime; class state "
+                            "is shared across the process and lost across shards",
+                        )
+            # Mutating method calls on module-state receivers.
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr not in MUTATING_METHODS:
+                    continue
+                receiver = node.func.value
+                if isinstance(receiver, ast.Name):
+                    state = state_of(receiver.id)
+                    if state is not None:
+                        yield self.finding_at(
+                            ctx, node,
+                            f"{fn.short} mutates module state `{state}` via "
+                            f".{node.func.attr}(); shared containers diverge "
+                            "per process",
+                        )
+
+    @staticmethod
+    def _is_project_class(graph, ctx, fn: FunctionInfo, name: str) -> bool:
+        """Is ``name`` a project class (not self/an instance variable)?"""
+        if name in ("self",):
+            return False
+        for candidate in (ctx.resolve(name), f"{fn.module}.{name}"):
+            if candidate is not None and candidate in graph.classes:
+                return True
+        return False

@@ -11,6 +11,7 @@ Usage::
     python -m repro all --jobs 4      # everything, in paper order, parallel
     python -m repro all --format json --out runs/   # manifests + JSON results
     python -m repro verify --runs 2   # replay-from-seed determinism check
+    python -m repro verify --sanitize # ... plus DetSan guards + dispatch traces
     python -m repro bandwidth --profile   # event-loop callback-site profile
     python -m repro lint              # reprolint the source tree
 """
@@ -49,6 +50,9 @@ def _add_run_options(sub: argparse.ArgumentParser) -> None:
                      help="stdout format (default: text)")
     sub.add_argument("--profile", action="store_true",
                      help="profile event-loop callback sites during the run")
+    sub.add_argument("--sanitize", action="store_true",
+                     help="run under DetSan: raise on wall-clock/global-RNG use "
+                          "in simulation code and fingerprint event dispatch")
     sub.add_argument("-p", "--param", action="append", default=[], type=_parse_override,
                      metavar="KEY=VALUE", help="override one experiment parameter")
 
@@ -79,6 +83,9 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--runs", type=int, default=2, help="executions per experiment")
     verify.add_argument("--jobs", type=int, default=1, help="process-pool size")
     verify.add_argument("--quick", action="store_true", help="scaled-down smoke parameters")
+    verify.add_argument("--sanitize", action="store_true",
+                        help="run under DetSan and report the first divergent "
+                             "event when dispatch traces disagree")
     subparsers.add_parser("list", help="list every registered experiment")
     lint = subparsers.add_parser(
         "lint", help="run the determinism & simulation-safety linter (reprolint)"
@@ -134,7 +141,8 @@ def _run_experiments(args, names: list[str]) -> int:
     for name in names:
         spec = registry.get(name)
         requests.append(RunRequest(name, args.seed, _resolved_params(spec, args)))
-    runner = Runner(jobs=getattr(args, "jobs", 1), out_dir=args.out, profile=args.profile)
+    runner = Runner(jobs=getattr(args, "jobs", 1), out_dir=args.out,
+                    profile=args.profile, sanitize=args.sanitize)
     outcomes = runner.run(requests)
     if args.fmt == "json":
         payload = {
@@ -156,7 +164,7 @@ def _run_verify(args) -> int:
     for name in names:
         spec = registry.get(name)  # validates unknown names early
         params_for[name] = spec.resolve_params(quick=args.quick)
-    runner = Runner(jobs=args.jobs)
+    runner = Runner(jobs=args.jobs, sanitize=args.sanitize)
     report = runner.verify(names, seed=args.seed, runs=args.runs, params_for=params_for)
     print(report.render())
     for name, error in sorted(report.errors.items()):

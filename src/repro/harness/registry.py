@@ -99,7 +99,7 @@ def register(spec: ExperimentSpec) -> ExperimentSpec:
         raise ConfigurationError(
             f"experiment {spec.name!r} registered by both {existing.module} and {spec.module}"
         )
-    _REGISTRY[spec.name] = spec
+    _REGISTRY[spec.name] = spec  # repro: allow[SHARD001] import-time registration; workers re-import identically
     return spec
 
 

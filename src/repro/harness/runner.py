@@ -9,22 +9,35 @@ embarrassingly parallel), writes artifacts under ``--out``, and powers
 ``repro verify``: re-run every experiment at the same seed and fail on
 any content-digest mismatch — the replay-from-seed contract reprolint
 enforces statically, checked dynamically.
+
+With ``--sanitize`` (or ``REPRO_DETSAN=1``) each execution runs under
+DetSan (:mod:`repro.analysis.sanitizer`): wall-clock/global-RNG guards
+raise at the offending line, and a dispatch-trace fingerprint rides
+back in each :class:`RunOutcome` so ``verify`` can name the *first*
+divergent event when digests disagree instead of just the mismatch.
 """
 
 from __future__ import annotations
 
+import os
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Mapping
 
+from repro.analysis.sanitizer import TraceSnapshot, first_divergence, sanitized_run
 from repro.harness import registry
 from repro.harness.manifest import RunRecord
 from repro.harness.profile import EventCounter, SiteProfiler, capture_events
 from repro.harness.result import canonical_json, content_digest
 from repro.util.perf import WallTimer, peak_rss_kb, unix_now
 from repro.util.tables import render_table
+
+
+def detsan_env_enabled() -> bool:
+    """True when ``REPRO_DETSAN`` asks for sanitized execution."""
+    return os.environ.get("REPRO_DETSAN", "") not in ("", "0")
 
 
 @dataclass
@@ -35,6 +48,8 @@ class RunOutcome:
     rendered: str = ""
     result_dict: dict[str, Any] | None = None
     profile: dict[str, Any] | None = None
+    #: DetSan dispatch-trace snapshot (``--sanitize`` runs only).
+    trace: TraceSnapshot | None = None
 
     def to_payload(self) -> dict[str, Any]:
         """The JSON document written as the per-experiment result file."""
@@ -62,6 +77,7 @@ def execute_spec(
     seed: int | str,
     params: Mapping[str, Any] | None = None,
     profile: bool = False,
+    sanitize: bool = False,
 ) -> RunOutcome:
     """Run one registered experiment and return its outcome.
 
@@ -69,17 +85,28 @@ def execute_spec(
     the registry re-resolves ``name`` inside the child. Exceptions are
     captured into an ``status="error"`` record rather than raised, so a
     failing experiment cannot take down a whole ``repro all`` run.
+    ``sanitize`` (or ``REPRO_DETSAN=1``, which workers inherit through
+    the environment) runs the experiment under DetSan; a
+    ``DetSanViolation`` lands in the error record with the offending
+    file and line.
     """
     spec = registry.get(name)
     params = dict(params or {})
+    sanitize = sanitize or detsan_env_enabled()
     counter = SiteProfiler() if profile else EventCounter()
     record = RunRecord(experiment=name, seed=seed, params=params, started_at_unix=unix_now())
     rendered = ""
     result_dict: dict[str, Any] | None = None
+    trace: TraceSnapshot | None = None
+    detsan = sanitized_run() if sanitize else None
     with WallTimer() as timer:
         try:
             with capture_events(counter):
-                result = spec.runner(seed=seed, **params)
+                if detsan is not None:
+                    with detsan:
+                        result = spec.runner(seed=seed, **params)
+                else:
+                    result = spec.runner(seed=seed, **params)
             result_dict = result.to_dict()
             record.result_digest = content_digest(result_dict)
             record.result_type = type(result).__qualname__
@@ -90,17 +117,22 @@ def execute_spec(
         except Exception as exc:  # noqa: BLE001 - converted into the record
             record.status = "error"
             record.error = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+    if detsan is not None:
+        trace = detsan.snapshot()
     record.wall_seconds = timer.elapsed
     record.events_fired = counter.total
     record.peak_rss_kb = peak_rss_kb()
     profile_data = counter.to_dict() if isinstance(counter, SiteProfiler) else None
-    return RunOutcome(record=record, rendered=rendered, result_dict=result_dict, profile=profile_data)
+    return RunOutcome(
+        record=record, rendered=rendered, result_dict=result_dict,
+        profile=profile_data, trace=trace,
+    )
 
 
-def _execute_request(args: tuple[str, Any, dict, bool]) -> RunOutcome:
+def _execute_request(args: tuple[str, Any, dict, bool, bool]) -> RunOutcome:
     """Pool adapter: unpack one request tuple for :func:`execute_spec`."""
-    name, seed, params, profile = args
-    return execute_spec(name, seed, params, profile)
+    name, seed, params, profile, sanitize = args
+    return execute_spec(name, seed, params, profile, sanitize)
 
 
 @dataclass
@@ -111,13 +143,22 @@ class VerifyReport:
     digests: dict[str, list[str | None]] = field(default_factory=dict)
     events: dict[str, list[int]] = field(default_factory=dict)
     errors: dict[str, str] = field(default_factory=dict)
+    #: DetSan first-divergence reports per experiment (sanitized runs
+    #: whose dispatch traces disagreed), rendered for humans.
+    divergences: dict[str, str] = field(default_factory=dict)
 
     def mismatches(self) -> list[str]:
-        """Experiments whose repeated runs did not produce one digest."""
-        out = []
+        """Experiments whose repeated runs did not produce one digest.
+
+        A dispatch-trace divergence counts even when the digests agree:
+        identical results reached through different event orders are
+        exactly the latent nondeterminism ``--sanitize`` exists to
+        surface before it reaches a digest.
+        """
+        out = set(self.divergences)
         for name, digests in self.digests.items():
             if name in self.errors or len(set(digests)) != 1 or digests[0] is None:
-                out.append(name)
+                out.add(name)
         return sorted(out)
 
     @property
@@ -131,6 +172,8 @@ class VerifyReport:
         for name, digests in self.digests.items():
             if name in self.errors:
                 status = "ERROR"
+            elif name in self.divergences:
+                status = "DIVERGED"
             elif len(set(digests)) == 1 and digests[0] is not None:
                 status = "ok"
             else:
@@ -144,7 +187,11 @@ class VerifyReport:
             rows,
             title=f"repro verify — replay-from-seed check ({self.runs} runs each)",
         )
-        return f"{table}\n\nverdict: {verdict}"
+        lines = [table]
+        for name in sorted(self.divergences):
+            lines.append(f"detsan [{name}]: {self.divergences[name]}")
+        lines.append(f"\nverdict: {verdict}")
+        return "\n".join(lines)
 
 
 class Runner:
@@ -155,15 +202,17 @@ class Runner:
         jobs: int = 1,
         out_dir: Path | str | None = None,
         profile: bool = False,
+        sanitize: bool = False,
     ) -> None:
         self.jobs = max(1, jobs)
         self.out_dir = Path(out_dir) if out_dir else None
         self.profile = profile
+        self.sanitize = sanitize
 
     def run(self, requests: Iterable[RunRequest]) -> list[RunOutcome]:
         """Execute every request, preserving input order in the output."""
         requests = list(requests)
-        work = [(r.name, r.seed, r.params, self.profile) for r in requests]
+        work = [(r.name, r.seed, r.params, self.profile, self.sanitize) for r in requests]
         if self.jobs == 1 or len(work) <= 1:
             outcomes = [_execute_request(item) for item in work]
         else:
@@ -201,10 +250,23 @@ class Runner:
         ]
         outcomes = self.run(requests)
         report = VerifyReport(runs=runs)
+        traces: dict[str, list[TraceSnapshot]] = {}
         for outcome in outcomes:
             name = outcome.record.experiment
             report.digests.setdefault(name, []).append(outcome.record.result_digest)
             report.events.setdefault(name, []).append(outcome.record.events_fired)
+            if outcome.trace is not None:
+                traces.setdefault(name, []).append(outcome.trace)
             if not outcome.record.ok and name not in report.errors:
                 report.errors[name] = outcome.record.error or "unknown error"
+        # Sanitized runs: compare each repeat's dispatch trace against
+        # the first and report the first divergent event by site.
+        for name, snapshots in sorted(traces.items()):
+            for repeat, snapshot in enumerate(snapshots[1:], start=2):
+                divergence = first_divergence(snapshots[0], snapshot)
+                if divergence is not None:
+                    report.divergences[name] = (
+                        f"run 1 vs run {repeat}: {divergence.render()}"
+                    )
+                    break
         return report

@@ -30,6 +30,10 @@ notified after every fired event (see :mod:`repro.harness.profile`);
 :meth:`EventLoop.wheel_stats` exposes the wheel's occupancy and
 overflow counters. Sinks are class-wide so a harness can observe every
 loop an experiment creates; they must only observe, never schedule.
+A single *pre-fire* trace hook (:meth:`EventLoop.set_trace`) is called
+with each selected event **before** its callback runs — DetSan
+(:mod:`repro.analysis.sanitizer`) uses it so the event whose callback
+raises, or diverges between runs, is already in the trace when it does.
 """
 
 from __future__ import annotations
@@ -153,6 +157,12 @@ class EventLoop:
     #: tuple so the hot-path emptiness check is a plain truthiness test.
     _sinks: ClassVar[tuple] = ()
 
+    #: Class-wide pre-fire trace hook: ``_trace(loop, entry_or_handle)``
+    #: called before each event's callback runs. One hook, not a tuple —
+    #: it sits on the hottest line in the simulator, and DetSan is its
+    #: only client.
+    _trace: ClassVar[Any] = None
+
     def __init__(
         self,
         wheel_width: float | None = None,
@@ -187,12 +197,22 @@ class EventLoop:
     @classmethod
     def add_sink(cls, sink: Any) -> None:
         """Register an observer notified as ``sink.record(loop, handle)``."""
-        cls._sinks = cls._sinks + (sink,)
+        cls._sinks = cls._sinks + (sink,)  # repro: allow[SHARD001] harness-owned observability, not sim state
 
     @classmethod
     def remove_sink(cls, sink: Any) -> None:
         """Unregister a sink previously passed to :meth:`add_sink`."""
-        cls._sinks = tuple(s for s in cls._sinks if s is not sink)
+        cls._sinks = tuple(s for s in cls._sinks if s is not sink)  # repro: allow[SHARD001] harness-owned observability, not sim state
+
+    @classmethod
+    def set_trace(cls, hook: Any) -> None:
+        """Install the pre-fire trace hook (replacing any previous one)."""
+        cls._trace = hook  # repro: allow[SHARD001] harness-owned observability, not sim state
+
+    @classmethod
+    def clear_trace(cls) -> None:
+        """Remove the pre-fire trace hook."""
+        cls._trace = None  # repro: allow[SHARD001] harness-owned observability, not sim state
 
     @property
     def wheel_occupancy(self) -> int:
@@ -269,6 +289,12 @@ class EventLoop:
         width = (2.0 * max_delay) / slots
         if width < MIN_WHEEL_WIDTH:
             width = MIN_WHEEL_WIDTH
+        if width == self._wheel_width and slots == self._wheel_slots:
+            # Same geometry: skip the reconfigure so steady-state
+            # auto-retune checks don't flush bucket residents for
+            # nothing. (An idle wheel whose origin trails `now` resyncs
+            # itself in _overflow.)
+            return
         self.configure_wheel(width, slots)
 
     # -- scheduling ------------------------------------------------------
@@ -372,8 +398,8 @@ class EventLoop:
 
     # step(), run_until() and run_all() intentionally duplicate the fire
     # sequence (two-tier selection, anonymous-vs-handle branch,
-    # live-counter bookkeeping, repeating-vs-plain branch, sink
-    # notification): one event is one pass through this code, and the
+    # live-counter bookkeeping, pre-fire trace hook, repeating-vs-plain
+    # branch, sink notification): one event is one pass through this code, and the
     # extra call frames of a shared helper are measurable at swarm
     # scale. Selection invariant: _collect() is called whenever the
     # cursor is empty and buckets are not, so the wheel's minimum entry
@@ -431,6 +457,8 @@ class EventLoop:
             if len(entry) == 4:
                 self._live -= 1
                 self.now = entry[0]
+                if EventLoop._trace is not None:
+                    EventLoop._trace(self, entry)
                 entry[2](*entry[3])
                 handle: Any = entry
             else:
@@ -440,6 +468,8 @@ class EventLoop:
                 self._live -= 1
                 handle._loop = None
                 self.now = when
+                if EventLoop._trace is not None:
+                    EventLoop._trace(self, handle)
                 if handle._repeating:
                     handle._fire(self)
                 else:
@@ -480,6 +510,8 @@ class EventLoop:
                 if len(entry) == 4:
                     self._live -= 1
                     self.now = entry[0]
+                    if EventLoop._trace is not None:
+                        EventLoop._trace(self, entry)
                     entry[2](*entry[3])
                     handle: Any = entry
                 else:
@@ -489,6 +521,8 @@ class EventLoop:
                     self._live -= 1
                     handle._loop = None
                     self.now = when
+                    if EventLoop._trace is not None:
+                        EventLoop._trace(self, handle)
                     if handle._repeating:
                         handle._fire(self)
                     else:
@@ -534,6 +568,8 @@ class EventLoop:
                 if len(entry) == 4:
                     self._live -= 1
                     self.now = entry[0]
+                    if EventLoop._trace is not None:
+                        EventLoop._trace(self, entry)
                     entry[2](*entry[3])
                     handle: Any = entry
                 else:
@@ -543,6 +579,8 @@ class EventLoop:
                     self._live -= 1
                     handle._loop = None
                     self.now = when
+                    if EventLoop._trace is not None:
+                        EventLoop._trace(self, handle)
                     if handle._repeating:
                         handle._fire(self)
                     else:

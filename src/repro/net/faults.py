@@ -115,7 +115,7 @@ def _event(kind: str) -> Callable[[type], type]:
 
     def register(cls: type) -> type:
         cls.kind = kind
-        _EVENT_KINDS[kind] = cls
+        _EVENT_KINDS[kind] = cls  # repro: allow[SHARD001] decorator runs at import; read-only at runtime
         return cls
 
     return register

@@ -36,6 +36,21 @@ DatagramHandler = Callable[[bytes, Endpoint, "UdpSocket"], None]
 #: to :meth:`Host.bind_udp` for an unbounded inbox.
 DEFAULT_INBOX_LIMIT = 4096
 
+#: Auto-retune cadence: the send path checks wheel health every this
+#: many datagrams (a power of two, so the hot-path check is one mask).
+#: The *first* boundary doubles as end-of-warm-up — the wheel narrows
+#: unconditionally from the constructor's worst-case band to the
+#: latency classes the first 8192 sends actually used.
+AUTO_RETUNE_CHECK_INTERVAL = 8192
+
+#: Re-derive the wheel geometry when more than this share of entries
+#: scheduled since the previous check overflowed to the heap. A healthy
+#: swarm overflows ~never (see ``docs/PERFORMANCE.md``); a quarter of
+#: traffic falling out of band means the geometry no longer matches
+#: the latency band (a knob changed, or fault impairments stretched
+#: delays) and a retune is cheaper than sustained heap sifts.
+AUTO_RETUNE_OVERFLOW_SHARE = 0.25
+
 
 class UdpSocket:
     """A bound UDP port on a host.
@@ -209,6 +224,12 @@ class Network:
         self._next_public_ip = ip_to_int("5.0.0.1")
         self._next_nat_subnet = itertools.count(1)
         self.datagrams_sent = 0
+        #: Auto-retune state: enabled by default; ``_retune_mark`` holds
+        #: the (scheduled, overflow) counters at the previous check so
+        #: the overflow share is computed per window, not cumulatively.
+        self.auto_retune = True
+        self._retune_warmed = False
+        self._retune_mark = (0, 0)
         self.datagrams_dropped = 0
         self.datagrams_delivered = 0
         self.datagrams_in_flight = 0
@@ -280,9 +301,40 @@ class Network:
         Call after warm-up traffic to tighten the bucket width to the
         delay band this topology actually uses (an all-same-region
         swarm gets ~6x finer buckets than the cross-region worst case
-        the constructor assumes).
+        the constructor assumes). The send path also invokes this
+        automatically at deterministic datagram-count boundaries — see
+        :data:`AUTO_RETUNE_CHECK_INTERVAL` / :meth:`_auto_retune_check`;
+        set :attr:`auto_retune` to ``False`` to manage geometry manually.
         """
         self._tune_wheel()
+
+    def _auto_retune_check(self) -> None:
+        """Periodic wheel-health check, hit every ``AUTO_RETUNE_CHECK_INTERVAL`` sends.
+
+        Trigger points are datagram-count boundaries, so they land at
+        identical simulation moments on every run of a seed — retuning
+        is order-safe (:meth:`~repro.net.clock.EventLoop.configure_wheel`
+        preserves dispatch order), and deterministic triggers keep even
+        the wheel *counters* replayable. The first boundary retunes
+        unconditionally (end of warm-up); later boundaries only when
+        the per-window overflow share crosses
+        :data:`AUTO_RETUNE_OVERFLOW_SHARE`. A deliberately disabled
+        wheel (``configure_wheel(None, 0)``) is left alone.
+        """
+        loop = self.loop
+        if not self.auto_retune or not loop._wheel_slots:
+            return
+        scheduled, overflow = loop.wheel_scheduled, loop.wheel_overflow
+        window_scheduled = scheduled - self._retune_mark[0]
+        window_overflow = overflow - self._retune_mark[1]
+        self._retune_mark = (scheduled, overflow)
+        if not self._retune_warmed:
+            self._retune_warmed = True
+            self._tune_wheel()
+            return
+        total = window_scheduled + window_overflow
+        if total and window_overflow / total >= AUTO_RETUNE_OVERFLOW_SHARE:
+            self._tune_wheel()
 
     # -- topology --------------------------------------------------------
 
@@ -444,6 +496,8 @@ class Network:
         NATed sockets and direct callers pass ``None``.
         """
         self.datagrams_sent += 1
+        if not self.datagrams_sent & (AUTO_RETUNE_CHECK_INTERVAL - 1):
+            self._auto_retune_check()
         if wire_src is None:
             nat = src_host.nat
             if nat is not None:

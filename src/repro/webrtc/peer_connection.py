@@ -84,7 +84,12 @@ class PeerConnection:
     ) -> None:
         self.host = host
         self.loop = loop
-        self.rand = rand.fork(f"pc:{name}:{id(self)}")
+        # Keyed by (host, name), both caller-chosen: a process address
+        # (id(self)) here would give each run a stream keyed to heap
+        # layout, breaking replay across processes. Callers creating
+        # several connections per host pass distinct names (the PDN SDK
+        # keys them "<client>-><peer_id>").
+        self.rand = rand.fork(f"pc:{host.name}:{name}")
         self.config = config or RtcConfig()
         self.name = name
         self.socket: UdpSocket = host.bind_udp(0, self._on_datagram)

@@ -1,0 +1,207 @@
+"""ProjectGraph construction: symbols, edges, resolution, determinism."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.callgraph import build_project, module_name_for
+from repro.analysis.context import build_context
+from repro.analysis.dataflow import chain, reachable_from, reaches, render_chain
+
+
+def make_contexts(files: dict[str, str]) -> dict:
+    """Parse a ``{relpath: source}`` mapping into FileContexts."""
+    return {
+        relpath: build_context(relpath, textwrap.dedent(source))
+        for relpath, source in files.items()
+    }
+
+
+class TestModuleNames:
+    def test_src_prefix_stripped(self):
+        assert module_name_for("src/repro/net/clock.py") == "repro.net.clock"
+
+    def test_init_collapses_to_package(self):
+        assert module_name_for("repro/net/__init__.py") == "repro.net"
+
+    def test_bare_file(self):
+        assert module_name_for("tool.py") == "tool"
+
+
+class TestSymbolTable:
+    def test_functions_classes_and_module_state(self):
+        graph = build_project(make_contexts({
+            "repro/mod.py": """
+                REGISTRY = {}
+                LIMIT = 3
+
+                def helper():
+                    pass
+
+                class Box:
+                    def get(self):
+                        pass
+            """,
+        }))
+        assert "repro.mod.helper" in graph.functions
+        assert "repro.mod.Box.get" in graph.functions
+        assert "repro.mod.Box" in graph.classes
+        assert "repro.mod.REGISTRY" in graph.module_state
+        assert graph.module_state["repro.mod.REGISTRY"].kind == "dict"
+        # Immutable module constants are not tracked as shared state.
+        assert "repro.mod.LIMIT" not in graph.module_state
+
+    def test_short_names_strip_module(self):
+        graph = build_project(make_contexts({
+            "repro/mod.py": """
+                class Box:
+                    def get(self):
+                        pass
+            """,
+        }))
+        assert graph.functions["repro.mod.Box.get"].short == "Box.get"
+
+
+class TestEdges:
+    def test_same_module_call(self):
+        graph = build_project(make_contexts({
+            "repro/mod.py": """
+                def low():
+                    pass
+
+                def high():
+                    low()
+            """,
+        }))
+        assert graph.edges["repro.mod.high"] == ["repro.mod.low"]
+
+    def test_cross_module_import_call(self):
+        graph = build_project(make_contexts({
+            "repro/a.py": """
+                from repro.b import helper
+
+                def caller():
+                    helper()
+            """,
+            "repro/b.py": """
+                def helper():
+                    pass
+            """,
+        }))
+        assert graph.edges["repro.a.caller"] == ["repro.b.helper"]
+
+    def test_self_method_and_base_class_resolution(self):
+        graph = build_project(make_contexts({
+            "repro/mod.py": """
+                class Base:
+                    def shared(self):
+                        pass
+
+                class Child(Base):
+                    def use(self):
+                        self.shared()
+            """,
+        }))
+        assert graph.edges["repro.mod.Child.use"] == ["repro.mod.Base.shared"]
+
+    def test_attr_type_from_init(self):
+        graph = build_project(make_contexts({
+            "repro/mod.py": """
+                class Engine:
+                    def fire(self):
+                        pass
+
+                class Car:
+                    def __init__(self):
+                        self.engine = Engine()
+
+                    def drive(self):
+                        self.engine.fire()
+            """,
+        }))
+        assert "repro.mod.Engine.fire" in graph.edges["repro.mod.Car.drive"]
+
+    def test_local_instantiation_typing(self):
+        graph = build_project(make_contexts({
+            "repro/mod.py": """
+                class Engine:
+                    def fire(self):
+                        pass
+
+                def go():
+                    e = Engine()
+                    e.fire()
+            """,
+        }))
+        assert "repro.mod.Engine.fire" in graph.edges["repro.mod.go"]
+
+    def test_constructor_call_targets_init(self):
+        graph = build_project(make_contexts({
+            "repro/mod.py": """
+                class Box:
+                    def __init__(self):
+                        pass
+
+                def build():
+                    return Box()
+            """,
+        }))
+        assert graph.edges["repro.mod.build"] == ["repro.mod.Box.__init__"]
+
+    def test_external_refs_resolved_through_imports(self):
+        graph = build_project(make_contexts({
+            "repro/mod.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+            """,
+        }))
+        refs = [ref for _, ref in graph.functions["repro.mod.stamp"].external_refs]
+        assert "time.time" in refs
+
+
+class TestDataflow:
+    def graph(self):
+        return build_project(make_contexts({
+            "repro/mod.py": """
+                def sink():
+                    pass
+
+                def mid():
+                    sink()
+
+                def root():
+                    mid()
+
+                def unrelated():
+                    pass
+            """,
+        }))
+
+    def test_forward_closure_with_chain(self):
+        graph = self.graph()
+        parents = reachable_from(graph, ["repro.mod.root"])
+        assert set(parents) == {"repro.mod.root", "repro.mod.mid", "repro.mod.sink"}
+        path = list(reversed(chain(parents, "repro.mod.sink")))
+        assert path == ["repro.mod.root", "repro.mod.mid", "repro.mod.sink"]
+        assert render_chain(graph, path) == "root -> mid -> sink"
+
+    def test_backward_closure_walks_toward_sink(self):
+        graph = self.graph()
+        parents = reaches(graph, {"repro.mod.sink"})
+        assert "repro.mod.root" in parents
+        assert "repro.mod.unrelated" not in parents
+        assert chain(parents, "repro.mod.root") == [
+            "repro.mod.root", "repro.mod.mid", "repro.mod.sink",
+        ]
+
+    def test_build_is_deterministic(self):
+        files = {
+            "repro/z.py": "def zf():\n    pass\n",
+            "repro/a.py": "from repro.z import zf\n\ndef af():\n    zf()\n",
+        }
+        first = build_project(make_contexts(files))
+        second = build_project(make_contexts(dict(reversed(list(files.items())))))
+        assert sorted(first.functions) == sorted(second.functions)
+        assert first.edges == second.edges

@@ -1,0 +1,194 @@
+"""``lint --changed`` scoping and stale-baseline enforcement.
+
+These tests build throwaway git repositories under ``tmp_path`` so the
+git plumbing in :mod:`repro.analysis.changed` runs for real, and drive
+the linter through its CLI ``main`` for end-to-end exit codes.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import textwrap
+
+import pytest
+
+from repro.analysis.changed import ChangedFilesError, changed_python_files
+from repro.analysis.cli import main as lint_main
+
+PYPROJECT = """\
+[tool.reprolint]
+baseline = "baseline.json"
+"""
+
+CLEAN_MODULE = """\
+def describe():
+    return "clean"
+"""
+
+RNG_HELPER = """\
+import random
+
+
+def jitter():
+    return random.random()
+"""
+
+DOMAIN_CALLER = """\
+from repro.util.noise import jitter
+
+
+def run(packets):
+    return [p + jitter() for p in packets]
+"""
+
+
+def git(repo: pathlib.Path, *args: str) -> str:
+    proc = subprocess.run(
+        ["git", "-c", "user.email=t@example.invalid", "-c", "user.name=t", *args],
+        cwd=repo, capture_output=True, text=True, check=True,
+    )
+    return proc.stdout
+
+
+def write(repo: pathlib.Path, relpath: str, content: str) -> pathlib.Path:
+    target = repo / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(content))
+    return target
+
+
+@pytest.fixture
+def git_repo(tmp_path):
+    """A committed repo: pyproject + one clean tracked module."""
+    git(tmp_path, "init", "-q")
+    write(tmp_path, "pyproject.toml", PYPROJECT)
+    write(tmp_path, "repro/util/clean.py", CLEAN_MODULE)
+    git(tmp_path, "add", "-A")
+    git(tmp_path, "commit", "-q", "-m", "seed")
+    return tmp_path
+
+
+class TestChangedPythonFiles:
+    def test_modified_and_untracked_files_listed(self, git_repo):
+        write(git_repo, "repro/util/clean.py", CLEAN_MODULE + "\n# touched\n")
+        write(git_repo, "repro/util/fresh.py", CLEAN_MODULE)
+        write(git_repo, "notes.txt", "not python\n")
+        assert changed_python_files(git_repo) == {
+            "repro/util/clean.py",
+            "repro/util/fresh.py",
+        }
+
+    def test_committed_change_vs_older_ref(self, git_repo):
+        write(git_repo, "repro/util/clean.py", CLEAN_MODULE + "\n# touched\n")
+        git(git_repo, "add", "-A")
+        git(git_repo, "commit", "-q", "-m", "touch")
+        assert changed_python_files(git_repo) == set()
+        assert changed_python_files(git_repo, "HEAD~1") == {"repro/util/clean.py"}
+
+    def test_paths_outside_lint_root_skipped(self, git_repo):
+        lint_root = git_repo / "repro"
+        write(git_repo, "tools/outside.py", CLEAN_MODULE)
+        write(git_repo, "repro/util/fresh.py", CLEAN_MODULE)
+        assert changed_python_files(lint_root) == {"util/fresh.py"}
+
+    def test_not_a_repo_raises(self, tmp_path):
+        with pytest.raises(ChangedFilesError):
+            changed_python_files(tmp_path)
+
+
+class TestChangedCli:
+    def test_reports_only_changed_files_with_full_graph(self, git_repo, capsys):
+        # The RNG helper is committed (unchanged); the new domain caller
+        # is untracked. --changed must report only the caller, but the
+        # DET006 chain through the unchanged helper must still resolve.
+        write(git_repo, "repro/util/noise.py", RNG_HELPER)
+        git(git_repo, "add", "-A")
+        git(git_repo, "commit", "-q", "-m", "helper")
+        write(git_repo, "repro/net/jitter.py", DOMAIN_CALLER)
+
+        rc = lint_main(["--changed", "--format", "json", str(git_repo)])
+        report = json.loads(capsys.readouterr().out)
+        paths = {f["path"] for f in report["findings"]}
+        assert paths == {"repro/net/jitter.py"}
+        messages = [f["message"] for f in report["findings"] if f["rule"] == "DET006"]
+        assert any("via run -> jitter" in m for m in messages)
+        assert rc == 1
+
+    def test_empty_change_set_is_clean(self, git_repo, capsys):
+        # Paths go first: --changed takes an optional REF, so a path
+        # straight after it would parse as the ref.
+        rc = lint_main([str(git_repo), "--changed"])
+        assert rc == 0
+        assert "no Python files changed" in capsys.readouterr().out
+
+    def test_prune_rejects_changed(self, git_repo, capsys):
+        rc = lint_main(["--prune", "--changed", str(git_repo)])
+        assert rc == 2
+        assert "--prune cannot be combined with --changed" in capsys.readouterr().err
+
+
+class TestStaleBaseline:
+    def seed_violation(self, git_repo) -> pathlib.Path:
+        write(git_repo, "repro/net/jitter.py", DOMAIN_CALLER)
+        write(git_repo, "repro/util/noise.py", RNG_HELPER)
+        return git_repo / "baseline.json"
+
+    def test_stale_fingerprint_fails_and_prune_recovers(self, git_repo, capsys):
+        baseline = self.seed_violation(git_repo)
+
+        assert lint_main(["--write-baseline", str(git_repo)]) == 0
+        assert lint_main([str(git_repo)]) == 0  # everything grandfathered
+        capsys.readouterr()
+
+        # A fingerprint that matches nothing is a latent hole: error.
+        data = json.loads(baseline.read_text())
+        data["fingerprints"].append("deadbeefdeadbeef")
+        baseline.write_text(json.dumps(data))
+        rc = lint_main([str(git_repo)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "STALE fingerprint deadbeefdeadbeef" in out
+        assert "--prune" in out  # the report names the remedy
+
+    def test_prune_drops_only_stale_entries(self, git_repo, capsys):
+        baseline = self.seed_violation(git_repo)
+        assert lint_main(["--write-baseline", str(git_repo)]) == 0
+        kept = set(json.loads(baseline.read_text())["fingerprints"])
+
+        data = json.loads(baseline.read_text())
+        data["fingerprints"].append("deadbeefdeadbeef")
+        baseline.write_text(json.dumps(data))
+
+        assert lint_main(["--prune", str(git_repo)]) == 0
+        assert set(json.loads(baseline.read_text())["fingerprints"]) == kept
+        assert lint_main([str(git_repo)]) == 0
+        capsys.readouterr()
+
+    def test_prune_never_grandfathers_new_findings(self, git_repo, capsys):
+        baseline = self.seed_violation(git_repo)
+        baseline.write_text(json.dumps({"version": 1, "fingerprints": []}))
+        # Pruning an empty baseline keeps it empty even though the tree
+        # has live findings — pruning is subtractive only.
+        assert lint_main(["--prune", str(git_repo)]) == 0
+        assert json.loads(baseline.read_text())["fingerprints"] == []
+        assert lint_main([str(git_repo)]) == 1
+        capsys.readouterr()
+
+    def test_scoped_runs_skip_staleness(self, git_repo, capsys):
+        baseline = self.seed_violation(git_repo)
+        git(git_repo, "add", "-A")
+        git(git_repo, "commit", "-q", "-m", "violations")
+        assert lint_main(["--write-baseline", str(git_repo)]) == 0
+        data = json.loads(baseline.read_text())
+        data["fingerprints"].append("deadbeefdeadbeef")
+        baseline.write_text(json.dumps(data))
+
+        # Touch one clean file: the scoped run must not flag the stale
+        # entry (it may belong to an unreported file)...
+        write(git_repo, "repro/util/extra.py", CLEAN_MODULE)
+        assert lint_main([str(git_repo), "--changed"]) == 0
+        # ...but the full run still fails on it.
+        assert lint_main([str(git_repo)]) == 1
+        capsys.readouterr()

@@ -1,0 +1,320 @@
+"""Seeded-violation fixtures for the whole-program rules.
+
+Each test writes a small multi-file package tree under ``tmp_path`` and
+lints the *tmp root* (not the package directory): module names derive
+from lint-root-relative paths, so the ``repro/`` path prefix must be
+present for sim-domain matching and cross-module import resolution.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import LintRun, lint_paths
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Write ``{relpath: source}`` files and lint the whole tree."""
+
+    def _lint(files: dict[str, str], select: set[str] | None = None) -> LintRun:
+        for relpath, source in files.items():
+            target = tmp_path / relpath
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(textwrap.dedent(source))
+        return lint_paths(
+            [tmp_path],
+            config=LintConfig(root=tmp_path),
+            select=select,
+            baseline_override=tmp_path / "no-baseline.json",
+        )
+
+    return _lint
+
+
+class TestDet005DigestTaint:
+    def test_set_iteration_reached_through_chain(self, lint_tree):
+        run = lint_tree({
+            "repro/harness/result.py": """
+                from repro.util.agg import summarize
+
+                class Result:
+                    def to_dict(self):
+                        return {"summary": summarize({"a", "b"})}
+            """,
+            "repro/util/agg.py": """
+                def summarize(names):
+                    flagged = {n for n in names if n}
+                    return [item for item in flagged]
+            """,
+        }, select={"DET005"})
+        assert [f.rule_id for f in run.findings] == ["DET005"]
+        finding = run.findings[0]
+        assert finding.path == "repro/util/agg.py"
+        assert "reached via Result.to_dict -> summarize" in finding.message
+
+    def test_id_call_in_digest_root(self, lint_tree):
+        run = lint_tree({
+            "repro/mod.py": """
+                class Peer:
+                    def to_dict(self):
+                        return {"key": id(self)}
+            """,
+        }, select={"DET005"})
+        assert len(run.findings) == 1
+        assert "`id()` on a digest path" in run.findings[0].message
+
+    def test_sorted_set_iteration_is_clean(self, lint_tree):
+        run = lint_tree({
+            "repro/mod.py": """
+                def to_dict():
+                    names = {"b", "a"}
+                    return [n for n in sorted(names)]
+            """,
+        }, select={"DET005"})
+        assert run.findings == []
+
+    def test_repr_inside_raise_is_clean(self, lint_tree):
+        run = lint_tree({
+            "repro/mod.py": """
+                def to_dict(value):
+                    if value is None:
+                        raise ValueError(f"bad value {value!r}: {repr(value)}")
+                    return {"v": value}
+            """,
+        }, select={"DET005"})
+        assert run.findings == []
+
+    def test_unreachable_set_iteration_is_clean(self, lint_tree):
+        # The same pattern outside the digest closure is DET003's
+        # business (file-local), not DET005's.
+        run = lint_tree({
+            "repro/mod.py": """
+                def helper():
+                    return [n for n in {"a", "b"}]
+            """,
+        }, select={"DET005"})
+        assert run.findings == []
+
+
+class TestDet006RngEscape:
+    def test_domain_chain_to_global_rng(self, lint_tree):
+        run = lint_tree({
+            "repro/net/jitter.py": """
+                from repro.util.noise import jitter
+
+                def run(packets):
+                    return [p + jitter() for p in packets]
+            """,
+            "repro/util/noise.py": """
+                import random
+
+                def jitter():
+                    return random.random()
+            """,
+        }, select={"DET006"})
+        # Only the domain function is flagged, anchored at its def.
+        assert [f.path for f in run.findings] == ["repro/net/jitter.py"]
+        assert "run reaches the process-global RNG via run -> jitter" in run.findings[0].message
+
+    def test_direct_sink_in_domain(self, lint_tree):
+        run = lint_tree({
+            "repro/experiments/detect.py": """
+                import random
+
+                def sample():
+                    return random.choice([1, 2, 3])
+            """,
+        }, select={"DET006"})
+        assert len(run.findings) == 1
+        assert "sample uses the process-global RNG" in run.findings[0].message
+
+    def test_unseeded_random_instance_is_a_sink(self, lint_tree):
+        run = lint_tree({
+            "repro/net/link.py": """
+                import random
+
+                def build():
+                    return random.Random()
+            """,
+        }, select={"DET006"})
+        assert len(run.findings) == 1
+
+    def test_seeded_random_instance_is_clean(self, lint_tree):
+        run = lint_tree({
+            "repro/net/link.py": """
+                import random
+
+                def build(seed):
+                    return random.Random(seed)
+            """,
+        }, select={"DET006"})
+        assert run.findings == []
+
+    def test_non_domain_module_untouched(self, lint_tree):
+        run = lint_tree({
+            "repro/tooling/fuzz.py": """
+                import random
+
+                def shuffle(items):
+                    random.shuffle(items)
+            """,
+        }, select={"DET006"})
+        assert run.findings == []
+
+
+class TestShard001SharedState:
+    def test_subscript_write_into_module_dict(self, lint_tree):
+        run = lint_tree({
+            "repro/net/cache.py": """
+                _CACHE = {}
+
+                def remember(key, value):
+                    _CACHE[key] = value
+            """,
+        }, select={"SHARD001"})
+        assert len(run.findings) == 1
+        assert "writes into module state `repro.net.cache._CACHE`" in run.findings[0].message
+
+    def test_mutating_call_on_imported_state(self, lint_tree):
+        run = lint_tree({
+            "repro/net/feed.py": """
+                from repro.net.store import EVENTS
+
+                def record(event):
+                    EVENTS.append(event)
+            """,
+            "repro/net/store.py": """
+                EVENTS = []
+            """,
+        }, select={"SHARD001"})
+        assert len(run.findings) == 1
+        assert "mutates module state `repro.net.store.EVENTS`" in run.findings[0].message
+
+    def test_global_rebinding(self, lint_tree):
+        run = lint_tree({
+            "repro/net/counts.py": """
+                _TOTALS = {}
+
+                def reset():
+                    global _TOTALS
+                    _TOTALS = {}
+            """,
+        }, select={"SHARD001"})
+        assert len(run.findings) == 1
+        assert "rebinds module state" in run.findings[0].message
+
+    def test_cls_attribute_write_in_method(self, lint_tree):
+        run = lint_tree({
+            "repro/net/pool.py": """
+                class Pool:
+                    limit = 4
+
+                    def grow(self):
+                        type(self).limit  # read is fine
+                        Pool.limit = 8
+
+                    @classmethod
+                    def shrink(cls):
+                        cls.limit = 2
+            """,
+        }, select={"SHARD001"})
+        assert len(run.findings) == 2
+        assert all("rebinds class attribute" in f.message for f in run.findings)
+
+    def test_definition_time_hooks_exempt(self, lint_tree):
+        run = lint_tree({
+            "repro/net/kinds.py": """
+                class Base:
+                    registry = {}
+
+                    def __init_subclass__(cls, **kwargs):
+                        super().__init_subclass__(**kwargs)
+                        cls.slot = len(cls.registry)
+            """,
+        }, select={"SHARD001"})
+        assert run.findings == []
+
+    def test_local_shadow_is_clean(self, lint_tree):
+        run = lint_tree({
+            "repro/net/shadow.py": """
+                _CACHE = {}
+
+                def isolated(_CACHE):
+                    _CACHE["k"] = 1
+
+                def fresh():
+                    _CACHE = {}
+                    _CACHE["k"] = 1
+                    return _CACHE
+            """,
+        }, select={"SHARD001"})
+        assert run.findings == []
+
+    def test_out_of_scope_module_untouched(self, lint_tree):
+        # Module state written outside the sim domain's reach is fine.
+        run = lint_tree({
+            "repro/tooling/memo.py": """
+                _MEMO = {}
+
+                def put(key, value):
+                    _MEMO[key] = value
+            """,
+        }, select={"SHARD001"})
+        assert run.findings == []
+
+
+class TestApi002BlockingChain:
+    FIXTURE = {
+        "repro/experiments/probe.py": """
+            from repro.util.shell import shell_out
+
+            def run():
+                return shell_out("git rev-parse HEAD")
+        """,
+        "repro/util/shell.py": """
+            import subprocess  # repro: allow[API001] harness-side helper
+
+            def shell_out(cmd):
+                return subprocess.run(cmd, shell=True)  # repro: allow[API001]
+        """,
+    }
+
+    def test_chain_to_blocking_sink(self, lint_tree):
+        run = lint_tree(dict(self.FIXTURE), select={"API002"})
+        assert [f.path for f in run.findings] == ["repro/experiments/probe.py"]
+        assert "run reaches a blocking primitive via run -> shell_out" in run.findings[0].message
+
+    def test_intermediate_pragma_does_not_kill_taint(self, lint_tree):
+        # The helper's API001 pragmas (present in the fixture) sanction
+        # the helper module — they must not license the domain chain.
+        run = lint_tree(dict(self.FIXTURE), select={"API001", "API002"})
+        assert "API002" in {f.rule_id for f in run.findings}
+
+    def test_pragma_at_domain_function_suppresses(self, lint_tree):
+        files = dict(self.FIXTURE)
+        files["repro/experiments/probe.py"] = """
+            from repro.util.shell import shell_out
+
+            def run():  # repro: allow[API002] offline metadata probe, not sim time
+                return shell_out("git rev-parse HEAD")
+        """
+        run = lint_tree(files, select={"API002"})
+        assert run.findings == []
+        assert len(run.suppressed) == 1
+
+    def test_direct_blocking_call_in_domain(self, lint_tree):
+        run = lint_tree({
+            "repro/net/wait.py": """
+                import time
+
+                def settle():
+                    time.sleep(0.1)
+            """,
+        }, select={"API002"})
+        assert len(run.findings) == 1
+        assert "calls a blocking primitive directly" in run.findings[0].message
