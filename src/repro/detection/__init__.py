@@ -12,6 +12,13 @@ Two stages, exactly as in the paper:
    viewers, capture traffic, and look for STUN binding requests followed
    by a DTLS handshake between candidate peer pairs. Successes become
    *confirmed PDN customers*.
+
+Two drivers execute this methodology: the classic monolithic
+:class:`~repro.detection.pipeline.DetectionPipeline` over a fully
+materialised corpus, and the sharded, resumable
+:class:`~repro.detection.streaming.StreamingDetectionPipeline` over
+composable :mod:`~repro.detection.stages` — bit-identical reports,
+bounded memory (see docs/DETECTION.md).
 """
 
 from repro.detection.signatures import (
@@ -24,7 +31,26 @@ from repro.detection.categorize import CategoryEngine, default_engines, is_video
 from repro.detection.scanner import ApkScanner, ScanResult, WebsiteScanner
 from repro.detection.traffic import PdnTrafficReport, classify_capture
 from repro.detection.dynamic import DynamicConfirmer
-from repro.detection.pipeline import DetectionPipeline, PipelineReport
+from repro.detection.pipeline import DetectionPipeline, PipelineReport, combined_signatures
+from repro.detection.stages import (
+    AppItem,
+    CategorizeAndSearch,
+    ConfirmDynamic,
+    GenerateShard,
+    Report,
+    ShardScanState,
+    SignatureScan,
+    SiteItem,
+    Stage,
+)
+from repro.detection.streaming import (
+    ScanIncomplete,
+    StreamingDetectionPipeline,
+    StreamManifest,
+    StreamOutcome,
+    merge_shard_states,
+    scan_shard,
+)
 
 __all__ = [
     "GENERIC_WEBRTC_SIGNATURES",
@@ -42,4 +68,20 @@ __all__ = [
     "DynamicConfirmer",
     "DetectionPipeline",
     "PipelineReport",
+    "combined_signatures",
+    "Stage",
+    "SiteItem",
+    "AppItem",
+    "GenerateShard",
+    "CategorizeAndSearch",
+    "SignatureScan",
+    "ConfirmDynamic",
+    "Report",
+    "ShardScanState",
+    "StreamingDetectionPipeline",
+    "StreamManifest",
+    "StreamOutcome",
+    "ScanIncomplete",
+    "scan_shard",
+    "merge_shard_states",
 ]

@@ -32,6 +32,17 @@ class ConfirmationResult:
     pages_tested: int = 0
     failure_hints: list[str] = field(default_factory=list)
 
+    def to_dict(self) -> dict:
+        """Canonical JSON form (traffic compacted via the report's)."""
+        return {
+            "target": self.target,
+            "confirmed": self.confirmed,
+            "relay_suspected": self.relay_suspected,
+            "pages_tested": self.pages_tested,
+            "failure_hints": list(self.failure_hints),
+            "traffic": self.report.to_dict(),
+        }
+
 
 class DynamicConfirmer:
     """Runs potential customers with probe viewers and classifies traffic."""

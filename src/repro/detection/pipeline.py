@@ -13,10 +13,20 @@ from dataclasses import dataclass, field
 from repro.detection.categorize import default_engines, is_video_related
 from repro.detection.dynamic import ConfirmationResult, DynamicConfirmer
 from repro.detection.scanner import ApkScanner, ScanResult, WebsiteScanner
-from repro.detection.signatures import provider_signatures
+from repro.detection.signatures import GENERIC_WEBRTC_SIGNATURES, provider_signatures
 from repro.detection.source_search import SourceSearchEngine
 from repro.environment import Environment
+from repro.harness.result import content_digest
 from repro.web.corpus import Corpus
+
+
+def combined_signatures() -> list:
+    """The full scan signature list: provider-specific plus generic WebRTC.
+
+    Built once per run and shared by the crawler and the source-search
+    queries (the regexes themselves are cached at compile time).
+    """
+    return provider_signatures() + GENERIC_WEBRTC_SIGNATURES
 
 
 @dataclass
@@ -97,20 +107,69 @@ class PipelineReport:
         )
 
     def provider_counts(self, provider: str) -> ProviderCounts:
-        """Provider counts."""
+        """One Table I row, in a single walk over the scan maps.
+
+        The derived views above re-scan every result per call; building
+        a row through them walked the maps six times per provider. Here
+        each scan is attributed once and every counter for the row is
+        accumulated in the same pass.
+        """
         counts = ProviderCounts(provider)
-        counts.potential_sites = len(self.potential_sites(provider))
-        counts.confirmed_sites = len(self.confirmed_sites(provider))
-        potential_apps = self.potential_apps(provider)
-        confirmed_apps = set(self.confirmed_apps(provider))
-        counts.potential_apps = len(potential_apps)
-        counts.confirmed_apps = len(confirmed_apps)
-        for package in potential_apps:
-            scan = self.app_scans[package]
+        for domain, scan in self.site_scans.items():
+            if not scan.is_potential or scan.provider() != provider:
+                continue
+            counts.potential_sites += 1
+            confirmation = self.site_confirmations.get(domain)
+            if confirmation and confirmation.confirmed:
+                counts.confirmed_sites += 1
+        for package, scan in self.app_scans.items():
+            if not scan.is_potential or scan.provider() != provider:
+                continue
+            counts.potential_apps += 1
             counts.potential_apks += scan.pdn_apk_versions
-            if package in confirmed_apps:
+            confirmation = self.app_confirmations.get(package)
+            if confirmation and confirmation.confirmed:
+                counts.confirmed_apps += 1
                 counts.confirmed_apks += scan.pdn_apk_versions
         return counts
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Canonical JSON form, identical for monolithic and streamed runs.
+
+        Only *potential* scans are kept: the streaming pipeline never
+        retains clean scans (that is its memory bound), so serializing
+        them here would make the two execution styles digest apart.
+        """
+        return {
+            "virtual_total_domains": self.virtual_total_domains,
+            "virtual_video_related": self.virtual_video_related,
+            "video_related_scanned": self.video_related_scanned,
+            "site_scans": {
+                d: s.to_dict() for d, s in sorted(self.site_scans.items()) if s.is_potential
+            },
+            "app_scans": {
+                p: s.to_dict() for p, s in sorted(self.app_scans.items()) if s.is_potential
+            },
+            "site_confirmations": {
+                d: r.to_dict() for d, r in sorted(self.site_confirmations.items())
+            },
+            "app_confirmations": {
+                p: r.to_dict() for p, r in sorted(self.app_confirmations.items())
+            },
+            "private_confirmations": {
+                d: r.to_dict() for d, r in sorted(self.private_confirmations.items())
+            },
+            "generic_webrtc_sites": sorted(self.generic_webrtc_sites),
+            "relay_sites": sorted(self.relay_sites),
+            "extracted_keys": sorted(self.extracted_keys),
+            "source_search_hits": sorted(self.source_search_hits),
+        }
+
+    def content_digest(self) -> str:
+        """Digest of the canonical form — the shard-invariance invariant."""
+        return content_digest(self.to_dict())
 
 
 class DetectionPipeline:
@@ -147,17 +206,14 @@ class DetectionPipeline:
 
     def _scan_websites(self, report: PipelineReport) -> None:
         engines = default_engines(self.env.rand.fork("category-engines"))
-        scanner = WebsiteScanner(self.env.urlspace)
+        signatures = combined_signatures()
+        scanner = WebsiteScanner(self.env.urlspace, signatures=signatures)
         # Source-search engines (NerdyData/PublicWWW) rescue PDN customers
         # the category filter dropped, exactly as the paper used them.
         search_engine = SourceSearchEngine("nerdydata+publicwww")
         for site in self.corpus.websites:
             search_engine.index_site(self.env.urlspace, site)
-        from repro.detection.signatures import GENERIC_WEBRTC_SIGNATURES
-
-        report.source_search_hits = search_engine.search_all(
-            provider_signatures() + GENERIC_WEBRTC_SIGNATURES
-        )
+        report.source_search_hits = search_engine.search_all(signatures)
         for site in self.corpus.websites:
             if not is_video_related(site, engines) and site.domain not in report.source_search_hits:
                 continue

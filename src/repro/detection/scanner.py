@@ -50,6 +50,35 @@ class ScanResult:
             return sorted(specific)[0]
         return "webrtc-generic" if self.providers else None
 
+    def to_dict(self) -> dict:
+        """Canonical JSON form — round-trips through :meth:`from_dict`."""
+        return {
+            "target": self.target,
+            "matched": [
+                {"kind": s.kind.value, "pattern": s.pattern, "provider": s.provider}
+                for s in self.matched
+            ],
+            "extracted_keys": sorted(self.extracted_keys),
+            "pages_scanned": self.pages_scanned,
+            "pdn_apk_versions": self.pdn_apk_versions,
+            "total_apk_versions": self.total_apk_versions,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScanResult":
+        """Rebuild a persisted scan (the shard-resume load path)."""
+        return cls(
+            target=data["target"],
+            matched=[
+                Signature(SignatureKind(s["kind"]), s["pattern"], s["provider"])
+                for s in data["matched"]
+            ],
+            extracted_keys=set(data["extracted_keys"]),
+            pages_scanned=data["pages_scanned"],
+            pdn_apk_versions=data["pdn_apk_versions"],
+            total_apk_versions=data["total_apk_versions"],
+        )
+
 
 class WebsiteScanner:
     """Crawls one site at a time, depth-limited, signature-matching."""
@@ -60,13 +89,19 @@ class WebsiteScanner:
         max_depth: int = 3,
         max_pages: int = 50,
         include_generic: bool = True,
+        signatures: list[Signature] | None = None,
     ) -> None:
         self.urlspace = urlspace
         self.max_depth = max_depth
         self.max_pages = max_pages
-        self.signatures = provider_signatures() + (
-            GENERIC_WEBRTC_SIGNATURES if include_generic else []
-        )
+        # Callers that scan many sites pass one precompiled list so the
+        # combined signature set is built once per run, not per scanner.
+        if signatures is not None:
+            self.signatures = signatures
+        else:
+            self.signatures = provider_signatures() + (
+                GENERIC_WEBRTC_SIGNATURES if include_generic else []
+            )
         self.sites_scanned = 0
         self.pages_fetched = 0
 

@@ -50,11 +50,35 @@ class SourceSearchEngine:
         return sorted(domain for domain, text in self._index.items() if matcher(text))
 
     def search_all(self, queries: list[Signature]) -> set[str]:
-        """Search all."""
+        """The union of :meth:`search` hits over every query."""
         hits: set[str] = set()
         for query in queries:
             hits.update(self.search(query))
         return hits
+
+    def match_site(
+        self,
+        urlspace: UrlSpace,
+        site: Website,
+        queries: list[Signature | str],
+        retain: bool = False,
+    ) -> bool:
+        """Index one site and answer whether any query matches it.
+
+        The streaming pipeline's entry point: per-site membership in the
+        engine's hit set is independent of every other site, so shards
+        can evaluate it locally and union the hits. With ``retain=False``
+        the indexed source is dropped immediately, keeping the engine's
+        memory bounded to one site regardless of corpus size.
+        """
+        self.index_site(urlspace, site)
+        source = self._index.get(site.domain, "")
+        matched = any(
+            (q.matches(source) if isinstance(q, Signature) else q in source) for q in queries
+        )
+        if not retain:
+            self._index.pop(site.domain, None)
+        return matched
 
 
 def _links(html: str) -> list[str]:

@@ -59,6 +59,17 @@ class PdnTrafficReport:
         """Pdn confirmed."""
         return bool(self.confirmed_pairs)
 
+    def to_dict(self) -> dict:
+        """Canonical JSON form: pair sets as sorted lists of sorted pairs."""
+        return {
+            "stun_requests": len(self.stun_requests),
+            "candidate_pairs": sorted(sorted(pair) for pair in self.candidate_pairs),
+            "dtls_pairs": sorted(sorted(pair) for pair in self.dtls_pairs),
+            "observed_peer_ips": sorted(self.observed_peer_ips),
+            "turn_allocations": self.turn_allocations,
+            "turn_indications": self.turn_indications,
+        }
+
 
 def classify_capture(
     capture: TrafficCapture,

@@ -11,12 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.detection.pipeline import DetectionPipeline
-from repro.environment import Environment
+from repro.detection.streaming import StreamingDetectionPipeline
+from repro.experiments.detection_tables import STREAMING_OPTIONS
 from repro.harness.registry import experiment
 from repro.harness.result import ResultBase
 from repro.util.tables import render_table
-from repro.web.corpus import Corpus, CorpusConfig, build_corpus, quick_corpus_config
+from repro.web.corpus import Corpus, CorpusConfig, quick_corpus_config
 
 
 @dataclass
@@ -82,12 +82,21 @@ class DetectionQualityResult(ResultBase):
     paper_ref="§III-C / §VI",
     order=20,
     quick_params={"config": quick_corpus_config()},
+    options=STREAMING_OPTIONS,
 )
-def run(seed: int = 1101, config: CorpusConfig | None = None) -> DetectionQualityResult:
+def run(
+    seed: int = 1101,
+    config: CorpusConfig | None = None,
+    shards: int = 1,
+    scan_jobs: int = 1,
+    resume: str | None = None,
+) -> DetectionQualityResult:
     """Score the detector against the corpus ground truth."""
-    env = Environment(seed=seed)
-    corpus = build_corpus(env, config)
-    report = DetectionPipeline(env, corpus, watch_seconds=30.0).run()
+    outcome = StreamingDetectionPipeline(
+        seed=seed, config=config, shards=shards, scan_jobs=scan_jobs,
+        resume_dir=resume, watch_seconds=30.0,
+    ).run()
+    report, corpus = outcome.report, outcome.corpus
 
     rows = []
     # Stage 1: potential-customer detection (public providers), websites.

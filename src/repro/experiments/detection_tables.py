@@ -9,9 +9,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.detection.pipeline import DetectionPipeline, PipelineReport
-from repro.environment import Environment
-from repro.harness.registry import experiment
+from repro.detection.pipeline import PipelineReport
+from repro.detection.streaming import StreamingDetectionPipeline
+from repro.harness.registry import CliOption, experiment
 from repro.harness.result import ResultBase
 from repro.util.tables import fmt_count, render_table
 from repro.web.corpus import (
@@ -20,8 +20,14 @@ from repro.web.corpus import (
     PRIVATE_SERVICES,
     Corpus,
     CorpusConfig,
-    build_corpus,
     quick_corpus_config,
+)
+
+#: The sharding/resume options both detection experiments expose.
+STREAMING_OPTIONS = (
+    CliOption("--shards", "shards", int, 1, "split the corpus scan into N strided shards"),
+    CliOption("--scan-jobs", "scan_jobs", int, 1, "scan shards across a process pool this wide"),
+    CliOption("--resume", "resume", str, None, "persist completed shards under DIR; skip them on re-run"),
 )
 
 PAPER_TABLE1 = {
@@ -208,15 +214,30 @@ class DetectionTablesResult(ResultBase):
     paper_ref="Tables I-IV",
     order=10,
     quick_params={"config": quick_corpus_config(), "watch_seconds": 25.0},
+    options=STREAMING_OPTIONS,
 )
 def run(
     seed: int = 2024,
     config: CorpusConfig | None = None,
     watch_seconds: float = 30.0,
+    shards: int = 1,
+    scan_jobs: int = 1,
+    resume: str | None = None,
 ) -> DetectionTablesResult:
-    """Build the corpus, run the pipeline, return the four tables."""
-    env = Environment(seed=seed)
-    corpus = build_corpus(env, config)
-    pipeline = DetectionPipeline(env, corpus, watch_seconds=watch_seconds)
-    report = pipeline.run()
-    return DetectionTablesResult(report=report, corpus=corpus)
+    """Stream the corpus through the pipeline, return the four tables.
+
+    The streaming driver produces reports bit-identical to the old
+    monolithic walk at any ``shards``/``scan_jobs`` decomposition, so
+    the tables (and the experiment digest) do not depend on how the
+    scan was split.
+    """
+    pipeline = StreamingDetectionPipeline(
+        seed=seed,
+        config=config,
+        shards=shards,
+        scan_jobs=scan_jobs,
+        resume_dir=resume,
+        watch_seconds=watch_seconds,
+    )
+    outcome = pipeline.run()
+    return DetectionTablesResult(report=outcome.report, corpus=outcome.corpus)

@@ -40,6 +40,24 @@ def detsan_env_enabled() -> bool:
     return os.environ.get("REPRO_DETSAN", "") not in ("", "0")
 
 
+def pool_map(fn, items: Iterable, jobs: int = 1) -> list:
+    """Map ``fn`` over ``items``, optionally across a process pool.
+
+    The harness's one parallelism seam: ``Runner.run`` fans experiment
+    specs through it, and the streaming detection driver fans corpus
+    shards through it. ``fn`` must be a top-level callable and every
+    item picklable. Output order always matches input order, so callers
+    reduce over results without caring which path executed — ``jobs=1``
+    (or a single item) stays in-process, which keeps nested use inside
+    already-pooled workers cheap and sanitizer-friendly.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(fn, items))
+
+
 @dataclass
 class RunOutcome:
     """Everything one execution produced, in picklable form."""
@@ -213,11 +231,7 @@ class Runner:
         """Execute every request, preserving input order in the output."""
         requests = list(requests)
         work = [(r.name, r.seed, r.params, self.profile, self.sanitize) for r in requests]
-        if self.jobs == 1 or len(work) <= 1:
-            outcomes = [_execute_request(item) for item in work]
-        else:
-            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                outcomes = list(pool.map(_execute_request, work))
+        outcomes = pool_map(_execute_request, work, jobs=self.jobs)
         if self.out_dir is not None:
             for outcome in outcomes:
                 self.write_artifacts(outcome)

@@ -73,6 +73,7 @@ class Authenticator:
         self.policy = policy
         self.rand = rand or DeterministicRandom("auth")
         self._keys: dict[str, ApiKey] = {}
+        self._issued: dict[str, int] = {}  # customer_id -> keys issued so far
         self._session_tokens: dict[str, dict] = {}  # token -> claims
         self.attempts = 0
         self.rejections = 0
@@ -88,11 +89,19 @@ class Authenticator:
 
         Under ``ALLOWLIST_REQUIRED`` the provider insists on a non-empty
         allowlist at setup time (Viblast's behaviour).
+
+        Key material is derived from a per-customer fork rather than the
+        authenticator's sequential stream, so the key a customer receives
+        does not depend on how many other customers signed up first —
+        corpus shards can provision disjoint customer subsets in any
+        order and still mint identical credentials.
         """
         if self.policy is AuthPolicyKind.ALLOWLIST_REQUIRED and not allowed_domains:
             allowed_domains = {customer_id}  # provider defaults it to the signup domain
+        serial = self._issued.get(customer_id, 0)
+        self._issued[customer_id] = serial + 1
         key = ApiKey(
-            key=self.rand.bytes(12).hex(),
+            key=self.rand.fork(f"key:{customer_id}:{serial}").bytes(12).hex(),
             customer_id=customer_id,
             allowed_domains=(
                 frozenset(_registrable_domain(d) for d in allowed_domains)

@@ -21,6 +21,19 @@ on, embedded in realistic noise:
 Counts that the paper reports but that need no per-site behaviour (the
 Tranco 300K crawl, the 68,713 video-related domains, the 1.5M sampled
 apps) are carried as *virtual* totals on the corpus object.
+
+Since the streaming-detection refactor the corpus is described before it
+is built: a :class:`CorpusPlan` lays out every site and app as an
+immutable :class:`SiteSpec`/:class:`AppSpec` (ground truth eagerly, the
+noise population procedurally by index, so a 3M-domain plan costs no
+memory), :class:`CorpusShard` slices the plan into lazy strided
+sub-sequences, and :class:`CorpusBuilder` materialises individual specs
+into an :class:`~repro.environment.Environment`. Every random artifact a
+spec produces (API keys, provider streams) derives from *stateless named
+forks* keyed by the item's own identity, never from a shared sequential
+stream — so any subset of specs, materialised in any order by any number
+of shards, yields bit-identical sites. :func:`build_corpus` is now just
+"materialise all shards" in the legacy order.
 """
 
 from __future__ import annotations
@@ -128,6 +141,18 @@ EXTRACTABLE_KEYS = {"peer5": 38, "streamroot": 2, "viblast": 4}
 EXPIRED_EXTRACTABLE = {"peer5": 2, "streamroot": 1, "viblast": 1}
 PEER5_NO_ALLOWLIST_VALID = 11
 
+# Inline JS carried by the non-PDN WebRTC populations: fingerprinting
+# trackers and generic live-streaming sites that match only the generic
+# signatures. Pure string templates — no shared mutable state.
+_TRACKING_JS = (
+    "<script>var pc = new RTCPeerConnection({iceServers:[]});"
+    "pc.createDataChannel('probe');</script>"
+)
+_GENERIC_JS = (
+    "<script>var signal = new WebSocket('wss://{host}/live-ws');"
+    "var pc = new RTCPeerConnection();</script>"
+)
+
 
 @dataclass
 class CorpusConfig:
@@ -188,6 +213,7 @@ class Corpus:
     apps: list[AndroidApp] = field(default_factory=list)
     records: list[CustomerRecord] = field(default_factory=list)
     top10k_webrtc_domains: list[str] = field(default_factory=list)
+    plan: "CorpusPlan | None" = None
 
     def website(self, domain: str) -> Website | None:
         """Website."""
@@ -219,37 +245,59 @@ class Corpus:
         return [r for r in self.records if r.key_extractable and r.api_key]
 
 
-def build_corpus(env: Environment, config: CorpusConfig | None = None) -> Corpus:
-    """Materialise the synthetic internet into ``env``'s URL space."""
-    config = config or CorpusConfig()
-    origin = OriginServer(env.loop, hostname="origin.corpus.net")
-    cdn = CdnEdge(origin, hostname="cdn.corpus.net")
-    env.urlspace.register(origin.hostname, origin)
-    env.urlspace.register(cdn.hostname, cdn)
-    corpus = Corpus(env, config, origin, cdn)
-
-    for profile in (PEER5, STREAMROOT, VIBLAST):
-        provider = PdnProvider(env.loop, env.rand, profile)
-        provider.install(env.urlspace)
-        corpus.providers[profile.name] = provider
-
-    _add_shared_video(corpus)
-    key_plan = _KeyPlan()
-    _add_confirmed_websites(corpus, key_plan)
-    _add_potential_websites(corpus, key_plan)
-    _add_apps(corpus, key_plan)
-    _add_private_services(corpus)
-    _add_adult_relay_sites(corpus)
-    _add_tracking_and_generic_sites(corpus)
-    _add_noise(corpus)
-    key_plan.verify()
-    env.rand.fork("corpus-shuffle")  # reserved stream, keeps older seeds stable
-    return corpus
-
-
 # --------------------------------------------------------------------------
-# Internals
+# The plan: the corpus as immutable data, addressable by index.
 # --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """Everything needed to materialise one website, as pure data.
+
+    A spec is self-contained: materialising it touches only stateless
+    named RNG forks keyed by the domain (or customer id), so the same
+    spec builds the same site no matter which shard handles it, in what
+    order, or alongside which other specs.
+    """
+
+    kind: str  # confirmed|potential|private|adult|tracking|generic|longtail|noise_video|noise_plain
+    domain: str
+    rank: int
+    category: str
+    provider: str | None = None  # public provider name (confirmed/potential)
+    monthly_visits: int | None = None
+    signaling_host: str | None = None  # private/adult services
+    #: The first PRIVATE_SERVICES domain using this signaling host — the
+    #: provider profile is named after it so youku.com/tudou.com resolve
+    #: to the *same* ws.mmstat.com service regardless of which shard
+    #: materialises which platform first.
+    signaling_owner: str | None = None
+    video_bound_tokens: bool = True
+    load_condition: LoadCondition = LoadCondition.ALWAYS
+    geo_country: str = ""
+    deep_pages: bool = False
+    extractable: bool = False
+    expired: bool = False
+    no_allowlist: bool = False
+    top10k: bool = False
+    video_id: str | None = None  # None = the shared corpus video (or none)
+    confirmed_expected: bool = False
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Everything needed to materialise one Android app, as pure data."""
+
+    kind: str  # confirmed_app | potential_app | noise_app
+    package: str
+    provider: str | None = None
+    downloads: int | None = None
+    pdn_versions: int = 0  # raw APK-budget spread (builder applies max(1, .))
+    plain_versions: int = 0
+    cellular_full: bool = False
+    video_id: str | None = None
+    load_condition: LoadCondition = LoadCondition.ALWAYS
+    confirmed_expected: bool = False
 
 
 class _KeyPlan:
@@ -295,121 +343,6 @@ class _KeyPlan:
             )
 
 
-def _add_shared_video(corpus: Corpus) -> None:
-    config = corpus.config
-    video = make_video(
-        "corpus-shared",
-        num_segments=config.video_segments,
-        segment_duration=config.segment_seconds,
-        segment_size=config.segment_bytes,
-    )
-    corpus.origin.add_vod(video)
-
-
-def _video_for(corpus: Corpus, video_id: str) -> str:
-    config = corpus.config
-    video = make_video(
-        video_id,
-        num_segments=config.video_segments,
-        segment_duration=config.segment_seconds,
-        segment_size=config.segment_bytes,
-    )
-    corpus.origin.add_vod(video)
-    return vod_playlist_url(corpus.cdn.hostname, video_id)
-
-
-def _shared_video_url(corpus: Corpus) -> str:
-    return vod_playlist_url(corpus.cdn.hostname, "corpus-shared")
-
-
-def _add_confirmed_websites(corpus: Corpus, key_plan: _KeyPlan) -> None:
-    for rank_offset, (domain, provider_name, visits) in enumerate(CONFIRMED_WEBSITES):
-        provider = corpus.providers[provider_name]
-        # Confirmed sites never use expired keys (they join successfully);
-        # a handful of them are among the 11 Peer5 no-allowlist customers.
-        no_allowlist = provider_name == "peer5" and rank_offset % 3 == 0 and key_plan.take_no_allowlist(provider_name)
-        domains = None if no_allowlist else {domain}
-        key = provider.signup_customer(domain, domains, ClientPolicy())
-        extractable = key_plan.take_extractable(provider_name)
-        video_url = _video_for(corpus, f"vod-{domain.replace('.', '-')}")
-        site = Website(domain, rank=200 + rank_offset * 37, category="tv", monthly_visits=visits)
-        embed = PdnEmbed(provider, key.key, video_url, obfuscated=not extractable)
-        site.add_page(WebPage("/", f"{domain} home", has_video=True, embed=embed,
-                              links=["/live", "/about"]))
-        site.add_page(WebPage("/live", "live", has_video=True, embed=embed))
-        site.add_page(WebPage("/about", "about"))
-        corpus.env.urlspace.register(domain, site)
-        corpus.websites.append(site)
-        corpus.records.append(
-            CustomerRecord(
-                name=domain,
-                provider=provider_name,
-                kind="website",
-                confirmed_expected=True,
-                api_key=key.key,
-                key_extractable=extractable,
-                key_valid=True,
-                key_has_allowlist=key.has_allowlist,
-                monthly_visits=visits,
-            )
-        )
-
-
-def _add_potential_websites(corpus: Corpus, key_plan: _KeyPlan) -> None:
-    conditions = [
-        (LoadCondition.GEO, "CN"),
-        (LoadCondition.GEO, "RU"),
-        (LoadCondition.SUBSCRIPTION, ""),
-    ]
-    counter = 0
-    for provider_name, count in POTENTIAL_UNCONFIRMED_SITES.items():
-        provider = corpus.providers[provider_name]
-        for i in range(count):
-            counter += 1
-            domain = f"{provider_name}-potential-{i}.example.org"
-            condition, geo = conditions[counter % len(conditions)]
-            extractable = key_plan.take_extractable(provider_name)
-            expired = extractable and key_plan.take_expired(provider_name)
-            # Only valid, extracted keys can show up in the §IV-B 11/36
-            # cross-domain statistic, so no-allowlist slots go to those.
-            no_allowlist = extractable and not expired and key_plan.take_no_allowlist(provider_name)
-            domains = None if no_allowlist else {domain}
-            key = provider.signup_customer(domain, domains, ClientPolicy())
-            if expired:
-                provider.authenticator.revoke_key(key.key)
-            valid = not expired
-            embed = PdnEmbed(
-                provider,
-                key.key,
-                _shared_video_url(corpus),
-                obfuscated=not extractable,
-                load_condition=condition,
-                geo_country=geo or "CN",
-            )
-            site = Website(domain, rank=2_000 + counter * 71, category="video")
-            # Some potential customers carry the embed on a depth-2 page.
-            if counter % 4 == 0:
-                site.add_page(WebPage("/", "home", has_video=True, links=["/videos"]))
-                site.add_page(WebPage("/videos", "videos", has_video=True, links=["/videos/live"]))
-                site.add_page(WebPage("/videos/live", "live", has_video=True, embed=embed))
-            else:
-                site.add_page(WebPage("/", "home", has_video=True, embed=embed))
-            corpus.env.urlspace.register(domain, site)
-            corpus.websites.append(site)
-            corpus.records.append(
-                CustomerRecord(
-                    name=domain,
-                    provider=provider_name,
-                    kind="website",
-                    confirmed_expected=False,
-                    api_key=key.key,
-                    key_extractable=extractable,
-                    key_valid=valid,
-                    key_has_allowlist=key.has_allowlist,
-                )
-            )
-
-
 def _apk_spread(total: int, parts: int) -> list[int]:
     """Split ``total`` APKs across ``parts`` apps, deterministic."""
     if parts == 0:
@@ -421,177 +354,595 @@ def _apk_spread(total: int, parts: int) -> list[int]:
     return out
 
 
-def _add_apps(corpus: Corpus, key_plan: _KeyPlan) -> None:
+def _ground_site_specs(config: CorpusConfig) -> list[SiteSpec]:
+    """The ground-truth website population, in the legacy build order.
+
+    The :class:`_KeyPlan` allocation runs here, in exactly the order the
+    old ``_add_*`` functions consumed it, so which customer gets an
+    extractable / expired / no-allowlist key is unchanged.
+    """
+    key_plan = _KeyPlan()
+    specs: list[SiteSpec] = []
+    for rank_offset, (domain, provider_name, visits) in enumerate(CONFIRMED_WEBSITES):
+        # Confirmed sites never use expired keys (they join successfully);
+        # a handful of them are among the 11 Peer5 no-allowlist customers.
+        no_allowlist = (
+            provider_name == "peer5"
+            and rank_offset % 3 == 0
+            and key_plan.take_no_allowlist(provider_name)
+        )
+        specs.append(
+            SiteSpec(
+                kind="confirmed",
+                domain=domain,
+                rank=200 + rank_offset * 37,
+                category="tv",
+                provider=provider_name,
+                monthly_visits=visits,
+                extractable=key_plan.take_extractable(provider_name),
+                no_allowlist=no_allowlist,
+                video_id=f"vod-{domain.replace('.', '-')}",
+                confirmed_expected=True,
+            )
+        )
+    conditions = [
+        (LoadCondition.GEO, "CN"),
+        (LoadCondition.GEO, "RU"),
+        (LoadCondition.SUBSCRIPTION, ""),
+    ]
+    counter = 0
+    for provider_name, count in POTENTIAL_UNCONFIRMED_SITES.items():
+        for i in range(count):
+            counter += 1
+            condition, geo = conditions[counter % len(conditions)]
+            extractable = key_plan.take_extractable(provider_name)
+            expired = extractable and key_plan.take_expired(provider_name)
+            # Only valid, extracted keys can show up in the §IV-B 11/36
+            # cross-domain statistic, so no-allowlist slots go to those.
+            no_allowlist = (
+                extractable and not expired and key_plan.take_no_allowlist(provider_name)
+            )
+            specs.append(
+                SiteSpec(
+                    kind="potential",
+                    domain=f"{provider_name}-potential-{i}.example.org",
+                    rank=2_000 + counter * 71,
+                    category="video",
+                    provider=provider_name,
+                    load_condition=condition,
+                    geo_country=geo,
+                    # Some potential customers carry the embed on a depth-2 page.
+                    deep_pages=counter % 4 == 0,
+                    extractable=extractable,
+                    expired=expired,
+                    no_allowlist=no_allowlist,
+                )
+            )
+    key_plan.verify()
+    owner_by_host: dict[str, str] = {}
+    for rank_offset, (domain, signaling_host, visits) in enumerate(PRIVATE_SERVICES):
+        owner = owner_by_host.setdefault(signaling_host, domain)
+        specs.append(
+            SiteSpec(
+                kind="private",
+                domain=domain,
+                rank=10 + rank_offset * 13,
+                category="live",
+                monthly_visits=visits,
+                signaling_host=signaling_host,
+                signaling_owner=owner,
+                video_bound_tokens=owner not in PRIVATE_UNBOUND_TOKENS,
+                top10k=True,
+                video_id=f"private-{domain.replace('.', '-')}",
+                confirmed_expected=True,
+            )
+        )
+    for i, domain in enumerate(ADULT_RELAY_SITES):
+        specs.append(
+            SiteSpec(
+                kind="adult",
+                domain=domain,
+                rank=3_000 + i * 311,
+                category="adult",
+                signaling_host=f"relay.{domain}",
+                signaling_owner=domain,
+                top10k=True,
+                video_id=f"adult-{i}",
+            )
+        )
+    for i, domain in enumerate(WEBRTC_TRACKING_SITES):
+        specs.append(
+            SiteSpec(kind="tracking", domain=domain, rank=4_000 + i * 97,
+                     category="tv", top10k=True)
+        )
+    for i in range(config.untriggerable_generic_top10k):
+        specs.append(
+            SiteSpec(kind="generic", domain=f"generic-webrtc-{i}.example.tv",
+                     rank=5_000 + i * 29, category="video", top10k=True)
+        )
+    # The remaining generic-WebRTC sites rank below the top 10K; the paper
+    # never dynamically tested them. A small materialised sample stands in
+    # for the tail; the virtual count covers the rest.
+    for i in range(10):
+        specs.append(
+            SiteSpec(kind="longtail", domain=f"longtail-webrtc-{i}.example.net",
+                     rank=40_000 + i * 997, category="video")
+        )
+    return specs
+
+
+def _ground_app_specs(config: CorpusConfig) -> list[AppSpec]:
+    """The ground-truth app population, in the legacy build order."""
     confirmed_by_provider: dict[str, list[tuple[str, int | None]]] = {}
     for package, provider_name, downloads in CONFIRMED_APPS:
         confirmed_by_provider.setdefault(provider_name, []).append((package, downloads))
-
+    specs: list[AppSpec] = []
     for provider_name, budget in APK_BUDGETS.items():
-        provider = corpus.providers[provider_name]
         confirmed = confirmed_by_provider.get(provider_name, [])
         spreads = _apk_spread(budget["confirmed_pdn"], len(confirmed))
         for (package, downloads), pdn_versions in zip(confirmed, spreads):
-            cellular = (
-                CellularPolicy.FULL if package in CELLULAR_FULL_APPS else CellularPolicy.LEECH
-            )
-            key = provider.signup_customer(package, {package}, ClientPolicy(cellular=cellular))
-            video_url = _video_for(corpus, f"app-{package.replace('.', '-')}")
-            embed = PdnEmbed(provider, key.key, video_url)
-            app = AndroidApp(package, downloads=downloads)
-            for v in range(max(1, pdn_versions)):
-                app.add_version(build_pdn_apk(100 + v, embed))
-            app.add_version(build_plain_apk(50))  # a pre-integration version
-            corpus.apps.append(app)
-            corpus.records.append(
-                CustomerRecord(
-                    name=package,
+            specs.append(
+                AppSpec(
+                    kind="confirmed_app",
+                    package=package,
                     provider=provider_name,
-                    kind="app",
-                    confirmed_expected=True,
-                    api_key=key.key,
-                    key_extractable=False,  # app keys ship obfuscated
-                    key_valid=True,
-                    key_has_allowlist=True,
                     downloads=downloads,
+                    pdn_versions=pdn_versions,
+                    plain_versions=1,  # a pre-integration version
+                    cellular_full=package in CELLULAR_FULL_APPS,
+                    video_id=f"app-{package.replace('.', '-')}",
+                    confirmed_expected=True,
                 )
             )
         potential_count = POTENTIAL_UNCONFIRMED_APPS.get(provider_name, 0)
         spreads = _apk_spread(budget["potential_pdn"], potential_count)
         for i, pdn_versions in enumerate(spreads):
-            package = f"com.{provider_name}.potential{i}"
-            key = provider.signup_customer(package, {package}, ClientPolicy())
+            specs.append(
+                AppSpec(
+                    kind="potential_app",
+                    package=f"com.{provider_name}.potential{i}",
+                    provider=provider_name,
+                    pdn_versions=pdn_versions,
+                    load_condition=LoadCondition.GEO,
+                )
+            )
+    return specs
+
+
+class CorpusPlan:
+    """The whole corpus as addressable specs, before anything is built.
+
+    Ground truth (a few hundred items) is laid out eagerly; the noise
+    population is addressed procedurally by index, so the plan's memory
+    footprint is independent of ``noise_video_sites`` — a 3M-domain plan
+    is as cheap as the quick one.
+    """
+
+    def __init__(self, config: CorpusConfig | None = None) -> None:
+        self.config = config or CorpusConfig()
+        self.ground_sites: list[SiteSpec] = _ground_site_specs(self.config)
+        self.ground_apps: list[AppSpec] = _ground_app_specs(self.config)
+        self._site_specs_by_domain = {s.domain: s for s in self.ground_sites}
+        self._app_specs_by_package = {a.package: a for a in self.ground_apps}
+
+    # -- addressing -------------------------------------------------------
+
+    @property
+    def noise_sites(self) -> int:
+        """Noise sites."""
+        return self.config.noise_video_sites + self.config.noise_nonvideo_sites
+
+    @property
+    def total_sites(self) -> int:
+        """Total sites."""
+        return len(self.ground_sites) + self.noise_sites
+
+    @property
+    def total_apps(self) -> int:
+        """Total apps."""
+        return len(self.ground_apps) + self.config.noise_apps
+
+    def site_spec(self, index: int) -> SiteSpec:
+        """The site spec at ``index``: ground truth first, then noise."""
+        if index < len(self.ground_sites):
+            return self.ground_sites[index]
+        return self.noise_site_spec(index - len(self.ground_sites))
+
+    def app_spec(self, index: int) -> AppSpec:
+        """The app spec at ``index``: ground truth first, then noise."""
+        if index < len(self.ground_apps):
+            return self.ground_apps[index]
+        return self.noise_app_spec(index - len(self.ground_apps))
+
+    def noise_site_spec(self, i: int) -> SiteSpec:
+        """The ``i``-th noise site, computed (never stored)."""
+        if i < self.config.noise_video_sites:
+            return SiteSpec(kind="noise_video", domain=f"video-noise-{i}.example.com",
+                            rank=8_000 + i * 53, category="video")
+        j = i - self.config.noise_video_sites
+        return SiteSpec(kind="noise_plain", domain=f"plain-noise-{j}.example.com",
+                        rank=12_000 + j * 61, category="general")
+
+    def noise_app_spec(self, i: int) -> AppSpec:
+        """The ``i``-th noise app, computed (never stored)."""
+        return AppSpec(kind="noise_app", package=f"com.noise.app{i}",
+                       downloads=10_000 * (i + 1), plain_versions=3)
+
+    def site_spec_for(self, domain: str) -> SiteSpec | None:
+        """Ground-truth spec lookup by domain (noise sites return None)."""
+        return self._site_specs_by_domain.get(domain)
+
+    def app_spec_for(self, package: str) -> AppSpec | None:
+        """Ground-truth spec lookup by package (noise apps return None)."""
+        return self._app_specs_by_package.get(package)
+
+    def top10k_domains(self) -> list[str]:
+        """The top-10K WebRTC probe list, in spec (== legacy) order."""
+        return [s.domain for s in self.ground_sites if s.top10k]
+
+    # -- sharding ---------------------------------------------------------
+
+    def shard(self, index: int, count: int) -> "CorpusShard":
+        """One of ``count`` strided shards over the whole plan."""
+        if not 0 <= index < count:
+            raise ValueError(f"shard index {index} out of range for {count} shards")
+        return CorpusShard(self, index, count)
+
+    def shards(self, count: int) -> list["CorpusShard"]:
+        """All ``count`` shards, covering every spec exactly once."""
+        return [CorpusShard(self, i, count) for i in range(max(1, count))]
+
+
+@dataclass(frozen=True)
+class CorpusShard:
+    """A lazy strided slice of a :class:`CorpusPlan`.
+
+    Shard ``index`` of ``count`` yields specs ``index, index+count, ...``
+    — generated on demand, never stored. Because every spec materialises
+    from its own named RNG forks (same experiment seed in every worker),
+    the shard count partitions *work*, never *content*: the union of any
+    shard decomposition is the same corpus, and re-sharding cannot move
+    randomness between items.
+    """
+
+    plan: CorpusPlan
+    index: int
+    count: int
+
+    @property
+    def n_sites(self) -> int:
+        """Number of site specs in this shard."""
+        total = self.plan.total_sites
+        return (total - self.index + self.count - 1) // self.count if total > self.index else 0
+
+    @property
+    def n_apps(self) -> int:
+        """Number of app specs in this shard."""
+        total = self.plan.total_apps
+        return (total - self.index + self.count - 1) // self.count if total > self.index else 0
+
+    def site_specs(self):
+        """Yield this shard's site specs lazily."""
+        for i in range(self.index, self.plan.total_sites, self.count):
+            yield self.plan.site_spec(i)
+
+    def app_specs(self):
+        """Yield this shard's app specs lazily."""
+        for i in range(self.index, self.plan.total_apps, self.count):
+            yield self.plan.app_spec(i)
+
+
+# --------------------------------------------------------------------------
+# The builder: specs -> materialised sites/apps in an Environment.
+# --------------------------------------------------------------------------
+
+
+class CorpusBuilder:
+    """Materialises :class:`CorpusPlan` specs into an environment.
+
+    ``keep=False`` materialisations register the site for HTTP scanning
+    but keep it out of the corpus lists; pair with :meth:`release_site`
+    to drop it from the URL space afterwards — that scan-and-release
+    cycle is what bounds streaming-shard memory. ``with_videos=False``
+    skips origin segment payloads (page HTML only carries the video URL
+    string, so scan results are unchanged); dynamic confirmation needs
+    the real segments, so confirm-phase builders keep the default.
+
+    Each spec must be materialised at most once per builder: signup is a
+    provider-side effect, and a second signup for the same customer
+    would mint that customer's *next* serial key.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        config: CorpusConfig | None = None,
+        plan: CorpusPlan | None = None,
+        with_videos: bool = True,
+    ) -> None:
+        self.plan = plan if plan is not None else CorpusPlan(config)
+        self.config = self.plan.config
+        self.env = env
+        self.with_videos = with_videos
+        origin = OriginServer(env.loop, hostname="origin.corpus.net")
+        cdn = CdnEdge(origin, hostname="cdn.corpus.net")
+        env.urlspace.register(origin.hostname, origin)
+        env.urlspace.register(cdn.hostname, cdn)
+        self.corpus = Corpus(env, self.config, origin, cdn, plan=self.plan)
+        for profile in (PEER5, STREAMROOT, VIBLAST):
+            provider = PdnProvider(env.loop, env.rand, profile)
+            provider.install(env.urlspace)
+            self.corpus.providers[profile.name] = provider
+        self._private_by_signaling: dict[str, PdnProvider] = {}
+        if self.with_videos:
+            self._add_video("corpus-shared")
+
+    # -- sites ------------------------------------------------------------
+
+    def materialize_site(self, spec: SiteSpec, keep: bool = True) -> Website:
+        """Build one website and register it in the URL space.
+
+        ``keep=True`` also appends it to the corpus lists (websites,
+        records, top-10K probe list) — the full-corpus path. Streaming
+        shards use ``keep=False`` for droppable populations.
+        """
+        build = self._SITE_BUILDERS[spec.kind]
+        site, record = build(self, spec)
+        self.env.urlspace.register(spec.domain, site)
+        if keep:
+            self.corpus.websites.append(site)
+            if spec.top10k:
+                self.corpus.top10k_webrtc_domains.append(spec.domain)
+            if record is not None:
+                self.corpus.records.append(record)
+        return site
+
+    def release_site(self, spec: SiteSpec) -> None:
+        """Drop a ``keep=False`` site from the URL space after scanning."""
+        self.env.urlspace.unregister(spec.domain)
+
+    def _site_confirmed(self, spec: SiteSpec) -> tuple[Website, CustomerRecord]:
+        provider = self.corpus.providers[spec.provider]
+        domains = None if spec.no_allowlist else {spec.domain}
+        key = provider.signup_customer(spec.domain, domains, ClientPolicy())
+        video_url = self._video_url(spec.video_id)
+        site = Website(spec.domain, rank=spec.rank, category=spec.category,
+                       monthly_visits=spec.monthly_visits)
+        embed = PdnEmbed(provider, key.key, video_url, obfuscated=not spec.extractable)
+        site.add_page(WebPage("/", f"{spec.domain} home", has_video=True, embed=embed,
+                              links=["/live", "/about"]))
+        site.add_page(WebPage("/live", "live", has_video=True, embed=embed))
+        site.add_page(WebPage("/about", "about"))
+        record = CustomerRecord(
+            name=spec.domain,
+            provider=spec.provider,
+            kind="website",
+            confirmed_expected=True,
+            api_key=key.key,
+            key_extractable=spec.extractable,
+            key_valid=True,
+            key_has_allowlist=key.has_allowlist,
+            monthly_visits=spec.monthly_visits,
+        )
+        return site, record
+
+    def _site_potential(self, spec: SiteSpec) -> tuple[Website, CustomerRecord]:
+        provider = self.corpus.providers[spec.provider]
+        domains = None if spec.no_allowlist else {spec.domain}
+        key = provider.signup_customer(spec.domain, domains, ClientPolicy())
+        if spec.expired:
+            provider.authenticator.revoke_key(key.key)
+        embed = PdnEmbed(
+            provider,
+            key.key,
+            self._video_url(None),
+            obfuscated=not spec.extractable,
+            load_condition=spec.load_condition,
+            geo_country=spec.geo_country or "CN",
+        )
+        site = Website(spec.domain, rank=spec.rank, category=spec.category)
+        if spec.deep_pages:
+            site.add_page(WebPage("/", "home", has_video=True, links=["/videos"]))
+            site.add_page(WebPage("/videos", "videos", has_video=True, links=["/videos/live"]))
+            site.add_page(WebPage("/videos/live", "live", has_video=True, embed=embed))
+        else:
+            site.add_page(WebPage("/", "home", has_video=True, embed=embed))
+        record = CustomerRecord(
+            name=spec.domain,
+            provider=spec.provider,
+            kind="website",
+            confirmed_expected=False,
+            api_key=key.key,
+            key_extractable=spec.extractable,
+            key_valid=not spec.expired,
+            key_has_allowlist=key.has_allowlist,
+        )
+        return site, record
+
+    def _site_private(self, spec: SiteSpec) -> tuple[Website, CustomerRecord | None]:
+        provider = self._private_provider(spec)
+        provider.signup_customer(spec.domain, {spec.domain}, ClientPolicy())
+        self.corpus.private_providers[spec.domain] = provider
+        video_url = self._video_url(spec.video_id)
+        provider.register_drm_video(video_url)
+        site = Website(spec.domain, rank=spec.rank, category=spec.category,
+                       monthly_visits=spec.monthly_visits)
+        embed = PdnEmbed(provider, spec.domain, video_url,
+                         relay_only=spec.kind == "adult")
+        site.add_page(WebPage("/", spec.domain, has_video=True, embed=embed))
+        if spec.kind == "adult":
+            return site, None
+        record = CustomerRecord(
+            name=spec.domain,
+            provider=f"private:{spec.domain}",
+            kind="private",
+            confirmed_expected=True,
+            monthly_visits=spec.monthly_visits,
+        )
+        return site, record
+
+    def _site_tracking(self, spec: SiteSpec) -> tuple[Website, None]:
+        site = Website(spec.domain, rank=spec.rank, category=spec.category)
+        site.add_page(WebPage("/", spec.domain, has_video=True, extra_html=_TRACKING_JS))
+        return site, None
+
+    def _site_generic(self, spec: SiteSpec) -> tuple[Website, None]:
+        site = Website(spec.domain, rank=spec.rank, category=spec.category)
+        site.add_page(WebPage("/", spec.domain, has_video=True,
+                              extra_html=_GENERIC_JS.format(host=spec.domain)))
+        return site, None
+
+    def _site_noise_video(self, spec: SiteSpec) -> tuple[Website, None]:
+        site = Website(spec.domain, rank=spec.rank, category=spec.category)
+        site.add_page(WebPage("/", spec.domain, has_video=True, links=["/shows"]))
+        site.add_page(WebPage("/shows", "shows", has_video=True))
+        return site, None
+
+    def _site_noise_plain(self, spec: SiteSpec) -> tuple[Website, None]:
+        site = Website(spec.domain, rank=spec.rank, category=spec.category)
+        site.add_page(WebPage("/", spec.domain, has_video=False))
+        return site, None
+
+    _SITE_BUILDERS = {
+        "confirmed": _site_confirmed,
+        "potential": _site_potential,
+        "private": _site_private,
+        "adult": _site_private,  # youku-style embed, relay-only, no record
+        "tracking": _site_tracking,
+        "generic": _site_generic,
+        "longtail": _site_generic,
+        "noise_video": _site_noise_video,
+        "noise_plain": _site_noise_plain,
+    }
+
+    # -- apps -------------------------------------------------------------
+
+    def materialize_app(self, spec: AppSpec, keep: bool = True) -> AndroidApp:
+        """Build one Android app; ``keep=True`` adds it to the corpus."""
+        if spec.kind == "noise_app":
+            app = AndroidApp(spec.package, downloads=spec.downloads)
+            for v in range(spec.plain_versions):
+                app.add_version(build_plain_apk(10 + v))
+            record = None
+        else:
+            provider = self.corpus.providers[spec.provider]
+            cellular = CellularPolicy.FULL if spec.cellular_full else CellularPolicy.LEECH
+            key = provider.signup_customer(
+                spec.package, {spec.package}, ClientPolicy(cellular=cellular)
+            )
             embed = PdnEmbed(
                 provider,
                 key.key,
-                _shared_video_url(corpus),
-                load_condition=LoadCondition.GEO,
+                self._video_url(spec.video_id),
+                load_condition=spec.load_condition,
                 geo_country="CN",
             )
-            app = AndroidApp(package, downloads=None)
-            for v in range(max(1, pdn_versions)):
+            app = AndroidApp(spec.package, downloads=spec.downloads)
+            for v in range(max(1, spec.pdn_versions)):
                 app.add_version(build_pdn_apk(100 + v, embed))
-            corpus.apps.append(app)
-            corpus.records.append(
-                CustomerRecord(
-                    name=package,
-                    provider=provider_name,
-                    kind="app",
-                    confirmed_expected=False,
-                    api_key=key.key,
-                    key_extractable=False,
-                    key_valid=True,
-                    key_has_allowlist=True,
-                )
+            for v in range(spec.plain_versions):
+                app.add_version(build_plain_apk(50))
+            record = CustomerRecord(
+                name=spec.package,
+                provider=spec.provider,
+                kind="app",
+                confirmed_expected=spec.confirmed_expected,
+                api_key=key.key,
+                key_extractable=False,  # app keys ship obfuscated
+                key_valid=True,
+                key_has_allowlist=True,
+                downloads=spec.downloads if spec.confirmed_expected else None,
             )
+        if keep:
+            self.corpus.apps.append(app)
+            if record is not None:
+                self.corpus.records.append(record)
+        return app
 
+    # -- shared infrastructure --------------------------------------------
 
-def _add_private_services(corpus: Corpus) -> None:
-    by_signaling_host: dict[str, PdnProvider] = {}
-    for rank_offset, (domain, signaling_host, visits) in enumerate(PRIVATE_SERVICES):
-        if signaling_host in by_signaling_host:
+    def _private_provider(self, spec: SiteSpec) -> PdnProvider:
+        provider = self._private_by_signaling.get(spec.signaling_host)
+        if provider is None:
             # youku.com and tudou.com share ws.mmstat.com: one Alibaba
-            # signaling service with two customer platforms.
-            provider = by_signaling_host[signaling_host]
-        else:
+            # signaling service with two customer platforms. The profile
+            # is always named after the spec's signaling_owner, so the
+            # service is identical no matter which platform builds first.
             profile = private_profile(
-                domain, signaling_host, video_bound_tokens=domain not in PRIVATE_UNBOUND_TOKENS
+                spec.signaling_owner,
+                spec.signaling_host,
+                video_bound_tokens=spec.video_bound_tokens,
             )
-            provider = PdnProvider(corpus.env.loop, corpus.env.rand, profile)
-            provider.install(corpus.env.urlspace)
-            by_signaling_host[signaling_host] = provider
-        provider.signup_customer(domain, {domain}, ClientPolicy())
-        corpus.private_providers[domain] = provider
-        video_url = _video_for(corpus, f"private-{domain.replace('.', '-')}")
-        provider.register_drm_video(video_url)
-        site = Website(domain, rank=10 + rank_offset * 13, category="live", monthly_visits=visits)
-        embed = PdnEmbed(provider, domain, video_url)
-        site.add_page(WebPage("/", f"{domain}", has_video=True, embed=embed))
-        corpus.env.urlspace.register(domain, site)
-        corpus.websites.append(site)
-        corpus.top10k_webrtc_domains.append(domain)
-        corpus.records.append(
-            CustomerRecord(
-                name=domain,
-                provider=f"private:{domain}",
-                kind="private",
-                confirmed_expected=True,
-                monthly_visits=visits,
-            )
+            provider = PdnProvider(self.env.loop, self.env.rand, profile)
+            provider.install(self.env.urlspace)
+            self._private_by_signaling[spec.signaling_host] = provider
+        return provider
+
+    def _video_url(self, video_id: str | None) -> str:
+        """The CDN playlist URL for a spec's video, creating it if asked.
+
+        ``video_id=None`` is the shared corpus video. Segment payloads
+        are only materialised ``with_videos``; the URL string — all the
+        static scan ever sees — is the same either way.
+        """
+        video_id = video_id or "corpus-shared"
+        if self.with_videos and video_id != "corpus-shared":
+            self._add_video(video_id)
+        return vod_playlist_url(self.corpus.cdn.hostname, video_id)
+
+    def _add_video(self, video_id: str) -> None:
+        config = self.config
+        video = make_video(
+            video_id,
+            num_segments=config.video_segments,
+            segment_duration=config.segment_seconds,
+            segment_size=config.segment_bytes,
         )
+        self.corpus.origin.add_vod(video)
 
 
-def _add_adult_relay_sites(corpus: Corpus) -> None:
-    for i, domain in enumerate(ADULT_RELAY_SITES):
-        profile = private_profile(domain, f"relay.{domain}")
-        provider = PdnProvider(corpus.env.loop, corpus.env.rand, profile)
-        provider.install(corpus.env.urlspace)
-        provider.signup_customer(domain, {domain}, ClientPolicy())
-        corpus.private_providers[domain] = provider
-        video_url = _video_for(corpus, f"adult-{i}")
-        provider.register_drm_video(video_url)
-        site = Website(domain, rank=3_000 + i * 311, category="adult")
-        embed = PdnEmbed(provider, domain, video_url, relay_only=True)
-        site.add_page(WebPage("/", domain, has_video=True, embed=embed))
-        corpus.env.urlspace.register(domain, site)
-        corpus.websites.append(site)
-        corpus.top10k_webrtc_domains.append(domain)
+def build_corpus(env: Environment, config: CorpusConfig | None = None) -> Corpus:
+    """Materialise the synthetic internet into ``env``'s URL space.
+
+    Equivalent to materialising every :class:`CorpusShard` of the plan;
+    items are visited in the legacy order (public customers, apps,
+    private services, WebRTC populations, noise) so corpora built before
+    the plan/shard split are reproduced bit-for-bit.
+    """
+    builder = CorpusBuilder(env, config)
+    plan = builder.plan
+    ground_public = [s for s in plan.ground_sites if s.kind in ("confirmed", "potential")]
+    ground_rest = [s for s in plan.ground_sites if s.kind not in ("confirmed", "potential")]
+    for spec in ground_public:
+        builder.materialize_site(spec)
+    for spec in plan.ground_apps:
+        builder.materialize_app(spec)
+    for spec in ground_rest:
+        builder.materialize_site(spec)
+    for i in range(plan.noise_sites):
+        builder.materialize_site(plan.noise_site_spec(i))
+    for i in range(plan.config.noise_apps):
+        builder.materialize_app(plan.noise_app_spec(i))
+    env.rand.fork("corpus-shuffle")  # reserved stream, keeps older seeds stable
+    return builder.corpus
 
 
-def _add_tracking_and_generic_sites(corpus: Corpus) -> None:
-    tracking_js = (
-        "<script>var pc = new RTCPeerConnection({iceServers:[]});"
-        "pc.createDataChannel('probe');</script>"
-    )
-    for i, domain in enumerate(WEBRTC_TRACKING_SITES):
-        site = Website(domain, rank=4_000 + i * 97, category="tv")
-        site.add_page(WebPage("/", domain, has_video=True, extra_html=tracking_js))
-        corpus.env.urlspace.register(domain, site)
-        corpus.websites.append(site)
-        corpus.top10k_webrtc_domains.append(domain)
-    generic_js = (
-        "<script>var signal = new WebSocket('wss://{host}/live-ws');"
-        "var pc = new RTCPeerConnection();</script>"
-    )
-    config = corpus.config
-    for i in range(config.untriggerable_generic_top10k):
-        domain = f"generic-webrtc-{i}.example.tv"
-        site = Website(domain, rank=5_000 + i * 29, category="video")
-        site.add_page(
-            WebPage("/", domain, has_video=True, extra_html=generic_js.format(host=domain))
-        )
-        corpus.env.urlspace.register(domain, site)
-        corpus.websites.append(site)
-        corpus.top10k_webrtc_domains.append(domain)
-    # The remaining generic-WebRTC sites rank below the top 10K; the paper
-    # never dynamically tested them. A small materialised sample stands in
-    # for the tail; the virtual count covers the rest.
-    for i in range(10):
-        domain = f"longtail-webrtc-{i}.example.net"
-        site = Website(domain, rank=40_000 + i * 997, category="video")
-        site.add_page(
-            WebPage("/", domain, has_video=True, extra_html=generic_js.format(host=domain))
-        )
-        corpus.env.urlspace.register(domain, site)
-        corpus.websites.append(site)
+def build_ground_corpus(env: Environment, config: CorpusConfig | None = None) -> Corpus:
+    """Materialise only the ground-truth population (no noise).
 
-
-def _add_noise(corpus: Corpus) -> None:
-    config = corpus.config
-    for i in range(config.noise_video_sites):
-        domain = f"video-noise-{i}.example.com"
-        site = Website(domain, rank=8_000 + i * 53, category="video")
-        site.add_page(WebPage("/", domain, has_video=True, links=["/shows"]))
-        site.add_page(WebPage("/shows", "shows", has_video=True))
-        corpus.env.urlspace.register(domain, site)
-        corpus.websites.append(site)
-    for i in range(config.noise_nonvideo_sites):
-        domain = f"plain-noise-{i}.example.com"
-        site = Website(domain, rank=12_000 + i * 61, category="general")
-        site.add_page(WebPage("/", domain, has_video=False))
-        corpus.env.urlspace.register(domain, site)
-        corpus.websites.append(site)
-    for i in range(config.noise_apps):
-        app = AndroidApp(f"com.noise.app{i}", downloads=10_000 * (i + 1))
-        for v in range(3):
-            app.add_version(build_plain_apk(10 + v))
-        corpus.apps.append(app)
+    The streaming pipeline's confirmation phase runs on this: every
+    dynamic-confirmation candidate is ground truth, and because corpus
+    construction consumes no sequential draws from ``env``, the
+    environment state entering confirmation matches a full
+    :func:`build_corpus` bit-for-bit while skipping the (arbitrarily
+    large) noise population entirely.
+    """
+    builder = CorpusBuilder(env, config)
+    plan = builder.plan
+    for spec in (s for s in plan.ground_sites if s.kind in ("confirmed", "potential")):
+        builder.materialize_site(spec)
+    for spec in plan.ground_apps:
+        builder.materialize_app(spec)
+    for spec in (s for s in plan.ground_sites if s.kind not in ("confirmed", "potential")):
+        builder.materialize_site(spec)
+    return builder.corpus

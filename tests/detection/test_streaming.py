@@ -1,0 +1,163 @@
+"""Streaming detection pipeline: shard invariance, resume, and parity.
+
+The contract under test: the streamed, sharded, parallel, resumable
+pipeline produces a ``PipelineReport`` bit-identical to the monolithic
+walk — pinned below by seed-2024 content digests so any divergence
+(shard layout leaking into content, merge order, serialization drift)
+fails loudly.
+"""
+
+import json
+
+import pytest
+
+from repro.detection.pipeline import DetectionPipeline
+from repro.detection.stages import ShardScanState
+from repro.detection.streaming import (
+    ScanIncomplete,
+    StreamingDetectionPipeline,
+    merge_shard_states,
+    scan_shard,
+)
+from repro.environment import Environment
+from repro.experiments.detection_tables import DetectionTablesResult
+from repro.util.errors import ConfigurationError
+from repro.web.corpus import CorpusConfig, build_corpus
+
+SMALL = CorpusConfig(noise_video_sites=10, noise_nonvideo_sites=5, noise_apps=5)
+SEED = 2024
+WATCH = 30.0
+
+# Seed-2024 pins over the SMALL corpus. These change only when the
+# detection methodology (or its canonical serialization) changes — never
+# with --shards / --scan-jobs / --resume.
+PIN_SCAN_DIGEST = "d58e9fd8b418992e817872213ba6b3b47d09d521f78da35fe6350a5c1b530997"
+PIN_REPORT_DIGEST = "cbc70c584c51235fd6c6b4b806a85c65b777efb3c54a6661f47c792c19811126"
+
+
+def stream(shards=1, jobs=1, **kwargs):
+    return StreamingDetectionPipeline(
+        seed=SEED, config=SMALL, shards=shards, scan_jobs=jobs, watch_seconds=WATCH, **kwargs
+    )
+
+
+@pytest.fixture(scope="module")
+def monolithic_report():
+    env = Environment(seed=SEED)
+    corpus = build_corpus(env, SMALL)
+    return DetectionPipeline(env, corpus, watch_seconds=WATCH).run()
+
+
+@pytest.fixture(scope="module")
+def streamed_outcome():
+    return stream(shards=4).run()
+
+
+class TestMonolithicParity:
+    def test_report_bit_identical(self, monolithic_report, streamed_outcome):
+        assert streamed_outcome.report.to_dict() == monolithic_report.to_dict()
+        assert streamed_outcome.report.content_digest() == monolithic_report.content_digest()
+
+    def test_tables_bit_identical(self, monolithic_report, streamed_outcome):
+        mono = DetectionTablesResult(report=monolithic_report, corpus=None)
+        streamed = DetectionTablesResult(
+            report=streamed_outcome.report, corpus=streamed_outcome.corpus
+        )
+        assert streamed.to_dict() == mono.to_dict()  # Tables I-IV, bit for bit
+
+    def test_provider_counts_match_derived_views(self, streamed_outcome):
+        # Regression for the single-walk provider_counts rewrite: it must
+        # agree with the (slow) derived-view definition it replaced.
+        report = streamed_outcome.report
+        for provider in ("peer5", "streamroot", "viblast"):
+            counts = report.provider_counts(provider)
+            potential_apps = report.potential_apps(provider)
+            confirmed_apps = set(report.confirmed_apps(provider))
+            assert counts.potential_sites == len(report.potential_sites(provider))
+            assert counts.confirmed_sites == len(report.confirmed_sites(provider))
+            assert counts.potential_apps == len(potential_apps)
+            assert counts.confirmed_apps == len(confirmed_apps)
+            assert counts.potential_apks == sum(
+                report.app_scans[p].pdn_apk_versions for p in potential_apps
+            )
+            assert counts.confirmed_apks == sum(
+                report.app_scans[p].pdn_apk_versions for p in confirmed_apps
+            )
+
+
+class TestShardInvariance:
+    @pytest.mark.parametrize("shards", [1, 4, 7])
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_report_digest_pinned(self, shards, jobs):
+        outcome = stream(shards=shards, jobs=jobs).run()
+        assert outcome.report.content_digest() == PIN_REPORT_DIGEST
+
+    @pytest.mark.parametrize("shards", [1, 3, 8])
+    def test_scan_state_digest_pinned(self, shards):
+        states = [scan_shard((SEED, SMALL, i, shards)) for i in range(shards)]
+        merged = merge_shard_states(states)
+        assert merged.content_digest() == PIN_SCAN_DIGEST
+
+    def test_merge_is_order_independent(self):
+        states = [scan_shard((SEED, SMALL, i, 3)) for i in range(3)]
+        forward = merge_shard_states(states)
+        backward = merge_shard_states(list(reversed(states)))
+        assert forward.content_digest() == backward.content_digest()
+
+    def test_merge_rejects_overlapping_shards(self):
+        state = scan_shard((SEED, SMALL, 0, 2))
+        with pytest.raises(ConfigurationError, match="overlapping"):
+            merge_shard_states([state, state])
+
+    def test_shard_state_roundtrips_through_json(self):
+        state = scan_shard((SEED, SMALL, 0, 2))
+        clone = ShardScanState.from_dict(json.loads(json.dumps(state.to_dict())))
+        assert clone.to_dict() == state.to_dict()
+        assert clone.content_digest() == state.content_digest()
+
+
+class TestResume:
+    def test_interrupt_then_resume(self, tmp_path):
+        run_dir = tmp_path / "run"
+        # First invocation is bounded to 2 of 4 shards: an interrupt.
+        with pytest.raises(ScanIncomplete):
+            stream(shards=4, resume_dir=run_dir, max_shards=2).run()
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert sorted(manifest["completed"]) == ["0", "1"]
+        # Second invocation finishes: completed shards load, only the
+        # remaining two execute, and the digest matches an uninterrupted run.
+        outcome = stream(shards=4, resume_dir=run_dir).run()
+        assert outcome.shards_loaded == [0, 1]
+        assert outcome.shards_executed == [2, 3]
+        assert outcome.report.content_digest() == PIN_REPORT_DIGEST
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["result_digest"] == PIN_REPORT_DIGEST
+        # Third invocation re-executes nothing at all.
+        outcome = stream(shards=4, resume_dir=run_dir).run()
+        assert outcome.shards_executed == []
+        assert outcome.shards_loaded == [0, 1, 2, 3]
+        assert outcome.report.content_digest() == PIN_REPORT_DIGEST
+
+    def test_corrupted_shard_is_rescanned(self, tmp_path):
+        run_dir = tmp_path / "run"
+        with pytest.raises(ScanIncomplete):
+            stream(shards=4, resume_dir=run_dir, max_shards=2).run()
+        shard_file = run_dir / "shard-0001.json"
+        data = json.loads(shard_file.read_text())
+        data["video_related_scanned"] += 1  # fails the manifest's digest pin
+        shard_file.write_text(json.dumps(data))
+        outcome = stream(shards=4, resume_dir=run_dir).run()
+        assert outcome.shards_loaded == [0]
+        assert outcome.shards_executed == [1, 2, 3]
+        assert outcome.report.content_digest() == PIN_REPORT_DIGEST
+
+    def test_resume_refuses_mismatched_run(self, tmp_path):
+        run_dir = tmp_path / "run"
+        with pytest.raises(ScanIncomplete):
+            stream(shards=4, resume_dir=run_dir, max_shards=1).run()
+        with pytest.raises(ConfigurationError, match="resume mismatch"):
+            stream(shards=8, resume_dir=run_dir).run()
+        with pytest.raises(ConfigurationError, match="resume mismatch"):
+            StreamingDetectionPipeline(
+                seed=1, config=SMALL, shards=4, resume_dir=run_dir, watch_seconds=WATCH
+            ).run()
