@@ -83,11 +83,16 @@ class PdnAnalyzer:
         integrity=None,
         monitor_interval: float = 1.0,
         uplink_bytes_per_sec: float | None = None,
+        external_ip: str | None = None,
     ) -> PeerContainer:
         """Launch one peer container."""
         name = name or self.env.ids.next("analyzer-peer")
         host = self.env.add_viewer_host(
-            name, country, nat_type, uplink_bytes_per_sec=uplink_bytes_per_sec
+            name,
+            country,
+            nat_type,
+            uplink_bytes_per_sec=uplink_bytes_per_sec,
+            external_ip=external_ip,
         )
         browser = Browser(
             self.env,

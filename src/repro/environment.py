@@ -54,14 +54,21 @@ class Environment:
         country: str = "US",
         nat_type: NatType = NatType.FULL_CONE,
         uplink_bytes_per_sec: float | None = None,
+        external_ip: str | None = None,
     ) -> Host:
-        """A NATed host whose public address geolocates to ``country``."""
+        """A NATed host whose public address geolocates to ``country``.
+
+        ``external_ip`` overrides the geolocated draw — scenario
+        populations use it to park CGNAT viewers in the RFC 6598 shared
+        space; the caller must supply an address not already in use.
+        """
         name = name or self.ids.next("viewer")
-        external_ip = self.geo.random_ip(self.rand.fork(f"ip:{name}"), country)
-        attempts = 0
-        while external_ip in self.network.hosts or self.network.is_routable(external_ip):
-            external_ip = self.geo.random_ip(self.rand.fork(f"ip:{name}:{attempts}"), country)
-            attempts += 1
+        if external_ip is None:
+            external_ip = self.geo.random_ip(self.rand.fork(f"ip:{name}"), country)
+            attempts = 0
+            while external_ip in self.network.hosts or self.network.is_routable(external_ip):
+                external_ip = self.geo.random_ip(self.rand.fork(f"ip:{name}:{attempts}"), country)
+                attempts += 1
         nat = self.network.add_nat(nat_type, external_ip=external_ip)
         return self.network.add_host(
             name, nat=nat, region=country, uplink_bytes_per_sec=uplink_bytes_per_sec

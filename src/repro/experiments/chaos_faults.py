@@ -49,6 +49,12 @@ class ChaosResult(ResultBase):
     players_stalled: int = 0
     segments_skipped: int = 0
     stalls: int = 0
+    #: Set only when ``--scenario`` drives the audience; empty strings
+    #: are dropped from ``to_dict`` so the classic run's digest is
+    #: untouched by the scenario layer's existence.
+    scenario_name: str = ""
+    scenario_digest: str = ""
+    timeline_digest: str = ""
 
     @property
     def conservation_ok(self) -> bool:
@@ -58,20 +64,30 @@ class ChaosResult(ResultBase):
         )
 
     def manifest_extra(self) -> dict:
-        """Provenance for the run manifest: which chaos, exactly."""
-        return {"plan_name": self.plan_name, "plan_digest": self.plan_digest}
+        """Provenance for the run manifest: which chaos (and scenario), exactly."""
+        extra = {"plan_name": self.plan_name, "plan_digest": self.plan_digest}
+        if self.scenario_name:
+            extra["scenario_name"] = self.scenario_name
+            extra["scenario_digest"] = self.scenario_digest
+        return extra
 
     def to_dict(self) -> dict:
         """Dataclass fields plus the derived conservation verdict."""
         out = super().to_dict()
         out["conservation_ok"] = self.conservation_ok
+        if not self.scenario_name:
+            for key in ("scenario_name", "scenario_digest", "timeline_digest"):
+                out.pop(key, None)
         return out
 
     def render(self) -> str:
         """Render the result as the paper-style text block."""
         drops = ", ".join(f"{k}={v}" for k, v in sorted(self.drops_by_reason.items())) or "none"
+        title = f"Chaos run — plan {self.plan_name!r} ({self.plan_digest[:12]})"
+        if self.scenario_name:
+            title += f", scenario {self.scenario_name!r} ({self.scenario_digest[:12]})"
         return render_kv(
-            f"Chaos run — plan {self.plan_name!r} ({self.plan_digest[:12]})",
+            title,
             [
                 ("viewers", self.viewers),
                 ("fault events applied", self.fault_events_applied),
@@ -106,12 +122,21 @@ class ChaosResult(ResultBase):
             "fault plan: preset name (calm, churn, flaky, partition, blackout, "
             "chaos-mix) or a JSON plan file",
         ),
+        CliOption(
+            "--scenario",
+            "scenario",
+            str,
+            "",
+            "drive the audience from a scenario preset or spec JSON instead of "
+            "the fixed staggered-join swarm (empty = classic behaviour)",
+        ),
     ),
 )
 def run(
     seed: int = DEFAULT_SEED,
     viewers: int = 6,
     faults: str = "chaos-mix",
+    scenario: str = "",
     profile: ProviderProfile = PEER5,
     segments: int = 10,
     segment_seconds: float = 4.0,
@@ -119,6 +144,12 @@ def run(
     join_stagger: float = 2.0,
 ) -> ChaosResult:
     """Stream through a fault plan and measure what survived."""
+    spec = timeline = None
+    if scenario:
+        from repro.scenarios.planner import load_scenario
+        from repro.scenarios.timeline import materialize
+
+        spec = load_scenario(scenario)
     env = Environment(seed=seed)
     bed = build_test_bed(
         env,
@@ -126,32 +157,60 @@ def run(
         video_segments=segments,
         segment_seconds=segment_seconds,
         segment_bytes=segment_bytes,
+        live=spec is not None and spec.catalog.kind == "live",
     )
     analyzer = PdnAnalyzer(env)
 
     sessions = []
-    for i in range(viewers):
-        peer = analyzer.create_peer(
-            name=f"chaos-viewer-{i}", country=CHAOS_REGIONS[i % len(CHAOS_REGIONS)]
-        )
-        sessions.append((peer, peer.watch_test_stream(bed)))
-        analyzer.run(join_stagger)
+    engine = None
+    if spec is None:
+        for i in range(viewers):
+            peer = analyzer.create_peer(
+                name=f"chaos-viewer-{i}", country=CHAOS_REGIONS[i % len(CHAOS_REGIONS)]
+            )
+            sessions.append((peer, peer.watch_test_stream(bed)))
+            analyzer.run(join_stagger)
+        horizon = segments * segment_seconds + 30.0
+        fault_hosts = [peer.browser.host.name for peer, _ in sessions]
+        fault_regions: tuple[str, ...] | list[str] = CHAOS_REGIONS
+    else:
+        timeline = materialize(spec, env.rand)
+        horizon = spec.horizon
+        fault_hosts = [
+            f"sc{planned.viewer_id}" for planned in timeline.sessions if planned.title == 0
+        ]
+        fault_regions = spec.expected_regions()
 
-    horizon = segments * segment_seconds + 30.0
     planner = RandomFaultPlanner(env.rand.fork("fault-plan"))
     plan = load_plan(
         faults,
         planner=planner,
-        hosts=[peer.browser.host.name for peer, _ in sessions],
+        hosts=fault_hosts,
         horizon=horizon,
-        regions=CHAOS_REGIONS,
+        regions=fault_regions,
         hostnames=[bed.cdn.hostname],
     )
     injector = env.inject_faults(plan)
-    for peer, session in sessions:
-        bind_viewer(injector, peer.browser.host, sdk=session.sdk, player=session.player)
+    if spec is None:
+        for peer, session in sessions:
+            bind_viewer(injector, peer.browser.host, sdk=session.sdk, player=session.player)
+    else:
+        from repro.scenarios.engine import ScenarioEngine, SwarmViewerFactory
+
+        factory = SwarmViewerFactory(analyzer, bed, spec, injector=injector)
+        engine = ScenarioEngine(
+            env.loop,
+            timeline,
+            factory.create,
+            factory.close,
+            on_action=factory.on_action,
+            max_peers=viewers,
+        ).start()
 
     analyzer.run(horizon)
+    if engine is not None:
+        engine.close_all("shutdown")
+        sessions = [(peer, session) for _, peer, session in factory.created]
 
     network = env.network
     p2p_fetches = p2p_fallbacks = evictions = banned = 0
@@ -173,9 +232,12 @@ def run(
     analyzer.teardown()
 
     return ChaosResult(
-        viewers=viewers,
+        viewers=viewers if engine is None else engine.joins,
         plan_name=plan.name,
         plan_digest=plan.digest(),
+        scenario_name=spec.name if spec is not None else "",
+        scenario_digest=spec.digest() if spec is not None else "",
+        timeline_digest=timeline.digest() if timeline is not None else "",
         fault_events_applied=injector.events_applied,
         datagrams_sent=network.datagrams_sent,
         datagrams_delivered=network.datagrams_delivered,

@@ -17,6 +17,7 @@ from typing import Callable
 from repro.net.addresses import IpClass
 from repro.net.clock import EventLoop
 from repro.privacy.geo import GeoDatabase
+from repro.scenarios.arrivals import LiveArrivals
 from repro.util.errors import ConfigurationError
 from repro.util.rand import DeterministicRandom
 
@@ -75,7 +76,13 @@ class ViewerDescriptor:
 
 
 class ViewerChurn:
-    """Poisson arrivals of viewers with per-platform audience mixes."""
+    """Poisson arrivals of viewers with per-platform audience mixes.
+
+    The scheduling itself lives in
+    :class:`repro.scenarios.arrivals.LiveArrivals` — this class adds the
+    audience sampling (country mix, bogon artifacts, session lengths)
+    on top of the generic arrival process.
+    """
 
     def __init__(
         self,
@@ -95,8 +102,7 @@ class ViewerChurn:
         self.arrival_rate_per_sec = arrival_rate_per_min / 60.0
         self.mean_session_sec = mean_session_min * 60.0
         self._counter = 0
-        self._running = False
-        self.arrivals = 0
+        self._live: LiveArrivals | None = None
 
     def next_viewer(self) -> ViewerDescriptor:
         """Draw one viewer from the audience distribution."""
@@ -111,20 +117,30 @@ class ViewerChurn:
         session = self.rand.expovariate(1.0 / self.mean_session_sec)
         return ViewerDescriptor(self._counter, ip, country, max(30.0, session), is_artifact)
 
+    @property
+    def arrivals(self) -> int:
+        """How many viewers have been delivered so far."""
+        return self._live.arrivals if self._live is not None else 0
+
     def start(self, on_arrival: Callable[[ViewerDescriptor], None], until: float | None = None) -> None:
-        """Schedule Poisson arrivals; each calls ``on_arrival(viewer)``."""
-        self._running = True
+        """Schedule Poisson arrivals; each calls ``on_arrival(viewer)``.
 
-        def arrive() -> None:
-            """Arrive."""
-            if not self._running or (until is not None and self.loop.now >= until):
-                return
-            self.arrivals += 1
+        Delegates to :class:`~repro.scenarios.arrivals.LiveArrivals`, so
+        a window that has already closed (``until`` at or before the
+        loop's now) schedules nothing — the first arrival used to fire
+        unconditionally and overcount at the horizon edge.
+        """
+
+        def deliver() -> None:
+            """Draw the next viewer and hand it to the subscriber."""
             on_arrival(self.next_viewer())
-            self.loop.schedule(self.rand.expovariate(self.arrival_rate_per_sec), arrive)
 
-        self.loop.schedule(self.rand.expovariate(self.arrival_rate_per_sec), arrive)
+        self._live = LiveArrivals(
+            self.loop, self.rand, self.arrival_rate_per_sec, deliver, until
+        )
+        self._live.start()
 
     def stop(self) -> None:
         """Stop this component."""
-        self._running = False
+        if self._live is not None:
+            self._live.stop()

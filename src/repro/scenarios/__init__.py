@@ -1,0 +1,63 @@
+"""Declarative, seeded scenario layer: workloads as data.
+
+Mirrors the chaos layer (:mod:`repro.net.faults`): a
+:class:`~repro.scenarios.spec.ScenarioSpec` serialises to canonical
+JSON with a SHA-256 digest, named presets live in
+:data:`~repro.scenarios.planner.SCENARIO_PRESETS`, a seeded
+:class:`~repro.scenarios.planner.RandomScenarioPlanner` fuzzes the
+property suite, :func:`~repro.scenarios.timeline.materialize` turns a
+spec into a concrete :class:`~repro.scenarios.timeline.Timeline`, and
+:class:`~repro.scenarios.engine.ScenarioEngine` replays it live.
+
+The engine is deliberately *not* imported here: it binds to the
+analyzer stack (``repro.core``), which sits above this package in the
+import graph — import :mod:`repro.scenarios.engine` directly.
+"""
+
+from repro.scenarios.arrivals import (
+    ArrivalProcess,
+    DiurnalArrivals,
+    FlashCrowdArrivals,
+    LiveArrivals,
+    PoissonArrivals,
+    arrival_types,
+)
+from repro.scenarios.planner import (
+    SCENARIO_PRESETS,
+    RandomScenarioPlanner,
+    load_scenario,
+)
+from repro.scenarios.spec import (
+    NAT_KINDS,
+    CatalogShape,
+    PopulationMix,
+    ScenarioSpec,
+    SessionModel,
+)
+from repro.scenarios.timeline import (
+    PlannedSession,
+    SessionAction,
+    Timeline,
+    materialize,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "DiurnalArrivals",
+    "FlashCrowdArrivals",
+    "LiveArrivals",
+    "arrival_types",
+    "SCENARIO_PRESETS",
+    "RandomScenarioPlanner",
+    "load_scenario",
+    "NAT_KINDS",
+    "CatalogShape",
+    "PopulationMix",
+    "ScenarioSpec",
+    "SessionModel",
+    "PlannedSession",
+    "SessionAction",
+    "Timeline",
+    "materialize",
+]

@@ -1,0 +1,214 @@
+"""Scenario presets, random scenario generation, and spec loading.
+
+Mirrors :mod:`repro.net.faults`'s planner layer: named presets cover
+the regimes the paper's measurements point at, a seeded
+:class:`RandomScenarioPlanner` feeds the property suite with arbitrary
+valid specs, and :func:`load_scenario` resolves a CLI argument that is
+either a preset name or a path to a ``spec.json``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from repro.scenarios.arrivals import (
+    DiurnalArrivals,
+    FlashCrowdArrivals,
+    PoissonArrivals,
+)
+from repro.scenarios.spec import (
+    NAT_KINDS,
+    CatalogShape,
+    PopulationMix,
+    ScenarioSpec,
+    SessionModel,
+)
+from repro.util.errors import ConfigurationError
+from repro.util.rand import DeterministicRandom
+
+#: Regions presets draw from — all present in the privacy geo table.
+PRESET_REGIONS = ("US", "DE", "JP", "BR", "IN")
+
+
+def _steady() -> ScenarioSpec:
+    """Steady-state live audience: memoryless arrivals, mild churn."""
+    return ScenarioSpec(
+        name="steady",
+        horizon=60.0,
+        arrivals=PoissonArrivals(rate_per_min=8.0),
+        session=SessionModel(mean_watch_sec=45.0, min_watch_sec=8.0, abandon_prob=0.1),
+        population=PopulationMix(
+            nat_mix={"full_cone": 0.45, "port_restricted_cone": 0.35, "symmetric": 0.2},
+            region_mix={"US": 0.5, "DE": 0.3, "JP": 0.2},
+            cellular_share=0.1,
+        ),
+        catalog=CatalogShape(kind="live"),
+    )
+
+
+def _flash_crowd() -> ScenarioSpec:
+    """A live event going viral: thin baseline, sharp spike early on."""
+    return ScenarioSpec(
+        name="flash-crowd",
+        horizon=60.0,
+        arrivals=FlashCrowdArrivals(
+            base_rate_per_min=2.0, spike_at_sec=8.0, spike_arrivals=12, spike_width_sec=6.0
+        ),
+        session=SessionModel(mean_watch_sec=50.0, min_watch_sec=10.0, abandon_prob=0.15),
+        population=PopulationMix(
+            nat_mix={"full_cone": 0.4, "restricted_cone": 0.2, "port_restricted_cone": 0.25, "symmetric": 0.15},
+            region_mix={"US": 0.4, "BR": 0.35, "IN": 0.25},
+            cellular_share=0.25,
+        ),
+        catalog=CatalogShape(kind="live"),
+    )
+
+
+def _diurnal() -> ScenarioSpec:
+    """A compressed day/night cycle: trough-to-peak ramp inside the horizon."""
+    return ScenarioSpec(
+        name="diurnal",
+        horizon=60.0,
+        arrivals=DiurnalArrivals(base_rate_per_min=2.0, peak_rate_per_min=14.0, period_sec=120.0),
+        session=SessionModel(mean_watch_sec=40.0, min_watch_sec=6.0, abandon_prob=0.1),
+        population=PopulationMix(
+            nat_mix={"full_cone": 0.5, "port_restricted_cone": 0.3, "symmetric": 0.2},
+            region_mix={"US": 0.45, "DE": 0.35, "JP": 0.2},
+            cellular_share=0.15,
+        ),
+        catalog=CatalogShape(kind="live"),
+    )
+
+
+def _cgnat_heavy() -> ScenarioSpec:
+    """Carrier-grade-NAT-dominated mobile audience with heavy free riding."""
+    return ScenarioSpec(
+        name="cgnat-heavy",
+        horizon=60.0,
+        arrivals=PoissonArrivals(rate_per_min=8.0),
+        session=SessionModel(mean_watch_sec=40.0, min_watch_sec=6.0, abandon_prob=0.2),
+        population=PopulationMix(
+            nat_mix={"cgnat": 0.55, "symmetric": 0.25, "port_restricted_cone": 0.2},
+            region_mix={"IN": 0.4, "BR": 0.35, "US": 0.25},
+            cellular_share=0.4,
+            leech_share=0.25,
+        ),
+        catalog=CatalogShape(kind="live"),
+    )
+
+
+def _vod_longtail() -> ScenarioSpec:
+    """A VoD catalog with Zipf popularity: zapping and seeking, thin head swarm."""
+    return ScenarioSpec(
+        name="vod-longtail",
+        horizon=60.0,
+        arrivals=PoissonArrivals(rate_per_min=12.0),
+        session=SessionModel(
+            mean_watch_sec=35.0,
+            min_watch_sec=6.0,
+            abandon_prob=0.15,
+            zap_prob=0.3,
+            seek_rate_per_min=2.0,
+        ),
+        population=PopulationMix(
+            nat_mix={"full_cone": 0.4, "port_restricted_cone": 0.35, "symmetric": 0.25},
+            region_mix={"US": 0.5, "DE": 0.25, "JP": 0.25},
+            cellular_share=0.2,
+        ),
+        catalog=CatalogShape(kind="vod", titles=8, zipf_s=1.1),
+    )
+
+
+#: Named scenario presets, mirroring ``faults.PLAN_PRESETS``. Each entry
+#: is a zero-argument factory so presets stay immutable across callers.
+SCENARIO_PRESETS: dict[str, Callable[[], ScenarioSpec]] = {
+    "steady": _steady,
+    "flash-crowd": _flash_crowd,
+    "diurnal": _diurnal,
+    "cgnat-heavy": _cgnat_heavy,
+    "vod-longtail": _vod_longtail,
+}
+
+
+class RandomScenarioPlanner:
+    """Generate arbitrary valid scenario specs from a seeded stream.
+
+    The property suite's fuzzer: every spec it emits must satisfy the
+    spec-layer validators, materialise cleanly, and round-trip through
+    JSON to the same digest.
+    """
+
+    def __init__(self, rand: DeterministicRandom) -> None:
+        self.rand = rand
+
+    def _arrivals(self):
+        """Draw one arrival process of a random kind."""
+        kind = self.rand.choice(["poisson", "diurnal", "flash_crowd"])
+        if kind == "poisson":
+            return PoissonArrivals(rate_per_min=round(self.rand.uniform(2.0, 20.0), 3))
+        if kind == "diurnal":
+            base = round(self.rand.uniform(0.5, 5.0), 3)
+            return DiurnalArrivals(
+                base_rate_per_min=base,
+                peak_rate_per_min=round(base + self.rand.uniform(1.0, 15.0), 3),
+                period_sec=round(self.rand.uniform(40.0, 300.0), 3),
+            )
+        return FlashCrowdArrivals(
+            base_rate_per_min=round(self.rand.uniform(1.0, 6.0), 3),
+            spike_at_sec=round(self.rand.uniform(0.0, 30.0), 3),
+            spike_arrivals=self.rand.randint(0, 25),
+            spike_width_sec=round(self.rand.uniform(2.0, 15.0), 3),
+        )
+
+    def _mix(self, keys: list[str]) -> dict[str, float]:
+        """Random positive weights over a sampled subset of ``keys``."""
+        picked = self.rand.sample(keys, self.rand.randint(1, min(3, len(keys))))
+        return {key: round(self.rand.uniform(0.1, 1.0), 3) for key in sorted(picked)}
+
+    def plan(self, name: str = "random") -> ScenarioSpec:
+        """Draw one complete random scenario spec."""
+        vod = self.rand.random() < 0.5
+        mean_watch = round(self.rand.uniform(10.0, 120.0), 3)
+        return ScenarioSpec(
+            name=name,
+            horizon=round(self.rand.uniform(20.0, 120.0), 3),
+            arrivals=self._arrivals(),
+            session=SessionModel(
+                mean_watch_sec=mean_watch,
+                min_watch_sec=round(self.rand.uniform(0.5, min(8.0, mean_watch)), 3),
+                abandon_prob=round(self.rand.uniform(0.0, 0.5), 3),
+                zap_prob=round(self.rand.uniform(0.0, 0.5), 3) if vod else 0.0,
+                seek_rate_per_min=round(self.rand.uniform(0.0, 4.0), 3),
+                buffer_target=self.rand.randint(2, 5),
+                abr_upgrade_after=self.rand.randint(2, 8),
+            ),
+            population=PopulationMix(
+                nat_mix=self._mix(list(NAT_KINDS)),
+                region_mix=self._mix(list(PRESET_REGIONS)),
+                cellular_share=round(self.rand.uniform(0.0, 0.6), 3),
+                leech_share=round(self.rand.uniform(0.0, 0.6), 3),
+            ),
+            catalog=(
+                CatalogShape(
+                    kind="vod",
+                    titles=self.rand.randint(2, 12),
+                    zipf_s=round(self.rand.uniform(0.5, 2.0), 3),
+                )
+                if vod
+                else CatalogShape(kind="live")
+            ),
+            max_viewers=self.rand.randint(5, 40),
+        )
+
+
+def load_scenario(spec: str) -> ScenarioSpec:
+    """Resolve ``--scenario`` input: a preset name or a path to spec JSON."""
+    if spec.endswith(".json") or os.path.exists(spec):
+        with open(spec, "r", encoding="utf-8") as handle:
+            return ScenarioSpec.from_json(handle.read())
+    factory = SCENARIO_PRESETS.get(spec)
+    if factory is None:
+        known = ", ".join(sorted(SCENARIO_PRESETS))
+        raise ConfigurationError(f"unknown scenario preset {spec!r} (known: {known})")
+    return factory()

@@ -81,6 +81,7 @@ class PlayerStats:
     played: list[PlayedSegment] = field(default_factory=list)
     stalls: int = 0
     stall_time: float = 0.0
+    seeks: int = 0
     segments_skipped: int = 0
     bytes_from_cdn: int = 0
     bytes_from_p2p: int = 0
@@ -280,6 +281,28 @@ class VideoPlayer:
             self._retry_fetch(index)
         self._fill_buffer()
 
+    def seek(self, segments_forward: int = 1) -> None:
+        """Scrub forward by whole segments (VoD trick-play).
+
+        Playback jumps ahead, buffered segments behind the new position
+        are discarded, and fetching resumes from the seek target. Seeks
+        clamp to the known end of a VOD playlist; a seek past the end
+        finishes on the next playback tick.
+        """
+        if self._stopped or self.finished or segments_forward < 1:
+            return
+        target = self._play_index + segments_forward
+        if self._end_index is not None:
+            target = min(target, self._end_index)
+        if target <= self._play_index:
+            return
+        self._play_index = target
+        self._next_fetch = max(self._next_fetch, target)
+        for index in [i for i in self._buffer if i < target]:
+            del self._buffer[index]
+        self.stats.seeks += 1
+        self._fill_buffer()
+
     def _retry_fetch(self, index: int) -> None:
         if self._stopped or self.finished or index in self._buffer or index in self._inflight:
             return
@@ -308,11 +331,18 @@ class VideoPlayer:
             self._fill_buffer()
             return
         self._fetch_retries.pop(index, None)
-        self._buffer[index] = (data, source)
         if source == "p2p":
             self.stats.bytes_from_p2p += len(data)
         else:
             self.stats.bytes_from_cdn += len(data)
+        if index < self._play_index:
+            # A seek (or a live-edge jump) moved playback past this fetch
+            # while it was in flight; buffering it would pin a dead entry
+            # against buffer_target forever. The bytes still crossed the
+            # wire, so they stay counted above.
+            self._fill_buffer()
+            return
+        self._buffer[index] = (data, source)
         self._maybe_start_playback()
         self._fill_buffer()
 

@@ -9,8 +9,8 @@ from repro.util.errors import ConfigurationError
 
 EXPECTED = [
     "detect", "detection-quality", "free-riding", "risk-matrix", "resources",
-    "bandwidth", "ip-leak", "consent", "propagation", "chaos", "token-defense",
-    "im-checking", "ecdn",
+    "bandwidth", "ip-leak", "consent", "propagation", "chaos",
+    "scenario-matrix", "token-defense", "im-checking", "ecdn",
 ]
 
 

@@ -100,6 +100,50 @@ class TestChurnProcess:
         loop.run(120.0)
         assert len(arrivals) == count
 
+    def test_until_zero_schedules_nothing(self, geo):
+        # Regression: the first arrival used to be scheduled before the
+        # window check, so an already-closed window still delivered one
+        # viewer past the horizon edge.
+        loop = EventLoop()
+        churn = ViewerChurn(
+            loop, DeterministicRandom(8), geo, huya_audience(),
+            arrival_rate_per_min=60.0, mean_session_min=1.0,
+        )
+        arrivals = []
+        churn.start(arrivals.append, until=0.0)
+        loop.run(120.0)
+        assert arrivals == []
+        assert churn.arrivals == 0
+
+    def test_until_in_past_schedules_nothing(self, geo):
+        loop = EventLoop()
+        loop.run(50.0)  # advance the clock beyond the window first
+        churn = ViewerChurn(
+            loop, DeterministicRandom(8), geo, huya_audience(),
+            arrival_rate_per_min=60.0, mean_session_min=1.0,
+        )
+        arrivals = []
+        churn.start(arrivals.append, until=10.0)
+        loop.run(120.0)
+        assert arrivals == []
+        assert churn.arrivals == 0
+
+    def test_arrivals_counter_matches_deliveries(self, geo):
+        loop = EventLoop()
+        churn = ViewerChurn(
+            loop, DeterministicRandom(8), geo, huya_audience(),
+            arrival_rate_per_min=60.0, mean_session_min=1.0,
+        )
+        deliveries = []
+        churn.start(lambda viewer: deliveries.append(loop.now), until=30.0)
+        loop.run(120.0)
+        assert deliveries, "open window at 60/min should deliver viewers"
+        assert churn.arrivals == len(deliveries)
+        assert all(t < 30.0 for t in deliveries)  # window closed at `until`
+        churn.stop()  # stop after the window closed is a safe no-op
+        loop.run(60.0)
+        assert churn.arrivals == len(deliveries)
+
     def test_invalid_rates_rejected(self, geo):
         with pytest.raises(ConfigurationError):
             ViewerChurn(EventLoop(), DeterministicRandom(1), geo, huya_audience(),

@@ -1,0 +1,1 @@
+"""Seed-driven property-based invariant suite for the scenario layer."""

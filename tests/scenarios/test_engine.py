@@ -1,0 +1,161 @@
+"""Engine + factory integration: scenarios drive real analyzer peers."""
+
+from __future__ import annotations
+
+from repro.core.analyzer import PdnAnalyzer
+from repro.core.testbed import build_test_bed
+from repro.environment import Environment
+from repro.net.addresses import IpClass, classify_ip
+from repro.pdn.provider import PEER5
+from repro.scenarios.arrivals import PoissonArrivals
+from repro.scenarios.engine import ScenarioEngine, SwarmViewerFactory
+from repro.scenarios.spec import (
+    CatalogShape,
+    PopulationMix,
+    ScenarioSpec,
+    SessionModel,
+)
+from repro.scenarios.timeline import materialize
+
+
+def _run_scenario(spec: ScenarioSpec, seed: str, max_peers: int | None = None):
+    """Materialise ``spec`` and replay it against a live test bed."""
+    env = Environment(seed=seed)
+    bed = build_test_bed(
+        env, PEER5, video_segments=6, segment_seconds=2.0, segment_bytes=20_000,
+        live=spec.catalog.kind == "live",
+    )
+    analyzer = PdnAnalyzer(env)
+    timeline = materialize(spec, env.rand)
+    factory = SwarmViewerFactory(analyzer, bed, spec)
+    engine = ScenarioEngine(
+        env.loop, timeline, factory.create, factory.close,
+        on_action=factory.on_action, max_peers=max_peers,
+    ).start()
+    env.run(spec.horizon + 5.0)
+    engine.close_all()
+    return env, analyzer, timeline, factory, engine
+
+
+class TestSwarmViewerFactory:
+    def test_cgnat_viewers_get_shared_space_external_ips(self) -> None:
+        spec = ScenarioSpec(
+            name="all-cgnat",
+            horizon=20.0,
+            arrivals=PoissonArrivals(rate_per_min=20.0),
+            session=SessionModel(mean_watch_sec=30.0, min_watch_sec=5.0),
+            population=PopulationMix(nat_mix={"cgnat": 1.0}, region_mix={"US": 1.0}),
+            max_viewers=5,
+        )
+        env, analyzer, timeline, factory, engine = _run_scenario(spec, "cgnat-test")
+        assert factory.created, "expected at least one swarm viewer"
+        for planned, peer, _session in factory.created:
+            assert planned.nat == "cgnat"
+            assert classify_ip(peer.browser.host.public_ip) is IpClass.SHARED_NAT
+        # shared-space addresses are unique and routable inside the sim
+        ips = [peer.browser.host.public_ip for _, peer, _ in factory.created]
+        assert len(set(ips)) == len(ips)
+
+    def test_leech_viewers_cannot_upload(self) -> None:
+        spec = ScenarioSpec(
+            name="all-leech",
+            horizon=20.0,
+            arrivals=PoissonArrivals(rate_per_min=20.0),
+            session=SessionModel(mean_watch_sec=30.0, min_watch_sec=5.0),
+            population=PopulationMix(
+                nat_mix={"full_cone": 1.0}, region_mix={"US": 1.0}, leech_share=1.0
+            ),
+            max_viewers=4,
+        )
+        _env, _analyzer, _timeline, factory, _engine = _run_scenario(spec, "leech-test")
+        assert factory.created
+        for planned, _peer, session in factory.created:
+            assert planned.leech
+            if session.sdk is not None:
+                assert session.sdk.policy.max_upload_bytes_per_sec == 0.0
+                assert session.sdk.stats.p2p_requests_served == 0
+
+    def test_cellular_viewers_marked(self) -> None:
+        spec = ScenarioSpec(
+            name="all-cellular",
+            horizon=15.0,
+            arrivals=PoissonArrivals(rate_per_min=20.0),
+            session=SessionModel(mean_watch_sec=30.0, min_watch_sec=5.0),
+            population=PopulationMix(
+                nat_mix={"full_cone": 1.0}, region_mix={"US": 1.0}, cellular_share=1.0
+            ),
+            max_viewers=3,
+        )
+        _env, _analyzer, _timeline, factory, _engine = _run_scenario(spec, "cell-test")
+        assert factory.created
+        for _planned, peer, _session in factory.created:
+            assert peer.browser.connection_type == "cellular"
+
+    def test_vod_tail_titles_become_background(self) -> None:
+        spec = ScenarioSpec(
+            name="tail",
+            horizon=25.0,
+            arrivals=PoissonArrivals(rate_per_min=30.0),
+            session=SessionModel(mean_watch_sec=30.0, min_watch_sec=5.0),
+            catalog=CatalogShape(kind="vod", titles=6, zipf_s=0.2),
+            max_viewers=12,
+        )
+        _env, _analyzer, timeline, factory, engine = _run_scenario(spec, "tail-test")
+        off_title = sum(1 for s in timeline.sessions if s.title != 0)
+        assert off_title > 0, "zipf_s=0.2 over 6 titles should spread the audience"
+        # no max_peers: every off-title session is background, the rest join
+        assert engine.background == off_title
+        assert engine.joins == len(timeline.sessions) - off_title == len(factory.created)
+
+    def test_engine_lifecycle_balances_and_releases_containers(self) -> None:
+        spec = ScenarioSpec(
+            name="balance",
+            horizon=20.0,
+            arrivals=PoissonArrivals(rate_per_min=25.0),
+            session=SessionModel(mean_watch_sec=10.0, min_watch_sec=2.0, abandon_prob=0.3),
+            max_viewers=8,
+        )
+        _env, analyzer, _timeline, factory, engine = _run_scenario(
+            spec, "balance-test", max_peers=4
+        )
+        assert engine.joins == engine.leaves == len(factory.created)
+        assert not engine.active
+        assert analyzer.peers == []  # every container was closed and deregistered
+
+    def test_seek_actions_reach_players(self) -> None:
+        spec = ScenarioSpec(
+            name="seeky",
+            horizon=25.0,
+            arrivals=PoissonArrivals(rate_per_min=25.0),
+            session=SessionModel(
+                mean_watch_sec=30.0, min_watch_sec=10.0, seek_rate_per_min=20.0
+            ),
+            catalog=CatalogShape(kind="vod", titles=1),
+            max_viewers=5,
+        )
+        _env, _analyzer, timeline, factory, _engine = _run_scenario(spec, "seek-test")
+        planned_seeks = sum(
+            len([a for a in s.actions if a.kind == "seek"]) for s in timeline.sessions
+        )
+        assert planned_seeks > 0
+        executed = sum(
+            session.player.stats.seeks
+            for _p, _peer, session in factory.created
+            if session.player is not None
+        )
+        assert executed > 0
+
+    def test_max_peers_zero_creates_nothing(self) -> None:
+        spec = ScenarioSpec(
+            name="closed-door",
+            horizon=10.0,
+            arrivals=PoissonArrivals(rate_per_min=30.0),
+            session=SessionModel(mean_watch_sec=30.0, min_watch_sec=5.0),
+            max_viewers=5,
+        )
+        _env, analyzer, timeline, factory, engine = _run_scenario(
+            spec, "door-test", max_peers=0
+        )
+        assert factory.created == []
+        assert engine.joins == 0
+        assert engine.overflow == len(timeline.sessions)

@@ -1,0 +1,188 @@
+"""Scenario invariants over seed-driven random specs.
+
+Every spec the :class:`RandomScenarioPlanner` can emit must: keep
+arrivals inside the horizon, materialise balanced session lifecycles,
+realise its population mix within statistical bounds, and stay within
+its declared caps. ``SCENARIO_SEED`` varies the examples in CI.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.net.clock import EventLoop
+from repro.scenarios.arrivals import DiurnalArrivals, FlashCrowdArrivals, PoissonArrivals
+from repro.scenarios.engine import ScenarioEngine
+from repro.scenarios.spec import (
+    NAT_KINDS,
+    CatalogShape,
+    PopulationMix,
+    ScenarioSpec,
+    SessionModel,
+)
+from repro.scenarios.timeline import materialize
+
+from tests.scenarios.gen import random_specs, scenario_rand, scenario_seeds
+
+LEAVE_REASONS = {"leave", "abandon", "horizon", "zap"}
+
+
+class TestArrivalInvariants:
+    """Sampled arrival times respect the horizon contract."""
+
+    @pytest.mark.parametrize("spec", random_specs(20, "arrivals"), ids=lambda s: s.name)
+    def test_times_sorted_rounded_within_horizon(self, spec: ScenarioSpec) -> None:
+        times = spec.arrivals.times(scenario_rand(f"times:{spec.name}"), spec.horizon)
+        assert times == sorted(times)
+        assert all(0.0 <= t < spec.horizon for t in times)
+        assert all(round(t, 3) == t for t in times)
+
+    def test_zero_horizon_yields_no_arrivals(self) -> None:
+        for process in (PoissonArrivals(), DiurnalArrivals(), FlashCrowdArrivals()):
+            assert process.times(scenario_rand("zero"), 1e-9) == []
+
+    def test_flash_crowd_spike_concentrates_after_spike_instant(self) -> None:
+        process = FlashCrowdArrivals(
+            base_rate_per_min=0.001, spike_at_sec=30.0, spike_arrivals=300, spike_width_sec=5.0
+        )
+        times = process.times(scenario_rand("spike"), 120.0)
+        in_window = sum(1 for t in times if 30.0 <= t <= 35.0)
+        # offsets are Exp(mean width/3): P(within width) ~ 95%
+        assert in_window >= 0.75 * len(times) > 0
+
+    def test_diurnal_rate_ramps_base_to_peak(self) -> None:
+        process = DiurnalArrivals(base_rate_per_min=2.0, peak_rate_per_min=10.0, period_sec=100.0)
+        assert process.rate_per_min_at(0.0) == pytest.approx(2.0)
+        assert process.rate_per_min_at(50.0) == pytest.approx(10.0)
+        assert process.rate_per_min_at(100.0) == pytest.approx(2.0)
+        assert 2.0 < process.rate_per_min_at(25.0) < 10.0
+
+
+class TestTimelineInvariants:
+    """Materialised sessions are well-formed and capped."""
+
+    @pytest.mark.parametrize("spec", random_specs(20, "timeline"), ids=lambda s: s.name)
+    def test_sessions_well_formed(self, spec: ScenarioSpec) -> None:
+        timeline = materialize(spec, scenario_rand(f"mat:{spec.name}"))
+        assert timeline.spec_digest == spec.digest()
+        if spec.max_viewers is not None:
+            assert len(timeline.sessions) <= spec.max_viewers
+        assert [s.viewer_id for s in timeline.sessions] == list(range(len(timeline.sessions)))
+        for session in timeline.sessions:
+            assert 0.0 <= session.join_at < session.leave_at <= spec.horizon
+            assert session.leave_reason in LEAVE_REASONS
+            assert session.nat in NAT_KINDS
+            assert session.country in spec.population.region_mix
+            assert 0 <= session.title < spec.catalog.titles
+            for action in session.actions:
+                assert session.join_at <= action.at <= session.leave_at
+                assert action.kind in ("zap", "seek")
+                if action.kind == "zap":
+                    assert action.arg != session.title
+                    assert action.at == session.leave_at
+                    assert session.leave_reason == "zap"
+
+    @pytest.mark.parametrize("spec", random_specs(6, "balance"), ids=lambda s: s.name)
+    def test_lifecycle_balance_through_stub_engine(self, spec: ScenarioSpec) -> None:
+        timeline = materialize(spec, scenario_rand(f"bal:{spec.name}"))
+        loop = EventLoop()
+        engine = ScenarioEngine(
+            loop,
+            timeline,
+            create=lambda planned: object() if planned.title == 0 else None,
+            close=lambda handle, planned, reason: None,
+        ).start()
+        loop.run(spec.horizon + 1.0)
+        engine.close_all()
+        assert engine.joins == engine.leaves
+        assert not engine.active
+        assert engine.joins + engine.background + engine.overflow == len(timeline.sessions)
+
+    def test_max_peers_overflow_counted(self) -> None:
+        spec = ScenarioSpec(
+            name="crowded",
+            horizon=30.0,
+            arrivals=PoissonArrivals(rate_per_min=60.0),
+            session=SessionModel(mean_watch_sec=60.0, min_watch_sec=20.0, abandon_prob=0.0),
+        )
+        timeline = materialize(spec, scenario_rand("overflow"))
+        assert len(timeline.sessions) > 3
+        loop = EventLoop()
+        engine = ScenarioEngine(
+            loop,
+            timeline,
+            create=lambda planned: object(),
+            close=lambda handle, planned, reason: None,
+            max_peers=2,
+        ).start()
+        loop.run(spec.horizon + 1.0)
+        engine.close_all()
+        assert engine.overflow > 0
+        assert len([e for e in engine.events if e[1] == "join"]) == engine.joins
+        assert engine.joins + engine.overflow == len(timeline.sessions)
+
+
+class TestMixRealization:
+    """Realised population fractions converge on the declared mix."""
+
+    #: A high-volume spec so pooled counts give tight binomial bounds.
+    MIX_SPEC = ScenarioSpec(
+        name="mix-check",
+        horizon=120.0,
+        arrivals=PoissonArrivals(rate_per_min=15.0),
+        session=SessionModel(mean_watch_sec=40.0, min_watch_sec=5.0),
+        population=PopulationMix(
+            nat_mix={"full_cone": 0.5, "cgnat": 0.3, "symmetric": 0.2},
+            region_mix={"US": 0.6, "DE": 0.25, "JP": 0.15},
+            cellular_share=0.35,
+            leech_share=0.2,
+        ),
+        catalog=CatalogShape(kind="vod", titles=4, zipf_s=1.0),
+    )
+
+    def _pooled_sessions(self):
+        sessions = []
+        for seed in scenario_seeds(30, "mix"):
+            from repro.util.rand import DeterministicRandom
+
+            sessions.extend(materialize(self.MIX_SPEC, DeterministicRandom(seed)).sessions)
+        return sessions
+
+    @staticmethod
+    def _assert_fraction(observed: int, total: int, expected: float, label: str) -> None:
+        """Binomial check at five sigma (CI reruns at several seeds)."""
+        tolerance = 5.0 * math.sqrt(expected * (1.0 - expected) / total) + 1.0 / total
+        assert abs(observed / total - expected) <= tolerance, (
+            f"{label}: {observed}/{total} vs expected {expected} (tol {tolerance:.4f})"
+        )
+
+    def test_mixes_sum_to_one_and_realize(self) -> None:
+        mix = self.MIX_SPEC.population
+        assert sum(mix.nat_mix.values()) == pytest.approx(1.0)
+        assert sum(mix.region_mix.values()) == pytest.approx(1.0)
+        sessions = self._pooled_sessions()
+        total = len(sessions)
+        assert total > 500
+        for kind, weight in mix.nat_mix.items():
+            self._assert_fraction(
+                sum(1 for s in sessions if s.nat == kind), total, weight, f"nat {kind}"
+            )
+        for country, weight in mix.region_mix.items():
+            self._assert_fraction(
+                sum(1 for s in sessions if s.country == country), total, weight, country
+            )
+        self._assert_fraction(
+            sum(1 for s in sessions if s.cellular), total, mix.cellular_share, "cellular"
+        )
+        self._assert_fraction(
+            sum(1 for s in sessions if s.leech), total, mix.leech_share, "leech"
+        )
+
+    def test_zipf_head_title_dominates(self) -> None:
+        sessions = self._pooled_sessions()
+        titles = [s.title for s in sessions]
+        counts = [titles.count(i) for i in range(self.MIX_SPEC.catalog.titles)]
+        assert counts[0] == max(counts)
+        assert counts[0] < len(sessions)  # but the tail is populated

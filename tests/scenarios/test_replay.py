@@ -1,0 +1,105 @@
+"""Replay properties: same seed, same timeline — in any process layout.
+
+The scenario layer's whole value is that "the flash crowd at seed S"
+means the same audience everywhere. These tests pin that: timeline
+digests are a pure function of (spec, seed), survive spec JSON round
+trips and dict-ordering perturbations, and the scenario-matrix
+experiment produces identical result digests at ``--jobs 1`` vs
+``--jobs 4`` (separate worker processes, separate hash seeds).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.experiments  # noqa: F401  - triggers @experiment registration
+from repro.harness import registry
+from repro.harness.runner import RunRequest, Runner
+from repro.scenarios.planner import SCENARIO_PRESETS
+from repro.scenarios.spec import PopulationMix, ScenarioSpec
+from repro.scenarios.timeline import materialize
+from repro.util.rand import DeterministicRandom
+
+from tests.scenarios.gen import BASE_SEED, random_specs
+
+
+class TestTimelineReplay:
+    """materialize() is a pure function of (spec, seed)."""
+
+    @pytest.mark.parametrize("spec", random_specs(10, "replay"), ids=lambda s: s.name)
+    def test_same_seed_identical_digest(self, spec: ScenarioSpec) -> None:
+        first = materialize(spec, DeterministicRandom(BASE_SEED))
+        second = materialize(spec, DeterministicRandom(BASE_SEED))
+        assert first.digest() == second.digest()
+        assert first.to_dict() == second.to_dict()
+
+    @pytest.mark.parametrize("name", sorted(SCENARIO_PRESETS))
+    def test_presets_replay_after_json_round_trip(self, name: str) -> None:
+        spec = SCENARIO_PRESETS[name]()
+        rebuilt = ScenarioSpec.from_json(spec.to_json())
+        assert materialize(spec, DeterministicRandom(2024)).digest() == materialize(
+            rebuilt, DeterministicRandom(2024)
+        ).digest()
+
+    def test_digest_independent_of_mix_insertion_order(self) -> None:
+        forward = ScenarioSpec(
+            name="order",
+            population=PopulationMix(
+                nat_mix={"full_cone": 0.6, "symmetric": 0.4},
+                region_mix={"US": 0.7, "DE": 0.3},
+            ),
+        )
+        backward = ScenarioSpec(
+            name="order",
+            population=PopulationMix(
+                nat_mix={"symmetric": 0.4, "full_cone": 0.6},
+                region_mix={"DE": 0.3, "US": 0.7},
+            ),
+        )
+        assert forward.digest() == backward.digest()
+        assert materialize(forward, DeterministicRandom(7)).digest() == materialize(
+            backward, DeterministicRandom(7)
+        ).digest()
+
+    def test_different_seeds_differ(self) -> None:
+        spec = SCENARIO_PRESETS["steady"]()
+        assert materialize(spec, DeterministicRandom(1)).digest() != materialize(
+            spec, DeterministicRandom(2)
+        ).digest()
+
+
+class TestMatrixJobsReplay:
+    """scenario-matrix digests match across process parallelism."""
+
+    def _request(self) -> RunRequest:
+        params = dict(registry.get("scenario-matrix").resolve_params(quick=True))
+        params.update({"scenarios": "steady,cgnat-heavy", "faults": "churn"})
+        return RunRequest("scenario-matrix", 2024, params)
+
+    def test_jobs_1_vs_4_identical_digests(self) -> None:
+        request = self._request()
+        serial = Runner(jobs=1).run([request] * 2)
+        parallel = Runner(jobs=4).run([request] * 4)
+        digests = {o.record.result_digest for o in serial + parallel}
+        assert all(o.record.ok for o in serial + parallel)
+        assert len(digests) == 1, digests
+
+    def test_single_preset_cells_match_full_matrix_cells(self) -> None:
+        # Cells are independently seeded, so running one preset alone
+        # must reproduce exactly the cells the full matrix computes.
+        base = dict(registry.get("scenario-matrix").resolve_params(quick=True))
+        solo = Runner(jobs=1).run(
+            [RunRequest("scenario-matrix", 2024, {**base, "scenarios": "steady", "faults": "churn"})]
+        )[0]
+        both = Runner(jobs=1).run(
+            [
+                RunRequest(
+                    "scenario-matrix",
+                    2024,
+                    {**base, "scenarios": "steady,flash-crowd", "faults": "churn"},
+                )
+            ]
+        )[0]
+        solo_cells = solo.result_dict["cells"]
+        both_cells = [c for c in both.result_dict["cells"] if c["scenario"] == "steady"]
+        assert solo_cells == both_cells

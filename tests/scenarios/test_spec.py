@@ -1,0 +1,124 @@
+"""Spec-layer properties: serialisation, digests, validation, loading."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.scenarios.arrivals import (
+    ArrivalProcess,
+    DiurnalArrivals,
+    FlashCrowdArrivals,
+    PoissonArrivals,
+    arrival_types,
+)
+from repro.scenarios.planner import SCENARIO_PRESETS, load_scenario
+from repro.scenarios.spec import (
+    CatalogShape,
+    PopulationMix,
+    ScenarioSpec,
+    SessionModel,
+)
+from repro.util.errors import ConfigurationError
+
+from tests.scenarios.gen import random_specs
+
+
+class TestRoundTrip:
+    """spec → JSON → spec must be a digest fixed point."""
+
+    @pytest.mark.parametrize("spec", random_specs(25, "roundtrip"), ids=lambda s: s.name)
+    def test_random_specs_round_trip(self, spec: ScenarioSpec) -> None:
+        rebuilt = ScenarioSpec.from_json(spec.to_json())
+        assert rebuilt.to_dict() == spec.to_dict()
+        assert rebuilt.digest() == spec.digest()
+        # and the round trip of the round trip is still fixed
+        assert ScenarioSpec.from_json(rebuilt.to_json()).digest() == spec.digest()
+
+    @pytest.mark.parametrize("name", sorted(SCENARIO_PRESETS))
+    def test_presets_round_trip(self, name: str) -> None:
+        spec = SCENARIO_PRESETS[name]()
+        assert spec.name == name
+        assert ScenarioSpec.from_json(spec.to_json()).digest() == spec.digest()
+
+    def test_canonical_json_is_sorted_and_compact(self) -> None:
+        text = SCENARIO_PRESETS["steady"]().to_json()
+        parsed = json.loads(text)
+        assert text == json.dumps(parsed, sort_keys=True, separators=(",", ":"))
+
+    def test_arrival_kinds_all_dispatch(self) -> None:
+        for kind, cls in arrival_types().items():
+            process = cls()
+            assert process.kind == kind
+            assert ArrivalProcess.from_dict(process.to_dict()) == process
+
+
+class TestLoading:
+    """load_scenario resolves presets and JSON files."""
+
+    def test_preset_by_name(self) -> None:
+        assert load_scenario("flash-crowd").arrivals.kind == "flash_crowd"
+
+    def test_unknown_preset_raises(self) -> None:
+        with pytest.raises(ConfigurationError, match="unknown scenario preset"):
+            load_scenario("no-such-preset")
+
+    def test_json_file_round_trip(self, tmp_path) -> None:
+        spec = SCENARIO_PRESETS["cgnat-heavy"]()
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        assert load_scenario(str(path)).digest() == spec.digest()
+
+    def test_unknown_arrival_kind_raises(self) -> None:
+        with pytest.raises(ConfigurationError, match="unknown arrival kind"):
+            ArrivalProcess.from_dict({"kind": "lunar"})
+
+
+class TestValidation:
+    """Invalid specs fail loudly at construction time."""
+
+    def test_mix_normalises_to_one(self) -> None:
+        mix = PopulationMix(nat_mix={"full_cone": 2.0, "symmetric": 6.0})
+        assert sum(mix.nat_mix.values()) == pytest.approx(1.0)
+        assert mix.nat_mix["symmetric"] == pytest.approx(0.75)
+
+    def test_unknown_nat_kind_rejected(self) -> None:
+        with pytest.raises(ConfigurationError, match="unknown NAT kind"):
+            PopulationMix(nat_mix={"carrier_pigeon": 1.0})
+
+    def test_empty_mix_rejected(self) -> None:
+        with pytest.raises(ConfigurationError, match="must not be empty"):
+            PopulationMix(region_mix={})
+
+    def test_negative_weight_rejected(self) -> None:
+        with pytest.raises(ConfigurationError, match=">= 0"):
+            PopulationMix(nat_mix={"full_cone": -1.0, "symmetric": 2.0})
+
+    def test_bad_session_lengths_rejected(self) -> None:
+        with pytest.raises(ConfigurationError, match="min_watch_sec"):
+            SessionModel(mean_watch_sec=5.0, min_watch_sec=10.0)
+
+    def test_probabilities_bounded(self) -> None:
+        with pytest.raises(ConfigurationError, match="abandon_prob"):
+            SessionModel(abandon_prob=1.5)
+
+    def test_live_catalog_has_one_channel(self) -> None:
+        with pytest.raises(ConfigurationError, match="exactly one channel"):
+            CatalogShape(kind="live", titles=3)
+
+    def test_bad_catalog_kind(self) -> None:
+        with pytest.raises(ConfigurationError, match="live.*vod"):
+            CatalogShape(kind="broadcast")
+
+    def test_nonpositive_horizon_rejected(self) -> None:
+        with pytest.raises(ConfigurationError, match="horizon"):
+            ScenarioSpec(horizon=0.0)
+
+    def test_bad_arrival_rates_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(rate_per_min=0.0)
+        with pytest.raises(ConfigurationError):
+            DiurnalArrivals(base_rate_per_min=5.0, peak_rate_per_min=1.0)
+        with pytest.raises(ConfigurationError):
+            FlashCrowdArrivals(spike_width_sec=0.0)

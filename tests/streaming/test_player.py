@@ -85,6 +85,93 @@ class TestVodPlayback:
         assert len(player.stats.played) == played
 
 
+class TestSeeking:
+    def test_seek_skips_segments_and_counts(self):
+        loop, urls, origin, cdn = make_world()
+        origin.add_vod(make_video("clip", 10, segment_duration=2.0, segment_size=100))
+        player = VideoPlayer(
+            loop, CdnLoader(HttpClient(urls)), vod_playlist_url(cdn.hostname, "clip")
+        )
+        player.start()
+        loop.run(1.0)  # a couple of segments played
+        before = player._play_index
+        player.seek(3)
+        assert player._play_index == before + 3
+        loop.run(60.0)
+        assert player.finished
+        played = [p.index for p in player.stats.played]
+        assert player.stats.seeks == 1
+        # the jumped-over indices never play, everything after does
+        assert played == sorted(played)
+        assert set(range(before + 3, 10)) <= set(played)
+        assert not set(range(before, before + 3)) & set(played[played.index(before + 3):])
+
+    def test_seek_drops_stale_buffer_entries(self):
+        loop, urls, origin, cdn = make_world()
+        origin.add_vod(make_video("clip", 12, segment_duration=2.0, segment_size=100))
+        player = VideoPlayer(
+            loop, CdnLoader(HttpClient(urls)), vod_playlist_url(cdn.hostname, "clip"),
+            buffer_target=5,
+        )
+        player.start()
+        loop.run(2.0)
+        player.seek(4)
+        assert all(i >= player._play_index for i in player._buffer)
+        loop.run(60.0)
+        assert player.finished
+
+    def test_seek_clamps_to_end(self):
+        loop, urls, origin, cdn = make_world()
+        origin.add_vod(make_video("clip", 5, segment_duration=1.0, segment_size=50))
+        player = VideoPlayer(
+            loop, CdnLoader(HttpClient(urls)), vod_playlist_url(cdn.hostname, "clip")
+        )
+        player.start()
+        loop.run(0.5)
+        player.seek(100)
+        # clamps to the exclusive end: playback finishes on the next tick
+        assert player._play_index == 5
+        loop.run(30.0)
+        assert player.finished
+        assert all(p.index < 5 for p in player.stats.played)
+
+    def test_seek_noop_when_stopped_or_backward(self):
+        loop, urls, origin, cdn = make_world()
+        origin.add_vod(make_video("clip", 5, segment_duration=1.0, segment_size=50))
+        player = VideoPlayer(
+            loop, CdnLoader(HttpClient(urls)), vod_playlist_url(cdn.hostname, "clip")
+        )
+        player.start()
+        loop.run(0.5)
+        player.seek(0)
+        player.seek(-3)
+        assert player.stats.seeks == 0
+        player.stop()
+        player.seek(2)
+        assert player.stats.seeks == 0
+
+    def test_stale_inflight_fetch_counted_but_not_buffered(self):
+        loop, urls, origin, cdn = make_world()
+        origin.add_vod(make_video("clip", 10, segment_duration=2.0, segment_size=100))
+        player = VideoPlayer(
+            loop, CdnLoader(HttpClient(urls)), vod_playlist_url(cdn.hostname, "clip"),
+            buffer_target=2,
+        )
+        player.start()
+        loop.run(1.0)
+        # A fetch completing for an index behind the (post-seek) playhead
+        # must keep its byte accounting but never enter the buffer.
+        stale = player._play_index
+        player.seek(5)  # may synchronously fetch ahead; snapshot after it
+        bytes_before = player.stats.bytes_from_cdn
+        player._inflight.add(stale)
+        player._on_segment(stale, b"x" * 77, "cdn")
+        assert player.stats.bytes_from_cdn == bytes_before + 77
+        assert stale not in player._buffer
+        loop.run(60.0)
+        assert player.finished
+
+
 class TestLivePlayback:
     def test_follows_live_window(self):
         loop, urls, origin, cdn = make_world()
