@@ -27,6 +27,17 @@ With ``--resume DIR`` every completed shard's state is persisted as
 JSON next to a run manifest pinning its digest; a re-run loads those
 shards instead of re-executing them, which is what makes a 3M-domain
 scan interruptible.
+
+A resume may also *upgrade* the shard count: shards are strided slices,
+so completed shard ``i`` of ``N`` covers exactly the spec indices of
+the new shards ``j ≡ i (mod N)`` whenever the new count is a multiple
+of ``N`` — and :func:`merge_shard_states` is decomposition-invariant,
+so coarse and fine states merge to the same result. The manifest keeps
+upgraded states at their original granularity (a scanned state cannot
+be subdivided without re-scanning) and only the uncovered new shards
+execute. Any other identity change — different seed, different corpus
+config, a shard count that does not evenly subdivide every completed
+granularity — still hard-fails, naming the offending field.
 """
 
 from __future__ import annotations
@@ -55,7 +66,7 @@ from repro.util.errors import ConfigurationError
 from repro.web.corpus import Corpus, CorpusBuilder, CorpusConfig, CorpusPlan, build_ground_corpus
 
 MANIFEST_FILE = "manifest.json"
-MANIFEST_VERSION = 1
+MANIFEST_VERSION = 2
 
 
 class ScanIncomplete(RuntimeError):
@@ -140,6 +151,12 @@ class StreamManifest:
     content digest per completed shard; shard states live next to it as
     ``shard-NNNN.json``. A digest mismatch on load — a truncated or
     hand-edited file — quarantines just that shard for re-scan.
+
+    After a shard-count *upgrade* (see the module docstring) the states
+    completed under a previous, coarser count survive as ``coarse``
+    blocks: ``(old_count, {old_index: digest})``, their files renamed to
+    ``shard-NNNN-of-{old_count}.json`` so the new granularity's plain
+    names never collide with them.
     """
 
     run_dir: Path
@@ -147,6 +164,7 @@ class StreamManifest:
     shards: int
     config_digest: str
     completed: dict[int, str] = field(default_factory=dict)
+    coarse: list[tuple[int, dict[int, str]]] = field(default_factory=list)
     result_digest: str | None = None
 
     @property
@@ -154,9 +172,15 @@ class StreamManifest:
         """Path of the manifest file itself."""
         return self.run_dir / MANIFEST_FILE
 
-    def shard_path(self, index: int) -> Path:
-        """Path of one shard's persisted state."""
-        return self.run_dir / f"shard-{index:04d}.json"
+    def shard_path(self, index: int, count: int | None = None) -> Path:
+        """Path of one shard's persisted state.
+
+        ``count`` names a coarse granularity from before an upgrade;
+        ``None`` (or the current count) is the plain current-run name.
+        """
+        if count is None or count == self.shards:
+            return self.run_dir / f"shard-{index:04d}.json"
+        return self.run_dir / f"shard-{index:04d}-of-{count}.json"
 
     @classmethod
     def open(
@@ -165,22 +189,62 @@ class StreamManifest:
         """Load the manifest in ``run_dir``, or start a fresh one.
 
         Resuming under different run parameters would stitch shards from
-        two different corpora together, so any identity mismatch is an
-        error rather than a silent restart.
+        two different corpora together, so an identity mismatch is an
+        error naming the offending field rather than a silent restart.
+        One mismatch is legal: a ``shards`` *upgrade* to a multiple of
+        every completed granularity, which re-files the completed states
+        as coarse blocks and carries on (strided shards make a coarse
+        shard exactly a union of new ones).
         """
         run_dir.mkdir(parents=True, exist_ok=True)
         manifest = cls(run_dir=run_dir, seed=seed, shards=shards, config_digest=config_digest)
         if not manifest.path.exists():
             return manifest
         data = json.loads(manifest.path.read_text())
-        for name, want in (("seed", seed), ("shards", shards), ("config_digest", config_digest)):
+        for name, want in (("seed", seed), ("config_digest", config_digest)):
             if data.get(name) != want:
                 raise ConfigurationError(
                     f"resume mismatch in {manifest.path}: {name}={data.get(name)!r}, "
                     f"this run has {want!r}"
                 )
-        manifest.completed = {int(k): v for k, v in data.get("completed", {}).items()}
-        manifest.result_digest = data.get("result_digest")
+        completed = {int(k): v for k, v in data.get("completed", {}).items()}
+        coarse = [
+            (int(block["shards"]),
+             {int(k): v for k, v in block["completed"].items()})
+            for block in data.get("coarse", [])
+        ]
+        old_shards = data.get("shards")
+        if old_shards == shards:
+            manifest.completed = completed
+            manifest.coarse = coarse
+            manifest.result_digest = data.get("result_digest")
+            return manifest
+        upgradable = (
+            isinstance(old_shards, int)
+            and old_shards > 0
+            and shards % old_shards == 0
+            and shards > old_shards
+            and all(shards % count == 0 for count, _ in coarse)
+        )
+        if not upgradable:
+            raise ConfigurationError(
+                f"resume mismatch in {manifest.path}: shards={old_shards!r}, this run "
+                f"has {shards!r} — only an upgrade to a multiple of every completed "
+                f"shard granularity can reuse this run directory"
+            )
+        # Upgrade: demote the previous granularity's states to a coarse
+        # block (renaming their files out of the new namespace) and
+        # restart the completion ledger at the new granularity. The
+        # result digest is recomputed by the run that finishes coverage.
+        if completed:
+            for index in completed:
+                src = run_dir / f"shard-{index:04d}.json"
+                if src.exists():
+                    src.rename(manifest.shard_path(index, old_shards))
+            coarse.append((old_shards, completed))
+        manifest.coarse = coarse
+        manifest.result_digest = None
+        manifest.save()
         return manifest
 
     def save(self) -> None:
@@ -193,6 +257,12 @@ class StreamManifest:
             "completed": {str(k): v for k, v in sorted(self.completed.items())},
             "result_digest": self.result_digest,
         }
+        if self.coarse:
+            payload["coarse"] = [
+                {"shards": count,
+                 "completed": {str(k): v for k, v in sorted(done.items())}}
+                for count, done in self.coarse
+            ]
         self.path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     def record(self, state: ShardScanState) -> None:
@@ -203,23 +273,48 @@ class StreamManifest:
         self.completed[state.shard_index] = state.content_digest()
         self.save()
 
-    def load_states(self) -> tuple[dict[int, ShardScanState], list[int]]:
-        """Load completed shard states, dropping any that fail their pin."""
-        states: dict[int, ShardScanState] = {}
-        stale: list[int] = []
+    def _load_state(self, path: Path, digest: str) -> ShardScanState | None:
+        """Load one pinned state file; ``None`` on a missing/failed pin."""
+        if not path.exists():
+            return None
+        state = ShardScanState.from_dict(json.loads(path.read_text()))
+        if state.content_digest() != digest:
+            return None
+        return state
+
+    def load_states(self) -> tuple[list[ShardScanState], set[int], list[int]]:
+        """Load completed shard states, dropping any that fail their pin.
+
+        Returns ``(states, covered, stale)``. ``states`` may mix
+        granularities after an upgrade; ``covered`` is the set of
+        *current-granularity* shard indices they account for — a coarse
+        shard ``i`` of ``count`` covers every current index ``j ≡ i
+        (mod count)``. ``stale`` lists the dropped entries (as current
+        indices, or ``(count, index)`` for coarse ones); their coverage
+        simply re-scans at the current granularity.
+        """
+        states: list[ShardScanState] = []
+        covered: set[int] = set()
+        stale: list = []
         for index, digest in sorted(self.completed.items()):
-            path = self.shard_path(index)
-            if not path.exists():
+            state = self._load_state(self.shard_path(index), digest)
+            if state is None:
                 stale.append(index)
+                self.completed.pop(index)
                 continue
-            state = ShardScanState.from_dict(json.loads(path.read_text()))
-            if state.content_digest() != digest:
-                stale.append(index)
-                continue
-            states[index] = state
-        for index in stale:
-            self.completed.pop(index, None)
-        return states, stale
+            states.append(state)
+            covered.add(index)
+        for count, done in self.coarse:
+            for index, digest in sorted(done.items()):
+                state = self._load_state(self.shard_path(index, count), digest)
+                if state is None:
+                    stale.append((count, index))
+                    done.pop(index)
+                    continue
+                states.append(state)
+                covered.update(range(index, self.shards, count))
+        self.coarse = [(count, done) for count, done in self.coarse if done]
+        return states, covered, stale
 
 
 @dataclass
@@ -265,7 +360,7 @@ class StreamingDetectionPipeline:
     def run(self) -> StreamOutcome:
         """Execute scan + merge + confirm; raises ScanIncomplete if bounded."""
         states, executed, loaded = self._scan_phase()
-        merged = merge_shard_states([states[i] for i in sorted(states)])
+        merged = merge_shard_states(states)
         report = Report(self.config).process(merged)[0]
         corpus = None
         if self.confirm:
@@ -288,23 +383,25 @@ class StreamingDetectionPipeline:
             config_digest=self._config_digest(),
         )
 
-    def _scan_phase(self) -> tuple[dict[int, ShardScanState], list[int], list[int]]:
+    def _scan_phase(self) -> tuple[list[ShardScanState], list[int], list[int]]:
         manifest = self._manifest() if self.resume_dir is not None else None
-        states: dict[int, ShardScanState] = {}
+        states: list[ShardScanState] = []
+        covered: set[int] = set()
         if manifest is not None:
-            states, _stale = manifest.load_states()
-        loaded = sorted(states)
-        pending = [i for i in range(self.shards) if i not in states]
+            states, covered, _stale = manifest.load_states()
+        loaded = sorted(covered)
+        pending = [i for i in range(self.shards) if i not in covered]
         if self.max_shards is not None:
             pending = pending[: self.max_shards]
         tasks = [(self.seed, self.config, index, self.shards) for index in pending]
         for state in pool_map(scan_shard, tasks, jobs=self.scan_jobs):
-            states[state.shard_index] = state
+            states.append(state)
+            covered.add(state.shard_index)
             if manifest is not None:
                 manifest.record(state)
-        if len(states) < self.shards:
+        if len(covered) < self.shards:
             where = self.resume_dir if self.resume_dir is not None else Path(".")
-            raise ScanIncomplete(len(states), self.shards, where)
+            raise ScanIncomplete(len(covered), self.shards, where)
         return states, pending, loaded
 
     # -- confirm phase ----------------------------------------------------

@@ -67,41 +67,67 @@ class WheelStats:
 
     def __init__(self) -> None:
         self.max_occupancy = 0
-        self._loops: dict[EventLoop, tuple[int, int]] = {}
+        self._loops: dict[EventLoop, tuple[int, int, int, int]] = {}
 
     def record(self, loop: EventLoop, handle: TimerHandle) -> None:
         """Sample the wheel gauges of the loop that just fired."""
         occupancy = loop.wheel_occupancy
         if occupancy > self.max_occupancy:
             self.max_occupancy = occupancy
-        self._loops[loop] = (loop.wheel_scheduled, loop.wheel_overflow)
+        self._loops[loop] = (
+            loop.wheel_scheduled,
+            loop.wheel_overflow,
+            loop.wheel_batched,
+            loop.wheel_batch_drains,
+        )
 
     @property
     def scheduled(self) -> int:
         """Total events that took the wheel's in-band bucket path."""
-        return sum(s for s, _ in self._loops.values())
+        return sum(snap[0] for snap in self._loops.values())
 
     @property
     def overflow(self) -> int:
         """Total events that fell through to the heap."""
-        return sum(o for _, o in self._loops.values())
+        return sum(snap[1] for snap in self._loops.values())
+
+    @property
+    def batched(self) -> int:
+        """In-band datagrams carried as columnar batch rows."""
+        return sum(snap[2] for snap in self._loops.values())
+
+    @property
+    def batch_drains(self) -> int:
+        """Drain frames entered: ``batched / batch_drains`` is the mean
+        datagrams delivered per callback frame."""
+        return sum(snap[3] for snap in self._loops.values())
 
     def to_dict(self) -> dict:
         """Serialise for the JSON output format."""
         return {
             "scheduled": self.scheduled,
             "overflow": self.overflow,
+            "batched": self.batched,
+            "batch_drains": self.batch_drains,
             "max_occupancy": self.max_occupancy,
         }
 
 
 def render_wheel_summary(wheel: dict) -> str:
     """One line summarising a :meth:`WheelStats.to_dict` payload."""
-    return (
+    line = (
         f"timing wheel: {wheel['scheduled']:,} in-band, "
         f"{wheel['overflow']:,} heap overflow, "
         f"peak occupancy {wheel['max_occupancy']:,}"
     )
+    drains = wheel.get("batch_drains", 0)
+    if drains:
+        per = wheel["batched"] / drains
+        line += (
+            f"; batched delivery: {wheel['batched']:,} datagrams over "
+            f"{drains:,} drains ({per:.1f}/drain)"
+        )
+    return line
 
 
 class SiteProfiler(EventCounter):

@@ -39,10 +39,14 @@ raises, or diverges between runs, is already in the trace when it does.
 from __future__ import annotations
 
 import itertools
+from array import array
 from heapq import heappop, heappush
+from sys import maxsize as _MAX_EVENTS
 from typing import Any, Callable, ClassVar
 
 from repro.util.errors import ConfigurationError
+
+_INFINITY = float("inf")
 
 #: Default timing-wheel geometry: 512 buckets of 0.5 ms cover a 256 ms
 #: horizon — wide enough for the default latency model's delay band
@@ -141,6 +145,21 @@ class EventLoop:
     against the heap top. Buckets partition time, so every uncollected
     wheel entry is strictly later than every cursor entry, and the
     global minimum is always ``min(cursor[-1], heap[0])``.
+
+    **Batched datagram columns.** Each slot additionally owns three
+    *column rings* — ``array('d')`` of whens, ``array('q')`` of seqs,
+    and a flat stride-4 object list of ``(host, port, payload, src)``
+    fields — that the network's send path appends in-band datagram
+    deliveries into instead of building per-datagram entry tuples
+    (:meth:`set_datagram_plane`). The columns are preallocated with the
+    wheel geometry and cleared in place at collect time, so the same
+    arrays are reused lap after lap. Collection zips the columns into
+    sortable 6-field rows ``(when, seq, host, port, payload, src)``,
+    sorts them together with the slot's generic entries — ``(when,
+    seq)`` is a unique prefix, so mixed-shape tuples compare safely —
+    and dispatch hands each contiguous run of rows to the installed
+    drain in **one callback frame**, still merging per item against the
+    heap top so dispatch order stays bit-identical to a pure-heap loop.
     """
 
     #: Slotted for the same reason the per-packet classes are: the
@@ -150,7 +169,9 @@ class EventLoop:
         "now", "_heap", "_seq", "_events_fired", "_live",
         "_wheel", "_cursor", "_wheel_tick", "_wheel_count",
         "_wheel_width", "_wheel_inv", "_wheel_slots",
+        "_bwhen", "_bseq", "_bobjs", "_dg_drain", "_dg_callback",
         "wheel_scheduled", "wheel_overflow",
+        "wheel_batched", "wheel_batch_drains",
     )
 
     #: Class-wide observer sinks (see :mod:`repro.harness.profile`). A
@@ -183,9 +204,19 @@ class EventLoop:
         self._wheel_width = 0.0
         self._wheel_inv = 0.0
         self._wheel_slots = 0
+        # -- batched datagram columns (see the class docstring) --------
+        self._bwhen: list = []
+        self._bseq: list = []
+        self._bobjs: list = []
+        #: Installed by :meth:`set_datagram_plane`; ``None`` on loops
+        #: with no network attached (pure-timer loops never see rows).
+        self._dg_drain: Any = None
+        self._dg_callback: Any = None
         #: Cumulative wheel counters, surfaced by :meth:`wheel_stats`.
         self.wheel_scheduled = 0
         self.wheel_overflow = 0
+        self.wheel_batched = 0
+        self.wheel_batch_drains = 0
         if wheel_slots is None:
             wheel_slots = DEFAULT_WHEEL_SLOTS
         if wheel_width is None:
@@ -214,6 +245,21 @@ class EventLoop:
         """Remove the pre-fire trace hook."""
         cls._trace = None  # repro: allow[SHARD001] harness-owned observability, not sim state
 
+    def set_datagram_plane(self, drain: Any, callback: Any) -> None:
+        """Install the network's batched datagram delivery plane.
+
+        ``drain(deadline, budget) -> fired`` is invoked by the dispatch
+        loops whenever the cursor's minimum is a batched 6-field row: it
+        must pop and fire consecutive due rows (merging per item against
+        the heap top and honouring ``deadline``/``budget``) and return
+        how many it fired. ``callback`` is the representative
+        per-datagram callable — what a classic entry would have carried
+        — used to synthesize legacy-shaped entries for sinks, the trace
+        hook, flushes to the heap, and :meth:`_iter_queued`.
+        """
+        self._dg_drain = drain
+        self._dg_callback = callback
+
     @property
     def wheel_occupancy(self) -> int:
         """Entries currently wheel-resident (buckets plus cursor)."""
@@ -227,14 +273,38 @@ class EventLoop:
             "scheduled": self.wheel_scheduled,
             "overflow": self.wheel_overflow,
             "occupancy": self.wheel_occupancy,
+            "batched": self.wheel_batched,
+            "batch_drains": self.wheel_batch_drains,
         }
 
+    def _iter_batch_rows(self, slot: int):
+        """Yield one slot's batched rows as legacy-shaped 4-tuples."""
+        objs = self._bobjs[slot]
+        it = iter(objs)
+        cb = self._dg_callback
+        for when, seq, host, port, payload, src in zip(
+            self._bwhen[slot], self._bseq[slot], it, it, it, it
+        ):
+            yield (when, seq, cb, (host, port, payload, src))
+
     def _iter_queued(self):
-        """Yield every queued entry across both tiers (tests/debug only)."""
+        """Yield every queued entry across both tiers (tests/debug only).
+
+        Batched datagram rows — column-resident or already collected
+        into the cursor — surface in the legacy ``(when, seq, callback,
+        args)`` shape so queue scans need only one tuple vocabulary.
+        """
         yield from self._heap
-        yield from self._cursor
+        cb = self._dg_callback
+        for entry in self._cursor:
+            if len(entry) == 6:
+                yield (entry[0], entry[1], cb, entry[2:])
+            else:
+                yield entry
         for bucket in self._wheel:
             yield from bucket
+        for slot in range(len(self._bwhen)):
+            yield from self._iter_batch_rows(slot)
 
     # -- wheel geometry --------------------------------------------------
 
@@ -256,14 +326,26 @@ class EventLoop:
         for bucket in self._wheel:
             for entry in bucket:
                 heappush(heap, entry)
+        # Batched datagram rows flush in the legacy entry shape, so a
+        # reconfigured (or disabled) wheel degrades to the classic
+        # per-entry heap path with order intact.
+        for slot in range(len(self._bwhen)):
+            for entry in self._iter_batch_rows(slot):
+                heappush(heap, entry)
         if bucket_width is None or slots <= 0:
             self._wheel = []
+            self._bwhen = []
+            self._bseq = []
+            self._bobjs = []
             self._wheel_width = 0.0
             self._wheel_inv = 0.0
             self._wheel_slots = 0
             self._wheel_tick = 0
         else:
             self._wheel = [[] for _ in range(slots)]
+            self._bwhen = [array("d") for _ in range(slots)]
+            self._bseq = [array("q") for _ in range(slots)]
+            self._bobjs = [[] for _ in range(slots)]
             self._wheel_width = bucket_width
             self._wheel_inv = 1.0 / bucket_width
             self._wheel_slots = slots
@@ -423,19 +505,44 @@ class EventLoop:
         ``_wheel_tick`` (the enqueue band check guarantees it), so the
         scan terminates within ``slots`` probes. The bucket is sorted
         descending so ``cursor.pop()`` yields ``(when, seq)`` ascending.
+
+        A slot's batched datagram columns are zipped into 6-field rows
+        here, sorted together with the slot's generic entries (the
+        unique ``(when, seq)`` prefix makes mixed-shape comparison
+        safe), and the columns are cleared *in place* so their backing
+        arrays are reused on the wheel's next lap.
         """
         wheel = self._wheel
+        bwhen = self._bwhen
         n = self._wheel_slots
         tick = self._wheel_tick
-        bucket = wheel[tick % n]
-        while not bucket:
+        slot = tick % n
+        bucket = wheel[slot]
+        while not bucket and not bwhen[slot]:
             tick += 1
-            bucket = wheel[tick % n]
-        wheel[tick % n] = []
+            slot = tick % n
+            bucket = wheel[slot]
         self._wheel_tick = tick + 1
-        self._wheel_count -= len(bucket)
-        bucket.sort(reverse=True)
-        self._cursor = bucket
+        when = bwhen[slot]
+        if when:
+            seq = self._bseq[slot]
+            objs = self._bobjs[slot]
+            it = iter(objs)
+            rows = list(zip(when, seq, it, it, it, it))
+            self._wheel_count -= len(rows) + len(bucket)
+            if bucket:
+                rows += bucket
+                wheel[slot] = []
+            del when[:]
+            del seq[:]
+            del objs[:]
+            rows.sort(reverse=True)
+            self._cursor = rows
+        else:
+            wheel[slot] = []
+            self._wheel_count -= len(bucket)
+            bucket.sort(reverse=True)
+            self._cursor = bucket
 
     def step(self) -> bool:
         """Fire the next event. Returns False when the queue is empty."""
@@ -446,8 +553,15 @@ class EventLoop:
                 self._collect()
                 cursor = self._cursor
             if cursor:
-                if heap and heap[0] < cursor[-1]:
+                top = cursor[-1]
+                if heap and heap[0] < top:
                     entry = heappop(heap)
+                elif len(top) == 6:
+                    # Batched datagram row: the installed drain fires
+                    # exactly one (budget=1) and keeps step() semantics.
+                    self._dg_drain(_INFINITY, 1)
+                    self._events_fired += 1
+                    return True
                 else:
                     entry = cursor.pop()
             elif heap:
@@ -493,12 +607,23 @@ class EventLoop:
                     self._collect()
                     cursor = self._cursor
                 if cursor:
-                    if heap and heap[0] < cursor[-1]:
+                    top = cursor[-1]
+                    if heap and heap[0] < top:
                         if heap[0][0] > deadline:
                             break
                         entry = heappop(heap)
+                    elif len(top) == 6:
+                        # Batched datagram run: one drain frame fires
+                        # every consecutive due row (per-item heap
+                        # merge inside); zero fired means the cursor
+                        # minimum lies beyond the deadline.
+                        n = self._dg_drain(deadline, _MAX_EVENTS)
+                        if n == 0:
+                            break
+                        fired += n
+                        continue
                     else:
-                        if cursor[-1][0] > deadline:
+                        if top[0] > deadline:
                             break
                         entry = cursor.pop()
                 elif heap:
@@ -557,8 +682,20 @@ class EventLoop:
                     self._collect()
                     cursor = self._cursor
                 if cursor:
-                    if heap and heap[0] < cursor[-1]:
+                    top = cursor[-1]
+                    if heap and heap[0] < top:
                         entry = heappop(heap)
+                    elif len(top) == 6:
+                        # Batched datagram run: one drain frame, exact
+                        # max_events budget (the drain stops mid-run
+                        # rather than firing a budget+1-th event).
+                        fired += self._dg_drain(_INFINITY, max_events - fired)
+                        if fired >= max_events and self._live:
+                            raise RuntimeError(
+                                f"event loop exceeded {max_events} events; "
+                                "likely a livelock"
+                            )
+                        continue
                     else:
                         entry = cursor.pop()
                 elif heap:

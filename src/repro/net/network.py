@@ -113,14 +113,27 @@ class UdpSocket:
         """Push a message to the attached client, if any."""
         if self.closed:
             return
+        self.push(payload, src)
+        if self.handler is not None:
+            self.handler(payload, src, self)
+
+    def push(self, payload: bytes, src: Endpoint) -> None:
+        """Count the bytes and append to the inbox ring (no handler).
+
+        The one shared append/eviction implementation: :meth:`deliver`,
+        ``Network._deliver`` and the batched drain all funnel through
+        here, so the ring semantics — evict the oldest half in one
+        batch ``del`` once past the cap — cannot drift between call
+        sites. Handler dispatch stays with the callers: the batched
+        drain must flush its accounting before re-entrant handler code
+        runs, so this helper deliberately stops at the inbox.
+        """
         self.bytes_received += len(payload)
         inbox = self.inbox
         inbox.append((payload, src))
         limit = self.inbox_limit
         if limit is not None and len(inbox) > limit:
             del inbox[: len(inbox) - limit // 2]
-        if self.handler is not None:
-            self.handler(payload, src, self)
 
     def close(self) -> None:
         """Close and release resources."""
@@ -233,7 +246,22 @@ class Network:
         self.datagrams_dropped = 0
         self.datagrams_delivered = 0
         self.datagrams_in_flight = 0
+        #: Datagrams dropped *after* capture time. ``send_datagram``
+        #: records each :class:`CapturedPacket` with the outcome known
+        #: at send — but ``host_down``/``no_socket``/``socket_closed``
+        #: are decided at delivery, once every registered capture has
+        #: already seen ``dropped=False``. Captures reconcile their
+        #: delivered totals by subtracting this counter (see
+        #: ``tests/chaos/test_capture_reconciliation.py``).
+        self.in_flight_drops = 0
         self.drops_by_reason: dict[str, int] = {}
+        #: Batched delivery: in-band datagrams append into the loop's
+        #: per-slot column rings and one drain frame fires each
+        #: contiguous due run (:meth:`EventLoop.set_datagram_plane`).
+        #: ``False`` falls back to one classic 4-tuple entry per
+        #: datagram — dispatch order is bit-identical either way
+        #: (``tests/chaos/test_batched_delivery.py`` proves it).
+        self.batch_delivery = True
         # Installed by repro.net.faults.FaultInjector; None = no chaos.
         self.faults = None
         # Pre-bound delivery callback: send_datagram schedules one of
@@ -242,6 +270,7 @@ class Network:
         # behind self.rand, for the inline jitter computation.
         self._deliver_cb = self._deliver
         self._rand_random = self.rand.random
+        self.loop.set_datagram_plane(self._drain_cursor, self._deliver_cb)
         self._tune_wheel()
 
     # -- latency model knobs ---------------------------------------------
@@ -430,15 +459,20 @@ class Network:
 
     def latency_between(self, src: Host, dst_region: str | None) -> float:
         """One-way latency from ``src`` to a destination region."""
-        key = (src.region, dst_region)
+        src_region = src.region
+        key = (src_region, dst_region)
+        cross = (src_region != dst_region
+                 and src_region is not None and dst_region is not None)
+        if cross:
+            # Mirror of the send path's flag: a network whose only
+            # cross-region traffic flows through this slow path must
+            # still retune the wheel to the wide band (cache hits
+            # included — the pair cache is cleared on knob changes,
+            # and the band test reads the flag, not the cache).
+            self._saw_cross_region = True
         base = self._latency_base.get(key)
         if base is None:
-            src_region = src.region
-            base = (
-                self._base_latency
-                if src_region == dst_region or src_region is None or dst_region is None
-                else self._cross_region_latency
-            )
+            base = self._cross_region_latency if cross else self._base_latency
             self._latency_base[key] = base
         latency = base + self.rand.uniform(-self.jitter, self.jitter)
         return latency if latency > 0.001 else 0.001
@@ -586,21 +620,36 @@ class Network:
         # in sync): a call frame per datagram is measurable at swarm
         # scale. In-band deliveries — the overwhelming majority, since
         # the wheel is sized off this network's own latency band — take
-        # an O(1) bucket append; everything else (fault impairments,
-        # uplink queueing spikes) falls through to the heap.
+        # three O(1) column appends into the slot's reused rings: no
+        # per-datagram entry tuple survives to the old generations, so
+        # the dominant remaining cost (GC walking a million long-lived
+        # 4-tuples) disappears. Everything else (fault impairments,
+        # uplink queueing spikes) falls through to the heap in the
+        # classic entry shape, as does the whole path when
+        # batch_delivery is off.
         self.datagrams_in_flight += 1
         loop = self.loop
         loop._live += 1
         when = loop.now + delay
-        entry = (when, next(loop._seq),
-                 self._deliver_cb, (dest_host, dest_port, payload, wire_src))
         tick = int(when * loop._wheel_inv)
         if 0 <= tick - loop._wheel_tick < loop._wheel_slots:
-            loop._wheel[tick % loop._wheel_slots].append(entry)
+            slot = tick % loop._wheel_slots
+            if self.batch_delivery:
+                loop._bwhen[slot].append(when)
+                loop._bseq[slot].append(next(loop._seq))
+                loop._bobjs[slot] += (dest_host, dest_port, payload, wire_src)
+                loop.wheel_batched += 1
+            else:
+                loop._wheel[slot].append(
+                    (when, next(loop._seq),
+                     self._deliver_cb, (dest_host, dest_port, payload, wire_src)))
             loop._wheel_count += 1
             loop.wheel_scheduled += 1
         else:
-            loop._overflow(entry, tick)
+            loop._overflow(
+                (when, next(loop._seq),
+                 self._deliver_cb, (dest_host, dest_port, payload, wire_src)),
+                tick)
 
     def _uplink_queue_delay(self, src_host: Host, size: int) -> float:
         """Serialisation + queueing on a capacity-limited uplink.
@@ -615,28 +664,132 @@ class Network:
         src_host._uplink_busy_until = start + size / rate
         return src_host._uplink_busy_until - self.loop.now
 
+    def _drop_in_flight(self, reason: str) -> None:
+        """Count a drop decided at delivery time, after capture.
+
+        By the time a ``host_down``/``no_socket``/``socket_closed``
+        verdict is reachable, every registered capture has already
+        recorded the packet with ``dropped=False`` (the send-path
+        capture reflects only what is knowable at send). The extra
+        :attr:`in_flight_drops` counter is what lets captures reconcile:
+        ``capture.not_dropped - net.in_flight_drops`` == true deliveries.
+        """
+        self.in_flight_drops += 1
+        self._drop(reason)
+
     def _deliver(self, host: Host, port: int, payload: bytes, src: Endpoint) -> None:
         self.datagrams_in_flight -= 1
         if self.faults is not None and self.faults.host_is_down(host):
             # The host crashed while the datagram was in flight.
-            self._drop("host_down")
+            self._drop_in_flight("host_down")
             return
         sock = host.sockets.get(port)
         if sock is None:
-            self._drop("no_socket")
+            self._drop_in_flight("no_socket")
             return
         if sock.closed:
-            self._drop("socket_closed")
+            self._drop_in_flight("socket_closed")
             return
         self.datagrams_delivered += 1
-        # Inline of sock.deliver (closed already checked above); keep the
-        # two in sync — UdpSocket.deliver stays the API for loop-free
-        # local handoff (e.g. the signaling server).
-        sock.bytes_received += len(payload)
-        inbox = sock.inbox
-        inbox.append((payload, src))
-        limit = sock.inbox_limit
-        if limit is not None and len(inbox) > limit:
-            del inbox[: len(inbox) - limit // 2]
+        sock.push(payload, src)
         if sock.handler is not None:
             sock.handler(payload, src, sock)
+
+    def _drain_cursor(self, deadline: float, budget: int) -> int:
+        """Fire the cursor's leading run of batched datagram rows.
+
+        Installed on the loop as its datagram plane
+        (:meth:`EventLoop.set_datagram_plane`): the dispatch loops call
+        it whenever the next due event is a 6-field batched row, and one
+        call frame here drains every *consecutive* due row — merging per
+        item against the heap top and honouring ``deadline`` and
+        ``budget``, so dispatch order and ``run_until``/``run_all``/
+        ``step`` semantics stay bit-identical to the classic per-entry
+        path. Returns the number of rows fired (0 only when the cursor
+        minimum lies beyond ``deadline``).
+
+        Accounting (``loop._live``, ``datagrams_in_flight``,
+        ``datagrams_delivered``) accumulates in locals and is flushed
+        before any handler runs and again on exit, so re-entrant user
+        code (and the conservation invariant) always sees consistent
+        counters. The per-(host, port) socket lookup is cached across a
+        run of rows to the same destination — the per-destination
+        batching the columns exist for — and invalidated whenever a
+        handler runs, since handlers may close or rebind sockets.
+        """
+        loop = self.loop
+        loop.wheel_batch_drains += 1
+        cursor = loop._cursor
+        heap = loop._heap
+        faults = self.faults
+        deliver_cb = self._deliver_cb
+        fired = 0
+        live = 0          # loop._live decrements owed
+        in_flight = 0     # datagrams_in_flight decrements owed
+        delivered = 0     # datagrams_delivered increments owed
+        prev_host: Host | None = None
+        prev_port = -1
+        sock: UdpSocket | None = None
+        try:
+            while fired < budget and cursor:
+                top = cursor[-1]
+                if len(top) != 6 or top[0] > deadline:
+                    break
+                if heap and heap[0] < top:
+                    break
+                cursor.pop()
+                when, seq, host, port, payload, src = top
+                fired += 1
+                live += 1
+                in_flight += 1
+                loop.now = when
+                # The trace hook and sinks see the legacy entry shape
+                # (same callsite fingerprint as the classic path),
+                # synthesized only when someone is watching. Both hooks
+                # are re-read per event, exactly like the classic
+                # dispatch loops, so instrumentation attached by a
+                # handler mid-drain takes effect immediately.
+                entry = None
+                trace = EventLoop._trace
+                if trace is not None:
+                    entry = (when, seq, deliver_cb, (host, port, payload, src))
+                    trace(loop, entry)
+                if host is not prev_host or port != prev_port:
+                    prev_host = host
+                    prev_port = port
+                    sock = host.sockets.get(port)
+                if faults is not None and faults.host_is_down(host):
+                    self._drop_in_flight("host_down")
+                elif sock is None:
+                    self._drop_in_flight("no_socket")
+                elif sock.closed:
+                    self._drop_in_flight("socket_closed")
+                else:
+                    delivered += 1
+                    sock.push(payload, src)
+                    handler = sock.handler
+                    if handler is not None:
+                        loop._live -= live
+                        self.datagrams_in_flight -= in_flight
+                        self.datagrams_delivered += delivered
+                        live = in_flight = delivered = 0
+                        handler(payload, src, sock)
+                        # Handler code can bind/close sockets, install
+                        # faults, or nest a drain that replaces the
+                        # cursor: re-read all cached state.
+                        prev_host = None
+                        sock = None
+                        faults = self.faults
+                        cursor = loop._cursor
+                        heap = loop._heap
+                sinks = EventLoop._sinks
+                if sinks:
+                    if entry is None:
+                        entry = (when, seq, deliver_cb, (host, port, payload, src))
+                    for s in sinks:
+                        s.record(loop, entry)
+        finally:
+            loop._live -= live
+            self.datagrams_in_flight -= in_flight
+            self.datagrams_delivered += delivered
+        return fired

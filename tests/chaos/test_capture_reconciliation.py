@@ -1,0 +1,123 @@
+"""Capture/drop reconciliation: in-flight drops are accounted, not lost.
+
+``send_datagram`` records each :class:`CapturedPacket` with the outcome
+known at send time — but a datagram can still be dropped *mid-flight*
+(``host_down`` after a crash, ``no_socket``/``socket_closed`` after a
+close), after every capture has already seen ``dropped=False``. The
+regression pinned here: ``Network.in_flight_drops`` counts exactly
+those late drops, so capture totals reconcile with the network's
+conservation counters under chaos instead of overcounting deliveries.
+"""
+
+import pytest
+
+from repro.net.addresses import Endpoint
+from repro.net.capture import TrafficCapture
+from repro.net.faults import FaultInjector, FaultPlan, HostCrash
+from repro.net.network import Network
+from repro.util.rand import DeterministicRandom
+
+from tests.chaos.gen import (
+    TRAFFIC_PORT,
+    assert_conserved,
+    chaos_seeds,
+    pump_random_traffic,
+    random_plan,
+    random_topology,
+)
+
+IN_FLIGHT_REASONS = ("host_down", "no_socket", "socket_closed")
+
+
+def capture_totals(capture: TrafficCapture) -> tuple[int, int]:
+    """(recorded-as-delivered, recorded-as-dropped) over the capture."""
+    dropped = sum(1 for p in capture.packets if p.dropped)
+    return len(capture.packets) - dropped, dropped
+
+
+class TestMidFlightCrash:
+    def test_in_flight_drops_reconcile_capture_with_counters(self):
+        """A crash while datagrams are in flight: captures said
+        ``dropped=False``, delivery says ``host_down`` — the counter is
+        exactly the gap."""
+        net = Network(rand=DeterministicRandom("reconcile"), jitter=0.0)
+        a = net.add_host("a", region="US")
+        b = net.add_host("b", region="US")
+        b.bind_udp(TRAFFIC_PORT)
+        tap = net.add_capture(TrafficCapture("reconcile-tap"))
+        # Crash lands at t=10ms — under the 20 ms flight time, so every
+        # datagram sent before the crash is captured as not-dropped and
+        # then dropped as host_down at delivery.
+        FaultInjector(net).arm(FaultPlan((HostCrash(at=0.01, host="b"),)))
+        for i in range(7):
+            net.send_datagram(a, TRAFFIC_PORT, Endpoint(b.ip, TRAFFIC_PORT), bytes([i]))
+        net.loop.run_all()
+        assert_conserved(net)
+        assert net.datagrams_delivered == 0
+        assert net.drops_by_reason == {"host_down": 7}
+        assert net.in_flight_drops == 7
+        cap_delivered, cap_dropped = capture_totals(tap)
+        # The capture overcounts deliveries by exactly in_flight_drops…
+        assert cap_dropped == 0
+        assert cap_delivered == 7
+        # …and reconciles once the counter is subtracted.
+        assert cap_delivered - net.in_flight_drops == net.datagrams_delivered
+
+    def test_send_time_drops_are_not_in_flight_drops(self):
+        """Drops decided at send (loss, host already down, unroutable)
+        are capture-visible and must not touch the in-flight counter."""
+        net = Network(rand=DeterministicRandom("sendtime"), jitter=0.0)
+        a = net.add_host("a", region="US")
+        b = net.add_host("b", region="US")
+        b.bind_udp(TRAFFIC_PORT)
+        tap = net.add_capture(TrafficCapture("sendtime-tap"))
+        injector = FaultInjector(net)
+        injector.arm(FaultPlan((HostCrash(at=0.0, host="b"),)))
+        net.loop.run_until(0.001)  # the crash applies before any send
+        net.send_datagram(a, TRAFFIC_PORT, Endpoint(b.ip, TRAFFIC_PORT), b"x")
+        net.send_datagram(a, TRAFFIC_PORT, Endpoint("198.51.100.7", 9), b"y")
+        net.loop.run_all()
+        assert_conserved(net)
+        assert net.drops_by_reason == {"host_down": 1, "unroutable": 1}
+        assert net.in_flight_drops == 0
+        cap_delivered, cap_dropped = capture_totals(tap)
+        assert cap_dropped == 2 and cap_delivered == 0
+
+    def test_socket_close_mid_flight_counts(self):
+        net = Network(rand=DeterministicRandom("close"), jitter=0.0)
+        a = net.add_host("a", region="US")
+        b = net.add_host("b", region="US")
+        sock = b.bind_udp(TRAFFIC_PORT)
+        net.send_datagram(a, TRAFFIC_PORT, Endpoint(b.ip, TRAFFIC_PORT), b"x")
+        net.send_datagram(a, TRAFFIC_PORT, Endpoint(b.ip, TRAFFIC_PORT), b"y")
+        # close() releases the port => first drop is no_socket; a
+        # rebound-but-closed socket would be socket_closed instead.
+        net.loop.schedule(0.001, sock.close)
+        net.loop.run_all()
+        assert_conserved(net)
+        assert net.drops_by_reason == {"no_socket": 2}
+        assert net.in_flight_drops == 2
+
+    @pytest.mark.parametrize("seed", chaos_seeds(3, "capture-reconcile"))
+    def test_property_captures_reconcile_under_chaos_mix(self, seed):
+        """Over a full random chaos scenario: capture totals, drop
+        reasons and the in-flight counter balance exactly."""
+        net = Network(rand=DeterministicRandom(seed))
+        rand = DeterministicRandom(f"cap-reconcile:{seed}")
+        hosts = random_topology(rand.fork("topo"), net)
+        tap = net.add_capture(TrafficCapture("chaos-tap"))
+        FaultInjector(net).arm(random_plan(rand.fork("faults"), hosts, horizon=30.0))
+        pump_random_traffic(rand.fork("traffic"), net, hosts, count=300, horizon=25.0)
+        net.loop.run_until(40.0)
+        assert_conserved(net)
+        assert net.datagrams_in_flight == 0
+        cap_delivered, cap_dropped = capture_totals(tap)
+        assert cap_delivered + cap_dropped == net.datagrams_sent
+        # Send-time verdicts match; the late drops are exactly the gap.
+        assert cap_delivered - net.in_flight_drops == net.datagrams_delivered
+        assert cap_dropped == net.datagrams_dropped - net.in_flight_drops
+        # Late drops only ever carry a delivery-time reason (host_down
+        # can also be decided at send, so <= rather than ==).
+        assert net.in_flight_drops <= sum(
+            net.drops_by_reason.get(reason, 0) for reason in IN_FLIGHT_REASONS
+        )

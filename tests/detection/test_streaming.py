@@ -155,9 +155,93 @@ class TestResume:
         run_dir = tmp_path / "run"
         with pytest.raises(ScanIncomplete):
             stream(shards=4, resume_dir=run_dir, max_shards=1).run()
-        with pytest.raises(ConfigurationError, match="resume mismatch"):
-            stream(shards=8, resume_dir=run_dir).run()
-        with pytest.raises(ConfigurationError, match="resume mismatch"):
+        # A shard count that does not evenly subdivide the completed
+        # granularity is still an identity mismatch, naming the field.
+        with pytest.raises(ConfigurationError, match="resume mismatch.*shards"):
+            stream(shards=6, resume_dir=run_dir).run()
+        # So is a *downgrade*, even to a divisor of the completed count.
+        with pytest.raises(ConfigurationError, match="resume mismatch.*shards"):
+            stream(shards=2, resume_dir=run_dir).run()
+        with pytest.raises(ConfigurationError, match="resume mismatch.*seed"):
             StreamingDetectionPipeline(
                 seed=1, config=SMALL, shards=4, resume_dir=run_dir, watch_seconds=WATCH
             ).run()
+        with pytest.raises(ConfigurationError, match="resume mismatch.*config_digest"):
+            StreamingDetectionPipeline(
+                seed=SEED,
+                config=CorpusConfig(noise_video_sites=11, noise_nonvideo_sites=5, noise_apps=5),
+                shards=4, resume_dir=run_dir, watch_seconds=WATCH,
+            ).run()
+
+    def test_resume_upgrade_subdivides_completed_shards(self, tmp_path):
+        run_dir = tmp_path / "run"
+        # Interrupt a 2-shard run after one shard, then resume at 4
+        # shards: shard 0-of-2 covers new shards {0, 2}, so only {1, 3}
+        # execute, and the report digest is the decomposition-invariant
+        # pin.
+        with pytest.raises(ScanIncomplete):
+            stream(shards=2, resume_dir=run_dir, max_shards=1).run()
+        outcome = stream(shards=4, resume_dir=run_dir).run()
+        assert outcome.shards_loaded == [0, 2]
+        assert outcome.shards_executed == [1, 3]
+        assert outcome.report.content_digest() == PIN_REPORT_DIGEST
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["shards"] == 4
+        assert sorted(manifest["completed"]) == ["1", "3"]
+        assert manifest["coarse"] == [{"shards": 2, "completed": {
+            "0": manifest["coarse"][0]["completed"]["0"]}}]
+        assert (run_dir / "shard-0000-of-2.json").exists()
+        # The renamed coarse file cannot collide with the new shard 0…
+        assert not (run_dir / "shard-0000.json").exists()
+        # …and a further resume at the upgraded count loads everything.
+        outcome = stream(shards=4, resume_dir=run_dir).run()
+        assert outcome.shards_executed == []
+        assert outcome.shards_loaded == [0, 1, 2, 3]
+        assert outcome.report.content_digest() == PIN_REPORT_DIGEST
+
+    def test_resume_upgrade_of_finished_run_rescans_nothing(self, tmp_path):
+        run_dir = tmp_path / "run"
+        first = stream(shards=2, resume_dir=run_dir).run()
+        outcome = stream(shards=8, resume_dir=run_dir).run()
+        assert outcome.shards_executed == []
+        assert outcome.shards_loaded == list(range(8))
+        assert outcome.report.content_digest() == first.report.content_digest()
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["result_digest"] == PIN_REPORT_DIGEST
+
+    def test_resume_upgrade_twice_stacks_granularities(self, tmp_path):
+        run_dir = tmp_path / "run"
+        with pytest.raises(ScanIncomplete):
+            stream(shards=2, resume_dir=run_dir, max_shards=1).run()
+        with pytest.raises(ScanIncomplete):
+            # 2 → 4: coarse shard 0-of-2 covers {0, 2}; scan only shard 1.
+            stream(shards=4, resume_dir=run_dir, max_shards=1).run()
+        # 4 → 8 must subdivide *both* completed granularities (2 and 4).
+        outcome = stream(shards=8, resume_dir=run_dir).run()
+        assert outcome.shards_loaded == [0, 1, 2, 4, 5, 6]  # 0-of-2 → {0,2,4,6}; 1-of-4 → {1,5}
+        assert outcome.shards_executed == [3, 7]
+        assert outcome.report.content_digest() == PIN_REPORT_DIGEST
+        # A count that divides by 4 and 8 but not… there is none ≤ the
+        # stack; instead check a non-multiple of the finest block fails.
+        with pytest.raises(ConfigurationError, match="resume mismatch.*shards"):
+            stream(shards=12, resume_dir=run_dir).run()
+
+    def test_resume_upgrade_corrupted_coarse_shard_rescans_fine(self, tmp_path):
+        run_dir = tmp_path / "run"
+        with pytest.raises(ScanIncomplete):
+            stream(shards=2, resume_dir=run_dir, max_shards=1).run()
+        # Trigger the upgrade (renames shard-0000.json → -of-2), then
+        # corrupt the coarse file: its whole coverage {0, 2} re-scans at
+        # the new granularity and the digest still pins.
+        with pytest.raises(ScanIncomplete):
+            stream(shards=4, resume_dir=run_dir, max_shards=0).run()
+        coarse_file = run_dir / "shard-0000-of-2.json"
+        data = json.loads(coarse_file.read_text())
+        data["video_related_scanned"] += 1
+        coarse_file.write_text(json.dumps(data))
+        outcome = stream(shards=4, resume_dir=run_dir).run()
+        assert outcome.shards_loaded == []
+        assert outcome.shards_executed == [0, 1, 2, 3]
+        assert outcome.report.content_digest() == PIN_REPORT_DIGEST
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert "coarse" not in manifest  # the emptied block is pruned

@@ -81,9 +81,30 @@ class TestSiteProfiler:
             "total_events": 4,
             "sites": {f"{__name__}._tick": 4},
             # schedule_at(0.0) is in-band; the call_every chain is a
-            # heap-class timer that bypasses both wheel counters.
-            "wheel": {"scheduled": 1, "overflow": 0, "max_occupancy": 0},
+            # heap-class timer that bypasses both wheel counters. No
+            # datagram plane here, so the batching gauges stay zero.
+            "wheel": {
+                "scheduled": 1,
+                "overflow": 0,
+                "batched": 0,
+                "batch_drains": 0,
+                "max_occupancy": 0,
+            },
         }
+
+    def test_render_wheel_summary_includes_batching_when_present(self):
+        from repro.harness.profile import render_wheel_summary
+
+        quiet = render_wheel_summary(
+            {"scheduled": 1, "overflow": 0, "batched": 0, "batch_drains": 0,
+             "max_occupancy": 0}
+        )
+        assert "batched delivery" not in quiet
+        busy = render_wheel_summary(
+            {"scheduled": 10, "overflow": 0, "batched": 9, "batch_drains": 3,
+             "max_occupancy": 4}
+        )
+        assert "9 datagrams over 3 drains (3.0/drain)" in busy
 
 
 class TestTraceSink:

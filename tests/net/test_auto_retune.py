@@ -145,3 +145,52 @@ class TestOptOuts:
         net._tune_wheel()
         assert (loop._wheel_width, loop._wheel_slots) == geometry
         assert loop._wheel is buckets
+
+
+class TestCrossRegionBand:
+    """Regression: ``latency_between`` must record the cross-region band.
+
+    The send path sets ``_saw_cross_region`` inline, but control-plane
+    latency draws go through :meth:`Network.latency_between`. A network
+    whose *only* cross-region traffic flows through that slow path used
+    to retune to the narrow same-region band once a knob assignment
+    cleared the region-pair cache — the flag is what survives the clear.
+    """
+
+    def cross_width(self, net: Network) -> float:
+        return 2.0 * (net.cross_region_latency + net.jitter) / net.loop._wheel_slots
+
+    def test_slow_path_cross_draw_sets_the_flag(self):
+        net = make_network()
+        us = net.add_host("a", region="us")
+        net.add_host("b", region="eu")
+        assert not net._saw_cross_region
+        net.latency_between(us, "eu")
+        assert net._saw_cross_region
+
+    def test_cached_cross_draw_still_sets_the_flag(self):
+        net = make_network()
+        us = net.add_host("a", region="us")
+        net.latency_between(us, "eu")  # populates the pair cache
+        net._saw_cross_region = False
+        net.latency_between(us, "eu")  # cache hit must set it again
+        assert net._saw_cross_region
+
+    def test_same_region_and_regionless_draws_do_not(self):
+        net = make_network()
+        us = net.add_host("a", region="us")
+        bare = net.add_host("c")
+        net.latency_between(us, "us")
+        net.latency_between(us, None)
+        net.latency_between(bare, "eu")
+        assert not net._saw_cross_region
+
+    def test_retune_after_knob_clear_keeps_cross_region_geometry(self):
+        net = make_network()
+        us = net.add_host("a", region="us")
+        net.latency_between(us, "eu")  # only cross-region signal: slow path
+        net.datagrams_sent = 1  # same-region in-band traffic happened
+        # Assigning a knob clears the region-pair cache and retunes; the
+        # wheel must still be sized for the cross-region band.
+        net.base_latency = net.base_latency
+        assert net.loop._wheel_width == pytest.approx(self.cross_width(net))
