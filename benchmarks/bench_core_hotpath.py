@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import platform
 import sys
@@ -37,6 +38,7 @@ if __name__ == "__main__":  # allow running without PYTHONPATH=src
 from repro.net.capture import TrafficCapture
 from repro.net.clock import EventLoop
 from repro.net.network import Network
+from repro.net.shard import SwarmWorkload, run_workload
 from repro.util.perf import WallTimer, peak_rss_kb
 from repro.util.rand import DeterministicRandom
 
@@ -50,11 +52,23 @@ SWARM_SCENARIOS = {
     "swarm_10k": (10_000, 200_000),
     "swarm_100k": (100_000, 1_000_000),
 }
-SMOKE_SCENARIOS = ("events_loop", "swarm_1k")
+#: Sharded-swarm scenarios: (viewers, datagrams, worker ladder). Each
+#: runs the same :class:`~repro.net.shard.SwarmWorkload` at every rung
+#: of the ladder, asserts the K-invariant digest matches (the PDES
+#: correctness oracle running inside the bench), and records per-rung
+#: wall clock so the workers-N-vs-1 speedup lands in the baseline.
+#: ``swarm_1m`` is the ROADMAP scale target: one million viewers.
+SHARD_SCENARIOS = {
+    "swarm_1k_shard": (1_000, 50_000, (1, 2)),
+    "swarm_100k_shard": (100_000, 1_000_000, (1, 4)),
+    "swarm_1m": (1_000_000, 2_000_000, (1, 4)),
+}
+SMOKE_SCENARIOS = ("events_loop", "swarm_1k", "swarm_1k_shard")
 #: Every runnable scenario, in report order — the vocabulary for
 #: ``--scenarios`` (e.g. the CI perf job's targeted swarm_100k run).
 ALL_SCENARIOS = ("events_loop", "swarm_1k", "swarm_10k", "swarm_100k",
-                 "swarm_10k_capture")
+                 "swarm_10k_capture", "swarm_10k_flash", "swarm_1k_shard",
+                 "swarm_100k_shard", "swarm_1m")
 REGIONS = ("us", "eu", "asia", "sa")
 
 _PAYLOAD = b"\x00" * 200  # one shared segment-chunk-sized datagram body
@@ -145,12 +159,77 @@ def bench_swarm(viewers: int, datagrams: int, capture: bool = False) -> dict:
     }
 
 
-def run_suite(smoke: bool = False, scenarios: list[str] | None = None) -> dict:
+def bench_swarm_sharded(viewers: int, datagrams: int, ladder: tuple[int, ...],
+                        arrivals: str = "uniform") -> dict:
+    """Sharded-swarm throughput across a worker-count ladder.
+
+    Runs one :class:`~repro.net.shard.SwarmWorkload` at each worker
+    count in ``ladder`` and refuses to report if the K-invariant digests
+    disagree — every bench run doubles as a PDES correctness check. The
+    headline ``events_per_sec`` (what the CI gate compares) comes from
+    the last rung; ``workers`` holds every rung so the committed
+    baseline records the workers-N-vs-1 speedup and per-worker RSS.
+    Note the speedup is only meaningful on a box with >= ladder[-1]
+    cores — ``cpus`` in the top-level report says what this run had.
+    """
+    workload = SwarmWorkload(viewers=viewers, datagrams=datagrams,
+                             arrivals=arrivals)
+    rungs: dict[str, dict] = {}
+    digest = ""
+    report = None
+    for workers in ladder:
+        with WallTimer() as timer:
+            report = run_workload(workload, workers)
+        if digest and report.digest != digest:
+            raise SystemExit(
+                f"sharded digest diverged at workers={report.workers}: "
+                f"{report.digest} != {digest} — the window protocol is broken"
+            )
+        digest = report.digest
+        wall = timer.elapsed
+        rungs[str(report.workers)] = {
+            "mode": report.mode,
+            "wall_seconds": wall,
+            "events_per_sec": report.events_fired / wall if wall else 0.0,
+            "worker_peak_rss_kb": [s["peak_rss_kb"] for s in report.per_shard],
+        }
+    first = rungs[str(min(int(k) for k in rungs))]
+    final = rungs[str(report.workers)]
+    wall = final["wall_seconds"]
+    out = {
+        "arrivals": arrivals,
+        "datagrams": report.totals["sent"],
+        "delivered": report.totals["delivered"],
+        "digest": digest,
+        "events_fired": report.events_fired,
+        "windows": report.windows,
+        "workers": rungs,
+        "wall_seconds": wall,
+        "events_per_sec": final["events_per_sec"],
+        "datagrams_per_sec": report.totals["sent"] / wall if wall else 0.0,
+        "peak_rss_kb": max(final["worker_peak_rss_kb"]),
+        "wheel": report.wheel_summary(),
+    }
+    if len(rungs) > 1 and "1" in rungs:
+        out["speedup_vs_1"] = first["wall_seconds"] / wall if wall else 0.0
+    return out
+
+
+def run_suite(smoke: bool = False, scenarios: list[str] | None = None,
+              shard_workers: int | None = None,
+              arrivals: str = "uniform") -> dict:
     """Run the selected scenarios (default: all, or the smoke subset).
 
     ``scenarios`` takes precedence over ``smoke`` for selection (smoke
     still shrinks the events_loop workload), which is how CI targets
     ``swarm_100k`` alone without paying for the full suite.
+
+    ``shard_workers`` collapses every sharded scenario's ladder to that
+    single worker count (the CI shard job runs the smoke suite twice —
+    ``--shard-workers 1`` then ``2`` — and diffs the digests across
+    process boundaries). ``arrivals`` switches the sharded scenarios'
+    send-time process; non-uniform runs are reported under a suffixed
+    scenario name so they never shadow the uniform baseline entry.
     """
     if scenarios is None:
         selected = SMOKE_SCENARIOS if smoke else ALL_SCENARIOS
@@ -173,11 +252,25 @@ def run_suite(smoke: bool = False, scenarios: list[str] | None = None) -> dict:
     if "swarm_10k_capture" in selected:
         report["swarm_10k_capture"] = bench_swarm(*SWARM_SCENARIOS["swarm_10k"],
                                                   capture=True)
+    # Flash-crowd arrivals through the workload engine at one worker:
+    # what a scenario-shaped join burst costs vs the uniform ramp.
+    if "swarm_10k_flash" in selected:
+        report["swarm_10k_flash"] = bench_swarm_sharded(
+            10_000, 200_000, (1,), arrivals="flash-crowd")
+    for name, (viewers, datagrams, ladder) in SHARD_SCENARIOS.items():
+        if name in selected:
+            if shard_workers is not None:
+                ladder = (shard_workers,)
+            key = name if arrivals == "uniform" else f"{name}_{arrivals}"
+            report[key] = bench_swarm_sharded(viewers, datagrams, ladder,
+                                              arrivals=arrivals)
     mode = "smoke" if smoke else "full"
     return {
         "version": 1,
         "mode": mode if scenarios is None else "select",
         "python": platform.python_version(),
+        "cpus": len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity")
+                else (os.cpu_count() or 1),
         "scenarios": report,
         "peak_rss_kb": peak_rss_kb(),
     }
@@ -222,6 +315,12 @@ def render(report: dict) -> str:
             wheel = s["wheel"]
             parts.append(f"wheel {wheel['scheduled']:,} in-band / "
                          f"{wheel['overflow']:,} overflow")
+        if "speedup_vs_1" in s:
+            ladder = "/".join(sorted(s["workers"], key=int))
+            parts.append(f"speedup x{s['speedup_vs_1']:.2f} "
+                         f"(workers {ladder})")
+        if "digest" in s:
+            parts.append(f"digest {s['digest'][:12]}")
         lines.append(f"  {name:<18} " + "  ".join(parts))
     return "\n".join(lines)
 
@@ -242,13 +341,26 @@ def main(argv: list[str] | None = None) -> int:
                         help="baseline BENCH_core.json to compare against")
     parser.add_argument("--threshold", type=float, default=0.30,
                         help="fractional events/sec regression that fails the check")
+    parser.add_argument("--shard-workers", type=int, default=None, metavar="N",
+                        help="run sharded scenarios at exactly N workers instead "
+                             "of their ladder (CI diffs digests across runs)")
+    parser.add_argument("--arrivals", choices=("uniform", "flash-crowd"),
+                        default="uniform",
+                        help="send-time process for the sharded scenarios; "
+                             "flash-crowd reports under a suffixed scenario name")
     args = parser.parse_args(argv)
     if args.scenarios is not None and not args.no_write and args.out == DEFAULT_OUT:
         parser.error("--scenarios produces a partial report; committing it as the "
                      "baseline would blind the regression gate — add --no-write "
                      "or point --out elsewhere")
+    if ((args.shard_workers is not None or args.arrivals != "uniform")
+            and not args.no_write and args.out == DEFAULT_OUT):
+        parser.error("--shard-workers/--arrivals change what the sharded "
+                     "scenarios measure; committing that as the baseline would "
+                     "skew the gate — add --no-write or point --out elsewhere")
 
-    report = run_suite(smoke=args.smoke, scenarios=args.scenarios)
+    report = run_suite(smoke=args.smoke, scenarios=args.scenarios,
+                       shard_workers=args.shard_workers, arrivals=args.arrivals)
     print(render(report))
 
     status = 0
@@ -285,6 +397,9 @@ def test_core_hotpath_smoke(benchmark, save_result):
     report = benchmark.pedantic(bench_smoke_suite, args=(save_result,),
                                 rounds=1, iterations=1)
     assert report["scenarios"]["swarm_1k"]["delivered"] > 0
+    # bench_swarm_sharded already hard-fails on a digest mismatch
+    # between ladder rungs; this just pins that the scenario ran.
+    assert report["scenarios"]["swarm_1k_shard"]["digest"]
 
 
 if __name__ == "__main__":

@@ -30,6 +30,7 @@ from repro.pdn.scheduler import GeoFilterMode
 from repro.privacy.viewers import (
     PlatformAudience,
     ViewerChurn,
+    ViewerDescriptor,
     huya_audience,
     rt_news_audience,
     single_country_audience,
@@ -112,6 +113,13 @@ class IpLeakWildResult(ResultBase):
     """Per-platform harvests plus the geo database that locates them."""
     platforms: dict[str, PlatformLeak]
     geo: object
+    #: Set only when ``--scenario`` drives the audience; empty strings
+    #: and an empty dict otherwise, and then omitted from the digest
+    #: form so classic-run digests stay untouched by the scenario
+    #: layer's existence (same contract as ``repro chaos --scenario``).
+    scenario_name: str = ""
+    scenario_digest: str = ""
+    timeline_digests: dict[str, str] = field(default_factory=dict)
 
     _serialize_exclude = ("geo",)
 
@@ -135,7 +143,22 @@ class IpLeakWildResult(ResultBase):
                 "cities": leak.cities(self.geo),
                 "same_country_share": leak.same_country_share(self.geo),
             }
-        return {"total_unique": self.total_unique, "platforms": platforms}
+        out = {"total_unique": self.total_unique, "platforms": platforms}
+        if self.scenario_name:
+            out["scenario_name"] = self.scenario_name
+            out["scenario_digest"] = self.scenario_digest
+            out["timeline_digests"] = dict(sorted(self.timeline_digests.items()))
+        return out
+
+    def manifest_extra(self) -> dict:
+        """Scenario provenance for the run manifest, when one drove the run."""
+        if not self.scenario_name:
+            return {}
+        return {
+            "scenario_name": self.scenario_name,
+            "scenario_digest": self.scenario_digest,
+            "timeline_digests": dict(sorted(self.timeline_digests.items())),
+        }
 
     def render(self) -> str:
         """Render the result as the paper-style text block."""
@@ -146,9 +169,12 @@ class IpLeakWildResult(ResultBase):
         for platform in self.platforms.values():
             for key, value in platform.bogon_breakdown().items():
                 split[key] += value
+        title = "§IV-D IP leak in the wild (paper values in parentheses)"
+        if self.scenario_name:
+            title += f", scenario {self.scenario_name!r} ({self.scenario_digest[:12]})"
         blocks.append(
             render_kv(
-                "§IV-D IP leak in the wild (paper values in parentheses)",
+                title,
                 [
                     ("total unique IPs (7,740)", self.total_unique),
                     ("public (7,159)", total_public),
@@ -185,7 +211,18 @@ class IpLeakWildResult(ResultBase):
     help="§IV-D: in-the-wild IP harvest",
     paper_ref="§IV-D",
     order=70,
-    options=(CliOption("--days", "days", float, 1.0, "harvest days (without --full)"),),
+    options=(
+        CliOption("--days", "days", float, 1.0, "harvest days (without --full)"),
+        CliOption(
+            "--scenario",
+            "scenario",
+            str,
+            "",
+            "drive each platform's audience from a scenario preset or spec "
+            "JSON instead of the Poisson churn windows (empty = classic "
+            "behaviour; the harvest then covers the scenario horizon)",
+        ),
+    ),
     full_params={"days": 7.0},
     quick_params={"days": 0.05, "window_hours": 0.25},
 )
@@ -197,9 +234,16 @@ def run(
     rt_rate_per_min: float = 0.75,
     okru_rate_per_min: float = 0.012,
     include_okru: bool = True,
+    scenario: str = "",
 ) -> IpLeakWildResult:
     """Run the harvest on Huya-like, RT-like, and ok.ru-like platforms."""
+    scenario_spec = None
+    if scenario:
+        from repro.scenarios.planner import load_scenario
+
+        scenario_spec = load_scenario(scenario)
     platforms: dict[str, PlatformLeak] = {}
+    timeline_digests: dict[str, str] = {}
     geo_ref = None
     specs = [
         ("huya.com", True, None, huya_rate_per_min, "US", GeoFilterMode.NONE),
@@ -219,8 +263,40 @@ def run(
         platforms[name] = _harvest_platform(
             env, name, is_private, audience, rate, observer_country, geo_mode,
             days, window_hours,
+            scenario_spec=scenario_spec, timeline_digests=timeline_digests,
         )
-    return IpLeakWildResult(platforms=platforms, geo=geo_ref)
+    return IpLeakWildResult(
+        platforms=platforms,
+        geo=geo_ref,
+        scenario_name=scenario_spec.name if scenario_spec is not None else "",
+        scenario_digest=scenario_spec.digest() if scenario_spec is not None else "",
+        timeline_digests=timeline_digests,
+    )
+
+
+def _scenario_descriptor(planned, audience: PlatformAudience, geo, rand) -> ViewerDescriptor:
+    """Turn one :class:`PlannedSession` into the churn-layer descriptor.
+
+    The scenario layer plans *who joins when*; this maps its population
+    attributes onto what a harvesting peer observes. A CGNAT session's
+    external address sits in the RFC 6598 shared space by definition;
+    every other NAT kind still runs the audience's failed-traversal
+    bogon trial, same odds as the classic churn path.
+    """
+    if planned.nat == "cgnat":
+        ip = geo.random_bogon(rand, IpClass.SHARED_NAT)
+        is_artifact = True
+    elif rand.random() < audience.bogon_rate:
+        kind = rand.weighted_pick(list(audience.bogon_split))
+        ip = geo.random_bogon(rand, kind)
+        is_artifact = True
+    else:
+        ip = geo.random_ip(rand, planned.country)
+        is_artifact = False
+    session_length = max(30.0, planned.leave_at - planned.join_at)
+    return ViewerDescriptor(
+        planned.viewer_id, ip, planned.country, session_length, is_artifact
+    )
 
 
 def _harvest_platform(
@@ -233,6 +309,8 @@ def _harvest_platform(
     geo_mode: GeoFilterMode,
     days: float,
     window_hours: float,
+    scenario_spec=None,
+    timeline_digests: dict[str, str] | None = None,
 ) -> PlatformLeak:
     if is_private:
         profile = private_profile(name, f"signal.{name}", video_bound_tokens=False)
@@ -261,24 +339,43 @@ def _harvest_platform(
         )
         GhostViewer(env, provider, viewer_credential, video_url, descriptor, f"https://{name}")
 
-    # The paper harvests 2 hours per day for a week. Viewer churn matters
-    # only while it can be observed, so arrivals run from shortly before
-    # each window (to populate the swarm) to its end.
-    horizon = max(days * DAY, window_hours * 3600.0)
-    num_windows = max(1, int(round(days)))
-    windows = [(d * DAY, d * DAY + window_hours * 3600.0) for d in range(num_windows)]
-    warmup = 30 * 60.0
-    for day, (t0, t1) in enumerate(windows):
-        churn = ViewerChurn(
-            env.loop,
-            env.rand.fork(f"churn:{name}:{day}"),
-            env.geo,
-            audience,
-            arrival_rate_per_min=arrival_rate_per_min,
-            mean_session_min=12.0,
-        )
-        start_at = max(0.0, t0 - warmup)
-        env.loop.schedule(start_at, churn.start, on_arrival, t1)
+    if scenario_spec is not None:
+        # Scenario mode: the audience comes from a materialised timeline
+        # instead of Poisson churn — every planned join becomes one
+        # ghost-viewer arrival at its planned instant, and the harvester
+        # watches the whole scenario horizon as a single window. The
+        # timeline digest is recorded so run manifests pin exactly
+        # which audience was realised (as `repro chaos --scenario` does).
+        from repro.scenarios.timeline import materialize
+
+        timeline = materialize(scenario_spec, env.rand.fork(f"scenario:{name}"))
+        if timeline_digests is not None:
+            timeline_digests[name] = timeline.digest()
+        horizon = scenario_spec.horizon
+        windows = [(0.0, scenario_spec.horizon)]
+        descriptor_rand = env.rand.fork(f"scenario-audience:{name}")
+        for planned in timeline.sessions:
+            descriptor = _scenario_descriptor(planned, audience, env.geo, descriptor_rand)
+            env.loop.schedule(planned.join_at, on_arrival, descriptor)
+    else:
+        # The paper harvests 2 hours per day for a week. Viewer churn
+        # matters only while it can be observed, so arrivals run from
+        # shortly before each window (to populate the swarm) to its end.
+        horizon = max(days * DAY, window_hours * 3600.0)
+        num_windows = max(1, int(round(days)))
+        windows = [(d * DAY, d * DAY + window_hours * 3600.0) for d in range(num_windows)]
+        warmup = 30 * 60.0
+        for day, (t0, t1) in enumerate(windows):
+            churn = ViewerChurn(
+                env.loop,
+                env.rand.fork(f"churn:{name}:{day}"),
+                env.geo,
+                audience,
+                arrival_rate_per_min=arrival_rate_per_min,
+                mean_session_min=12.0,
+            )
+            start_at = max(0.0, t0 - warmup)
+            env.loop.schedule(start_at, churn.start, on_arrival, t1)
 
     observer_ip = env.geo.random_ip(env.rand.fork("observer"), observer_country)
     harvester_credential = (

@@ -67,7 +67,32 @@ class WheelStats:
 
     def __init__(self) -> None:
         self.max_occupancy = 0
-        self._loops: dict[EventLoop, tuple[int, int, int, int]] = {}
+        #: Keyed by the observed EventLoop, or by an opaque string for
+        #: wheel snapshots absorbed from shard worker processes
+        #: (:meth:`absorb_remote`) — both map to the same snapshot shape.
+        self._loops: dict[object, tuple[int, int, int, int]] = {}
+
+    def absorb_remote(self, key: str, wheel: dict) -> None:
+        """Fold one remote loop's wheel counters into the aggregate.
+
+        Shard worker processes (:mod:`repro.net.shard`) run their loops
+        in other address spaces, where class-wide sinks cannot see them;
+        the coordinator ships each worker's ``wheel_stats()`` dict home
+        and registers it here under a stable string key. Counters sum
+        with the locally observed loops, occupancy folds into the max —
+        so ``render_wheel_summary`` reports the whole sharded run, not
+        the parent's empty wheel. ``occupancy`` in a shipped snapshot is
+        the worker's barrier-sampled peak.
+        """
+        occupancy = wheel.get("occupancy", 0)
+        if occupancy > self.max_occupancy:
+            self.max_occupancy = occupancy
+        self._loops[key] = (
+            wheel.get("scheduled", 0),
+            wheel.get("overflow", 0),
+            wheel.get("batched", 0),
+            wheel.get("batch_drains", 0),
+        )
 
     def record(self, loop: EventLoop, handle: TimerHandle) -> None:
         """Sample the wheel gauges of the loop that just fired."""
@@ -144,6 +169,10 @@ class SiteProfiler(EventCounter):
         site = callsite_of(callback_of(handle))
         self.sites[site] = self.sites.get(site, 0) + 1
         self.wheel.record(loop, handle)
+
+    def absorb_remote(self, key: str, wheel: dict) -> None:
+        """Fold a shard worker's wheel snapshot into :attr:`wheel`."""
+        self.wheel.absorb_remote(key, wheel)
 
     def top(self, n: int = 15) -> list[tuple[str, int]]:
         """The ``n`` busiest callback sites, busiest first."""

@@ -110,6 +110,15 @@ def execute_spec(
     """
     spec = registry.get(name)
     params = dict(params or {})
+    # Shard-aware experiments opt in by exposing a --shard-workers
+    # option; REPRO_SHARD_WORKERS then overrides the worker count from
+    # the environment so CI can digest-compare worker counts through
+    # `repro verify` without threading a flag into every subcommand.
+    # The digest is worker-count-invariant by design (docs/SHARDING.md),
+    # so this env knob never changes a result, only how it is computed.
+    workers_env = os.environ.get("REPRO_SHARD_WORKERS", "")
+    if workers_env and any(option.param == "shard_workers" for option in spec.options):
+        params["shard_workers"] = int(workers_env)
     sanitize = sanitize or detsan_env_enabled()
     counter = SiteProfiler() if profile else EventCounter()
     record = RunRecord(experiment=name, seed=seed, params=params, started_at_unix=unix_now())

@@ -664,6 +664,110 @@ class EventLoop:
         """Advance the clock ``duration`` seconds, firing due events."""
         self.run_until(self.now + duration)
 
+    def run_until_window(self, deadline: float, max_events: int | None = None) -> int:
+        """Fire events up to ``deadline`` under an exact event budget.
+
+        The conservative-PDES window primitive (see ``docs/SHARDING.md``):
+        a shard's coordinator drives the loop one lookahead window at a
+        time, and — unlike :meth:`run_until` — needs both the fired
+        count back (for ``run_all(max_events=N)`` exactness across
+        shards) and a budget that stops dispatch *mid-window* without
+        firing a budget+1-th event. When the budget interrupts the
+        window, ``now`` is **not** advanced to ``deadline`` — due events
+        may remain at or before it, and a later :meth:`inject` of a
+        remote arrival inside the window must still be legal. A window
+        that completes (``fired < budget``) advances ``now`` to the
+        barrier exactly like :meth:`run_until`.
+        """
+        heap = self._heap
+        budget = _MAX_EVENTS if max_events is None else max_events
+        if budget <= 0:
+            return 0
+        fired = 0
+        try:
+            while True:
+                # Re-read per iteration: _collect() replaces the cursor
+                # object, and a callback may nest another drain call.
+                cursor = self._cursor
+                if not cursor and self._wheel_count:
+                    self._collect()
+                    cursor = self._cursor
+                if cursor:
+                    top = cursor[-1]
+                    if heap and heap[0] < top:
+                        if heap[0][0] > deadline:
+                            break
+                        entry = heappop(heap)
+                    elif len(top) == 6:
+                        n = self._dg_drain(deadline, budget - fired)
+                        if n == 0:
+                            break
+                        fired += n
+                        if fired >= budget:
+                            break
+                        continue
+                    else:
+                        if top[0] > deadline:
+                            break
+                        entry = cursor.pop()
+                elif heap:
+                    if heap[0][0] > deadline:
+                        break
+                    entry = heappop(heap)
+                else:
+                    break
+                if len(entry) == 4:
+                    self._live -= 1
+                    self.now = entry[0]
+                    if EventLoop._trace is not None:
+                        EventLoop._trace(self, entry)
+                    entry[2](*entry[3])
+                    handle: Any = entry
+                else:
+                    when, _, handle = entry
+                    if handle.cancelled:
+                        continue
+                    self._live -= 1
+                    handle._loop = None
+                    self.now = when
+                    if EventLoop._trace is not None:
+                        EventLoop._trace(self, handle)
+                    if handle._repeating:
+                        handle._fire(self)
+                    else:
+                        handle.callback(*handle.args)
+                fired += 1
+                if EventLoop._sinks:
+                    for sink in EventLoop._sinks:
+                        sink.record(self, handle)
+                if fired >= budget:
+                    break
+        finally:
+            self._events_fired += fired
+        if fired < budget:
+            self.now = max(self.now, deadline)
+        return fired
+
+    def inject(self, when: float, callback: Callable[..., Any], args: tuple) -> None:
+        """Enqueue a remote arrival under the window protocol.
+
+        The cross-shard merge seam: the shard coordinator hands each
+        remote datagram to the destination loop through here, and the
+        entry joins the queue with a *fresh local* sequence number —
+        dispatch therefore orders it by the same ``(when, seq)``
+        comparison as every local event (seq re-keying, see
+        ``docs/SHARDING.md``). ``when < now`` means a remote event
+        arrived inside a window the loop already executed: the
+        conservative protocol guarantees this never happens, so it is a
+        hard error rather than a silent reordering.
+        """
+        if when < self.now:
+            raise ConfigurationError(
+                f"cannot inject at {when} < now {self.now} (window protocol violated)"
+            )
+        self._live += 1
+        self._enqueue((when, next(self._seq), callback, args))
+
     def run_all(self, max_events: int = 1_000_000) -> None:
         """Drain the queue completely (bounded to catch runaway loops).
 

@@ -18,6 +18,7 @@ ring buffers (see ``docs/PERFORMANCE.md``).
 from __future__ import annotations
 
 import itertools
+from array import array
 from typing import Callable
 
 from repro.net.addresses import Endpoint, int_to_ip, ip_to_int
@@ -793,3 +794,286 @@ class Network:
             self.datagrams_in_flight -= in_flight
             self.datagrams_delivered += delivered
         return fired
+
+
+class RemoteHostRef:
+    """A fault-layer stand-in for a host that lives on another shard.
+
+    Under sharding every shard applies the *whole* fault plan (that is
+    what keeps ``host_is_down``/``conditions_for`` answers identical at
+    any worker count), so the injector must be able to resolve hosts it
+    does not own. A ref carries exactly the attributes the fault layer
+    reads or writes — ``name``, ``ip``/``public_ip``, ``region``,
+    ``nat`` (always ``None``: sharded swarm hosts are public) and the
+    settable ``_uplink_busy_until`` a crash zeroes — and nothing a data
+    plane could accidentally deliver into.
+    """
+
+    __slots__ = ("name", "ip", "region", "nat", "_uplink_busy_until")
+
+    def __init__(self, name: str, ip: str, region: str | None) -> None:
+        self.name = name
+        self.ip = ip
+        self.region = region
+        self.nat = None
+        self._uplink_busy_until = 0.0
+
+    @property
+    def public_ip(self) -> str:
+        """Public hosts are their own wire address."""
+        return self.ip
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"RemoteHostRef({self.name}, {self.ip}, region={self.region})"
+
+
+class ShardNetwork(Network):
+    """A :class:`Network` owning one shard of an indexed swarm.
+
+    The sharded swarm addresses hosts by a dense integer index: viewer
+    ``i`` is ``v{i}`` at ``ip_base + i`` in region ``regions[i % R]``,
+    and regions map to shards as ``shard_of(i) = (i % R) % K``. That
+    arithmetic replaces the routing table for swarm traffic —
+    :meth:`send_indexed` resolves the destination shard with two
+    modulos, keeps the local fast path bit-identical to
+    :meth:`Network.send_datagram`'s inline wheel enqueue, and diverts
+    cross-shard sends into per-destination-shard *egress columns* (the
+    PR 9 array-of-columns record layout: parallel ``when``/``dst``/
+    ``src`` arrays, no per-datagram objects) that the coordinator
+    exchanges at window barriers. Every non-swarm facility (NATs,
+    captures, explicit ``send_datagram``) is untouched.
+
+    Randomness discipline: swarm sends pass *pre-drawn* uniforms in
+    (``u_latency``, ``u_fault``) so no shard-local stream is consumed
+    on the send path — the precomputed per-region programs are what
+    make digests worker-count-invariant (see ``docs/SHARDING.md``).
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        num_shards: int,
+        regions: tuple[str, ...],
+        *,
+        ip_base: str = "5.0.0.1",
+        port: int = 4000,
+        payload: bytes = b"",
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        if not 0 <= shard_id < num_shards:
+            raise ConfigurationError(f"shard_id {shard_id} outside 0..{num_shards - 1}")
+        if num_shards > len(regions):
+            raise ConfigurationError(
+                f"{num_shards} shards need at least as many regions (got {len(regions)})"
+            )
+        self.shard_id = shard_id
+        self.num_shards = num_shards
+        self.regions = tuple(regions)
+        self.shard_port = port
+        self.shard_payload = payload
+        self._ip_base_int = ip_to_int(ip_base)
+        #: idx -> local Host, the shard's slice of the swarm.
+        self._local_index: dict[int, Host] = {}
+        #: idx -> RemoteHostRef, built lazily (fault queries only).
+        self._remote_refs: dict[int, RemoteHostRef] = {}
+        #: Per-destination-shard egress columns: (when, dst_idx, src_idx).
+        self._egress: list[tuple[array, array, array]] = [
+            (array("d"), array("q"), array("q")) for _ in range(num_shards)
+        ]
+        self.egress_sent = 0
+        self.remote_injected = 0
+
+    # -- indexed topology ------------------------------------------------
+
+    def region_of(self, idx: int) -> str:
+        """The region viewer ``idx`` lives in."""
+        return self.regions[idx % len(self.regions)]
+
+    def shard_of(self, idx: int) -> int:
+        """The shard that owns viewer ``idx``."""
+        return (idx % len(self.regions)) % self.num_shards
+
+    def indexed_ip(self, idx: int) -> str:
+        """The public address of viewer ``idx`` (dense from ``ip_base``)."""
+        return int_to_ip(self._ip_base_int + idx)
+
+    def add_indexed_host(self, idx: int) -> Host:
+        """Create the local host for viewer ``idx``."""
+        host = self.add_host(f"v{idx}", ip=self.indexed_ip(idx), region=self.region_of(idx))
+        self._local_index[idx] = host
+        return host
+
+    def host_ref(self, idx: int) -> "Host | RemoteHostRef":
+        """Viewer ``idx`` as the fault layer sees it: Host or remote ref."""
+        host = self._local_index.get(idx)
+        if host is not None:
+            return host
+        ref = self._remote_refs.get(idx)
+        if ref is None:
+            ref = RemoteHostRef(f"v{idx}", self.indexed_ip(idx), self.region_of(idx))
+            self._remote_refs[idx] = ref
+        return ref
+
+    # -- sharded data plane ----------------------------------------------
+
+    def send_indexed(self, src_idx: int, dst_idx: int, u_latency: float, u_fault: float) -> None:
+        """Send one swarm datagram from viewer ``src_idx`` to ``dst_idx``.
+
+        Mirrors :meth:`send_datagram`'s fault checks, inline latency
+        computation and inline wheel enqueue, with three deliberate
+        differences. (1) Randomness comes from the caller's pre-drawn
+        uniforms, not ``self.rand`` — the same draws feed the same send
+        at any worker count. (2) The global ``loss_rate`` trial and
+        captures are unsupported (the sharded swarm drives loss through
+        fault plans; both would consume or observe shard-local state).
+        (3) A cross-shard destination appends ``(when, dst, src)`` to
+        the egress columns instead of scheduling: the datagram counts as
+        sent here and enters ``datagrams_in_flight`` only on the owning
+        shard at injection time, so the *global* conservation invariant
+        ``sent == delivered + dropped + in_flight`` holds after merge.
+        """
+        self.datagrams_sent += 1
+        if not self.datagrams_sent & (AUTO_RETUNE_CHECK_INTERVAL - 1):
+            self._auto_retune_check()
+        src_host = self._local_index[src_idx]
+        src_region = src_host.region
+        dst_region = self.regions[dst_idx % len(self.regions)]
+        payload = self.shard_payload
+
+        conditions = None
+        faults = self.faults
+        if faults is not None:
+            dst_ref = self.host_ref(dst_idx)
+            if faults.host_is_down(src_host) or faults.host_is_down(dst_ref):
+                self._drop("host_down")
+                return
+            conditions = faults.conditions_for(src_host, dst_ref)
+            if conditions is not None:
+                if conditions.blocked:
+                    self._drop("link_down")
+                    return
+                if conditions.loss > 0 and u_fault < conditions.loss:
+                    self._drop("fault_loss")
+                    return
+
+        # Inline latency: bit-exact with send_datagram's folded uniform.
+        if src_region == dst_region:
+            base = self._base_latency
+        else:
+            base = self._cross_region_latency
+            self._saw_cross_region = True
+        jitter = self.jitter
+        delay = base + ((jitter + jitter) * u_latency - jitter)
+        if delay <= 0.001:
+            delay = 0.001
+        if conditions is not None:
+            delay += conditions.extra_latency
+            # Stateful, but K-invariant: all sends for an ordered host
+            # pair originate on the sender's shard in time order, so the
+            # per-pair busy clock replays identically at any K.
+            delay += faults.link_queue_delay(src_host, dst_ref, len(payload), conditions)
+        when = self.loop.now + delay
+
+        dst_shard = (dst_idx % len(self.regions)) % self.num_shards
+        if dst_shard != self.shard_id:
+            cols = self._egress[dst_shard]
+            cols[0].append(when)
+            cols[1].append(dst_idx)
+            cols[2].append(src_idx)
+            self.egress_sent += 1
+            return
+
+        # Local destination: the PR 9 inline wheel enqueue, verbatim.
+        dest_host = self._local_index[dst_idx]
+        dest_port = self.shard_port
+        wire_src = src_host._wire_endpoints.get(self.shard_port)
+        if wire_src is None:
+            wire_src = Endpoint(src_host.ip, self.shard_port)
+            src_host._wire_endpoints[self.shard_port] = wire_src
+        self.datagrams_in_flight += 1
+        loop = self.loop
+        loop._live += 1
+        tick = int(when * loop._wheel_inv)
+        if 0 <= tick - loop._wheel_tick < loop._wheel_slots:
+            slot = tick % loop._wheel_slots
+            if self.batch_delivery:
+                loop._bwhen[slot].append(when)
+                loop._bseq[slot].append(next(loop._seq))
+                loop._bobjs[slot] += (dest_host, dest_port, payload, wire_src)
+                loop.wheel_batched += 1
+            else:
+                loop._wheel[slot].append(
+                    (when, next(loop._seq),
+                     self._deliver_cb, (dest_host, dest_port, payload, wire_src)))
+            loop._wheel_count += 1
+            loop.wheel_scheduled += 1
+        else:
+            loop._overflow(
+                (when, next(loop._seq),
+                 self._deliver_cb, (dest_host, dest_port, payload, wire_src)),
+                tick)
+
+    def flush_egress(self) -> dict[int, tuple[array, array, array]]:
+        """Detach and return the non-empty egress columns, keyed by shard."""
+        out: dict[int, tuple[array, array, array]] = {}
+        for shard, cols in enumerate(self._egress):
+            if cols[0]:
+                out[shard] = cols
+                self._egress[shard] = (array("d"), array("q"), array("q"))
+        return out
+
+    def inject_batches(self, batches: list[tuple[array, array, array]]) -> int:
+        """Merge remote arrivals into the local queue (seq re-keying).
+
+        ``batches`` arrive in source-shard-ascending order; rows are
+        stable-sorted by delivery time and each gets a *fresh local*
+        sequence number in that order, so the ``(when, seq)`` dispatch
+        order the wheel and heap share also totally orders remote
+        arrivals. The window protocol guarantees every ``when`` is at or
+        past the barrier the loop just reached — validated once against
+        the earliest row, as :meth:`EventLoop.inject` would per row.
+        """
+        rows: list[tuple[float, int, int]] = []
+        for when_col, dst_col, src_col in batches:
+            rows.extend(zip(when_col, dst_col, src_col))
+        if not rows:
+            return 0
+        rows.sort(key=lambda row: row[0])
+        loop = self.loop
+        if rows[0][0] < loop.now:
+            raise ConfigurationError(
+                f"cannot inject at {rows[0][0]} < now {loop.now} (window protocol violated)"
+            )
+        port = self.shard_port
+        payload = self.shard_payload
+        base = self._ip_base_int
+        local = self._local_index
+        deliver_cb = self._deliver_cb
+        batching = self.batch_delivery
+        self.datagrams_in_flight += len(rows)
+        loop._live += len(rows)
+        for when, dst_idx, src_idx in rows:
+            dest_host = local[dst_idx]
+            wire_src = Endpoint(int_to_ip(base + src_idx), port)
+            tick = int(when * loop._wheel_inv)
+            if 0 <= tick - loop._wheel_tick < loop._wheel_slots:
+                slot = tick % loop._wheel_slots
+                if batching:
+                    loop._bwhen[slot].append(when)
+                    loop._bseq[slot].append(next(loop._seq))
+                    loop._bobjs[slot] += (dest_host, port, payload, wire_src)
+                    loop.wheel_batched += 1
+                else:
+                    loop._wheel[slot].append(
+                        (when, next(loop._seq),
+                         deliver_cb, (dest_host, port, payload, wire_src)))
+                loop._wheel_count += 1
+                loop.wheel_scheduled += 1
+            else:
+                loop._overflow(
+                    (when, next(loop._seq),
+                     deliver_cb, (dest_host, port, payload, wire_src)),
+                    tick)
+        self.remote_injected += len(rows)
+        return len(rows)

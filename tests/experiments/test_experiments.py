@@ -133,6 +133,37 @@ class TestIpLeakWild:
         assert 0.1 < rt.same_country_share(result.geo) < 0.55  # ~35% in the paper
 
 
+class TestIpLeakScenario:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ip_leak_wild.run(scenario="flash-crowd", include_okru=False)
+
+    def test_scenario_provenance_recorded(self, result):
+        assert result.scenario_name == "flash-crowd"
+        assert len(result.scenario_digest) == 64
+        assert set(result.timeline_digests) == {"huya.com", "rt-news-app"}
+        payload = result.to_dict()
+        assert payload["scenario_digest"] == result.scenario_digest
+        assert result.manifest_extra()["scenario_name"] == "flash-crowd"
+
+    def test_scenario_audience_harvested(self, result):
+        # The flash-crowd preset's population (US/BR/IN) replaces the
+        # platform country mixes, and its CGNAT share must surface as
+        # shared-NAT bogons in the harvest.
+        huya = result.platforms["huya.com"]
+        dist = huya.country_distribution(result.geo)
+        assert set(dist) <= {"US", "BR", "IN"}
+        assert result.total_unique > 0
+
+    def test_classic_run_untouched_by_scenario_fields(self):
+        result = ip_leak_wild.run(days=0.05, window_hours=0.25, include_okru=False)
+        assert result.scenario_name == ""
+        payload = result.to_dict()
+        assert "scenario_name" not in payload
+        assert "timeline_digests" not in payload
+        assert result.manifest_extra() == {}
+
+
 class TestTokenDefense:
     def test_defense_effective_and_283_bytes(self):
         result = token_defense.run()

@@ -10,7 +10,7 @@ from repro.util.errors import ConfigurationError
 EXPECTED = [
     "detect", "detection-quality", "free-riding", "risk-matrix", "resources",
     "bandwidth", "ip-leak", "consent", "propagation", "chaos",
-    "scenario-matrix", "token-defense", "im-checking", "ecdn",
+    "scenario-matrix", "swarm-scale", "token-defense", "im-checking", "ecdn",
 ]
 
 

@@ -1,0 +1,237 @@
+"""Sharded-simulation correctness: the worker-count-invariance oracle.
+
+The whole design of :mod:`repro.net.shard` reduces to one testable
+claim: the digest of a :class:`SwarmWorkload` run is a function of the
+workload alone, never of how many shards computed it or whether they
+shared an address space. These tests pin that claim at seed 2024 across
+calm and chaos-mix plans, across the inline and multi-process
+coordinators, and at the protocol's edges — arrivals landing exactly on
+a window barrier, hosts crashing with cross-shard traffic in flight,
+and ``max_events`` budgets that must stay exact under sharding.
+"""
+
+from array import array
+
+import pytest
+
+from repro.harness.profile import WheelStats
+from repro.net.clock import EventLoop
+from repro.net.faults import FaultPlan, HostCrash
+from repro.net.network import ShardNetwork
+from repro.net.shard import (
+    DEFAULT_REGIONS,
+    SwarmWorkload,
+    build_fault_plan,
+    run_workload,
+    shard_of,
+)
+from repro.util.errors import ConfigurationError
+from repro.util.rand import DeterministicRandom
+
+#: Small enough to keep the whole module fast, big enough that every
+#: region sends, receives, and exchanges cross-shard traffic.
+SMALL = dict(viewers=400, datagrams=2_000, seed=2024)
+
+
+def run_at(workers: int, **overrides):
+    params = dict(SMALL)
+    params.update(overrides)
+    return run_workload(SwarmWorkload(**params), workers)
+
+
+class TestDigestInvariance:
+    """Shards 1 vs 2 vs 4 must agree bit-for-bit at seed 2024."""
+
+    @pytest.mark.parametrize("faults", ["calm", "chaos-mix"])
+    def test_worker_ladder_same_digest(self, faults):
+        reports = [run_at(workers, faults=faults) for workers in (1, 2, 4)]
+        digests = {report.digest for report in reports}
+        assert len(digests) == 1
+        for report in reports:
+            assert report.conservation_ok
+            assert report.totals["sent"] == SMALL["datagrams"]
+
+    def test_chaos_actually_dropped_something(self):
+        report = run_at(2, faults="chaos-mix")
+        assert report.totals["dropped"] > 0
+        assert set(report.drops_by_reason) & {"host_down", "link_down", "fault_loss"}
+
+    def test_flash_crowd_invariant_and_distinct(self):
+        flash = [run_at(workers, arrivals="flash-crowd") for workers in (1, 2)]
+        assert flash[0].digest == flash[1].digest
+        assert flash[0].digest != run_at(1).digest
+
+    def test_seed_changes_digest(self):
+        assert run_at(2).digest != run_at(2, seed=2025).digest
+
+    def test_process_mode_matches_inline(self):
+        inline = run_workload(SwarmWorkload(**SMALL), 2, inline=True)
+        forked = run_workload(SwarmWorkload(**SMALL), 2, inline=False)
+        assert inline.mode == "inline" and forked.mode == "process"
+        assert forked.digest == inline.digest
+        assert forked.totals == inline.totals
+
+    def test_single_worker_auto_inline(self):
+        report = run_at(1)
+        assert report.mode == "inline"
+        assert report.workers == 1
+
+    def test_workers_clamp_to_region_count(self):
+        report = run_at(16)
+        assert report.workers == len(DEFAULT_REGIONS)
+
+
+class TestWindowEdges:
+    """The lookahead barrier is exact: arrivals may land *on* it."""
+
+    def test_injection_on_the_barrier_is_legal(self):
+        loop = EventLoop()
+        loop.run_until_window(0.116)
+        assert loop.now == 0.116
+        fired = []
+        loop.inject(0.116, fired.append, (1,))  # exactly at the barrier
+        loop.run_until_window(0.232)
+        assert fired == [1]
+        assert loop.now == 0.232
+
+    def test_injection_into_the_past_is_a_protocol_violation(self):
+        loop = EventLoop()
+        loop.run_until_window(0.116)
+        with pytest.raises(ConfigurationError, match="window protocol"):
+            loop.inject(0.1, lambda: None, ())
+
+    def test_run_until_window_budget_is_exact(self):
+        loop = EventLoop()
+        fired = []
+        for when in (0.01, 0.02, 0.03):
+            loop.schedule(when, fired.append, when)
+        assert loop.run_until_window(0.1, max_events=2) == 2
+        # Interrupted by the budget: the clock must not jump to the
+        # deadline past the still-pending third event.
+        assert loop.now < 0.1
+        assert loop.run_until_window(0.1) == 1
+        assert fired == [0.01, 0.02, 0.03]
+        assert loop.now == 0.1
+
+    def test_stale_batch_rejected_by_inject_batches(self):
+        net = ShardNetwork(0, 2, DEFAULT_REGIONS, rand=DeterministicRandom(7))
+        net.add_indexed_host(0).bind_udp(4000)
+        net.loop.run_until_window(1.0)
+        cols = (array("d", [0.5]), array("q", [0]), array("q", [1]))
+        with pytest.raises(ConfigurationError, match="window protocol"):
+            net.inject_batches([cols])
+
+    def test_cross_shard_send_lands_in_egress_not_wheel(self):
+        net = ShardNetwork(0, 2, DEFAULT_REGIONS, rand=DeterministicRandom(7))
+        net.add_indexed_host(0).bind_udp(4000)
+        # Viewer 1 lives in region index 1 -> shard 1: remote from shard 0.
+        assert shard_of(1, len(DEFAULT_REGIONS), 2) == 1
+        net.send_indexed(0, 1, 0.5, 0.9)
+        assert net.egress_sent == 1
+        assert net.datagrams_sent == 1
+        assert net.datagrams_in_flight == 0  # receiver-side accounting
+        flushed = net.flush_egress()
+        assert list(flushed) == [1] and len(flushed[1][0]) == 1
+        assert net.flush_egress() == {}  # drained
+
+
+class TestCrashWithInFlightTraffic:
+    """A host crash while cross-shard datagrams are in flight."""
+
+    @pytest.fixture(scope="class")
+    def plan_path(self, tmp_path_factory):
+        plan = FaultPlan(
+            events=(HostCrash(at=5.0, host="v1"),), name="crash-v1"
+        )
+        path = tmp_path_factory.mktemp("plans") / "crash.json"
+        path.write_text(plan.to_json())
+        return str(path)
+
+    def test_digest_invariant_and_drops_counted(self, plan_path):
+        # Low locality maximises cross-shard traffic around the crash.
+        reports = [
+            run_at(workers, faults=plan_path, locality=0.5)
+            for workers in (1, 2, 4)
+        ]
+        assert len({report.digest for report in reports}) == 1
+        for report in reports:
+            assert report.conservation_ok
+            assert report.drops_by_reason.get("host_down", 0) >= 1
+
+    def test_every_shard_applies_the_whole_plan(self, plan_path):
+        report = run_at(4, faults=plan_path, locality=0.5)
+        applied = [shard["fault_events_applied"] for shard in report.per_shard]
+        assert applied == [1, 1, 1, 1]
+
+
+class TestMaxEventsExactness:
+    """``max_events=N`` must mean exactly N, at any worker count.
+
+    Calm plans only: fault events re-apply on every shard (that is the
+    invariance rule), so chaos event *counts* are K-dependent even
+    though the digest is not.
+    """
+
+    @pytest.fixture(scope="class")
+    def exact_total(self):
+        return run_at(1).events_fired
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_exact_budget_completes(self, exact_total, workers):
+        workload = SwarmWorkload(**SMALL)
+        report = run_workload(workload, workers, max_events=exact_total)
+        assert report.events_fired == exact_total
+        assert report.conservation_ok
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_one_less_raises_the_livelock_error(self, exact_total, workers):
+        workload = SwarmWorkload(**SMALL)
+        with pytest.raises(RuntimeError, match=f"exceeded {exact_total - 1} events"):
+            run_workload(workload, workers, max_events=exact_total - 1)
+
+    def test_budget_requires_inline_coordinator(self):
+        with pytest.raises(ConfigurationError, match="inline"):
+            run_workload(SwarmWorkload(**SMALL), 2, max_events=10, inline=False)
+
+
+class TestShardStats:
+    """Per-shard diagnostics and their cross-shard aggregation."""
+
+    def test_wheel_stats_absorb_remote(self):
+        stats = WheelStats()
+        stats.absorb_remote("shard:0", {"scheduled": 10, "overflow": 2,
+                                        "batched": 8, "batch_drains": 4,
+                                        "occupancy": 5})
+        stats.absorb_remote("shard:1", {"scheduled": 7, "overflow": 1,
+                                        "batched": 3, "batch_drains": 2,
+                                        "occupancy": 9})
+        assert stats.scheduled == 17
+        assert stats.overflow == 3
+        assert stats.batched == 11
+        assert stats.batch_drains == 6
+        assert stats.max_occupancy == 9
+        # Re-absorbing a key replaces its snapshot (no double count).
+        stats.absorb_remote("shard:0", {"scheduled": 11, "overflow": 2,
+                                        "batched": 8, "batch_drains": 4,
+                                        "occupancy": 5})
+        assert stats.scheduled == 18
+
+    def test_report_wheel_summary_sums_and_maxes(self):
+        report = run_at(2)
+        summary = report.wheel_summary()
+        assert summary["scheduled"] == sum(
+            shard["wheel"]["scheduled"] for shard in report.per_shard
+        )
+        assert summary["max_occupancy"] == max(
+            shard["wheel"]["occupancy"] for shard in report.per_shard
+        )
+
+    def test_egress_matches_injection_globally(self):
+        report = run_at(4, locality=0.5)
+        egress = sum(shard["egress_sent"] for shard in report.per_shard)
+        injected = sum(shard["remote_injected"] for shard in report.per_shard)
+        assert egress == injected > 0
+
+    def test_fault_plan_identical_for_any_caller(self):
+        workload = SwarmWorkload(**SMALL, faults="chaos-mix")
+        assert build_fault_plan(workload).digest() == build_fault_plan(workload).digest()
